@@ -1,0 +1,88 @@
+//! Shared helpers for the baseline strategies.
+
+use ppa_pregel::map_reduce;
+use ppa_seq::{Base, FastxRecord, Kmer, ReadSet};
+use std::collections::HashMap;
+
+/// Counts canonical k-mers of the given size across all reads (splitting at
+/// `N`s), in parallel, and drops those whose count does not exceed
+/// `min_coverage`.
+pub fn count_canonical_kmers(
+    reads: &ReadSet,
+    k: usize,
+    min_coverage: u32,
+    workers: usize,
+) -> HashMap<u64, u32> {
+    let batches: Vec<&[FastxRecord]> = reads.records.chunks(512).collect();
+    let counted = map_reduce(
+        batches,
+        workers,
+        |batch: &[FastxRecord]| {
+            let mut local: HashMap<u64, u32> = HashMap::new();
+            for read in batch {
+                for segment in read.acgt_segments() {
+                    if segment.len() < k {
+                        continue;
+                    }
+                    let bases: Vec<Base> = segment
+                        .iter()
+                        .map(|&c| Base::from_ascii_checked(c).expect("ACGT segment"))
+                        .collect();
+                    for kmer in ppa_seq::kmer::kmers_of(&bases, k) {
+                        *local.entry(kmer.canonical().kmer.packed()).or_insert(0) += 1;
+                    }
+                }
+            }
+            local.into_iter().collect::<Vec<_>>()
+        },
+        |key: &u64, counts: Vec<u32>| {
+            let total: u32 = counts.iter().sum();
+            if total > min_coverage {
+                vec![(*key, total)]
+            } else {
+                vec![]
+            }
+        },
+    );
+    counted.into_iter().collect()
+}
+
+/// Renders a packed k-mer back into a [`Kmer`].
+pub fn kmer_of(packed: u64, k: usize) -> Kmer {
+    Kmer::from_packed(packed, k).expect("valid packed k-mer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_seq::FastxRecord;
+
+    fn reads(seqs: &[&str]) -> ReadSet {
+        ReadSet::from_records(
+            seqs.iter()
+                .enumerate()
+                .map(|(i, s)| FastxRecord::new_fasta(format!("r{i}"), s.as_bytes().to_vec()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn counts_merge_across_strands_and_reads() {
+        let rs = reads(&["CTGCCGTACA", "TGTACGGCAG"]); // second is the reverse complement
+        let counts = count_canonical_kmers(&rs, 4, 0, 2);
+        assert!(!counts.is_empty());
+        for (&packed, &count) in &counts {
+            let kmer = kmer_of(packed, 4);
+            assert!(kmer.is_canonical());
+            assert_eq!(count, 2, "k-mer {kmer} should be seen once per strand");
+        }
+    }
+
+    #[test]
+    fn coverage_filter_applies() {
+        let rs = reads(&["ACGTACGTAC", "ACGTACGTAC", "TTTTGGGGCC"]);
+        let strict = count_canonical_kmers(&rs, 5, 1, 2);
+        let lenient = count_canonical_kmers(&rs, 5, 0, 2);
+        assert!(strict.len() < lenient.len());
+    }
+}

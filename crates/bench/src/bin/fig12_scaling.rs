@@ -1,0 +1,60 @@
+//! Regenerates **Figure 12**: end-to-end assembly time of every assembler as
+//! the number of workers varies.
+//!
+//! Usage:
+//! `cargo run -p ppa-bench --release --bin fig12_scaling -- --dataset sim-hc14 --scale 0.1 --workers 1,2,4,8`
+
+use ppa_baselines::{all_assemblers, BaselineParams};
+use ppa_bench::{print_table, secs, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let dataset = args.generate_dataset();
+    eprintln!(
+        "dataset {}: {} reads, reference {} bp",
+        dataset.preset.name,
+        dataset.reads.len(),
+        dataset.reference.len()
+    );
+
+    let assemblers = all_assemblers();
+    let mut rows = Vec::new();
+    for &workers in &args.workers {
+        let mut row = vec![workers.to_string()];
+        for assembler in &assemblers {
+            let params = BaselineParams {
+                k: args.k,
+                min_kmer_coverage: 1,
+                workers,
+                tip_length_threshold: 80,
+                bubble_edit_distance: 5,
+            };
+            let result = assembler.assemble(&dataset.reads, &params);
+            eprintln!(
+                "  workers={workers:<2} {:<14} {}s  (contigs: {}, largest: {})",
+                assembler.name(),
+                secs(result.elapsed),
+                result.contigs.len(),
+                result.largest_contig()
+            );
+            row.push(secs(result.elapsed));
+        }
+        rows.push(row);
+    }
+
+    let mut header: Vec<&str> = vec!["# workers"];
+    let names: Vec<&'static str> = assemblers.iter().map(|a| a.name()).collect();
+    header.extend(names.iter().copied());
+    print_table(
+        &format!(
+            "Figure 12 analogue — execution time (s) on {} (scale {})",
+            dataset.preset.name, args.scale
+        ),
+        &header,
+        &rows,
+    );
+    println!(
+        "\nExpected shape (paper): PPA-assembler fastest at every worker count; Ray slowest;\n\
+         PPA/SWAP/Ray improve with more workers, ABySS benefits least."
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Table I** (the dataset inventory): number of reads, average
+//! read length and reference length for the four simulated dataset analogues.
+//!
+//! Usage: `cargo run -p ppa-bench --release --bin table1_datasets -- [--scale 0.1]`
+
+use ppa_bench::{print_table, HarnessArgs};
+use ppa_readsim::all_presets;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut rows = Vec::new();
+    for preset in all_presets() {
+        let preset = preset.scaled(args.scale);
+        let dataset = preset.generate();
+        rows.push(vec![
+            preset.name.clone(),
+            preset.paper_dataset.clone(),
+            format!("{}", dataset.reads.len()),
+            format!("{:.1}", dataset.reads.mean_read_length()),
+            format!("{}", dataset.reference.len()),
+            if preset.has_reference { "yes".into() } else { "-".into() },
+            format!("{:.1}x", dataset.realized_coverage()),
+        ]);
+    }
+    print_table(
+        &format!("Table I analogue (scale {})", args.scale),
+        &[
+            "dataset",
+            "paper dataset",
+            "# reads",
+            "avg read len",
+            "reference len",
+            "reference?",
+            "coverage",
+        ],
+        &rows,
+    );
+}

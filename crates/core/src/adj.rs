@@ -1,0 +1,418 @@
+//! Compact adjacency representations for k-mer vertices (Figure 8).
+//!
+//! Right after DBG construction the graph consists solely of k-mer vertices,
+//! and the overlapping k-mers make this the most memory-hungry stage of the
+//! whole pipeline. The paper therefore stores a k-mer vertex's neighbourhood
+//! as a **32-bit bitmap**: one bit for every combination of edge polarity
+//! (⟨L:L⟩, ⟨L:H⟩, ⟨H:L⟩, ⟨H:H⟩), edge direction (in/out) and appended/prepended
+//! nucleotide (A/C/G/T) — 4 × 2 × 4 = 32 possibilities — plus one coverage
+//! counter per set bit. The neighbour's ID is not stored at all: it can be
+//! recomputed from the owning k-mer and the bit's meaning
+//! ([`EdgeSlot::neighbor_of`]).
+//!
+//! The per-neighbour **8-bit item** of Figure 8(b) ([`CompactNeighbor`]) is the
+//! uncompressed equivalent used once vertices start tracking heterogeneous
+//! neighbours; it encodes the same three coordinates in a single byte.
+
+use crate::polarity::{Direction, Polarity};
+use ppa_seq::{Base, Kmer};
+use serde::{Deserialize, Serialize};
+
+/// One of the 32 possible adjacency "slots" of a k-mer vertex: an edge with a
+/// given polarity and direction whose neighbour differs from the owning k-mer
+/// by one appended (out) or prepended (in) base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeSlot {
+    /// Edge polarity ⟨source:target⟩ in the edge's stored direction.
+    pub polarity: Polarity,
+    /// Whether the owning vertex is the source (`Out`) or target (`In`).
+    pub direction: Direction,
+    /// The base appended to the suffix (out-edges) or prepended to the prefix
+    /// (in-edges) of the observed k-mer to obtain the observed neighbour.
+    pub base: Base,
+}
+
+impl EdgeSlot {
+    /// Bit index of this slot inside the 32-bit bitmap.
+    #[inline]
+    pub fn bit(&self) -> u32 {
+        (self.polarity.index() as u32) * 8
+            + if self.direction == Direction::Out { 4 } else { 0 }
+            + self.base.code() as u32
+    }
+
+    /// Inverse of [`EdgeSlot::bit`].
+    #[inline]
+    pub fn from_bit(bit: u32) -> EdgeSlot {
+        debug_assert!(bit < 32);
+        EdgeSlot {
+            polarity: Polarity::from_index((bit / 8) as usize),
+            direction: if bit % 8 >= 4 { Direction::Out } else { Direction::In },
+            base: Base::from_code((bit % 4) as u8),
+        }
+    }
+
+    /// Reconstructs the *canonical* neighbour k-mer this slot refers to, given
+    /// the owning (canonical) k-mer.
+    ///
+    /// This is the derivation the paper walks through for its Figure 8(b)
+    /// example: orient the owning k-mer according to its own polarity label,
+    /// slide the window by one base in the edge's direction, then canonicalise
+    /// the result.
+    pub fn neighbor_of(&self, own: &Kmer) -> Kmer {
+        debug_assert!(own.is_canonical());
+        match self.direction {
+            Direction::Out => {
+                let observed_source = match self.polarity.source_label() {
+                    ppa_seq::Orientation::Forward => *own,
+                    ppa_seq::Orientation::ReverseComplement => own.reverse_complement(),
+                };
+                observed_source.extend_right(self.base).canonical().kmer
+            }
+            Direction::In => {
+                let observed_target = match self.polarity.target_label() {
+                    ppa_seq::Orientation::Forward => *own,
+                    ppa_seq::Orientation::ReverseComplement => own.reverse_complement(),
+                };
+                observed_target.extend_left(self.base).canonical().kmer
+            }
+        }
+    }
+
+    /// Encodes the slot as the 8-bit adjacency item of Figure 8(b):
+    /// `0 0 0 X X Y Z Z` with `XX` = base, `Y` = in/out, `ZZ` = polarity.
+    #[inline]
+    pub fn to_compact(&self) -> CompactNeighbor {
+        CompactNeighbor(
+            (self.base.code() << 3)
+                | (u8::from(self.direction == Direction::In) << 2)
+                | self.polarity.index() as u8,
+        )
+    }
+}
+
+/// The 8-bit per-neighbour adjacency item of Figure 8(b).
+///
+/// The value `0b1000_0000` is the NULL marker indicating a dead end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CompactNeighbor(pub u8);
+
+impl CompactNeighbor {
+    /// The NULL (dead-end) marker.
+    pub const NULL: CompactNeighbor = CompactNeighbor(0b1000_0000);
+
+    /// Whether this item is the NULL marker.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        self.0 & 0b1000_0000 != 0
+    }
+
+    /// Decodes the item into an [`EdgeSlot`]; `None` for the NULL marker.
+    #[inline]
+    pub fn decode(&self) -> Option<EdgeSlot> {
+        if self.is_null() {
+            return None;
+        }
+        Some(EdgeSlot {
+            base: Base::from_code((self.0 >> 3) & 0b11),
+            direction: if self.0 & 0b100 != 0 { Direction::In } else { Direction::Out },
+            polarity: Polarity::from_index((self.0 & 0b11) as usize),
+        })
+    }
+}
+
+/// The packed 32-bit adjacency of a k-mer vertex (Figure 8a): a bitmap of the
+/// occupied [`EdgeSlot`]s plus one coverage counter per occupied slot.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedAdj {
+    bitmap: u32,
+    /// Coverage counters, ordered by ascending bit index of the occupied slots.
+    coverages: Vec<u32>,
+}
+
+impl PackedAdj {
+    /// Creates an empty adjacency.
+    pub fn new() -> PackedAdj {
+        PackedAdj::default()
+    }
+
+    /// Number of occupied slots (the vertex degree, counting parallel edges of
+    /// different polarity separately, as the DBG does).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.bitmap.count_ones() as usize
+    }
+
+    /// Whether no slot is occupied.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bitmap == 0
+    }
+
+    /// The raw bitmap.
+    #[inline]
+    pub fn bitmap(&self) -> u32 {
+        self.bitmap
+    }
+
+    /// Position of `bit` within the coverage vector.
+    #[inline]
+    fn slot_position(&self, bit: u32) -> usize {
+        (self.bitmap & ((1u32 << bit) - 1)).count_ones() as usize
+    }
+
+    /// Adds `coverage` to the given slot, creating it if absent.
+    pub fn add(&mut self, slot: EdgeSlot, coverage: u32) {
+        let bit = slot.bit();
+        let pos = self.slot_position(bit);
+        if self.bitmap & (1 << bit) != 0 {
+            self.coverages[pos] = self.coverages[pos].saturating_add(coverage);
+        } else {
+            self.bitmap |= 1 << bit;
+            self.coverages.insert(pos, coverage);
+        }
+    }
+
+    /// The coverage of a slot, or `None` if the slot is unoccupied.
+    pub fn coverage(&self, slot: EdgeSlot) -> Option<u32> {
+        let bit = slot.bit();
+        if self.bitmap & (1 << bit) == 0 {
+            None
+        } else {
+            Some(self.coverages[self.slot_position(bit)])
+        }
+    }
+
+    /// Removes a slot, returning its coverage if it was present.
+    pub fn remove(&mut self, slot: EdgeSlot) -> Option<u32> {
+        let bit = slot.bit();
+        if self.bitmap & (1 << bit) == 0 {
+            return None;
+        }
+        let pos = self.slot_position(bit);
+        self.bitmap &= !(1 << bit);
+        Some(self.coverages.remove(pos))
+    }
+
+    /// Merges another partial adjacency into this one, summing coverages of
+    /// slots present in both (used by the reduce step of DBG construction when
+    /// combining the partial adjacency lists produced by different workers).
+    pub fn merge(&mut self, other: &PackedAdj) {
+        for (slot, cov) in other.iter() {
+            self.add(slot, cov);
+        }
+    }
+
+    /// Iterates over the occupied slots and their coverages, in bit order.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeSlot, u32)> + '_ {
+        let mut remaining = self.bitmap;
+        let mut idx = 0usize;
+        std::iter::from_fn(move || {
+            if remaining == 0 {
+                return None;
+            }
+            let bit = remaining.trailing_zeros();
+            remaining &= remaining - 1;
+            let cov = self.coverages[idx];
+            idx += 1;
+            Some((EdgeSlot::from_bit(bit), cov))
+        })
+    }
+
+    /// Approximate in-memory footprint in bytes (bitmap + counters), used to
+    /// report the memory benefit of the packed format.
+    pub fn footprint_bytes(&self) -> usize {
+        4 + 4 * self.coverages.len()
+    }
+}
+
+/// Computes, for an observed (k+1)-mer with the given coverage, the two
+/// partial adjacency contributions it induces: one slot on its prefix vertex
+/// (an out-edge) and one slot on its suffix vertex (an in-edge).
+///
+/// Returns `((source_vertex, source_slot), (target_vertex, target_slot))`.
+/// The (k+1)-mer should be passed in its canonical orientation (the counting
+/// key of construction phase (i)); passing the other orientation yields the
+/// equivalent edge expressed in the opposite direction (Property 1).
+pub fn edge_contributions(kplus1: &Kmer) -> ((Kmer, EdgeSlot), (Kmer, EdgeSlot)) {
+    let prefix = kplus1.prefix();
+    let suffix = kplus1.suffix();
+    let src = prefix.canonical();
+    let tgt = suffix.canonical();
+    let polarity = Polarity::from_labels(src.orientation, tgt.orientation);
+    let source_slot = EdgeSlot { polarity, direction: Direction::Out, base: kplus1.last() };
+    let target_slot = EdgeSlot { polarity, direction: Direction::In, base: kplus1.first() };
+    ((src.kmer, source_slot), (tgt.kmer, target_slot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn km(s: &str) -> Kmer {
+        Kmer::from_str_exact(s).unwrap()
+    }
+
+    #[test]
+    fn slot_bit_roundtrip() {
+        for bit in 0..32 {
+            let slot = EdgeSlot::from_bit(bit);
+            assert_eq!(slot.bit(), bit);
+        }
+    }
+
+    #[test]
+    fn compact_item_matches_paper_example_1() {
+        // Figure 8(b), item ①: bitmap 00010111 = in-neighbour of "ACGG",
+        // polarity ⟨H:H⟩, prepend G; neighbour works out to "CGGC".
+        let item = CompactNeighbor(0b0001_0111);
+        let slot = item.decode().unwrap();
+        assert_eq!(slot.base, Base::G);
+        assert_eq!(slot.direction, Direction::In);
+        assert_eq!(slot.polarity, Polarity::HH);
+        assert_eq!(slot.neighbor_of(&km("ACGG")).to_string(), "CGGC");
+        assert_eq!(slot.to_compact(), item);
+    }
+
+    #[test]
+    fn compact_item_matches_paper_example_2() {
+        // Figure 8(b), item ②: bitmap 00000010 = out-neighbour of "ACGG",
+        // polarity ⟨H:L⟩, append A; neighbour works out to "CGTA".
+        let item = CompactNeighbor(0b0000_0010);
+        let slot = item.decode().unwrap();
+        assert_eq!(slot.base, Base::A);
+        assert_eq!(slot.direction, Direction::Out);
+        assert_eq!(slot.polarity, Polarity::HL);
+        assert_eq!(slot.neighbor_of(&km("ACGG")).to_string(), "CGTA");
+        assert_eq!(slot.to_compact(), item);
+    }
+
+    #[test]
+    fn null_compact_item() {
+        assert!(CompactNeighbor::NULL.is_null());
+        assert_eq!(CompactNeighbor::NULL.0, 0b1000_0000);
+        assert!(CompactNeighbor::NULL.decode().is_none());
+        assert!(!CompactNeighbor(0).is_null());
+    }
+
+    #[test]
+    fn packed_adj_add_get_remove() {
+        let mut adj = PackedAdj::new();
+        assert!(adj.is_empty());
+        let a = EdgeSlot { polarity: Polarity::LL, direction: Direction::Out, base: Base::C };
+        let b = EdgeSlot { polarity: Polarity::HH, direction: Direction::In, base: Base::T };
+        adj.add(a, 5);
+        adj.add(b, 9);
+        adj.add(a, 2); // merges coverage
+        assert_eq!(adj.degree(), 2);
+        assert_eq!(adj.coverage(a), Some(7));
+        assert_eq!(adj.coverage(b), Some(9));
+        assert_eq!(
+            adj.coverage(EdgeSlot { polarity: Polarity::LH, direction: Direction::Out, base: Base::A }),
+            None
+        );
+        assert_eq!(adj.remove(a), Some(7));
+        assert_eq!(adj.remove(a), None);
+        assert_eq!(adj.degree(), 1);
+        assert_eq!(adj.coverage(b), Some(9), "removal must not disturb other slots");
+    }
+
+    #[test]
+    fn packed_adj_iteration_and_merge() {
+        let mut a = PackedAdj::new();
+        let mut b = PackedAdj::new();
+        let s1 = EdgeSlot { polarity: Polarity::LL, direction: Direction::Out, base: Base::A };
+        let s2 = EdgeSlot { polarity: Polarity::LH, direction: Direction::In, base: Base::G };
+        let s3 = EdgeSlot { polarity: Polarity::HL, direction: Direction::Out, base: Base::T };
+        a.add(s1, 1);
+        a.add(s2, 2);
+        b.add(s2, 3);
+        b.add(s3, 4);
+        a.merge(&b);
+        let collected: Vec<(EdgeSlot, u32)> = a.iter().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(a.coverage(s1), Some(1));
+        assert_eq!(a.coverage(s2), Some(5));
+        assert_eq!(a.coverage(s3), Some(4));
+        assert!(a.footprint_bytes() <= 4 + 4 * 32);
+    }
+
+    #[test]
+    fn edge_contributions_simple_forward_edge() {
+        // 3-mer "ATT" (canonical: ATT vs rc AAT → AAT is smaller! Let's check:
+        // AAT < ATT, so canonical form of this (k+1)-mer is AAT.) Use "ACG"
+        // instead: rc(ACG) = CGT, canonical = ACG. Prefix "AC" (canonical,
+        // rc=GT → AC), suffix "CG" (palindrome).
+        let e = km("ACG");
+        let ((src, s_slot), (tgt, t_slot)) = edge_contributions(&e);
+        assert_eq!(src.to_string(), "AC");
+        assert_eq!(tgt.to_string(), "CG");
+        assert_eq!(s_slot.direction, Direction::Out);
+        assert_eq!(t_slot.direction, Direction::In);
+        assert_eq!(s_slot.polarity, Polarity::LL);
+        assert_eq!(t_slot.polarity, Polarity::LL);
+        assert_eq!(s_slot.base, Base::G);
+        assert_eq!(t_slot.base, Base::A);
+        // The slots must point back at each other.
+        assert_eq!(s_slot.neighbor_of(&src), tgt);
+        assert_eq!(t_slot.neighbor_of(&tgt), src);
+    }
+
+    #[test]
+    fn edge_contributions_with_reverse_complement_vertex() {
+        // Figure 6 example: (k+1)-mer "AGT" (k=2). rc(AGT)=ACT < AGT, so the
+        // canonical counting key is ACT; but the edge it represents is
+        // AG→GT ⇔ AC→AG reversed... Verify via the paper's stitching example:
+        // edge "AG"→"GT" where "GT" is stored as canonical "AC" with label H.
+        let e = km("AGT");
+        let canon = e.canonical().kmer; // ACT
+        let ((src, s_slot), (tgt, t_slot)) = edge_contributions(&canon);
+        // ACT: prefix AC (canonical), suffix CT → canonical AG with label H.
+        assert_eq!(src.to_string(), "AC");
+        assert_eq!(tgt.to_string(), "AG");
+        assert_eq!(s_slot.polarity, Polarity::LH);
+        // Neighbour derivation must be mutually consistent.
+        assert_eq!(s_slot.neighbor_of(&src), tgt);
+        assert_eq!(t_slot.neighbor_of(&tgt), src);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_edge_contributions_are_mutually_consistent(
+            codes in proptest::collection::vec(0u8..4, 2..=31)
+        ) {
+            let bases: Vec<Base> = codes.iter().map(|c| Base::from_code(*c)).collect();
+            let kp1 = Kmer::from_bases(&bases).unwrap().canonical().kmer;
+            let ((src, s_slot), (tgt, t_slot)) = edge_contributions(&kp1);
+            prop_assert!(src.is_canonical());
+            prop_assert!(tgt.is_canonical());
+            // Each side's slot reconstructs the other side.
+            prop_assert_eq!(s_slot.neighbor_of(&src), tgt);
+            prop_assert_eq!(t_slot.neighbor_of(&tgt), src);
+            // Compact encoding round-trips.
+            prop_assert_eq!(s_slot.to_compact().decode().unwrap(), s_slot);
+            prop_assert_eq!(t_slot.to_compact().decode().unwrap(), t_slot);
+        }
+
+        #[test]
+        fn prop_packed_adj_tracks_reference_map(
+            ops in proptest::collection::vec((0u32..32, 1u32..100), 0..60)
+        ) {
+            use std::collections::HashMap;
+            let mut adj = PackedAdj::new();
+            let mut reference: HashMap<u32, u32> = HashMap::new();
+            for (bit, cov) in ops {
+                adj.add(EdgeSlot::from_bit(bit), cov);
+                *reference.entry(bit).or_insert(0) += cov;
+            }
+            prop_assert_eq!(adj.degree(), reference.len());
+            for (bit, cov) in &reference {
+                prop_assert_eq!(adj.coverage(EdgeSlot::from_bit(*bit)), Some(*cov));
+            }
+            let from_iter: HashMap<u32, u32> =
+                adj.iter().map(|(s, c)| (s.bit(), c)).collect();
+            prop_assert_eq!(from_iter, reference);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! 64-bit vertex identifiers (Figure 7 of the paper).
+//!
+//! PPA-assembler encodes everything it needs to know about a vertex's identity
+//! into a single 64-bit integer so that message routing works on plain words:
+//!
+//! * **k-mer vertices** (Figure 7a): the 2-bit packed canonical k-mer sequence,
+//!   right-aligned; for k ≤ 31 at most 62 bits are used and the top two bits
+//!   are zero.
+//! * **NULL** (Figure 7b): the dummy neighbour that marks a dead end; only the
+//!   most significant bit is set.
+//! * **contig vertices** (Figure 7c): the most significant bit is set and the
+//!   remaining bits hold `worker ‖ ordinal`, because a contig's sequence can be
+//!   arbitrarily long and cannot be embedded in the ID.
+//! * **flipped IDs**: during contig labeling a contig-end replaces its edge to
+//!   an ambiguous vertex by a self-loop whose target carries a *flipped*
+//!   second-most-significant bit, marking "this pointer has reached a contig
+//!   end".
+//!
+//! Deviation from the paper: the paper gives the worker field 32 bits; here it
+//! gets 30 bits (more than enough for any realistic worker count) so that the
+//! flip bit (bit 62) can never collide with a contig ID. Contig ordinals also
+//! start at 1 so that no contig ID equals NULL.
+
+use ppa_seq::{Kmer, SeqError};
+
+/// The dummy neighbour ID marking a dead end (Figure 7b).
+pub const NULL_ID: u64 = 1 << 63;
+
+/// Bit marking contig (and NULL) IDs.
+const CONTIG_MARK: u64 = 1 << 63;
+
+/// The contig-end "flip" bit used by bidirectional list ranking.
+const FLIP_BIT: u64 = 1 << 62;
+
+/// Number of bits for the contig ordinal.
+const ORDINAL_BITS: u32 = 32;
+
+/// Mask for the worker field of a contig ID (30 bits).
+const WORKER_MASK: u64 = (1 << 30) - 1;
+
+/// Builds the vertex ID of a canonical k-mer.
+///
+/// The caller is responsible for passing the *canonical* form; in debug builds
+/// this is asserted.
+#[inline]
+pub fn kmer_id(kmer: &Kmer) -> u64 {
+    debug_assert!(kmer.is_canonical(), "k-mer vertex IDs must encode the canonical form");
+    kmer.packed()
+}
+
+/// Reconstructs the k-mer encoded in a k-mer vertex ID.
+pub fn kmer_from_id(id: u64, k: usize) -> Result<Kmer, SeqError> {
+    Kmer::from_packed(id & !(CONTIG_MARK | FLIP_BIT), k)
+}
+
+/// Builds a contig vertex ID from the worker that created it and its ordinal
+/// on that worker (1-based).
+///
+/// # Panics
+///
+/// Panics if `ordinal` is 0 (reserved so that no contig ID collides with
+/// [`NULL_ID`]) or if `worker` exceeds the 30-bit field.
+#[inline]
+pub fn contig_id(worker: u32, ordinal: u32) -> u64 {
+    assert!(ordinal > 0, "contig ordinals are 1-based to avoid colliding with NULL");
+    assert!(
+        (worker as u64) <= WORKER_MASK,
+        "worker index {worker} exceeds the 30-bit worker field"
+    );
+    CONTIG_MARK | ((worker as u64) << ORDINAL_BITS) | ordinal as u64
+}
+
+/// Extracts `(worker, ordinal)` from a contig ID.
+#[inline]
+pub fn contig_parts(id: u64) -> (u32, u32) {
+    debug_assert!(is_contig_id(id));
+    (((id >> ORDINAL_BITS) & WORKER_MASK) as u32, (id & 0xFFFF_FFFF) as u32)
+}
+
+/// Whether `id` is the NULL dummy neighbour.
+#[inline]
+pub fn is_null(id: u64) -> bool {
+    id == NULL_ID
+}
+
+/// Whether `id` identifies a contig vertex.
+#[inline]
+pub fn is_contig_id(id: u64) -> bool {
+    id & CONTIG_MARK != 0 && !is_null(id)
+}
+
+/// Whether `id` identifies a k-mer vertex.
+#[inline]
+pub fn is_kmer_id(id: u64) -> bool {
+    id & CONTIG_MARK == 0
+}
+
+/// Sets the contig-end flip bit (idempotent).
+#[inline]
+pub fn flip(id: u64) -> u64 {
+    id | FLIP_BIT
+}
+
+/// Clears the contig-end flip bit (idempotent).
+#[inline]
+pub fn unflip(id: u64) -> u64 {
+    id & !FLIP_BIT
+}
+
+/// Whether the contig-end flip bit is set.
+#[inline]
+pub fn is_flipped(id: u64) -> bool {
+    id & FLIP_BIT != 0
+}
+
+/// Renders an ID for debugging: `kmer:<packed>`, `contig:<worker>/<ordinal>`,
+/// `NULL`, with a trailing `~` when the flip bit is set.
+pub fn describe(id: u64) -> String {
+    let flipped = if is_flipped(id) { "~" } else { "" };
+    let base = unflip(id);
+    if is_null(base) {
+        format!("NULL{flipped}")
+    } else if is_contig_id(base) {
+        let (w, o) = contig_parts(base);
+        format!("contig:{w}/{o}{flipped}")
+    } else {
+        format!("kmer:{base:#x}{flipped}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_seq::Kmer;
+
+    #[test]
+    fn kmer_id_matches_packed_encoding() {
+        // Figure 7(a): "ATTGC" → 00 11 11 10 01.
+        let k = Kmer::from_str_exact("ATTGC").unwrap();
+        assert!(k.is_canonical());
+        let id = kmer_id(&k);
+        assert_eq!(id, 0b00_11_11_10_01);
+        assert!(is_kmer_id(id));
+        assert!(!is_contig_id(id));
+        assert!(!is_null(id));
+        assert_eq!(kmer_from_id(id, 5).unwrap(), k);
+    }
+
+    #[test]
+    fn null_id_is_msb_only() {
+        assert_eq!(NULL_ID, 0x8000_0000_0000_0000);
+        assert!(is_null(NULL_ID));
+        assert!(!is_kmer_id(NULL_ID));
+        assert!(!is_contig_id(NULL_ID));
+    }
+
+    #[test]
+    fn contig_ids_combine_worker_and_ordinal() {
+        let id = contig_id(3, 17);
+        assert!(is_contig_id(id));
+        assert!(!is_kmer_id(id));
+        assert!(!is_null(id));
+        assert_eq!(contig_parts(id), (3, 17));
+        // Distinct workers/ordinals give distinct IDs.
+        assert_ne!(contig_id(3, 18), id);
+        assert_ne!(contig_id(4, 17), id);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn contig_ordinal_zero_rejected() {
+        contig_id(0, 0);
+    }
+
+    #[test]
+    fn flip_bit_roundtrip() {
+        let k = Kmer::from_str_exact("ACGTA").unwrap();
+        let id = kmer_id(&k);
+        let f = flip(id);
+        assert!(is_flipped(f));
+        assert!(!is_flipped(id));
+        assert_eq!(unflip(f), id);
+        assert_eq!(flip(f), f, "flip is idempotent");
+        assert_eq!(unflip(id), id, "unflip is idempotent");
+        // The flipped ID still decodes to the same k-mer.
+        assert_eq!(kmer_from_id(f, 5).unwrap(), k);
+    }
+
+    #[test]
+    fn flip_does_not_clash_with_contig_ids() {
+        let c = contig_id(WORKER_MASK as u32, u32::MAX);
+        assert!(!is_flipped(c), "contig IDs must leave the flip bit clear");
+        let fc = flip(c);
+        assert!(is_flipped(fc));
+        assert_eq!(unflip(fc), c);
+        assert!(is_contig_id(unflip(fc)));
+    }
+
+    #[test]
+    fn id_spaces_are_disjoint() {
+        let kmer = kmer_id(&Kmer::from_str_exact("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA").unwrap());
+        let contig = contig_id(0, 1);
+        assert!(is_kmer_id(kmer) && !is_contig_id(kmer));
+        assert!(is_contig_id(contig) && !is_kmer_id(contig));
+        assert_ne!(contig, NULL_ID);
+        assert_ne!(kmer, NULL_ID);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        assert_eq!(describe(NULL_ID), "NULL");
+        assert!(describe(contig_id(2, 9)).contains("contig:2/9"));
+        let k = kmer_id(&Kmer::from_str_exact("ACGT").unwrap());
+        assert!(describe(flip(k)).ends_with('~'));
+    }
+}

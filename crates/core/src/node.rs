@@ -1,0 +1,413 @@
+//! The unified assembly-graph node: k-mer vertices and contig vertices.
+//!
+//! The paper uses two vertex kinds (Section IV-A): **k-mer vertices**, whose
+//! sequence is implicit in their ID and whose adjacency starts out in the
+//! packed bitmap format of [`crate::adj`], and **contig vertices**, which own a
+//! variable-length packed sequence, a coverage value and (at most) two
+//! neighbours (Figure 9). After the first contig-merging round the graph is a
+//! mixture of both kinds, and the later operations — bubble filtering, tip
+//! removing, the second labeling/merging round — treat them uniformly.
+//! [`AsmNode`] is that uniform representation; [`KmerVertex`] is the compact
+//! construction-time form that gets converted into it (the in-memory job
+//! concatenation of the paper).
+
+use crate::adj::PackedAdj;
+use crate::ids;
+use crate::polarity::{side_of, Direction, Polarity, Side};
+use ppa_seq::{DnaString, Kmer, Orientation};
+use serde::{Deserialize, Serialize};
+
+/// The sequence payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeSeq {
+    /// A k-mer vertex: the sequence is the canonical k-mer.
+    Kmer(Kmer),
+    /// A contig vertex: an arbitrary-length packed sequence (Figure 9).
+    Contig(DnaString),
+}
+
+impl NodeSeq {
+    /// Sequence length in bases.
+    pub fn len(&self) -> usize {
+        match self {
+            NodeSeq::Kmer(k) => k.k(),
+            NodeSeq::Contig(s) => s.len(),
+        }
+    }
+
+    /// Whether the sequence is empty (only possible for a degenerate contig).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialises the sequence as a [`DnaString`].
+    pub fn to_dna(&self) -> DnaString {
+        match self {
+            NodeSeq::Kmer(k) => k.to_dna_string(),
+            NodeSeq::Contig(s) => s.clone(),
+        }
+    }
+
+    /// The sequence in the requested orientation.
+    pub fn oriented(&self, orientation: Orientation) -> DnaString {
+        let s = self.to_dna();
+        match orientation {
+            Orientation::Forward => s,
+            Orientation::ReverseComplement => s.reverse_complement(),
+        }
+    }
+}
+
+/// One incident edge of a node, stored from the owning node's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// ID of the neighbour node ([`NULL_ID`](crate::ids::NULL_ID) marks a dead
+    /// end, used by contig vertices).
+    pub neighbor: u64,
+    /// Whether the owning node is the source (`Out`) or target (`In`) of the
+    /// stored edge direction.
+    pub direction: Direction,
+    /// Edge polarity ⟨source:target⟩ in the stored direction.
+    pub polarity: Polarity,
+    /// Edge coverage: the number of reads contributing the underlying
+    /// (k+1)-mer.
+    pub coverage: u32,
+}
+
+impl Edge {
+    /// Which side of the owning node's canonical sequence the edge attaches to.
+    #[inline]
+    pub fn side(&self) -> Side {
+        side_of(self.direction, self.polarity)
+    }
+
+    /// The owning node's polarity label on this edge.
+    #[inline]
+    pub fn own_label(&self) -> Orientation {
+        crate::polarity::own_label(self.direction, self.polarity)
+    }
+
+    /// The neighbour's polarity label on this edge.
+    #[inline]
+    pub fn neighbor_label(&self) -> Orientation {
+        crate::polarity::neighbor_label(self.direction, self.polarity)
+    }
+
+    /// Whether the edge leads to the NULL dead-end marker.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        ids::is_null(self.neighbor)
+    }
+}
+
+/// Vertex classification (Section IV-A "Vertex Types").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VertexType {
+    /// No (real) neighbour at all. Only reachable through deletions or for an
+    /// isolated contig whose both ends are dead.
+    Isolated,
+    /// Type ⟨1⟩: exactly one neighbour — a dead end, hence a tip candidate.
+    One,
+    /// Type ⟨1-1⟩: two neighbours, one on each side — an unambiguous vertex
+    /// that lies on a simple path.
+    OneOne,
+    /// Type ⟨m-n⟩: any other configuration — an ambiguous (branching) vertex.
+    Branch,
+}
+
+impl VertexType {
+    /// Whether the vertex may be merged into a contig.
+    #[inline]
+    pub fn is_unambiguous(&self) -> bool {
+        matches!(self, VertexType::One | VertexType::OneOne | VertexType::Isolated)
+    }
+}
+
+/// A node of the assembly graph: either a k-mer vertex or a contig vertex.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsmNode {
+    /// Vertex ID (k-mer encoding or contig `worker ‖ ordinal`, Figure 7).
+    pub id: u64,
+    /// The node's sequence.
+    pub seq: NodeSeq,
+    /// Node coverage: for contigs, the minimum edge coverage merged into the
+    /// contig (Figure 9); for k-mer vertices, the maximum incident edge
+    /// coverage (a cheap proxy for read support).
+    pub coverage: u32,
+    /// Incident edges.
+    pub edges: Vec<Edge>,
+}
+
+impl AsmNode {
+    /// Creates a k-mer node with no edges yet.
+    pub fn new_kmer(kmer: Kmer) -> AsmNode {
+        AsmNode { id: ids::kmer_id(&kmer), seq: NodeSeq::Kmer(kmer), coverage: 0, edges: Vec::new() }
+    }
+
+    /// Creates a contig node.
+    pub fn new_contig(id: u64, seq: DnaString, coverage: u32) -> AsmNode {
+        debug_assert!(ids::is_contig_id(id));
+        AsmNode { id, seq: NodeSeq::Contig(seq), coverage, edges: Vec::new() }
+    }
+
+    /// Whether this node is a contig vertex.
+    pub fn is_contig(&self) -> bool {
+        matches!(self.seq, NodeSeq::Contig(_))
+    }
+
+    /// Whether this node is a k-mer vertex.
+    pub fn is_kmer(&self) -> bool {
+        matches!(self.seq, NodeSeq::Kmer(_))
+    }
+
+    /// Sequence length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the node carries an empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Edges that lead to a real neighbour (excluding NULL dead-end markers).
+    pub fn real_edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(|e| !e.is_null())
+    }
+
+    /// Real edges attached on the given side.
+    pub fn edges_on(&self, side: Side) -> impl Iterator<Item = &Edge> {
+        self.real_edges().filter(move |e| e.side() == side)
+    }
+
+    /// The single real edge on a side, if there is exactly one.
+    pub fn sole_edge_on(&self, side: Side) -> Option<&Edge> {
+        let mut it = self.edges_on(side);
+        let first = it.next()?;
+        if it.next().is_some() {
+            None
+        } else {
+            Some(first)
+        }
+    }
+
+    /// Vertex type per Section IV-A: ⟨1⟩, ⟨1-1⟩ or ⟨m-n⟩ (plus `Isolated`).
+    pub fn vertex_type(&self) -> VertexType {
+        let mut left = 0usize;
+        let mut right = 0usize;
+        for e in self.real_edges() {
+            match e.side() {
+                Side::Left => left += 1,
+                Side::Right => right += 1,
+            }
+        }
+        match (left, right) {
+            (0, 0) => VertexType::Isolated,
+            (1, 0) | (0, 1) => VertexType::One,
+            (1, 1) => VertexType::OneOne,
+            _ => VertexType::Branch,
+        }
+    }
+
+    /// Adds an edge.
+    pub fn push_edge(&mut self, edge: Edge) {
+        self.edges.push(edge);
+    }
+
+    /// Removes every edge to the given neighbour, returning how many were
+    /// removed.
+    pub fn remove_edges_to(&mut self, neighbor: u64) -> usize {
+        let before = self.edges.len();
+        self.edges.retain(|e| e.neighbor != neighbor);
+        before - self.edges.len()
+    }
+
+    /// IDs of all real neighbours (possibly with duplicates for parallel edges).
+    pub fn neighbor_ids(&self) -> Vec<u64> {
+        self.real_edges().map(|e| e.neighbor).collect()
+    }
+}
+
+/// The compact construction-time representation of a k-mer vertex: canonical
+/// k-mer plus the packed 32-bit adjacency of Figure 8(a).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KmerVertex {
+    /// The canonical k-mer.
+    pub kmer: Kmer,
+    /// Packed adjacency bitmap and per-edge coverages.
+    pub adj: PackedAdj,
+}
+
+impl KmerVertex {
+    /// Creates a vertex with an empty adjacency.
+    pub fn new(kmer: Kmer) -> KmerVertex {
+        KmerVertex { kmer, adj: PackedAdj::new() }
+    }
+
+    /// The vertex ID (the packed canonical k-mer, Figure 7a).
+    pub fn id(&self) -> u64 {
+        ids::kmer_id(&self.kmer)
+    }
+
+    /// Expands the packed adjacency into the unified [`AsmNode`] form — the
+    /// `convert(.)` step between the DBG-construction job and the
+    /// contig-labeling job.
+    pub fn to_asm_node(&self) -> AsmNode {
+        let mut node = AsmNode::new_kmer(self.kmer);
+        let mut max_cov = 0u32;
+        for (slot, coverage) in self.adj.iter() {
+            let neighbor = slot.neighbor_of(&self.kmer);
+            node.push_edge(Edge {
+                neighbor: ids::kmer_id(&neighbor),
+                direction: slot.direction,
+                polarity: slot.polarity,
+                coverage,
+            });
+            max_cov = max_cov.max(coverage);
+        }
+        node.coverage = max_cov;
+        node
+    }
+
+    /// Approximate memory footprint in bytes (ID + bitmap + counters), used to
+    /// quantify the benefit of the packed format over the expanded one.
+    pub fn footprint_bytes(&self) -> usize {
+        8 + self.adj.footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adj::EdgeSlot;
+    use crate::ids::NULL_ID;
+    use ppa_seq::Base;
+
+    fn km(s: &str) -> Kmer {
+        Kmer::from_str_exact(s).unwrap()
+    }
+
+    fn edge(neighbor: u64, direction: Direction, polarity: Polarity, coverage: u32) -> Edge {
+        Edge { neighbor, direction, polarity, coverage }
+    }
+
+    #[test]
+    fn node_seq_accessors() {
+        let k = NodeSeq::Kmer(km("ACGT"));
+        assert_eq!(k.len(), 4);
+        assert_eq!(k.to_dna().to_ascii(), "ACGT");
+        assert_eq!(k.oriented(Orientation::ReverseComplement).to_ascii(), "ACGT"); // palindrome
+        let c = NodeSeq::Contig(DnaString::from_ascii("TGCCGTAC").unwrap());
+        assert_eq!(c.len(), 8);
+        assert!(!c.is_empty());
+        assert_eq!(c.oriented(Orientation::Forward).to_ascii(), "TGCCGTAC");
+        assert_eq!(c.oriented(Orientation::ReverseComplement).to_ascii(), "GTACGGCA");
+    }
+
+    #[test]
+    fn edge_side_and_labels() {
+        let e = edge(3, Direction::Out, Polarity::LH, 5);
+        assert_eq!(e.side(), Side::Right);
+        assert_eq!(e.own_label(), Orientation::Forward);
+        assert_eq!(e.neighbor_label(), Orientation::ReverseComplement);
+        assert!(!e.is_null());
+        assert!(edge(NULL_ID, Direction::Out, Polarity::LL, 0).is_null());
+    }
+
+    #[test]
+    fn vertex_types_cover_all_cases() {
+        let mut node = AsmNode::new_kmer(km("ACGTA"));
+        assert_eq!(node.vertex_type(), VertexType::Isolated);
+        assert!(node.vertex_type().is_unambiguous());
+
+        // One edge on the right → ⟨1⟩.
+        node.push_edge(edge(10, Direction::Out, Polarity::LL, 3));
+        assert_eq!(node.vertex_type(), VertexType::One);
+
+        // Add one on the left → ⟨1-1⟩.
+        node.push_edge(edge(11, Direction::In, Polarity::LL, 2));
+        assert_eq!(node.vertex_type(), VertexType::OneOne);
+        assert!(node.vertex_type().is_unambiguous());
+
+        // A second edge on the right → ⟨m-n⟩.
+        node.push_edge(edge(12, Direction::Out, Polarity::LH, 1));
+        assert_eq!(node.vertex_type(), VertexType::Branch);
+        assert!(!node.vertex_type().is_unambiguous());
+    }
+
+    #[test]
+    fn two_edges_on_same_side_is_branch() {
+        let mut node = AsmNode::new_kmer(km("ACGTA"));
+        node.push_edge(edge(10, Direction::Out, Polarity::LL, 3));
+        node.push_edge(edge(12, Direction::Out, Polarity::LH, 1));
+        assert_eq!(node.vertex_type(), VertexType::Branch);
+    }
+
+    #[test]
+    fn null_edges_do_not_count_as_neighbors() {
+        let mut contig = AsmNode::new_contig(
+            ids::contig_id(0, 1),
+            DnaString::from_ascii("TGCCGTAC").unwrap(),
+            98,
+        );
+        contig.push_edge(edge(NULL_ID, Direction::In, Polarity::LL, 0));
+        contig.push_edge(edge(77, Direction::Out, Polarity::LL, 103));
+        // One real neighbour → type ⟨1⟩ (a dangling contig = tip candidate).
+        assert_eq!(contig.vertex_type(), VertexType::One);
+        assert_eq!(contig.neighbor_ids(), vec![77]);
+        assert!(contig.is_contig() && !contig.is_kmer());
+    }
+
+    #[test]
+    fn edges_on_side_and_sole_edge() {
+        let mut node = AsmNode::new_kmer(km("ACGTA"));
+        node.push_edge(edge(10, Direction::Out, Polarity::LL, 3)); // Right
+        node.push_edge(edge(11, Direction::In, Polarity::LL, 2)); // Left
+        node.push_edge(edge(12, Direction::In, Polarity::LH, 2)); // Right
+        assert_eq!(node.edges_on(Side::Right).count(), 2);
+        assert_eq!(node.edges_on(Side::Left).count(), 1);
+        assert_eq!(node.sole_edge_on(Side::Left).unwrap().neighbor, 11);
+        assert!(node.sole_edge_on(Side::Right).is_none());
+    }
+
+    #[test]
+    fn remove_edges_to_neighbor() {
+        let mut node = AsmNode::new_kmer(km("ACGTA"));
+        node.push_edge(edge(10, Direction::Out, Polarity::LL, 3));
+        node.push_edge(edge(10, Direction::In, Polarity::HH, 1));
+        node.push_edge(edge(11, Direction::In, Polarity::LL, 2));
+        assert_eq!(node.remove_edges_to(10), 2);
+        assert_eq!(node.edges.len(), 1);
+        assert_eq!(node.remove_edges_to(99), 0);
+    }
+
+    #[test]
+    fn kmer_vertex_expands_to_asm_node() {
+        // Vertex "AC" with two incident edges taken from the chain
+        // AT→TT→TG→... of Figure 4 is fiddly to set up by hand; instead use
+        // the Figure 8(b) vertex "ACGG" with its two items.
+        let mut v = KmerVertex::new(km("ACGG"));
+        v.adj.add(
+            EdgeSlot { polarity: Polarity::HH, direction: Direction::In, base: Base::G },
+            7,
+        );
+        v.adj.add(
+            EdgeSlot { polarity: Polarity::HL, direction: Direction::Out, base: Base::A },
+            9,
+        );
+        let node = v.to_asm_node();
+        assert_eq!(node.id, v.id());
+        assert_eq!(node.edges.len(), 2);
+        assert_eq!(node.coverage, 9);
+        let neighbors: Vec<String> = node
+            .edges
+            .iter()
+            .map(|e| ids::kmer_from_id(e.neighbor, 4).unwrap().to_string())
+            .collect();
+        assert!(neighbors.contains(&"CGGC".to_string()));
+        assert!(neighbors.contains(&"CGTA".to_string()));
+        // One neighbour on each side → unambiguous.
+        assert_eq!(node.vertex_type(), VertexType::OneOne);
+        assert!(v.footprint_bytes() < 8 + 4 + 4 * 32);
+    }
+}

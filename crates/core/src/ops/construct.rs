@@ -1,0 +1,318 @@
+//! Operation ① — de Bruijn graph construction (Section IV-B).
+//!
+//! Two mini-MapReduce phases turn raw reads into k-mer vertices with packed
+//! adjacency bitmaps:
+//!
+//! * **Phase (i)**: every read is split at `N` characters, each ACGT segment is
+//!   cut into (k+1)-mers with a sliding window (Figure 4), and the canonical
+//!   (k+1)-mers are counted. Counts are pre-aggregated per input batch (the
+//!   paper pre-aggregates per worker) before the shuffle, and (k+1)-mers whose
+//!   total count does not exceed the user threshold θ are discarded as likely
+//!   sequencing errors.
+//! * **Phase (ii)**: every surviving (k+1)-mer contributes one out-edge slot to
+//!   its prefix k-mer vertex and one in-edge slot to its suffix k-mer vertex
+//!   (with the appropriate polarity, Figure 6/8); the partial adjacencies are
+//!   shuffled by k-mer vertex ID and merged into complete [`KmerVertex`]s.
+
+use crate::adj::{edge_contributions, PackedAdj};
+use crate::node::KmerVertex;
+use ppa_pregel::mapreduce::{map_reduce_with_metrics, MapReduceMetrics};
+use ppa_seq::{Base, FastxRecord, Kmer, ReadSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Configuration of DBG construction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstructConfig {
+    /// k-mer size (the paper uses k = 31); (k+1)-mers are extracted from reads.
+    pub k: usize,
+    /// Coverage threshold θ: a (k+1)-mer is kept only if its count is strictly
+    /// greater than θ. `0` keeps everything (useful for error-free input).
+    pub min_coverage: u32,
+    /// Number of mini-MapReduce workers.
+    pub workers: usize,
+    /// How many reads each map task processes at once (larger batches give
+    /// better pre-aggregation, mirroring the per-worker counting of the paper).
+    pub batch_size: usize,
+}
+
+impl Default for ConstructConfig {
+    fn default() -> Self {
+        ConstructConfig { k: 31, min_coverage: 1, workers: 4, batch_size: 1024 }
+    }
+}
+
+/// Statistics of one DBG construction run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConstructStats {
+    /// Distinct canonical (k+1)-mers observed before filtering.
+    pub distinct_kplus1_mers: u64,
+    /// (k+1)-mers surviving the coverage filter θ.
+    pub kept_kplus1_mers: u64,
+    /// Number of k-mer vertices in the resulting DBG.
+    pub vertices: u64,
+    /// Total number of directed adjacency slots across all vertices (edge
+    /// records; each physical edge contributes two).
+    pub adjacency_slots: u64,
+    /// Metrics of the counting phase.
+    pub phase1: MapReduceMetrics,
+    /// Metrics of the vertex-building phase.
+    pub phase2: MapReduceMetrics,
+    /// Wall-clock time of the whole operation.
+    pub elapsed: Duration,
+}
+
+/// Output of DBG construction: the k-mer vertices in their compact form.
+#[derive(Debug, Clone)]
+pub struct ConstructOutcome {
+    /// The k-mer vertices with packed adjacency.
+    pub vertices: Vec<KmerVertex>,
+    /// The k used.
+    pub k: usize,
+    /// Run statistics.
+    pub stats: ConstructStats,
+}
+
+impl ConstructOutcome {
+    /// Expands every vertex into the unified [`crate::AsmNode`] representation
+    /// (the in-memory `convert(.)` hand-off to the contig-labeling job).
+    pub fn into_nodes(&self) -> Vec<crate::AsmNode> {
+        self.vertices.iter().map(|v| v.to_asm_node()).collect()
+    }
+}
+
+/// Runs DBG construction over a read set.
+pub fn build_dbg(reads: &ReadSet, config: &ConstructConfig) -> ConstructOutcome {
+    assert!(
+        config.k >= 1 && config.k <= 31,
+        "k must be in 1..=31 so that k-mer vertex IDs leave the top two bits free"
+    );
+    let start = Instant::now();
+    let k = config.k;
+    let theta = config.min_coverage;
+
+    // ---- phase (i): count canonical (k+1)-mers ------------------------------
+    let batches: Vec<&[FastxRecord]> =
+        reads.records.chunks(config.batch_size.max(1)).collect();
+    let (counted, phase1) = map_reduce_with_metrics(
+        batches,
+        config.workers,
+        |batch: &[FastxRecord]| {
+            // Pre-aggregate within the batch to cut shuffle volume.
+            let mut local: HashMap<u64, u32> = HashMap::new();
+            for read in batch {
+                for segment in read.acgt_segments() {
+                    if segment.len() < k + 1 {
+                        continue;
+                    }
+                    let bases: Vec<Base> = segment
+                        .iter()
+                        .map(|&c| Base::from_ascii_checked(c).expect("segment is ACGT-only"))
+                        .collect();
+                    for window in ppa_seq::kmer::kmers_of(&bases, k + 1) {
+                        let canonical = window.canonical().kmer;
+                        *local.entry(canonical.packed()).or_insert(0) += 1;
+                    }
+                }
+            }
+            local.into_iter().collect::<Vec<(u64, u32)>>()
+        },
+        |key: &u64, counts: Vec<u32>| {
+            let total: u64 = counts.iter().map(|&c| c as u64).sum();
+            let total = total.min(u32::MAX as u64) as u32;
+            if total > theta {
+                vec![(*key, total)]
+            } else {
+                vec![]
+            }
+        },
+    );
+    // `groups` counts every distinct (k+1)-mer that reached reduce.
+    let distinct_kplus1 = phase1.groups;
+    let kept_kplus1 = counted.len() as u64;
+
+    // ---- phase (ii): build k-mer vertices with packed adjacency -------------
+    let (vertices, phase2) = map_reduce_with_metrics(
+        counted,
+        config.workers,
+        |(packed, count): (u64, u32)| {
+            let kplus1 = Kmer::from_packed(packed, k + 1).expect("valid (k+1)-mer key");
+            let ((src, s_slot), (tgt, t_slot)) = edge_contributions(&kplus1);
+            vec![(src.packed(), (s_slot.bit() as u8, count)), (tgt.packed(), (t_slot.bit() as u8, count))]
+        },
+        |key: &u64, slots: Vec<(u8, u32)>| {
+            let kmer = Kmer::from_packed(*key, k).expect("valid k-mer key");
+            let mut adj = PackedAdj::new();
+            for (bit, coverage) in slots {
+                adj.add(crate::adj::EdgeSlot::from_bit(bit as u32), coverage);
+            }
+            vec![KmerVertex { kmer, adj }]
+        },
+    );
+
+    let adjacency_slots: u64 = vertices.iter().map(|v| v.adj.degree() as u64).sum();
+    let stats = ConstructStats {
+        distinct_kplus1_mers: distinct_kplus1,
+        kept_kplus1_mers: kept_kplus1,
+        vertices: vertices.len() as u64,
+        adjacency_slots,
+        phase1,
+        phase2,
+        elapsed: start.elapsed(),
+    };
+    ConstructOutcome { vertices, k, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::VertexType;
+    use ppa_seq::FastxRecord;
+    use std::collections::HashMap;
+
+    fn reads_from(seqs: &[&str]) -> ReadSet {
+        ReadSet::from_records(
+            seqs.iter()
+                .enumerate()
+                .map(|(i, s)| FastxRecord::new_fasta(format!("r{i}"), s.as_bytes().to_vec()))
+                .collect(),
+        )
+    }
+
+    fn config(k: usize, theta: u32) -> ConstructConfig {
+        ConstructConfig { k, min_coverage: theta, workers: 3, batch_size: 2 }
+    }
+
+    #[test]
+    fn figure9_example_builds_a_simple_path() {
+        // The strand "CTGCCGTACA" of Figure 9, covered by two overlapping
+        // reads, yields (for k = 4) the seven canonical vertices CTGC, GGCA,
+        // CGGC, ACGG, CGTA, GTAC, TACA forming a simple path.
+        let reads = reads_from(&["CTGCCGT", "CCGTACA"]);
+        let out = build_dbg(&reads, &config(4, 0));
+        assert_eq!(out.k, 4);
+        let nodes = out.into_nodes();
+        assert_eq!(nodes.len(), 7);
+        let mut names: Vec<String> = out.vertices.iter().map(|v| v.kmer.to_string()).collect();
+        names.sort();
+        assert_eq!(names, vec!["ACGG", "CGGC", "CGTA", "CTGC", "GGCA", "GTAC", "TACA"]);
+        let by_type: HashMap<VertexType, usize> =
+            nodes.iter().fold(HashMap::new(), |mut m, n| {
+                *m.entry(n.vertex_type()).or_insert(0) += 1;
+                m
+            });
+        // A simple path has exactly two ⟨1⟩ ends, five ⟨1-1⟩ interior vertices
+        // and no branching vertices.
+        assert_eq!(by_type.get(&VertexType::Branch).copied().unwrap_or(0), 0);
+        assert_eq!(by_type.get(&VertexType::One).copied().unwrap_or(0), 2);
+        assert_eq!(by_type.get(&VertexType::OneOne).copied().unwrap_or(0), 5);
+        assert_eq!(out.stats.vertices as usize, nodes.len());
+        assert!(out.stats.kept_kplus1_mers <= out.stats.distinct_kplus1_mers);
+    }
+
+    #[test]
+    fn reverse_complement_reads_map_to_the_same_vertices() {
+        // The same DNA segment read from either strand must produce the same
+        // canonical k-mer vertices and edges (Section III, Figure 6).
+        let forward = reads_from(&["CTGCCGTACA"]);
+        let reverse = reads_from(&["TGTACGGCAG"]);
+        let a = build_dbg(&forward, &config(3, 0));
+        let b = build_dbg(&reverse, &config(3, 0));
+        let ids_a: Vec<u64> = {
+            let mut v: Vec<u64> = a.vertices.iter().map(|x| x.id()).collect();
+            v.sort_unstable();
+            v
+        };
+        let ids_b: Vec<u64> = {
+            let mut v: Vec<u64> = b.vertices.iter().map(|x| x.id()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids_a, ids_b);
+        // Edge coverage must merge across strands too.
+        let both = build_dbg(&reads_from(&["CTGCCGTACA", "TGTACGGCAG"]), &config(3, 0));
+        for v in &both.vertices {
+            for (_, cov) in v.adj.iter() {
+                assert_eq!(cov, 2, "each edge is supported by both strands");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_threshold_filters_rare_kplus1_mers() {
+        // "ACGTACGGA" appears three times, an erroneous variant once.
+        let reads = reads_from(&["ACGTACGGA", "ACGTACGGA", "ACGTACGGA", "ACGTTCGGA"]);
+        let strict = build_dbg(&reads, &config(3, 1));
+        let lenient = build_dbg(&reads, &config(3, 0));
+        assert!(strict.stats.kept_kplus1_mers < lenient.stats.kept_kplus1_mers);
+        assert!(strict.stats.vertices < lenient.stats.vertices);
+        // The filtered graph contains no low-coverage adjacency slot.
+        for v in &strict.vertices {
+            for (_, cov) in v.adj.iter() {
+                assert!(cov >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn n_characters_split_reads() {
+        // The N breaks the read into "ACGTA" and "CGGAT": no (k+1)-mer may span it.
+        let with_n = reads_from(&["ACGTANCGGAT"]);
+        let out = build_dbg(&with_n, &config(3, 0));
+        let without_break = build_dbg(&reads_from(&["ACGTACGGAT"]), &config(3, 0));
+        assert!(out.stats.distinct_kplus1_mers < without_break.stats.distinct_kplus1_mers);
+        // Reads shorter than k+1 (after splitting) are ignored entirely.
+        let tiny = build_dbg(&reads_from(&["ACN", "GT"]), &config(3, 0));
+        assert_eq!(tiny.stats.vertices, 0);
+        assert!(tiny.vertices.is_empty());
+    }
+
+    #[test]
+    fn branching_reads_create_ambiguous_vertices() {
+        // Two reads share the prefix "ACGTACG" then diverge, creating a fork.
+        let reads = reads_from(&["ACGTACGA", "ACGTACGC"]);
+        let out = build_dbg(&reads, &config(3, 0));
+        let nodes = out.into_nodes();
+        let branch_count =
+            nodes.iter().filter(|n| n.vertex_type() == VertexType::Branch).count();
+        assert!(branch_count >= 1, "the fork point must be an ambiguous vertex");
+    }
+
+    #[test]
+    fn empty_and_too_short_input() {
+        let out = build_dbg(&ReadSet::new(), &ConstructConfig::default());
+        assert!(out.vertices.is_empty());
+        let out = build_dbg(&reads_from(&["ACGT"]), &ConstructConfig::default());
+        assert!(out.vertices.is_empty(), "reads shorter than k+1 contribute nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn oversized_k_rejected() {
+        build_dbg(&ReadSet::new(), &ConstructConfig { k: 32, ..Default::default() });
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        // For every edge slot of every vertex, the neighbour vertex exists and
+        // has a slot pointing back.
+        let reads = reads_from(&["ATTGCAAGTC", "TGCAAGTCCA", "GACTTGCAAT"]);
+        let out = build_dbg(&reads, &config(4, 0));
+        let by_id: HashMap<u64, &KmerVertex> =
+            out.vertices.iter().map(|v| (v.id(), v)).collect();
+        for v in &out.vertices {
+            for (slot, _) in v.adj.iter() {
+                let neighbor = slot.neighbor_of(&v.kmer);
+                let n = by_id
+                    .get(&neighbor.packed())
+                    .unwrap_or_else(|| panic!("neighbour {} missing", neighbor));
+                let points_back = n
+                    .adj
+                    .iter()
+                    .any(|(s, _)| s.neighbor_of(&n.kmer) == v.kmer);
+                assert!(points_back, "edge {} -> {} has no reverse slot", v.kmer, neighbor);
+            }
+        }
+    }
+}

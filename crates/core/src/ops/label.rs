@@ -1,0 +1,525 @@
+//! Operation ② — contig labeling via **bidirectional list ranking** (the BPPA
+//! of Section IV-B, Figure 11).
+//!
+//! The goal is to mark every vertex of each *maximal unambiguous path* with a
+//! unique label so that the contig-merging operation can group them. The
+//! algorithm:
+//!
+//! 1. **Superstep 0** — every ambiguous (⟨m-n⟩) vertex broadcasts its ID to its
+//!    neighbours and votes to halt for good.
+//! 2. **Superstep 1** — every unambiguous vertex initialises its *ID pair*: one
+//!    pointer per side, holding the neighbour on that side, or its own ID with
+//!    the *flip* bit set when that side has no unambiguous neighbour (i.e. the
+//!    vertex is a contig end on that side). It then sends a request along every
+//!    unfinished pointer.
+//! 3. **Doubling rounds** — requests (odd supersteps) and responses (even
+//!    supersteps) alternate; each response carries the responder's *other*
+//!    pointer, so the distance covered by every pointer doubles per round. A
+//!    pointer is finished once it holds a flipped contig-end ID.
+//!    `O(log ℓ_max)` rounds suffice.
+//! 4. **Cycle fallback** — an unambiguous cycle never reaches a contig end.
+//!    Every path vertex finishes within the BPPA's `O(log n)` superstep budget,
+//!    so if unfinished vertices remain once that budget is exhausted they must
+//!    lie on cycles; the job stops and the remaining vertices are labelled by
+//!    the simplified S-V algorithm (the smallest vertex ID in the cycle),
+//!    exactly as the paper prescribes.
+//!
+//! The final label of a vertex is the smaller of its two contig-end IDs.
+
+use crate::ids::{flip, is_flipped, unflip};
+use crate::node::{AsmNode, VertexType};
+use crate::polarity::Side;
+use ppa_pregel::aggregate::Count;
+use ppa_pregel::algorithms::connected_components;
+use ppa_pregel::{Context, Metrics, PregelConfig, VertexProgram, VertexSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Result of a contig-labeling run (either algorithm).
+#[derive(Debug, Clone)]
+pub struct LabelOutcome {
+    /// `(vertex id, label)` for every unambiguous vertex. Vertices sharing a
+    /// label belong to the same maximal unambiguous path (or cycle).
+    pub labels: Vec<(u64, u64)>,
+    /// IDs of ambiguous (⟨m-n⟩) vertices, which receive no label.
+    pub ambiguous: Vec<u64>,
+    /// Combined Pregel metrics of the labeling (including the S-V cycle
+    /// fallback if it ran).
+    pub metrics: Metrics,
+    /// Whether the S-V fallback was needed (unambiguous cycles present).
+    pub used_cycle_fallback: bool,
+}
+
+const LEFT: usize = 0;
+const RIGHT: usize = 1;
+
+/// Per-vertex state of the list-ranking program.
+#[derive(Debug, Clone)]
+pub(crate) struct LrState {
+    vtype: VertexType,
+    /// Neighbour on each side (`[left, right]`), if any.
+    neighbor: [Option<u64>; 2],
+    /// All neighbours — used by ambiguous vertices for the superstep-0
+    /// broadcast (an ⟨m-n⟩ vertex can have more than one neighbour per side).
+    broadcast: Vec<u64>,
+    /// Current pointer per side; flipped IDs mark a reached contig end.
+    ptr: [u64; 2],
+    /// Whether the pointer on each side has reached a contig end.
+    done: [bool; 2],
+}
+
+impl LrState {
+    fn fully_done(&self) -> bool {
+        self.done[0] && self.done[1]
+    }
+}
+
+#[derive(Debug, Clone)]
+enum LrMsg {
+    /// Superstep 0: "I am ambiguous" broadcast (carries the sender ID).
+    Ambiguous(u64),
+    /// "Send me your other pointer" (carries the requester ID).
+    Request(u64),
+    /// Reply to a request: the responder's ID and its other pointer.
+    Response { responder: u64, other: u64 },
+}
+
+struct LrProgram {
+    /// Superstep budget: `2⌈log₂(n+1)⌉ + slack`. Any vertex on a path finishes
+    /// within this many supersteps; unfinished vertices past the budget are on
+    /// cycles.
+    superstep_budget: usize,
+    stalled: AtomicBool,
+}
+
+impl LrProgram {
+    fn new(num_vertices: usize) -> LrProgram {
+        let log = (usize::BITS - num_vertices.next_power_of_two().leading_zeros()) as usize;
+        LrProgram { superstep_budget: 2 * (log + 2) + 4, stalled: AtomicBool::new(false) }
+    }
+}
+
+impl VertexProgram for LrProgram {
+    type Id = u64;
+    type Value = LrState;
+    type Message = LrMsg;
+    type Aggregate = Count;
+
+    fn compute(
+        &self,
+        ctx: &mut Context<'_, Self>,
+        id: u64,
+        value: &mut LrState,
+        messages: Vec<LrMsg>,
+    ) {
+        let superstep = ctx.superstep();
+        if superstep == 0 {
+            if value.vtype == VertexType::Branch {
+                for i in 0..value.broadcast.len() {
+                    let n = value.broadcast[i];
+                    ctx.send_message(n, LrMsg::Ambiguous(id));
+                }
+                // Ambiguous vertices take no further part; unambiguous ones
+                // stay active so that superstep 1 initialises them.
+                ctx.vote_to_halt();
+            }
+            return;
+        }
+
+        if value.vtype == VertexType::Branch {
+            ctx.vote_to_halt();
+            return;
+        }
+
+        let mut requesters: Vec<u64> = Vec::new();
+        if superstep == 1 {
+            // Initialise the ID pair from the superstep-0 broadcasts.
+            let ambiguous_neighbors: Vec<u64> = messages
+                .iter()
+                .filter_map(|m| if let LrMsg::Ambiguous(a) = m { Some(*a) } else { None })
+                .collect();
+            for side in [LEFT, RIGHT] {
+                match value.neighbor[side] {
+                    Some(n) if !ambiguous_neighbors.contains(&n) => {
+                        value.ptr[side] = n;
+                        value.done[side] = false;
+                    }
+                    _ => {
+                        value.ptr[side] = flip(id);
+                        value.done[side] = true;
+                    }
+                }
+            }
+        } else {
+            for msg in messages {
+                match msg {
+                    LrMsg::Request(from) => requesters.push(from),
+                    LrMsg::Response { responder, other } => {
+                        for side in [LEFT, RIGHT] {
+                            if !value.done[side] && value.ptr[side] == responder {
+                                value.ptr[side] = other;
+                                if is_flipped(other) {
+                                    value.done[side] = true;
+                                }
+                            }
+                        }
+                    }
+                    LrMsg::Ambiguous(_) => {}
+                }
+            }
+        }
+
+        // Answer requests: hand out the pointer that does not lead back to the
+        // requester. Because every pointer advances in lockstep (one doubling
+        // per round), exactly one of the two pointers leads back to the
+        // requester — see the module documentation.
+        for from in requesters {
+            let left_matches = unflip(value.ptr[LEFT]) == from;
+            let right_matches = unflip(value.ptr[RIGHT]) == from;
+            let reply = match (left_matches, right_matches) {
+                (true, false) => Some(value.ptr[RIGHT]),
+                (false, true) => Some(value.ptr[LEFT]),
+                (true, true) => None, // 2-cycle: no direction leads away.
+                (false, false) => {
+                    // Defensive: should not happen for well-formed paths;
+                    // prefer a finished pointer so the requester terminates.
+                    Some(if is_flipped(value.ptr[LEFT]) {
+                        value.ptr[LEFT]
+                    } else {
+                        value.ptr[RIGHT]
+                    })
+                }
+            };
+            if let Some(other) = reply {
+                ctx.send_message(from, LrMsg::Response { responder: id, other });
+            }
+        }
+
+        // Request phase on odd supersteps.
+        if superstep % 2 == 1 && !value.fully_done() {
+            ctx.aggregate(Count(1));
+            for side in [LEFT, RIGHT] {
+                if !value.done[side] {
+                    ctx.send_message(value.ptr[side], LrMsg::Request(id));
+                }
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn should_terminate(&self, aggregate: &Count, superstep: usize) -> bool {
+        // Only request phases (odd supersteps) carry the unfinished count.
+        if superstep % 2 == 0 {
+            return false;
+        }
+        if superstep >= self.superstep_budget && aggregate.0 > 0 {
+            // Path vertices are guaranteed to finish within the budget, so the
+            // remaining unfinished vertices lie on unambiguous cycles.
+            self.stalled.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
+/// Builds the per-vertex labeling state from the assembly nodes.
+pub(crate) fn build_lr_states(nodes: &[AsmNode]) -> impl Iterator<Item = (u64, LrState)> + '_ {
+    nodes.iter().map(|node| {
+        let vtype = node.vertex_type();
+        let left = node.sole_edge_on(Side::Left).map(|e| e.neighbor);
+        let right = node.sole_edge_on(Side::Right).map(|e| e.neighbor);
+        let broadcast = if vtype == VertexType::Branch { node.neighbor_ids() } else { vec![] };
+        (
+            node.id,
+            LrState {
+                vtype,
+                neighbor: [left, right],
+                broadcast,
+                ptr: [flip(node.id), flip(node.id)],
+                done: [true, true],
+            },
+        )
+    })
+}
+
+/// Labels every maximal unambiguous path using bidirectional list ranking,
+/// falling back to the simplified S-V algorithm for unambiguous cycles.
+pub fn label_contigs_lr(nodes: &[AsmNode], workers: usize) -> LabelOutcome {
+    let config = PregelConfig::with_workers(workers).max_supersteps(4_000);
+    let program = LrProgram::new(nodes.len());
+    let mut set: VertexSet<u64, LrState> =
+        VertexSet::from_pairs(config.workers, build_lr_states(nodes));
+
+    let mut metrics = ppa_pregel::run(&program, &config, &mut set);
+    let stalled = program.stalled.load(Ordering::Relaxed);
+
+    let mut labels: Vec<(u64, u64)> = Vec::new();
+    let mut ambiguous: Vec<u64> = Vec::new();
+    let mut unresolved: Vec<(u64, LrState)> = Vec::new();
+    for (id, state) in set.into_pairs() {
+        match state.vtype {
+            VertexType::Branch => ambiguous.push(id),
+            _ if state.fully_done() => {
+                let label = unflip(state.ptr[LEFT]).min(unflip(state.ptr[RIGHT]));
+                labels.push((id, label));
+            }
+            _ => unresolved.push((id, state)),
+        }
+    }
+
+    // S-V fallback for unambiguous cycles (and any vertex the stall left
+    // unresolved): label each with the smallest vertex ID of its component.
+    let used_cycle_fallback = stalled || !unresolved.is_empty();
+    if !unresolved.is_empty() {
+        let members: std::collections::HashSet<u64> =
+            unresolved.iter().map(|(id, _)| *id).collect();
+        let adjacency: Vec<(u64, Vec<u64>)> = unresolved
+            .iter()
+            .map(|(id, state)| {
+                let nbrs: Vec<u64> = state
+                    .neighbor
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .filter(|n| members.contains(n))
+                    .collect();
+                (*id, nbrs)
+            })
+            .collect();
+        let (cc, sv_metrics) = connected_components(adjacency, &config);
+        metrics.absorb(&sv_metrics);
+        labels.extend(cc);
+    }
+
+    LabelOutcome { labels, ambiguous, metrics, used_cycle_fallback }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::ids::kmer_id;
+    use crate::node::Edge;
+    use crate::ops::construct::{build_dbg, ConstructConfig};
+    use crate::polarity::{Direction, Polarity};
+    use ppa_seq::{FastxRecord, Kmer, ReadSet};
+    use std::collections::{HashMap, HashSet};
+
+    pub(crate) fn nodes_from_reads(seqs: &[&str], k: usize) -> Vec<AsmNode> {
+        let reads = ReadSet::from_records(
+            seqs.iter()
+                .enumerate()
+                .map(|(i, s)| FastxRecord::new_fasta(format!("r{i}"), s.as_bytes().to_vec()))
+                .collect(),
+        );
+        build_dbg(&reads, &ConstructConfig { k, min_coverage: 0, workers: 2, batch_size: 4 })
+            .into_nodes()
+    }
+
+    /// Groups labels into sets of vertex IDs.
+    pub(crate) fn groups_of(outcome: &LabelOutcome) -> Vec<HashSet<u64>> {
+        let mut by_label: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for (id, label) in &outcome.labels {
+            by_label.entry(*label).or_default().insert(*id);
+        }
+        by_label.into_values().collect()
+    }
+
+    /// Union-find oracle over unambiguous vertices only.
+    pub(crate) fn unambiguous_component_oracle(nodes: &[AsmNode]) -> Vec<Vec<u64>> {
+        let unambiguous: HashSet<u64> = nodes
+            .iter()
+            .filter(|n| n.vertex_type() != VertexType::Branch)
+            .map(|n| n.id)
+            .collect();
+        let mut parent: HashMap<u64, u64> = unambiguous.iter().map(|&v| (v, v)).collect();
+        fn find(parent: &mut HashMap<u64, u64>, x: u64) -> u64 {
+            let p = parent[&x];
+            if p == x {
+                x
+            } else {
+                let r = find(parent, p);
+                parent.insert(x, r);
+                r
+            }
+        }
+        for n in nodes {
+            if !unambiguous.contains(&n.id) {
+                continue;
+            }
+            for e in n.real_edges() {
+                if unambiguous.contains(&e.neighbor) {
+                    let (a, b) = (find(&mut parent, n.id), find(&mut parent, e.neighbor));
+                    if a != b {
+                        parent.insert(a.max(b), a.min(b));
+                    }
+                }
+            }
+        }
+        let mut groups: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &v in &unambiguous {
+            groups.entry(find(&mut parent, v)).or_default().push(v);
+        }
+        let mut out: Vec<Vec<u64>> = groups
+            .into_values()
+            .map(|mut g| {
+                g.sort_unstable();
+                g
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    pub(crate) fn groups_sorted(outcome: &LabelOutcome) -> Vec<Vec<u64>> {
+        let mut got: Vec<Vec<u64>> = groups_of(outcome)
+            .iter()
+            .map(|g| {
+                let mut v: Vec<u64> = g.iter().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        got.sort();
+        got
+    }
+
+    #[test]
+    fn single_path_gets_one_label() {
+        // Figure 9 / 11: the seven-vertex path has no ambiguous vertex, so all
+        // seven vertices share one label.
+        let nodes = nodes_from_reads(&["CTGCCGT", "CCGTACA"], 4);
+        assert_eq!(nodes.len(), 7);
+        let outcome = label_contigs_lr(&nodes, 3);
+        assert!(outcome.ambiguous.is_empty());
+        assert_eq!(outcome.labels.len(), 7);
+        let groups = groups_of(&outcome);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 7);
+        assert!(!outcome.used_cycle_fallback);
+        assert!(outcome.metrics.converged);
+        // Doubling: 7 vertices need ~3 rounds of 2 supersteps plus setup.
+        assert!(outcome.metrics.supersteps <= 14, "supersteps = {}", outcome.metrics.supersteps);
+        // The label is the smaller of the two end IDs (paper: "the smaller
+        // contig-end vertex's ID").
+        let end_ids: Vec<u64> = nodes
+            .iter()
+            .filter(|n| n.vertex_type() == VertexType::One)
+            .map(|n| n.id)
+            .collect();
+        let expected_label = *end_ids.iter().min().unwrap();
+        assert!(outcome.labels.iter().all(|(_, l)| *l == expected_label));
+    }
+
+    #[test]
+    fn fork_splits_labels_at_ambiguous_vertex() {
+        // Two reads diverge after a shared prefix; the fork vertex is ⟨m-n⟩ and
+        // must not be labelled, and the branches get distinct labels.
+        let nodes = nodes_from_reads(&["TTACTTGATCCG", "TTACTTGAACGG"], 5);
+        let outcome = label_contigs_lr(&nodes, 2);
+        assert!(!outcome.ambiguous.is_empty(), "the fork must create ambiguous vertices");
+        let groups = groups_of(&outcome);
+        assert!(groups.len() >= 2, "expected at least two labelled paths, got {}", groups.len());
+        // Labels plus ambiguous vertices cover every vertex exactly once.
+        let labelled: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(labelled + outcome.ambiguous.len(), nodes.len());
+        // Groups must match the connected components of the unambiguous subgraph.
+        assert_eq!(groups_sorted(&outcome), unambiguous_component_oracle(&nodes));
+    }
+
+    #[test]
+    fn labels_agree_with_connected_components_oracle() {
+        let nodes = nodes_from_reads(
+            &[
+                "ACCTGACCGTTAGCAT",
+                "TTAGCATCCGGATACC",
+                "GGATACCACCTGACC",
+                "TGCTAAGGTATCCGGA",
+            ],
+            5,
+        );
+        let outcome = label_contigs_lr(&nodes, 3);
+        assert_eq!(groups_sorted(&outcome), unambiguous_component_oracle(&nodes));
+    }
+
+    /// Builds a synthetic ring of `n` unambiguous vertices (each with one edge
+    /// per side), which is exactly the case that defeats list ranking.
+    pub(crate) fn synthetic_cycle(n: usize) -> Vec<AsmNode> {
+        // Generate n distinct canonical 6-mers deterministically.
+        let mut kmers: Vec<Kmer> = Vec::new();
+        let mut packed = 0u64;
+        while kmers.len() < n {
+            packed += 37;
+            if let Ok(k) = Kmer::from_packed(packed, 6) {
+                if k.is_canonical() && !kmers.contains(&k) {
+                    kmers.push(k);
+                }
+            }
+        }
+        let ids: Vec<u64> = kmers.iter().map(kmer_id).collect();
+        kmers
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                let mut node = AsmNode::new_kmer(*k);
+                let next = ids[(i + 1) % n];
+                let prev = ids[(i + n - 1) % n];
+                // Next on the right, previous on the left.
+                node.push_edge(Edge {
+                    neighbor: next,
+                    direction: Direction::Out,
+                    polarity: Polarity::LL,
+                    coverage: 3,
+                });
+                node.push_edge(Edge {
+                    neighbor: prev,
+                    direction: Direction::In,
+                    polarity: Polarity::LL,
+                    coverage: 3,
+                });
+                node
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cycle_falls_back_to_sv() {
+        let nodes = synthetic_cycle(12);
+        assert!(nodes.iter().all(|n| n.vertex_type() == VertexType::OneOne));
+        let outcome = label_contigs_lr(&nodes, 2);
+        assert!(outcome.used_cycle_fallback, "cycles require the S-V fallback");
+        let groups = groups_of(&outcome);
+        assert_eq!(groups.len(), 1, "the whole cycle is one contig");
+        assert_eq!(groups[0].len(), nodes.len());
+        // The cycle label is the smallest vertex ID in the cycle.
+        let min_id = nodes.iter().map(|n| n.id).min().unwrap();
+        assert!(outcome.labels.iter().all(|(_, l)| *l == min_id));
+    }
+
+    #[test]
+    fn mixed_path_and_cycle() {
+        // A path (from reads) plus a synthetic disjoint cycle: the path must be
+        // labelled by list ranking, the cycle by the fallback, and the groups
+        // must still match the component oracle.
+        let mut nodes = nodes_from_reads(&["CTGCCGT", "CCGTACA"], 4);
+        nodes.extend(synthetic_cycle(8));
+        let outcome = label_contigs_lr(&nodes, 3);
+        assert!(outcome.used_cycle_fallback);
+        assert_eq!(groups_sorted(&outcome), unambiguous_component_oracle(&nodes));
+    }
+
+    #[test]
+    fn empty_input() {
+        let outcome = label_contigs_lr(&[], 2);
+        assert!(outcome.labels.is_empty());
+        assert!(outcome.ambiguous.is_empty());
+        assert!(outcome.metrics.converged);
+    }
+
+    #[test]
+    fn two_vertex_path() {
+        let nodes = nodes_from_reads(&["ACGGTC"], 5);
+        assert_eq!(nodes.len(), 2);
+        let outcome = label_contigs_lr(&nodes, 1);
+        assert_eq!(groups_of(&outcome).len(), 1);
+        assert_eq!(outcome.labels.len(), 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Workflow statistics: everything the paper's evaluation section reports.
+//!
+//! The bench harnesses regenerate the paper's tables directly from
+//! [`WorkflowStats`]: per-operation wall-clock times (Figure 12), the
+//! superstep/message/runtime metrics of the two contig-labeling rounds
+//! (Tables II and III), the vertex-count reduction across rounds and the N50
+//! before/after the second merging round (claims in Section V).
+
+use ppa_pregel::mapreduce::MapReduceMetrics;
+use ppa_pregel::Metrics;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Computes the N50 of a set of contig lengths: the length `L` such that
+/// contigs of length ≥ `L` cover at least half of the total assembled bases.
+/// Returns 0 for an empty input.
+pub fn n50(lengths: &[usize]) -> usize {
+    if lengths.is_empty() {
+        return 0;
+    }
+    let mut sorted: Vec<usize> = lengths.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let total: usize = sorted.iter().sum();
+    let mut acc = 0usize;
+    for len in sorted {
+        acc += len;
+        if acc * 2 >= total {
+            return len;
+        }
+    }
+    0
+}
+
+/// Wall-clock timing of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (e.g. `"① DBG construction"`).
+    pub stage: String,
+    /// Elapsed wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Statistics of one contig-labeling run, as reported in Tables II/III.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LabelStats {
+    /// Number of supersteps.
+    pub supersteps: usize,
+    /// Number of messages.
+    pub messages: u64,
+    /// Wall-clock runtime.
+    pub elapsed: Duration,
+    /// Whether the cycle fallback (S-V over remaining vertices) ran.
+    pub used_cycle_fallback: bool,
+    /// Number of vertices that received a label.
+    pub labeled_vertices: usize,
+    /// Number of ambiguous vertices.
+    pub ambiguous_vertices: usize,
+}
+
+impl LabelStats {
+    /// Builds label stats from a labeling outcome's metrics.
+    pub fn from_metrics(metrics: &Metrics, labeled: usize, ambiguous: usize, fallback: bool) -> Self {
+        LabelStats {
+            supersteps: metrics.supersteps,
+            messages: metrics.total_messages,
+            elapsed: metrics.elapsed,
+            used_cycle_fallback: fallback,
+            labeled_vertices: labeled,
+            ambiguous_vertices: ambiguous,
+        }
+    }
+}
+
+/// Statistics of one merging round.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MergeStats {
+    /// Label groups processed.
+    pub groups: usize,
+    /// Contigs emitted.
+    pub contigs: usize,
+    /// Short dangling groups dropped as tips.
+    pub dropped_tips: usize,
+    /// Mini-MapReduce metrics of the grouping pass.
+    pub mapreduce: MapReduceMetrics,
+}
+
+/// Statistics of error correction (operations ④ and ⑤).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CorrectionStats {
+    /// Contigs pruned by bubble filtering.
+    pub bubbles_pruned: usize,
+    /// Bubble candidate groups examined.
+    pub bubble_groups: usize,
+    /// k-mer vertices deleted by tip removing.
+    pub tip_kmers_deleted: usize,
+    /// Contigs deleted by tip removing.
+    pub tip_contigs_deleted: usize,
+    /// Pregel metrics of the tip-removal job.
+    pub tip_metrics: Metrics,
+}
+
+/// Graph sizes across the pipeline — the vertex-count reduction the paper
+/// highlights (46.97 M → 1.00 M → 68,264 for HC-2).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCounts {
+    /// k-mer vertices right after DBG construction.
+    pub kmer_vertices: usize,
+    /// Nodes (ambiguous k-mers + contigs) after the first merging round.
+    pub after_first_merge: usize,
+    /// Nodes after the final merging round.
+    pub after_final_merge: usize,
+}
+
+/// Every statistic collected while running the standard workflow.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowStats {
+    /// DBG-construction statistics.
+    pub construct: crate::ops::construct::ConstructStats,
+    /// Labeling statistics of the first round (unambiguous k-mers → Table II).
+    pub label_round1: LabelStats,
+    /// Merging statistics of the first round.
+    pub merge_round1: MergeStats,
+    /// Error-correction statistics (one entry per correction round).
+    pub corrections: Vec<CorrectionStats>,
+    /// Labeling statistics of the later rounds (contigs → Table III).
+    pub label_round2: Vec<LabelStats>,
+    /// Merging statistics of the later rounds.
+    pub merge_round2: Vec<MergeStats>,
+    /// Vertex counts across the pipeline.
+    pub node_counts: NodeCounts,
+    /// N50 of the contigs produced by the first merging round.
+    pub n50_after_round1: usize,
+    /// N50 of the final contigs.
+    pub n50_final: usize,
+    /// Per-stage wall-clock timings, in execution order.
+    pub timings: Vec<StageTiming>,
+    /// End-to-end wall-clock time.
+    pub total_elapsed: Duration,
+}
+
+impl WorkflowStats {
+    /// Records a stage timing.
+    pub fn record_stage(&mut self, stage: impl Into<String>, elapsed: Duration) {
+        self.timings.push(StageTiming { stage: stage.into(), elapsed });
+    }
+
+    /// Sum of all recorded stage timings (should closely match
+    /// `total_elapsed`).
+    pub fn stage_time_sum(&self) -> Duration {
+        self.timings.iter().map(|t| t.elapsed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n50_matches_hand_computed_examples() {
+        // Standard example: lengths 2,2,2,3,3,4,8,8 → total 32, half 16;
+        // sorted desc 8,8,4,3,3,2,2,2 → cumulative 8,16 → N50 = 8.
+        assert_eq!(n50(&[2, 2, 2, 3, 3, 4, 8, 8]), 8);
+        // Single contig.
+        assert_eq!(n50(&[100]), 100);
+        // Even split between two contigs: the first already covers half.
+        assert_eq!(n50(&[50, 50]), 50);
+        // Heavier tail.
+        assert_eq!(n50(&[1, 1, 1, 1, 10]), 10);
+        assert_eq!(n50(&[]), 0);
+    }
+
+    #[test]
+    fn n50_is_invariant_to_order() {
+        let a = n50(&[5, 9, 1, 3, 7]);
+        let b = n50(&[9, 7, 5, 3, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stage_timings_accumulate() {
+        let mut stats = WorkflowStats::default();
+        stats.record_stage("construct", Duration::from_millis(5));
+        stats.record_stage("label", Duration::from_millis(3));
+        assert_eq!(stats.timings.len(), 2);
+        assert_eq!(stats.stage_time_sum(), Duration::from_millis(8));
+        assert_eq!(stats.timings[0].stage, "construct");
+    }
+
+    #[test]
+    fn label_stats_from_metrics() {
+        let metrics = Metrics {
+            supersteps: 12,
+            total_messages: 345,
+            elapsed: Duration::from_millis(7),
+            converged: true,
+            ..Default::default()
+        };
+        let ls = LabelStats::from_metrics(&metrics, 100, 7, true);
+        assert_eq!(ls.supersteps, 12);
+        assert_eq!(ls.messages, 345);
+        assert_eq!(ls.labeled_vertices, 100);
+        assert_eq!(ls.ambiguous_vertices, 7);
+        assert!(ls.used_cycle_fallback);
+    }
+}

@@ -1,0 +1,509 @@
+//! The assembly workflow: wiring the five operations into the pipeline the
+//! paper evaluates (Figure 10, workflow ①②③④⑤⑥②③).
+//!
+//! [`assemble`] runs: DBG construction → contig labeling → contig merging →
+//! (bubble filtering → tip removing → labeling → merging)×`error_correction_rounds`,
+//! with every intermediate hand-off performed in memory (the `convert`
+//! extension). Each stage's metrics are recorded in
+//! [`WorkflowStats`](crate::stats::WorkflowStats) so that the bench harnesses
+//! can regenerate the paper's tables and figures. Users who want a different
+//! strategy can call the operations in [`crate::ops`] directly.
+
+use crate::node::AsmNode;
+use crate::ops::bubble::{filter_bubbles, remove_pruned, BubbleConfig};
+use crate::ops::construct::{build_dbg, ConstructConfig};
+use crate::ops::label::{label_contigs_lr, LabelOutcome};
+use crate::ops::label_sv::label_contigs_sv;
+use crate::ops::merge::{merge_contigs, MergeConfig};
+use crate::ops::tip::{remove_tips, TipConfig};
+use crate::stats::{n50, CorrectionStats, LabelStats, MergeStats, WorkflowStats};
+use ppa_seq::{DnaString, FastxRecord, ReadSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Which algorithm performs contig labeling (operation ②).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LabelingAlgorithm {
+    /// Bidirectional list ranking (the BPPA; the paper's recommended choice).
+    ListRanking,
+    /// The simplified Shiloach–Vishkin connected-components algorithm.
+    SimplifiedSV,
+}
+
+/// End-to-end assembly configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssemblyConfig {
+    /// k-mer size (the paper uses 31).
+    pub k: usize,
+    /// Coverage threshold θ of DBG construction: (k+1)-mers observed at most
+    /// this many times are discarded as sequencing errors.
+    pub min_kmer_coverage: u32,
+    /// Tip-length threshold (paper: 80).
+    pub tip_length_threshold: usize,
+    /// Bubble-filtering edit-distance threshold (paper: 5).
+    pub bubble_edit_distance: usize,
+    /// Number of workers for every operation.
+    pub workers: usize,
+    /// Contig-labeling algorithm.
+    pub labeling: LabelingAlgorithm,
+    /// How many error-correction + re-merging rounds to run after the first
+    /// merge (the paper's evaluation workflow uses 1).
+    pub error_correction_rounds: usize,
+    /// Contigs shorter than this are dropped from the final output.
+    pub min_contig_length: usize,
+}
+
+impl Default for AssemblyConfig {
+    fn default() -> Self {
+        AssemblyConfig {
+            k: 31,
+            min_kmer_coverage: 1,
+            tip_length_threshold: 80,
+            bubble_edit_distance: 5,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            labeling: LabelingAlgorithm::ListRanking,
+            error_correction_rounds: 1,
+            min_contig_length: 0,
+        }
+    }
+}
+
+/// One assembled contig.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Contig {
+    /// Contig vertex ID (Figure 7c).
+    pub id: u64,
+    /// The contig sequence.
+    pub sequence: DnaString,
+    /// Contig coverage (minimum merged edge coverage).
+    pub coverage: u32,
+}
+
+impl Contig {
+    /// Contig length in base pairs.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// Whether the contig is empty (never produced by the pipeline).
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+}
+
+/// The result of an assembly run.
+#[derive(Debug, Clone)]
+pub struct Assembly {
+    /// The assembled contigs, longest first.
+    pub contigs: Vec<Contig>,
+    /// Per-stage statistics.
+    pub stats: WorkflowStats,
+}
+
+impl Assembly {
+    /// Total assembled bases.
+    pub fn total_length(&self) -> usize {
+        self.contigs.iter().map(Contig::len).sum()
+    }
+
+    /// N50 of the assembly.
+    pub fn n50(&self) -> usize {
+        n50(&self.contigs.iter().map(Contig::len).collect::<Vec<_>>())
+    }
+
+    /// Length of the largest contig (0 if empty).
+    pub fn largest_contig(&self) -> usize {
+        self.contigs.first().map(Contig::len).unwrap_or(0)
+    }
+
+    /// GC fraction over all contigs.
+    pub fn gc_fraction(&self) -> f64 {
+        let (gc, total) = self.contigs.iter().fold((0usize, 0usize), |(gc, total), c| {
+            let counts = c.sequence.base_counts();
+            (gc + counts[1] + counts[2], total + c.len())
+        });
+        if total == 0 {
+            0.0
+        } else {
+            gc as f64 / total as f64
+        }
+    }
+
+    /// Converts the contigs to FASTA records (e.g. for QUAST-style assessment
+    /// or writing to disk).
+    pub fn to_fasta(&self) -> ReadSet {
+        ReadSet::from_records(
+            self.contigs
+                .iter()
+                .map(|c| {
+                    FastxRecord::new_fasta(
+                        format!("contig_{:#x}_cov_{}", c.id, c.coverage),
+                        c.sequence.to_ascii().into_bytes(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+fn run_labeling(
+    algorithm: LabelingAlgorithm,
+    nodes: &[AsmNode],
+    workers: usize,
+) -> LabelOutcome {
+    match algorithm {
+        LabelingAlgorithm::ListRanking => label_contigs_lr(nodes, workers),
+        LabelingAlgorithm::SimplifiedSV => label_contigs_sv(nodes, workers),
+    }
+}
+
+/// Runs the standard PPA-assembler workflow over a read set.
+pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
+    let total_start = Instant::now();
+    let mut stats = WorkflowStats::default();
+
+    // ── ① DBG construction ────────────────────────────────────────────────
+    let stage = Instant::now();
+    let construct = build_dbg(
+        reads,
+        &ConstructConfig {
+            k: config.k,
+            min_coverage: config.min_kmer_coverage,
+            workers: config.workers,
+            batch_size: 1024,
+        },
+    );
+    stats.record_stage("1 DBG construction", stage.elapsed());
+    stats.node_counts.kmer_vertices = construct.vertices.len();
+
+    // In-memory conversion to the unified node representation.
+    let nodes: Vec<AsmNode> = construct.into_nodes();
+    stats.construct = construct.stats;
+
+    // ── ② contig labeling (round 1, k-mer vertices) ───────────────────────
+    let stage = Instant::now();
+    let label1 = run_labeling(config.labeling, &nodes, config.workers);
+    stats.record_stage("2 contig labeling (k-mers)", stage.elapsed());
+    stats.label_round1 = LabelStats::from_metrics(
+        &label1.metrics,
+        label1.labels.len(),
+        label1.ambiguous.len(),
+        label1.used_cycle_fallback,
+    );
+
+    // ── ③ contig merging (round 1) ────────────────────────────────────────
+    let stage = Instant::now();
+    let merge_cfg = MergeConfig {
+        k: config.k,
+        tip_length_threshold: config.tip_length_threshold,
+        workers: config.workers,
+    };
+    let merge1 = merge_contigs(&nodes, &label1.labels, &merge_cfg);
+    stats.record_stage("3 contig merging (round 1)", stage.elapsed());
+    stats.merge_round1 = MergeStats {
+        groups: merge1.groups,
+        contigs: merge1.contigs.len(),
+        dropped_tips: merge1.dropped_tips,
+        mapreduce: merge1.mapreduce.clone(),
+    };
+
+    let ambiguous_set: HashSet<u64> = label1.ambiguous.iter().copied().collect();
+    let mut ambiguous_kmers: Vec<AsmNode> =
+        nodes.into_iter().filter(|n| ambiguous_set.contains(&n.id)).collect();
+    let mut contigs = merge1.contigs;
+    stats.node_counts.after_first_merge = ambiguous_kmers.len() + contigs.len();
+    stats.n50_after_round1 = n50(&contigs.iter().map(|c| c.len()).collect::<Vec<_>>());
+
+    // ── ④⑤⑥②③ error correction + contig growth rounds ────────────────────
+    for round in 0..config.error_correction_rounds {
+        // ④ bubble filtering.
+        let stage = Instant::now();
+        let bubbles = filter_bubbles(
+            &contigs,
+            &BubbleConfig {
+                max_edit_distance: config.bubble_edit_distance,
+                workers: config.workers,
+            },
+        );
+        remove_pruned(&mut contigs, &bubbles.pruned);
+        stats.record_stage(format!("4 bubble filtering (round {})", round + 1), stage.elapsed());
+
+        // ⑤ tip removing (also rewires the ambiguous k-mers to the contigs).
+        let stage = Instant::now();
+        let tips = remove_tips(
+            &ambiguous_kmers,
+            &contigs,
+            &TipConfig {
+                k: config.k,
+                tip_length_threshold: config.tip_length_threshold,
+                workers: config.workers,
+            },
+        );
+        stats.record_stage(format!("5 tip removing (round {})", round + 1), stage.elapsed());
+        stats.corrections.push(CorrectionStats {
+            bubbles_pruned: bubbles.pruned.len(),
+            bubble_groups: bubbles.candidate_groups,
+            tip_kmers_deleted: tips.deleted_kmers,
+            tip_contigs_deleted: tips.deleted_contigs,
+            tip_metrics: tips.metrics.clone(),
+        });
+
+        // ⑥ feed the corrected graph back into labeling + merging.
+        let mixed: Vec<AsmNode> =
+            tips.kmers.iter().cloned().chain(tips.contigs.iter().cloned()).collect();
+
+        let stage = Instant::now();
+        let label2 = run_labeling(config.labeling, &mixed, config.workers);
+        stats.record_stage(format!("2 contig labeling (contigs, round {})", round + 2), stage.elapsed());
+        stats.label_round2.push(LabelStats::from_metrics(
+            &label2.metrics,
+            label2.labels.len(),
+            label2.ambiguous.len(),
+            label2.used_cycle_fallback,
+        ));
+
+        let stage = Instant::now();
+        let merge2 = merge_contigs(&mixed, &label2.labels, &merge_cfg);
+        stats.record_stage(format!("3 contig merging (round {})", round + 2), stage.elapsed());
+        stats.merge_round2.push(MergeStats {
+            groups: merge2.groups,
+            contigs: merge2.contigs.len(),
+            dropped_tips: merge2.dropped_tips,
+            mapreduce: merge2.mapreduce.clone(),
+        });
+
+        let ambiguous2: HashSet<u64> = label2.ambiguous.iter().copied().collect();
+        ambiguous_kmers = mixed.into_iter().filter(|n| ambiguous2.contains(&n.id)).collect();
+        contigs = merge2.contigs;
+    }
+
+    stats.node_counts.after_final_merge = ambiguous_kmers.len() + contigs.len();
+
+    // ── final output ───────────────────────────────────────────────────────
+    let mut out: Vec<Contig> = contigs
+        .into_iter()
+        .filter(|c| c.len() >= config.min_contig_length)
+        .map(|c| Contig { id: c.id, sequence: c.seq.to_dna(), coverage: c.coverage })
+        .collect();
+    out.sort_by(|a, b| b.len().cmp(&a.len()).then(a.id.cmp(&b.id)));
+    stats.n50_final = n50(&out.iter().map(Contig::len).collect::<Vec<_>>());
+    stats.total_elapsed = total_start.elapsed();
+
+    Assembly { contigs: out, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_readsim::{GenomeConfig, ReadSimConfig};
+
+    fn small_config(k: usize) -> AssemblyConfig {
+        AssemblyConfig {
+            k,
+            min_kmer_coverage: 0,
+            tip_length_threshold: 80,
+            bubble_edit_distance: 5,
+            workers: 3,
+            labeling: LabelingAlgorithm::ListRanking,
+            error_correction_rounds: 1,
+            min_contig_length: 0,
+        }
+    }
+
+    fn simulate(length: usize, coverage: f64, error: f64, seed: u64) -> (ppa_readsim::ReferenceGenome, ReadSet) {
+        let reference = GenomeConfig {
+            length,
+            repeat_families: 0,
+            seed,
+            ..Default::default()
+        }
+        .generate();
+        let reads = ReadSimConfig {
+            read_length: 100.min(length / 2),
+            coverage,
+            substitution_rate: error,
+            indel_rate: 0.0,
+            n_rate: 0.0,
+            both_strands: true,
+            seed: seed + 1,
+        }
+        .simulate(&reference);
+        (reference, reads)
+    }
+
+    #[test]
+    fn error_free_genome_is_reconstructed_as_one_contig() {
+        let (reference, reads) = simulate(3_000, 25.0, 0.0, 11);
+        let assembly = assemble(&reads, &small_config(21));
+        assert!(!assembly.contigs.is_empty());
+        // The largest contig must cover almost the whole reference (ends may be
+        // truncated where read coverage runs out).
+        let largest = assembly.largest_contig();
+        assert!(
+            largest >= reference.len() - 200,
+            "largest contig {largest} vs reference {}",
+            reference.len()
+        );
+        // And its sequence must be a substring match of the reference in one
+        // orientation or the other.
+        let ref_seq = reference.sequence.to_ascii();
+        let contig = assembly.contigs[0].sequence.to_ascii();
+        let contig_rc = assembly.contigs[0].sequence.reverse_complement().to_ascii();
+        assert!(
+            ref_seq.contains(&contig) || ref_seq.contains(&contig_rc),
+            "largest contig is not a substring of the reference"
+        );
+        assert_eq!(assembly.n50(), largest);
+        assert!(assembly.stats.total_elapsed.as_nanos() > 0);
+        assert_eq!(assembly.stats.node_counts.kmer_vertices, assembly.stats.construct.vertices as usize);
+    }
+
+    #[test]
+    fn noisy_reads_still_assemble_and_errors_are_corrected() {
+        let (reference, reads) = simulate(4_000, 30.0, 0.005, 23);
+        let mut config = small_config(21);
+        config.min_kmer_coverage = 1; // θ filter kicks in for error k-mers
+        let assembly = assemble(&reads, &config);
+        assert!(!assembly.contigs.is_empty());
+        let total = assembly.total_length();
+        assert!(
+            total >= reference.len() / 2,
+            "assembled {total} bases of a {} bp reference",
+            reference.len()
+        );
+        // Error correction should have removed at least one bubble or tip, or
+        // the θ filter already cleaned everything (also acceptable).
+        let stats = &assembly.stats;
+        assert_eq!(stats.corrections.len(), 1);
+    }
+
+    #[test]
+    fn second_round_improves_or_preserves_n50() {
+        // With repeats, round 2 should merge across corrected regions; at the
+        // very least it must not make the assembly worse.
+        let reference = GenomeConfig {
+            length: 6_000,
+            repeat_families: 4,
+            repeat_copies: 2,
+            repeat_length: 120,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
+        let reads = ReadSimConfig {
+            read_length: 100,
+            coverage: 25.0,
+            substitution_rate: 0.004,
+            indel_rate: 0.0,
+            n_rate: 0.0,
+            both_strands: true,
+            seed: 6,
+        }
+        .simulate(&reference);
+        let assembly = assemble(&reads, &AssemblyConfig {
+            min_kmer_coverage: 1,
+            ..small_config(21)
+        });
+        assert!(
+            assembly.stats.n50_final >= assembly.stats.n50_after_round1,
+            "round 2 must not reduce N50 ({} -> {})",
+            assembly.stats.n50_after_round1,
+            assembly.stats.n50_final
+        );
+        // Vertex counts must shrink across the pipeline (the paper's
+        // 46.97 M → 1.00 M → 68,264 observation, at our scale).
+        let counts = &assembly.stats.node_counts;
+        assert!(counts.after_first_merge < counts.kmer_vertices);
+        assert!(counts.after_final_merge <= counts.after_first_merge);
+    }
+
+    #[test]
+    fn both_labeling_algorithms_produce_equivalent_assemblies() {
+        let (_, reads) = simulate(2_500, 20.0, 0.002, 31);
+        let lr = assemble(&reads, &AssemblyConfig {
+            labeling: LabelingAlgorithm::ListRanking,
+            min_kmer_coverage: 1,
+            ..small_config(21)
+        });
+        let sv = assemble(&reads, &AssemblyConfig {
+            labeling: LabelingAlgorithm::SimplifiedSV,
+            min_kmer_coverage: 1,
+            ..small_config(21)
+        });
+        // Same contig length multiset (IDs and order may differ).
+        let mut a: Vec<usize> = lr.contigs.iter().map(Contig::len).collect();
+        let mut b: Vec<usize> = sv.contigs.iter().map(Contig::len).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(lr.n50(), sv.n50());
+    }
+
+    #[test]
+    fn zero_correction_rounds_stop_after_first_merge() {
+        let (_, reads) = simulate(2_000, 20.0, 0.0, 41);
+        let assembly = assemble(&reads, &AssemblyConfig {
+            error_correction_rounds: 0,
+            ..small_config(21)
+        });
+        assert!(!assembly.contigs.is_empty());
+        assert!(assembly.stats.label_round2.is_empty());
+        assert!(assembly.stats.corrections.is_empty());
+        assert_eq!(assembly.stats.n50_after_round1, assembly.stats.n50_final);
+    }
+
+    #[test]
+    fn min_contig_length_filters_output() {
+        let (_, reads) = simulate(2_000, 15.0, 0.005, 53);
+        let all = assemble(&reads, &AssemblyConfig {
+            min_kmer_coverage: 0,
+            min_contig_length: 0,
+            ..small_config(21)
+        });
+        let filtered = assemble(&reads, &AssemblyConfig {
+            min_kmer_coverage: 0,
+            min_contig_length: 500,
+            ..small_config(21)
+        });
+        assert!(filtered.contigs.len() <= all.contigs.len());
+        assert!(filtered.contigs.iter().all(|c| c.len() >= 500));
+    }
+
+    #[test]
+    fn empty_reads_produce_empty_assembly() {
+        let assembly = assemble(&ReadSet::new(), &small_config(21));
+        assert!(assembly.contigs.is_empty());
+        assert_eq!(assembly.total_length(), 0);
+        assert_eq!(assembly.n50(), 0);
+        assert_eq!(assembly.largest_contig(), 0);
+    }
+
+    #[test]
+    fn fasta_output_roundtrips() {
+        let (_, reads) = simulate(2_000, 20.0, 0.0, 61);
+        let assembly = assemble(&reads, &small_config(21));
+        let fasta = assembly.to_fasta();
+        assert_eq!(fasta.len(), assembly.contigs.len());
+        let mut buf = Vec::new();
+        fasta.write_fasta(&mut buf).unwrap();
+        let reparsed = ReadSet::read_fasta(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(reparsed.len(), assembly.contigs.len());
+        assert_eq!(
+            reparsed.records[0].seq.len(),
+            assembly.contigs[0].len(),
+            "sequences survive the FASTA round-trip"
+        );
+    }
+
+    #[test]
+    fn contig_accessors() {
+        let c = Contig {
+            id: crate::ids::contig_id(0, 1),
+            sequence: DnaString::from_ascii("ACGTACGT").unwrap(),
+            coverage: 9,
+        };
+        assert_eq!(c.len(), 8);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Job chaining modes: in-memory hand-off vs. an emulated HDFS round-trip.
+//!
+//! The paper's motivation for the in-memory `convert` extension is that
+//! vanilla Pregel-like systems force consecutive jobs to exchange data through
+//! HDFS (dump, then re-load and re-shuffle). To let the workspace *measure*
+//! that difference (the `ablation_chaining` bench), this module provides a
+//! small, dependency-free byte codec ([`SpillCodec`]) and a
+//! [`spill_roundtrip`] helper that serialises a collection to a byte buffer
+//! and parses it back, emulating the serialisation + I/O + deserialisation
+//! cost of the HDFS hop (without an actual disk to keep the benchmark
+//! machine-independent; an optional on-disk variant is provided for realism).
+
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+/// How two consecutive operations exchange their intermediate data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChainMode {
+    /// The output vertex set of one job is converted in memory into the input
+    /// of the next job (the paper's extension; the default).
+    InMemory,
+    /// The intermediate data is serialised to a byte stream and parsed back,
+    /// emulating a round-trip through external storage.
+    Spill,
+    /// Like [`ChainMode::Spill`] but the bytes are actually written to and
+    /// read back from a temporary file.
+    SpillToDisk,
+}
+
+impl Default for ChainMode {
+    fn default() -> Self {
+        ChainMode::InMemory
+    }
+}
+
+/// A minimal binary codec for spill emulation.
+///
+/// Implementations must be able to reconstruct the value from the bytes they
+/// wrote; the framing (length prefixes) is handled by [`spill_roundtrip`].
+pub trait SpillCodec: Sized {
+    /// Appends the binary encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decodes one value from the front of `buf`, advancing it.
+    fn decode(buf: &mut &[u8]) -> Option<Self>;
+}
+
+impl SpillCodec for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.len() < 8 {
+            return None;
+        }
+        let (head, rest) = buf.split_at(8);
+        *buf = rest;
+        Some(u64::from_le_bytes(head.try_into().ok()?))
+    }
+}
+
+impl SpillCodec for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let (head, rest) = buf.split_at(4);
+        *buf = rest;
+        Some(u32::from_le_bytes(head.try_into().ok()?))
+    }
+}
+
+impl SpillCodec for Vec<u8> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        buf.extend_from_slice(self);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let len = u64::decode(buf)? as usize;
+        if buf.len() < len {
+            return None;
+        }
+        let (head, rest) = buf.split_at(len);
+        *buf = rest;
+        Some(head.to_vec())
+    }
+}
+
+impl<A: SpillCodec, B: SpillCodec> SpillCodec for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+/// Statistics of one spill round-trip.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpillStats {
+    /// Number of records serialised.
+    pub records: u64,
+    /// Total bytes written.
+    pub bytes: u64,
+    /// Wall-clock time of encode + (optional I/O) + decode.
+    pub elapsed: Duration,
+}
+
+/// Serialises `items` and parses them back, returning the reconstructed items
+/// and the cost of the round-trip. With `to_disk`, the bytes pass through a
+/// temporary file to include real I/O in the measurement.
+pub fn spill_roundtrip<T: SpillCodec>(items: Vec<T>, to_disk: bool) -> (Vec<T>, SpillStats) {
+    let start = Instant::now();
+    let records = items.len() as u64;
+    let mut buf = Vec::new();
+    (items.len() as u64).encode(&mut buf);
+    for item in &items {
+        item.encode(&mut buf);
+    }
+    drop(items);
+    let bytes = buf.len() as u64;
+
+    let data = if to_disk {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ppa-spill-{}-{}.bin", std::process::id(), bytes));
+        {
+            let mut f = std::fs::File::create(&path).expect("create spill file");
+            f.write_all(&buf).expect("write spill file");
+            f.sync_all().ok();
+        }
+        let mut back = Vec::with_capacity(buf.len());
+        std::fs::File::open(&path)
+            .expect("open spill file")
+            .read_to_end(&mut back)
+            .expect("read spill file");
+        std::fs::remove_file(&path).ok();
+        back
+    } else {
+        buf
+    };
+
+    let mut slice = data.as_slice();
+    let n = u64::decode(&mut slice).expect("spill header") as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(T::decode(&mut slice).expect("truncated spill record"));
+    }
+    let stats = SpillStats { records, bytes, elapsed: start.elapsed() };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_codecs_roundtrip() {
+        let mut buf = Vec::new();
+        42u64.encode(&mut buf);
+        7u32.encode(&mut buf);
+        vec![1u8, 2, 3].encode(&mut buf);
+        (5u64, 6u64).encode(&mut buf);
+        let mut s = buf.as_slice();
+        assert_eq!(u64::decode(&mut s), Some(42));
+        assert_eq!(u32::decode(&mut s), Some(7));
+        assert_eq!(Vec::<u8>::decode(&mut s), Some(vec![1, 2, 3]));
+        assert_eq!(<(u64, u64)>::decode(&mut s), Some((5, 6)));
+        assert!(u64::decode(&mut s).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        1234u64.encode(&mut buf);
+        let mut s = &buf[..4];
+        assert!(u64::decode(&mut s).is_none());
+        let mut buf2 = Vec::new();
+        vec![9u8; 100].encode(&mut buf2);
+        let mut s2 = &buf2[..20];
+        assert!(Vec::<u8>::decode(&mut s2).is_none());
+    }
+
+    #[test]
+    fn spill_roundtrip_in_memory() {
+        let items: Vec<(u64, u64)> = (0..1000).map(|i| (i, i * i)).collect();
+        let (back, stats) = spill_roundtrip(items.clone(), false);
+        assert_eq!(back, items);
+        assert_eq!(stats.records, 1000);
+        assert!(stats.bytes >= 16_000);
+    }
+
+    #[test]
+    fn spill_roundtrip_on_disk() {
+        let items: Vec<u64> = (0..100).collect();
+        let (back, stats) = spill_roundtrip(items.clone(), true);
+        assert_eq!(back, items);
+        assert_eq!(stats.records, 100);
+    }
+
+    #[test]
+    fn chain_mode_default_is_in_memory() {
+        assert_eq!(ChainMode::default(), ChainMode::InMemory);
+    }
+}

@@ -1,0 +1,72 @@
+//! Runtime configuration for the Pregel engine.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a Pregel job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PregelConfig {
+    /// Number of logical workers. Vertices are hash-partitioned over workers
+    /// and each worker runs on its own thread, mirroring the
+    /// machines-times-workers grid of the paper's cluster experiments.
+    pub workers: usize,
+    /// Safety cap on the number of supersteps; the engine aborts with a panic
+    /// if a program exceeds it (all algorithms in this workspace are PPAs and
+    /// terminate in `O(log n)` supersteps, so hitting the cap indicates a bug).
+    pub max_supersteps: usize,
+    /// Whether to record a per-superstep metrics breakdown in addition to the
+    /// job totals.
+    pub track_supersteps: bool,
+}
+
+impl PregelConfig {
+    /// Creates a configuration with the given number of workers and default
+    /// limits.
+    pub fn with_workers(workers: usize) -> PregelConfig {
+        PregelConfig { workers: workers.max(1), ..Default::default() }
+    }
+
+    /// Sets the superstep cap.
+    pub fn max_supersteps(mut self, cap: usize) -> PregelConfig {
+        self.max_supersteps = cap;
+        self
+    }
+
+    /// Enables or disables the per-superstep metrics breakdown.
+    pub fn track_supersteps(mut self, track: bool) -> PregelConfig {
+        self.track_supersteps = track;
+        self
+    }
+}
+
+impl Default for PregelConfig {
+    fn default() -> PregelConfig {
+        PregelConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            max_supersteps: 10_000,
+            track_supersteps: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_at_least_one_worker() {
+        assert!(PregelConfig::default().workers >= 1);
+    }
+
+    #[test]
+    fn with_workers_clamps_zero() {
+        assert_eq!(PregelConfig::with_workers(0).workers, 1);
+        assert_eq!(PregelConfig::with_workers(7).workers, 7);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = PregelConfig::with_workers(2).max_supersteps(99).track_supersteps(false);
+        assert_eq!(c.max_supersteps, 99);
+        assert!(!c.track_supersteps);
+    }
+}

@@ -1,0 +1,296 @@
+//! The *mini MapReduce* procedure of the paper's second API extension.
+//!
+//! Some assembly steps are not naturally vertex-centric: DBG construction
+//! turns reads into (k+1)-mers and then into k-mer vertices, contig merging
+//! groups labeled vertices by contig label, and bubble filtering groups
+//! contigs by their pair of ambiguous end vertices. The paper extends Pregel+
+//! with a mini MapReduce pass: a `map(.)` UDF emits key–value pairs, the pairs
+//! are shuffled by key to workers, sorted/grouped, and a `reduce(.)` UDF
+//! processes each group.
+//!
+//! [`map_reduce`] reproduces that pass with one thread per worker. The
+//! partitioned variant [`map_reduce_partitioned`] exposes which worker
+//! produced each output, which contig merging needs in order to mint contig
+//! IDs of the form `worker ‖ ordinal` (Figure 7c).
+
+use crate::fxhash::{hash_one, FxHashMap};
+use serde::{Deserialize, Serialize};
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+/// Metrics of one mini-MapReduce execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapReduceMetrics {
+    /// Number of input records fed to `map`.
+    pub input_records: u64,
+    /// Number of key–value pairs emitted by `map` (the shuffle volume).
+    pub pairs_shuffled: u64,
+    /// Number of distinct keys (groups) processed by `reduce`.
+    pub groups: u64,
+    /// Number of output records produced by `reduce`.
+    pub output_records: u64,
+    /// Wall-clock time of the whole pass.
+    pub elapsed: Duration,
+}
+
+/// Runs a mini-MapReduce pass and returns the outputs of every group,
+/// concatenated in worker order (deterministic for a fixed worker count).
+pub fn map_reduce<I, K, V, O, MF, RF>(
+    inputs: Vec<I>,
+    workers: usize,
+    map_fn: MF,
+    reduce_fn: RF,
+) -> Vec<O>
+where
+    I: Send,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send,
+    MF: Fn(I) -> Vec<(K, V)> + Sync,
+    RF: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+{
+    map_reduce_with_metrics(inputs, workers, map_fn, reduce_fn).0
+}
+
+/// Like [`map_reduce`] but also returns [`MapReduceMetrics`].
+pub fn map_reduce_with_metrics<I, K, V, O, MF, RF>(
+    inputs: Vec<I>,
+    workers: usize,
+    map_fn: MF,
+    reduce_fn: RF,
+) -> (Vec<O>, MapReduceMetrics)
+where
+    I: Send,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send,
+    MF: Fn(I) -> Vec<(K, V)> + Sync,
+    RF: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+{
+    let (per_worker, metrics) =
+        map_reduce_partitioned(inputs, workers, map_fn, |_w, k, vs| reduce_fn(k, vs));
+    (per_worker.into_iter().flatten().collect(), metrics)
+}
+
+/// The fully general mini-MapReduce: the reduce UDF additionally receives the
+/// index of the worker executing it, and the outputs are returned per worker.
+pub fn map_reduce_partitioned<I, K, V, O, MF, RF>(
+    inputs: Vec<I>,
+    workers: usize,
+    map_fn: MF,
+    reduce_fn: RF,
+) -> (Vec<Vec<O>>, MapReduceMetrics)
+where
+    I: Send,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send,
+    MF: Fn(I) -> Vec<(K, V)> + Sync,
+    RF: Fn(usize, &K, Vec<V>) -> Vec<O> + Sync,
+{
+    let workers = workers.max(1);
+    let start = Instant::now();
+    let input_records = inputs.len() as u64;
+
+    // ---- map phase: split inputs into `workers` chunks and map in parallel.
+    let chunk_size = inputs.len().div_ceil(workers).max(1);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+    {
+        let mut it = inputs.into_iter();
+        for _ in 0..workers {
+            chunks.push(it.by_ref().take(chunk_size).collect());
+        }
+    }
+    let mut shuffled: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let map_fn = &map_fn;
+                scope.spawn(move || {
+                    let mut out: Vec<Vec<(K, V)>> = (0..workers).map(|_| Vec::new()).collect();
+                    for item in chunk {
+                        for (k, v) in map_fn(item) {
+                            let dst = (hash_one(&k) % workers as u64) as usize;
+                            out[dst].push((k, v));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            shuffled.push(h.join().expect("map worker panicked"));
+        }
+    });
+
+    // ---- shuffle: transpose the per-source buffers to per-destination.
+    let mut pairs_shuffled = 0u64;
+    let mut incoming: Vec<Vec<Vec<(K, V)>>> = (0..workers).map(|_| Vec::new()).collect();
+    for src in shuffled {
+        for (dst, buf) in src.into_iter().enumerate() {
+            pairs_shuffled += buf.len() as u64;
+            incoming[dst].push(buf);
+        }
+    }
+
+    // ---- reduce phase: group by key (sorted, as in the paper) and reduce.
+    let mut outputs: Vec<Vec<O>> = Vec::with_capacity(workers);
+    let mut groups = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = incoming
+            .into_iter()
+            .enumerate()
+            .map(|(w, bufs)| {
+                let reduce_fn = &reduce_fn;
+                scope.spawn(move || {
+                    let mut grouped: FxHashMap<K, Vec<V>> = FxHashMap::default();
+                    for buf in bufs {
+                        for (k, v) in buf {
+                            grouped.entry(k).or_default().push(v);
+                        }
+                    }
+                    // Sort keys so that group processing order (and thus output
+                    // order) is deterministic, mirroring the sort-by-key step
+                    // described in the paper.
+                    let mut entries: Vec<(K, Vec<V>)> = grouped.into_iter().collect();
+                    entries.sort_by(|a, b| a.0.cmp(&b.0));
+                    let group_count = entries.len() as u64;
+                    let mut out = Vec::new();
+                    for (k, vs) in entries {
+                        out.extend(reduce_fn(w, &k, vs));
+                    }
+                    (out, group_count)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (out, g) = h.join().expect("reduce worker panicked");
+            groups += g;
+            outputs.push(out);
+        }
+    });
+
+    let output_records = outputs.iter().map(|o| o.len() as u64).sum();
+    let metrics = MapReduceMetrics {
+        input_records,
+        pairs_shuffled,
+        groups,
+        output_records,
+        elapsed: start.elapsed(),
+    };
+    (outputs, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count() {
+        let docs = vec!["a b a", "b c", "a", ""];
+        let inputs: Vec<String> = docs.iter().map(|s| s.to_string()).collect();
+        let (counts, metrics) = map_reduce_with_metrics(
+            inputs,
+            3,
+            |doc: String| {
+                doc.split_whitespace().map(|w| (w.to_string(), 1u64)).collect::<Vec<_>>()
+            },
+            |k: &String, vs: Vec<u64>| vec![(k.clone(), vs.into_iter().sum::<u64>())],
+        );
+        let mut counts: Vec<(String, u64)> = counts;
+        counts.sort();
+        assert_eq!(
+            counts,
+            vec![("a".to_string(), 3), ("b".to_string(), 2), ("c".to_string(), 1)]
+        );
+        assert_eq!(metrics.input_records, 4);
+        assert_eq!(metrics.pairs_shuffled, 6);
+        assert_eq!(metrics.groups, 3);
+        assert_eq!(metrics.output_records, 3);
+    }
+
+    #[test]
+    fn reduce_can_filter_groups() {
+        // Keep only keys whose total exceeds a threshold — the same pattern as
+        // the coverage filter θ in DBG construction.
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = map_reduce(
+            inputs,
+            4,
+            |x: u64| vec![(x % 10, 1u64)],
+            |k: &u64, vs: Vec<u64>| {
+                let total: u64 = vs.iter().sum();
+                if total >= 10 && *k % 2 == 0 {
+                    vec![*k]
+                } else {
+                    vec![]
+                }
+            },
+        );
+        let mut out = out;
+        out.sort();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn partitioned_exposes_worker_index() {
+        let inputs: Vec<u64> = (0..50).collect();
+        let (per_worker, _) = map_reduce_partitioned(
+            inputs,
+            4,
+            |x: u64| vec![(x, x)],
+            |w: usize, _k: &u64, vs: Vec<u64>| vs.into_iter().map(move |v| (w, v)).collect::<Vec<_>>(),
+        );
+        assert_eq!(per_worker.len(), 4);
+        // Every output is tagged with the worker that produced it, and the
+        // owning worker is consistent with the hash partitioning.
+        for (w, outs) in per_worker.iter().enumerate() {
+            for (tag, v) in outs {
+                assert_eq!(*tag, w);
+                assert_eq!((hash_one(v) % 4) as usize, w);
+            }
+        }
+        let total: usize = per_worker.iter().map(|o| o.len()).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, metrics) = map_reduce_with_metrics(
+            Vec::<u64>::new(),
+            4,
+            |x: u64| vec![(x, x)],
+            |_k: &u64, vs: Vec<u64>| vs,
+        );
+        assert!(out.is_empty());
+        assert_eq!(metrics.groups, 0);
+    }
+
+    #[test]
+    fn single_worker_is_sequential_but_correct() {
+        let inputs: Vec<u64> = (0..20).collect();
+        let out = map_reduce(
+            inputs,
+            1,
+            |x: u64| vec![(x % 2, x)],
+            |k: &u64, vs: Vec<u64>| vec![(*k, vs.len())],
+        );
+        let mut out = out;
+        out.sort();
+        assert_eq!(out, vec![(0, 10), (1, 10)]);
+    }
+
+    #[test]
+    fn group_order_is_sorted_within_worker() {
+        // With one worker, outputs must appear in ascending key order.
+        let inputs: Vec<u64> = vec![5, 3, 9, 1, 7];
+        let out = map_reduce(
+            inputs,
+            1,
+            |x: u64| vec![(x, ())],
+            |k: &u64, _vs: Vec<()>| vec![*k],
+        );
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Execution metrics of a Pregel job.
+//!
+//! Tables II and III of the paper report, per contig-labeling algorithm and
+//! dataset, the number of supersteps, the number of messages and the running
+//! time. [`Metrics`] captures exactly those quantities (plus a per-superstep
+//! breakdown when enabled), so the bench harnesses simply print this struct.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Metrics of a single superstep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuperstepMetrics {
+    /// Superstep number (0-based).
+    pub superstep: usize,
+    /// Number of vertices for which `compute` was invoked.
+    pub active_vertices: usize,
+    /// Messages sent during this superstep.
+    pub messages_sent: u64,
+    /// Messages that could not be delivered because the destination vertex
+    /// does not exist.
+    pub messages_dropped: u64,
+    /// Wall-clock time of the superstep (compute + message shuffle).
+    pub elapsed: Duration,
+}
+
+/// Metrics of a whole Pregel job.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Number of supersteps executed.
+    pub supersteps: usize,
+    /// Total messages sent across all supersteps.
+    pub total_messages: u64,
+    /// Total messages dropped (sent to non-existent vertices).
+    pub total_dropped: u64,
+    /// Sum over supersteps of the number of `compute` invocations.
+    pub total_compute_calls: u64,
+    /// Wall-clock time of the whole job.
+    pub elapsed: Duration,
+    /// Whether the job terminated by convergence (vs. hitting the superstep cap).
+    pub converged: bool,
+    /// Per-superstep breakdown (empty unless tracking is enabled).
+    pub per_superstep: Vec<SuperstepMetrics>,
+}
+
+impl Metrics {
+    /// Merges another job's metrics into this one (used when an operation runs
+    /// several Pregel jobs back to back, e.g. list ranking plus its S-V cycle
+    /// fallback, and we want the combined cost).
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.supersteps += other.supersteps;
+        self.total_messages += other.total_messages;
+        self.total_dropped += other.total_dropped;
+        self.total_compute_calls += other.total_compute_calls;
+        self.elapsed += other.elapsed;
+        self.converged &= other.converged;
+        self.per_superstep.extend(other.per_superstep.iter().cloned());
+    }
+
+    /// Messages per superstep, averaged.
+    pub fn avg_messages_per_superstep(&self) -> f64 {
+        if self.supersteps == 0 {
+            0.0
+        } else {
+            self.total_messages as f64 / self.supersteps as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "supersteps={} messages={} runtime={:.3}s converged={}",
+            self.supersteps,
+            self.total_messages,
+            self.elapsed.as_secs_f64(),
+            self.converged
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_adds_up() {
+        let mut a = Metrics {
+            supersteps: 3,
+            total_messages: 10,
+            total_dropped: 1,
+            total_compute_calls: 30,
+            elapsed: Duration::from_millis(5),
+            converged: true,
+            per_superstep: vec![],
+        };
+        let b = Metrics {
+            supersteps: 2,
+            total_messages: 7,
+            total_dropped: 0,
+            total_compute_calls: 20,
+            elapsed: Duration::from_millis(3),
+            converged: true,
+            per_superstep: vec![SuperstepMetrics {
+                superstep: 0,
+                active_vertices: 4,
+                messages_sent: 7,
+                messages_dropped: 0,
+                elapsed: Duration::from_millis(3),
+            }],
+        };
+        a.absorb(&b);
+        assert_eq!(a.supersteps, 5);
+        assert_eq!(a.total_messages, 17);
+        assert_eq!(a.total_compute_calls, 50);
+        assert_eq!(a.per_superstep.len(), 1);
+        assert!(a.converged);
+    }
+
+    #[test]
+    fn absorb_propagates_non_convergence() {
+        let mut a = Metrics { converged: true, ..Default::default() };
+        let b = Metrics { converged: false, ..Default::default() };
+        a.absorb(&b);
+        assert!(!a.converged);
+    }
+
+    #[test]
+    fn avg_messages() {
+        let m = Metrics { supersteps: 4, total_messages: 10, ..Default::default() };
+        assert!((m.avg_messages_per_superstep() - 2.5).abs() < 1e-12);
+        assert_eq!(Metrics::default().avg_messages_per_superstep(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let m = Metrics { supersteps: 4, total_messages: 10, converged: true, ..Default::default() };
+        let s = m.to_string();
+        assert!(s.contains("supersteps=4") && s.contains("messages=10"));
+    }
+}

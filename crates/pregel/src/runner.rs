@@ -1,0 +1,416 @@
+//! The superstep execution engine.
+//!
+//! [`run`] drives a [`VertexProgram`] over a [`VertexSet`] until no vertex is
+//! active and no message is in flight (or the program's
+//! [`should_terminate`](VertexProgram::should_terminate) fires), collecting
+//! [`Metrics`] along the way. Each superstep has two parallel phases:
+//!
+//! 1. **compute** — every worker thread walks its own partition and invokes
+//!    `compute` for each vertex that is active or has pending messages,
+//!    buffering outgoing messages per destination worker;
+//! 2. **shuffle** — the outgoing buffers are transposed and every worker
+//!    groups the messages addressed to its vertices by vertex ID (applying
+//!    the combiner if the program enables one).
+//!
+//! This mirrors the bulk-synchronous structure of Pregel+ with the network
+//! replaced by in-memory buffer handoff.
+
+use crate::aggregate::Aggregate;
+use crate::config::PregelConfig;
+use crate::fxhash::FxHashMap;
+use crate::metrics::{Metrics, SuperstepMetrics};
+use crate::vertex::{Context, VertexProgram};
+use crate::vertex_set::VertexSet;
+use std::time::Instant;
+
+/// Per-worker output of one compute phase.
+struct WorkerResult<P: VertexProgram> {
+    outbox: Vec<Vec<(P::Id, P::Message)>>,
+    local_aggregate: P::Aggregate,
+    messages_sent: u64,
+    messages_dropped: u64,
+    active: usize,
+    all_halted: bool,
+}
+
+/// Runs `program` over `vertices` until convergence and returns the metrics.
+///
+/// The vertex set keeps the final vertex values; a typical operation runs a
+/// job and then inspects or [`convert`](VertexSet::convert)s the set.
+///
+/// # Panics
+///
+/// Panics if `config.workers` differs from the partitioning of `vertices`
+/// (construct the set with the same worker count), or if the superstep cap is
+/// exceeded with `debug_assertions` enabled.
+pub fn run<P: VertexProgram>(
+    program: &P,
+    config: &PregelConfig,
+    vertices: &mut VertexSet<P::Id, P::Value>,
+) -> Metrics {
+    assert_eq!(
+        config.workers,
+        vertices.workers(),
+        "PregelConfig.workers ({}) must match VertexSet partitioning ({})",
+        config.workers,
+        vertices.workers()
+    );
+    let workers = vertices.workers();
+    let total_vertices = vertices.len();
+    let job_start = Instant::now();
+
+    vertices.activate_all();
+    let mut inboxes: Vec<FxHashMap<P::Id, Vec<P::Message>>> =
+        (0..workers).map(|_| FxHashMap::default()).collect();
+    let mut prev_aggregate = P::Aggregate::identity();
+    let mut metrics = Metrics { converged: false, ..Metrics::default() };
+    let mut superstep = 0usize;
+
+    loop {
+        if superstep >= config.max_supersteps {
+            metrics.converged = false;
+            break;
+        }
+        let step_start = Instant::now();
+
+        // ---- compute phase -------------------------------------------------
+        let mut results: Vec<WorkerResult<P>> = Vec::with_capacity(workers);
+        {
+            let prev_agg = &prev_aggregate;
+            let mut worker_inputs: Vec<(
+                &mut FxHashMap<P::Id, crate::vertex_set::VertexEntry<P::Value>>,
+                FxHashMap<P::Id, Vec<P::Message>>,
+            )> = vertices
+                .parts
+                .iter_mut()
+                .zip(inboxes.iter_mut().map(std::mem::take))
+                .collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = worker_inputs
+                    .drain(..)
+                    .enumerate()
+                    .map(|(w, (part, mut inbox))| {
+                        scope.spawn(move || {
+                            let mut outbox: Vec<Vec<(P::Id, P::Message)>> =
+                                (0..workers).map(|_| Vec::new()).collect();
+                            let mut local_aggregate = P::Aggregate::identity();
+                            let mut messages_sent = 0u64;
+                            let mut active = 0usize;
+                            for (id, entry) in part.iter_mut() {
+                                let msgs = inbox.remove(id).unwrap_or_default();
+                                if entry.halted && msgs.is_empty() {
+                                    continue;
+                                }
+                                entry.halted = false;
+                                active += 1;
+                                let mut ctx: Context<'_, P> = Context {
+                                    superstep,
+                                    worker: w,
+                                    num_workers: workers,
+                                    total_vertices,
+                                    prev_aggregate: prev_agg,
+                                    local_aggregate: &mut local_aggregate,
+                                    outbox: &mut outbox,
+                                    messages_sent: &mut messages_sent,
+                                    halt: false,
+                                };
+                                program.compute(&mut ctx, *id, &mut entry.value, msgs);
+                                entry.halted = ctx.halt;
+                            }
+                            // Whatever remains in the inbox was addressed to
+                            // vertices this worker does not host.
+                            let messages_dropped =
+                                inbox.values().map(|v| v.len() as u64).sum::<u64>();
+                            let all_halted = part.values().all(|e| e.halted);
+                            WorkerResult::<P> {
+                                outbox,
+                                local_aggregate,
+                                messages_sent,
+                                messages_dropped,
+                                active,
+                                all_halted,
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("pregel worker panicked"));
+                }
+            });
+        }
+
+        // ---- aggregate & bookkeeping ---------------------------------------
+        let mut aggregate = P::Aggregate::identity();
+        let mut messages_this_step = 0u64;
+        let mut dropped_this_step = 0u64;
+        let mut active_this_step = 0usize;
+        let mut all_halted = true;
+        for r in &results {
+            aggregate.combine(&r.local_aggregate);
+            messages_this_step += r.messages_sent;
+            dropped_this_step += r.messages_dropped;
+            active_this_step += r.active;
+            all_halted &= r.all_halted;
+        }
+
+        // ---- shuffle phase --------------------------------------------------
+        let mut incoming: Vec<Vec<Vec<(P::Id, P::Message)>>> =
+            (0..workers).map(|_| Vec::with_capacity(workers)).collect();
+        for r in results {
+            for (dst, buf) in r.outbox.into_iter().enumerate() {
+                incoming[dst].push(buf);
+            }
+        }
+        inboxes.clear();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = incoming
+                .into_iter()
+                .map(|bufs| {
+                    scope.spawn(move || {
+                        let mut inbox: FxHashMap<P::Id, Vec<P::Message>> = FxHashMap::default();
+                        for buf in bufs {
+                            for (id, msg) in buf {
+                                let slot = inbox.entry(id).or_default();
+                                if P::USE_COMBINER && !slot.is_empty() {
+                                    let acc = slot.last_mut().expect("non-empty");
+                                    program.combine(acc, msg);
+                                } else {
+                                    slot.push(msg);
+                                }
+                            }
+                        }
+                        inbox
+                    })
+                })
+                .collect();
+            for h in handles {
+                inboxes.push(h.join().expect("pregel shuffle worker panicked"));
+            }
+        });
+
+        // ---- metrics & termination ------------------------------------------
+        metrics.supersteps += 1;
+        metrics.total_messages += messages_this_step;
+        metrics.total_dropped += dropped_this_step;
+        metrics.total_compute_calls += active_this_step as u64;
+        if config.track_supersteps {
+            metrics.per_superstep.push(SuperstepMetrics {
+                superstep,
+                active_vertices: active_this_step,
+                messages_sent: messages_this_step,
+                messages_dropped: dropped_this_step,
+                elapsed: step_start.elapsed(),
+            });
+        }
+
+        if program.should_terminate(&aggregate, superstep) {
+            metrics.converged = true;
+            break;
+        }
+        if messages_this_step == 0 && all_halted {
+            metrics.converged = true;
+            break;
+        }
+        prev_aggregate = aggregate;
+        superstep += 1;
+    }
+
+    metrics.elapsed = job_start.elapsed();
+    metrics
+}
+
+/// Convenience wrapper: partitions `pairs` over `config.workers` workers, runs
+/// the program, and returns both the final vertex set and the metrics.
+pub fn run_from_pairs<P: VertexProgram>(
+    program: &P,
+    config: &PregelConfig,
+    pairs: impl IntoIterator<Item = (P::Id, P::Value)>,
+) -> (VertexSet<P::Id, P::Value>, Metrics) {
+    let mut set = VertexSet::from_pairs(config.workers, pairs);
+    let metrics = run(program, config, &mut set);
+    (set, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{BoolOr, NoAggregate, SumU64};
+
+    /// Each vertex starts with a number and floods the maximum over a ring;
+    /// classic Pregel smoke test exercising reactivation and halting.
+    struct MaxFlood {
+        ring: usize,
+    }
+
+    #[derive(Debug, Clone)]
+    struct MaxState {
+        value: u64,
+        next: u64,
+    }
+
+    impl VertexProgram for MaxFlood {
+        type Id = u64;
+        type Value = MaxState;
+        type Message = u64;
+        type Aggregate = NoAggregate;
+
+        fn compute(
+            &self,
+            ctx: &mut Context<'_, Self>,
+            _id: u64,
+            value: &mut MaxState,
+            messages: Vec<u64>,
+        ) {
+            let before = value.value;
+            for m in messages {
+                value.value = value.value.max(m);
+            }
+            if ctx.superstep() == 0 || value.value > before {
+                ctx.send_message(value.next, value.value);
+            }
+            ctx.vote_to_halt();
+        }
+    }
+
+    #[test]
+    fn max_flood_on_ring_converges() {
+        let n = 64u64;
+        let program = MaxFlood { ring: n as usize };
+        let config = PregelConfig::with_workers(4);
+        let pairs = (0..n).map(|i| (i, MaxState { value: i * 7 % 97, next: (i + 1) % n }));
+        let (set, metrics) = run_from_pairs(&program, &config, pairs);
+        let expected = (0..n).map(|i| i * 7 % 97).max().unwrap();
+        for (_, v) in set.iter() {
+            assert_eq!(v.value, expected);
+        }
+        assert!(metrics.converged);
+        assert!(metrics.supersteps >= program.ring, "needs at least n supersteps on a ring");
+        assert!(metrics.total_messages > 0);
+        assert_eq!(metrics.total_dropped, 0);
+        assert_eq!(metrics.per_superstep.len(), metrics.supersteps);
+    }
+
+    /// Counts vertices via the aggregator and terminates via should_terminate.
+    struct CountAndStop;
+
+    impl VertexProgram for CountAndStop {
+        type Id = u64;
+        type Value = ();
+        type Message = ();
+        type Aggregate = SumU64;
+
+        fn compute(&self, ctx: &mut Context<'_, Self>, _id: u64, _v: &mut (), _m: Vec<()>) {
+            ctx.aggregate(SumU64(1));
+            // Never vote to halt: termination must come from should_terminate.
+        }
+
+        fn should_terminate(&self, agg: &SumU64, _superstep: usize) -> bool {
+            agg.0 > 0
+        }
+    }
+
+    #[test]
+    fn aggregator_and_forced_termination() {
+        let config = PregelConfig::with_workers(3);
+        let (_, metrics) = run_from_pairs(&CountAndStop, &config, (0..10).map(|i| (i, ())));
+        assert!(metrics.converged);
+        assert_eq!(metrics.supersteps, 1);
+        assert_eq!(metrics.total_compute_calls, 10);
+    }
+
+    /// Sums incoming messages with a combiner; each of 100 vertices sends 1 to
+    /// vertex 0 in superstep 0, and vertex 0 should observe a total of 100
+    /// regardless of how many physical messages were merged.
+    struct SumToRoot;
+
+    impl VertexProgram for SumToRoot {
+        type Id = u64;
+        type Value = u64;
+        type Message = u64;
+        type Aggregate = NoAggregate;
+        const USE_COMBINER: bool = true;
+
+        fn compute(&self, ctx: &mut Context<'_, Self>, _id: u64, value: &mut u64, msgs: Vec<u64>) {
+            if ctx.superstep() == 0 {
+                ctx.send_message(0, 1);
+            } else {
+                *value += msgs.into_iter().sum::<u64>();
+            }
+            ctx.vote_to_halt();
+        }
+
+        fn combine(&self, acc: &mut u64, incoming: u64) {
+            *acc += incoming;
+        }
+    }
+
+    #[test]
+    fn combiner_merges_messages() {
+        let config = PregelConfig::with_workers(4);
+        let (set, metrics) = run_from_pairs(&SumToRoot, &config, (0..100).map(|i| (i, 0u64)));
+        assert_eq!(*set.get(&0).unwrap(), 100);
+        // 100 logical messages were sent even though the combiner merged them.
+        assert_eq!(metrics.total_messages, 100);
+        assert!(metrics.converged);
+    }
+
+    /// Messages to unknown vertices are dropped and counted, not fatal.
+    struct SendToNowhere;
+    impl VertexProgram for SendToNowhere {
+        type Id = u64;
+        type Value = ();
+        type Message = ();
+        type Aggregate = BoolOr;
+        fn compute(&self, ctx: &mut Context<'_, Self>, _id: u64, _v: &mut (), _m: Vec<()>) {
+            if ctx.superstep() == 0 {
+                ctx.send_message(9999, ());
+            }
+            ctx.vote_to_halt();
+        }
+    }
+
+    #[test]
+    fn messages_to_missing_vertices_are_dropped() {
+        let config = PregelConfig::with_workers(2);
+        let (_, metrics) = run_from_pairs(&SendToNowhere, &config, (0..5).map(|i| (i, ())));
+        assert_eq!(metrics.total_dropped, 5);
+        assert!(metrics.converged);
+    }
+
+    /// A program that never halts hits the superstep cap and reports
+    /// non-convergence instead of looping forever.
+    struct NeverHalts;
+    impl VertexProgram for NeverHalts {
+        type Id = u64;
+        type Value = ();
+        type Message = ();
+        type Aggregate = NoAggregate;
+        fn compute(&self, _ctx: &mut Context<'_, Self>, _id: u64, _v: &mut (), _m: Vec<()>) {}
+    }
+
+    #[test]
+    fn superstep_cap_stops_runaway_jobs() {
+        let config = PregelConfig::with_workers(2).max_supersteps(5);
+        let (_, metrics) = run_from_pairs(&NeverHalts, &config, (0..3).map(|i| (i, ())));
+        assert!(!metrics.converged);
+        assert_eq!(metrics.supersteps, 5);
+    }
+
+    #[test]
+    fn empty_vertex_set_converges_immediately() {
+        let config = PregelConfig::with_workers(2);
+        let (set, metrics) =
+            run_from_pairs(&NeverHalts, &config, std::iter::empty::<(u64, ())>());
+        assert!(set.is_empty());
+        assert!(metrics.converged);
+        assert_eq!(metrics.supersteps, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_worker_count_panics() {
+        let mut set: VertexSet<u64, ()> = VertexSet::from_pairs(3, (0..3).map(|i| (i, ())));
+        let config = PregelConfig::with_workers(2);
+        let _ = run(&NeverHalts, &config, &mut set);
+    }
+}

@@ -1,0 +1,329 @@
+//! Hash-partitioned vertex storage shared between consecutive Pregel jobs.
+//!
+//! Pregel+ distributes vertices to machines by hashing the vertex ID; a
+//! [`VertexSet`] does the same over logical workers. The
+//! [`convert`](VertexSet::convert) method implements the paper's first API
+//! extension (Section II, "Our Extensions to Pregel API"): the output vertices
+//! of one job are transformed in place into the input vertices of the next job
+//! and re-shuffled by the new vertex IDs, without a round-trip through HDFS.
+
+use crate::fxhash::{hash_one, FxHashMap};
+use crate::vertex::VertexKey;
+
+/// Per-vertex bookkeeping kept by the engine alongside the user value.
+#[derive(Debug, Clone)]
+pub(crate) struct VertexEntry<V> {
+    pub(crate) value: V,
+    pub(crate) halted: bool,
+}
+
+/// A collection of vertices hash-partitioned over a fixed number of workers.
+#[derive(Debug, Clone)]
+pub struct VertexSet<I, V> {
+    pub(crate) parts: Vec<FxHashMap<I, VertexEntry<V>>>,
+}
+
+impl<I: VertexKey, V: Send> VertexSet<I, V> {
+    /// Creates an empty vertex set partitioned over `workers` workers.
+    pub fn new(workers: usize) -> VertexSet<I, V> {
+        let workers = workers.max(1);
+        VertexSet { parts: (0..workers).map(|_| FxHashMap::default()).collect() }
+    }
+
+    /// Builds a vertex set from `(id, value)` pairs. Later duplicates replace
+    /// earlier ones.
+    pub fn from_pairs(workers: usize, pairs: impl IntoIterator<Item = (I, V)>) -> VertexSet<I, V> {
+        let mut set = VertexSet::new(workers);
+        for (id, value) in pairs {
+            set.insert(id, value);
+        }
+        set
+    }
+
+    /// The number of workers (partitions).
+    pub fn workers(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The worker that owns vertex `id`.
+    #[inline]
+    pub fn worker_of(&self, id: &I) -> usize {
+        (hash_one(id) % self.parts.len() as u64) as usize
+    }
+
+    /// Inserts or replaces a vertex. Returns the previous value if present.
+    pub fn insert(&mut self, id: I, value: V) -> Option<V> {
+        let w = self.worker_of(&id);
+        self.parts[w]
+            .insert(id, VertexEntry { value, halted: false })
+            .map(|e| e.value)
+    }
+
+    /// Removes a vertex, returning its value.
+    pub fn remove(&mut self, id: &I) -> Option<V> {
+        let w = self.worker_of(id);
+        self.parts[w].remove(id).map(|e| e.value)
+    }
+
+    /// Total number of vertices.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+
+    /// Whether there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(|p| p.is_empty())
+    }
+
+    /// Whether a vertex with this ID exists.
+    pub fn contains(&self, id: &I) -> bool {
+        self.parts[self.worker_of(id)].contains_key(id)
+    }
+
+    /// Shared access to a vertex value.
+    pub fn get(&self, id: &I) -> Option<&V> {
+        self.parts[self.worker_of(id)].get(id).map(|e| &e.value)
+    }
+
+    /// Mutable access to a vertex value.
+    pub fn get_mut(&mut self, id: &I) -> Option<&mut V> {
+        let w = self.worker_of(id);
+        self.parts[w].get_mut(id).map(|e| &mut e.value)
+    }
+
+    /// Iterates over `(id, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&I, &V)> {
+        self.parts.iter().flat_map(|p| p.iter().map(|(k, e)| (k, &e.value)))
+    }
+
+    /// Iterates mutably over `(id, value)` pairs in unspecified order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&I, &mut V)> {
+        self.parts.iter_mut().flat_map(|p| p.iter_mut().map(|(k, e)| (k, &mut e.value)))
+    }
+
+    /// Consumes the set and returns all values (order unspecified).
+    pub fn into_values(self) -> Vec<V> {
+        self.parts.into_iter().flat_map(|p| p.into_values().map(|e| e.value)).collect()
+    }
+
+    /// Consumes the set and returns all `(id, value)` pairs (order unspecified).
+    pub fn into_pairs(self) -> Vec<(I, V)> {
+        self.parts
+            .into_iter()
+            .flat_map(|p| p.into_iter().map(|(k, e)| (k, e.value)))
+            .collect()
+    }
+
+    /// Marks every vertex active (called at the start of a job).
+    pub(crate) fn activate_all(&mut self) {
+        for p in &mut self.parts {
+            for e in p.values_mut() {
+                e.halted = false;
+            }
+        }
+    }
+
+    /// Removes every vertex for which the predicate returns `false`.
+    pub fn retain(&mut self, mut keep: impl FnMut(&I, &V) -> bool) {
+        for p in &mut self.parts {
+            p.retain(|k, e| keep(k, &e.value));
+        }
+    }
+
+    /// In-memory job concatenation (the paper's `convert(v)` UDF).
+    ///
+    /// Every vertex of the finished job is transformed by `f` into zero or
+    /// more `(id, value)` pairs for the next job; the generated pairs are then
+    /// shuffled to their new owner workers. The transformation runs in
+    /// parallel, one thread per worker, mirroring how "each machine generates
+    /// a set of objects of type V<sub>j'</sub> by calling convert(.) on its
+    /// assigned vertices".
+    ///
+    /// If several pairs share an ID, `merge` folds the later value into the
+    /// earlier one (needed e.g. when two half-built adjacency lists of the
+    /// same k-mer must be unioned).
+    pub fn convert<I2, V2, F, M>(self, f: F, merge: M) -> VertexSet<I2, V2>
+    where
+        I2: VertexKey,
+        V2: Send,
+        F: Fn(I, V) -> Vec<(I2, V2)> + Sync,
+        M: Fn(&mut V2, V2) + Sync,
+        V: Send,
+        I: Send,
+    {
+        let workers = self.workers();
+        // Phase 1: per-worker transformation, producing per-destination buffers.
+        let mut shuffled: Vec<Vec<Vec<(I2, V2)>>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .parts
+                .into_iter()
+                .map(|part| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut out: Vec<Vec<(I2, V2)>> = (0..workers).map(|_| Vec::new()).collect();
+                        for (id, entry) in part {
+                            for (nid, nval) in f(id, entry.value) {
+                                let dst = (hash_one(&nid) % workers as u64) as usize;
+                                out[dst].push((nid, nval));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                shuffled.push(h.join().expect("convert worker panicked"));
+            }
+        });
+        // Phase 2: transpose and merge per destination worker.
+        let mut incoming: Vec<Vec<Vec<(I2, V2)>>> = (0..workers).map(|_| Vec::new()).collect();
+        for src in shuffled {
+            for (dst, buf) in src.into_iter().enumerate() {
+                incoming[dst].push(buf);
+            }
+        }
+        let mut parts: Vec<FxHashMap<I2, VertexEntry<V2>>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = incoming
+                .into_iter()
+                .map(|bufs| {
+                    let merge = &merge;
+                    scope.spawn(move || {
+                        let mut map: FxHashMap<I2, VertexEntry<V2>> = FxHashMap::default();
+                        for buf in bufs {
+                            for (id, val) in buf {
+                                match map.entry(id) {
+                                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                                        merge(&mut o.get_mut().value, val);
+                                    }
+                                    std::collections::hash_map::Entry::Vacant(v) => {
+                                        v.insert(VertexEntry { value: val, halted: false });
+                                    }
+                                }
+                            }
+                        }
+                        map
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("convert merge worker panicked"));
+            }
+        });
+        VertexSet { parts }
+    }
+
+    /// Repartitions the set over a different number of workers.
+    pub fn repartition(self, workers: usize) -> VertexSet<I, V> {
+        let workers = workers.max(1);
+        let mut out = VertexSet::new(workers);
+        for (id, value) in self.into_pairs() {
+            out.insert(id, value);
+        }
+        out
+    }
+}
+
+impl<I: VertexKey, V: Send> Default for VertexSet<I, V> {
+    fn default() -> Self {
+        VertexSet::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s: VertexSet<u64, String> = VertexSet::new(4);
+        assert!(s.is_empty());
+        assert_eq!(s.insert(1, "a".into()), None);
+        assert_eq!(s.insert(1, "b".into()), Some("a".into()));
+        s.insert(2, "c".into());
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&1));
+        assert_eq!(s.get(&1).unwrap(), "b");
+        *s.get_mut(&2).unwrap() = "d".into();
+        assert_eq!(s.get(&2).unwrap(), "d");
+        assert_eq!(s.remove(&1), Some("b".into()));
+        assert!(!s.contains(&1));
+        assert_eq!(s.get(&99), None);
+    }
+
+    #[test]
+    fn partitioning_is_consistent() {
+        let s: VertexSet<u64, ()> = VertexSet::from_pairs(8, (0..1000).map(|i| (i, ())));
+        assert_eq!(s.len(), 1000);
+        for (id, _) in s.iter() {
+            let w = s.worker_of(id);
+            assert!(s.parts[w].contains_key(id));
+        }
+        // every partition got something
+        assert!(s.parts.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn retain_and_into_values() {
+        let mut s: VertexSet<u64, u64> = VertexSet::from_pairs(3, (0..100).map(|i| (i, i * 2)));
+        s.retain(|_, v| *v % 4 == 0);
+        assert_eq!(s.len(), 50);
+        let mut vals = s.into_values();
+        vals.sort_unstable();
+        assert_eq!(vals[0], 0);
+        assert_eq!(vals.len(), 50);
+        assert!(vals.iter().all(|v| v % 4 == 0));
+    }
+
+    #[test]
+    fn convert_reshuffles_and_merges() {
+        // Each input vertex i emits two pairs keyed by i/2 with value 1; the
+        // merge adds them up, so each output vertex has value 4 (two inputs ×
+        // two emissions).
+        let s: VertexSet<u64, u64> = VertexSet::from_pairs(4, (0..100).map(|i| (i, 0)));
+        let out: VertexSet<u64, u64> =
+            s.convert(|id, _v| vec![(id / 2, 1), (id / 2, 1)], |acc, v| *acc += v);
+        assert_eq!(out.len(), 50);
+        for (_, v) in out.iter() {
+            assert_eq!(*v, 4);
+        }
+    }
+
+    #[test]
+    fn convert_can_change_types_and_drop() {
+        let s: VertexSet<u64, u64> = VertexSet::from_pairs(2, (0..10).map(|i| (i, i)));
+        // Keep only even vertices, as strings keyed by (i, 0) tuples.
+        let out: VertexSet<(u64, u8), String> = s.convert(
+            |id, v| {
+                if id % 2 == 0 {
+                    vec![((id, 0u8), format!("v{v}"))]
+                } else {
+                    vec![]
+                }
+            },
+            |_, _| panic!("no duplicates expected"),
+        );
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.get(&(4, 0)).unwrap(), "v4");
+    }
+
+    #[test]
+    fn repartition_preserves_contents() {
+        let s: VertexSet<u64, u64> = VertexSet::from_pairs(2, (0..50).map(|i| (i, i + 1)));
+        let r = s.clone().repartition(7);
+        assert_eq!(r.workers(), 7);
+        assert_eq!(r.len(), 50);
+        let mut a = s.into_pairs();
+        let mut b = r.into_pairs();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let s: VertexSet<u64, ()> = VertexSet::new(0);
+        assert_eq!(s.workers(), 1);
+    }
+}

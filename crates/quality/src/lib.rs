@@ -1,0 +1,26 @@
+//! QUAST-like assembly quality assessment.
+//!
+//! The paper evaluates sequencing quality with QUAST (Tables IV and V):
+//! reference-free statistics (number of contigs, total length, N50, largest
+//! contig, GC%) and, when a reference sequence is available, reference-based
+//! statistics (genome fraction, misassemblies, unaligned length, mismatches
+//! and indels per 100 kbp, largest alignment). This crate reimplements the
+//! subset of QUAST metrics the paper reports:
+//!
+//! * [`basic`] — reference-free statistics computed directly from contig
+//!   lengths and sequences;
+//! * [`align`] — anchor-based alignment of contigs against a reference and the
+//!   derived reference-based metrics;
+//! * [`report`] — a combined [`QuastReport`](report::QuastReport) that prints
+//!   in the same shape as the paper's quality tables.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod align;
+pub mod basic;
+pub mod report;
+
+pub use align::{align_contigs, AlignmentConfig, ReferenceMetrics};
+pub use basic::{basic_stats, BasicStats};
+pub use report::QuastReport;

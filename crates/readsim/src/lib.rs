@@ -1,0 +1,31 @@
+//! Reference-genome and short-read simulation for the PPA-assembler workspace.
+//!
+//! The paper evaluates on four datasets (Table I): two read sets generated
+//! with the ART simulator from NCBI reference chromosomes (HC-2, HC-X) and two
+//! real GAGE read sets (HC-14, Bombus impatiens). Neither the multi-gigabyte
+//! FASTQ files nor ART itself are available in this environment, so this crate
+//! provides the closest synthetic equivalent:
+//!
+//! * [`genome`] generates reference sequences with a configurable GC content
+//!   and *planted repeats* — the repeats are what create ambiguous (`⟨m-n⟩`)
+//!   vertices in the de Bruijn graph, which is the structural property the
+//!   assembly operations have to cope with;
+//! * [`reads`] samples error-prone short reads from a reference the way ART
+//!   models Illumina sequencing: uniform start positions, both strands,
+//!   per-base substitution errors, optional indels and ambiguous (`N`) calls,
+//!   at a chosen coverage depth;
+//! * [`presets`] defines scaled-down analogues of the paper's four datasets so
+//!   that every experiment harness can refer to them by name.
+//!
+//! All generation is deterministic for a given seed.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod genome;
+pub mod presets;
+pub mod reads;
+
+pub use genome::{GenomeConfig, ReferenceGenome};
+pub use presets::{all_presets, preset_by_name, DatasetPreset, SimulatedDataset};
+pub use reads::ReadSimConfig;

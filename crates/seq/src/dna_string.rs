@@ -1,0 +1,370 @@
+//! Arbitrary-length 2-bit packed DNA sequences.
+//!
+//! Contigs (Figure 9) and reference genomes can be far longer than 31 bases,
+//! so they cannot live in a single `u64` like a [`Kmer`](crate::Kmer). A
+//! [`DnaString`] stores the sequence as a vector of 64-bit words, 32 bases per
+//! word, using the same 2-bit code (`A=00`, `C=01`, `G=10`, `T=11`). This is
+//! the "variable-length bitmap" that a contig vertex keeps as its sequence in
+//! the paper.
+
+use crate::base::Base;
+use crate::kmer::{Kmer, MAX_K};
+use crate::SeqError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const BASES_PER_WORD: usize = 32;
+
+/// A 2-bit packed DNA sequence of arbitrary length.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct DnaString {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DnaString {
+    /// Creates an empty sequence.
+    pub fn new() -> DnaString {
+        DnaString::default()
+    }
+
+    /// Creates an empty sequence with capacity for `n` bases.
+    pub fn with_capacity(n: usize) -> DnaString {
+        DnaString { words: Vec::with_capacity(n.div_ceil(BASES_PER_WORD)), len: 0 }
+    }
+
+    /// Builds a sequence from a slice of bases.
+    pub fn from_bases(bases: &[Base]) -> DnaString {
+        Self::from_bases_iter(bases.iter().copied())
+    }
+
+    /// Builds a sequence from an iterator of bases.
+    pub fn from_bases_iter<I: IntoIterator<Item = Base>>(iter: I) -> DnaString {
+        let iter = iter.into_iter();
+        let mut s = DnaString::with_capacity(iter.size_hint().0);
+        for b in iter {
+            s.push(b);
+        }
+        s
+    }
+
+    /// Parses an ASCII `ACGT` string (case-insensitive); rejects `N`.
+    pub fn from_ascii(s: &str) -> Result<DnaString, SeqError> {
+        let mut out = DnaString::with_capacity(s.len());
+        for c in s.bytes() {
+            out.push(Base::from_ascii(c)?);
+        }
+        Ok(out)
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a base.
+    #[inline]
+    pub fn push(&mut self, b: Base) {
+        let (word, offset) = (self.len / BASES_PER_WORD, self.len % BASES_PER_WORD);
+        if offset == 0 {
+            self.words.push(0);
+        }
+        // Store bases left-to-right within a word, two bits each, from the
+        // high end so that word-level comparison follows sequence order.
+        let shift = 62 - 2 * offset;
+        self.words[word] |= (b.code() as u64) << shift;
+        self.len += 1;
+    }
+
+    /// The base at position `i` (0-based). Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Base {
+        assert!(i < self.len, "index {i} out of range (len {})", self.len);
+        let (word, offset) = (i / BASES_PER_WORD, i % BASES_PER_WORD);
+        let shift = 62 - 2 * offset;
+        Base::from_code((self.words[word] >> shift) as u8)
+    }
+
+    /// Iterates over bases from left to right.
+    pub fn iter(&self) -> impl Iterator<Item = Base> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Appends every base of `other`.
+    pub fn extend_from(&mut self, other: &DnaString) {
+        for b in other.iter() {
+            self.push(b);
+        }
+    }
+
+    /// Appends bases from a slice.
+    pub fn extend_from_bases(&mut self, bases: &[Base]) {
+        for &b in bases {
+            self.push(b);
+        }
+    }
+
+    /// Returns the sub-sequence `[start, start+len)` as a new `DnaString`.
+    pub fn substring(&self, start: usize, len: usize) -> DnaString {
+        assert!(start + len <= self.len, "substring out of range");
+        DnaString::from_bases_iter((start..start + len).map(|i| self.get(i)))
+    }
+
+    /// The reverse complement of the whole sequence.
+    pub fn reverse_complement(&self) -> DnaString {
+        DnaString::from_bases_iter((0..self.len).rev().map(|i| self.get(i).complement()))
+    }
+
+    /// The lexicographically smaller of this sequence and its reverse
+    /// complement.
+    pub fn canonical(&self) -> DnaString {
+        let rc = self.reverse_complement();
+        if self.to_bases() <= rc.to_bases() {
+            self.clone()
+        } else {
+            rc
+        }
+    }
+
+    /// Returns all bases as a vector.
+    pub fn to_bases(&self) -> Vec<Base> {
+        self.iter().collect()
+    }
+
+    /// Renders the sequence as an ASCII string.
+    pub fn to_ascii(&self) -> String {
+        self.iter().map(|b| b.to_char()).collect()
+    }
+
+    /// The k-mer starting at position `i`. Requires `k ≤ 31`.
+    pub fn kmer_at(&self, i: usize, k: usize) -> Result<Kmer, SeqError> {
+        if k == 0 || k > MAX_K {
+            return Err(SeqError::InvalidK(k));
+        }
+        if i + k > self.len {
+            return Err(SeqError::SequenceTooShort { required: i + k, actual: self.len });
+        }
+        Kmer::from_bases(&(i..i + k).map(|j| self.get(j)).collect::<Vec<_>>())
+    }
+
+    /// Iterates over all k-mers of the sequence, left to right.
+    pub fn kmers(&self, k: usize) -> impl Iterator<Item = Kmer> + '_ {
+        let valid = k >= 1 && k <= MAX_K && self.len >= k;
+        let mut current = if valid { self.kmer_at(0, k).ok() } else { None };
+        let mut next = k;
+        std::iter::from_fn(move || {
+            let out = current?;
+            current = if next < self.len {
+                let n = out.extend_right(self.get(next));
+                next += 1;
+                Some(n)
+            } else {
+                None
+            };
+            Some(out)
+        })
+    }
+
+    /// Fraction of bases that are G or C, in `[0, 1]`. Returns 0 for an empty
+    /// sequence.
+    pub fn gc_fraction(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let gc = self.iter().filter(|b| b.is_gc()).count();
+        gc as f64 / self.len as f64
+    }
+
+    /// Counts occurrences of each base, returned in `[A, C, G, T]` order.
+    pub fn base_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for b in self.iter() {
+            counts[b.code() as usize] += 1;
+        }
+        counts
+    }
+}
+
+impl fmt::Display for DnaString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DnaString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len <= 64 {
+            write!(f, "DnaString({}, len={})", self, self.len)
+        } else {
+            write!(
+                f,
+                "DnaString({}...{}, len={})",
+                self.substring(0, 24),
+                self.substring(self.len - 24, 24),
+                self.len
+            )
+        }
+    }
+}
+
+impl FromIterator<Base> for DnaString {
+    fn from_iter<T: IntoIterator<Item = Base>>(iter: T) -> Self {
+        DnaString::from_bases_iter(iter)
+    }
+}
+
+impl From<Kmer> for DnaString {
+    fn from(k: Kmer) -> Self {
+        k.to_dna_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut s = DnaString::new();
+        assert!(s.is_empty());
+        for (i, c) in "ACGTTGCAACGT".chars().enumerate() {
+            s.push(Base::from_ascii(c as u8).unwrap());
+            assert_eq!(s.len(), i + 1);
+        }
+        assert_eq!(s.to_ascii(), "ACGTTGCAACGT");
+        assert_eq!(s.get(0), Base::A);
+        assert_eq!(s.get(11), Base::T);
+    }
+
+    #[test]
+    fn crosses_word_boundary() {
+        let src: String = "ACGT".repeat(20); // 80 bases, > 2 words
+        let s = DnaString::from_ascii(&src).unwrap();
+        assert_eq!(s.len(), 80);
+        assert_eq!(s.to_ascii(), src);
+        assert_eq!(s.get(33), Base::C);
+        assert_eq!(s.get(64), Base::A);
+    }
+
+    #[test]
+    fn from_ascii_rejects_n() {
+        assert!(DnaString::from_ascii("ACGNT").is_err());
+    }
+
+    #[test]
+    fn substring_and_extend() {
+        let s = DnaString::from_ascii("ATTGCAAGTC").unwrap();
+        assert_eq!(s.substring(2, 4).to_ascii(), "TGCA");
+        let mut t = s.substring(0, 3);
+        t.extend_from(&s.substring(3, 7));
+        assert_eq!(t.to_ascii(), s.to_ascii());
+        let mut u = DnaString::new();
+        u.extend_from_bases(&s.to_bases());
+        assert_eq!(u, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "substring out of range")]
+    fn substring_out_of_range_panics() {
+        let s = DnaString::from_ascii("ACGT").unwrap();
+        let _ = s.substring(2, 10);
+    }
+
+    #[test]
+    fn reverse_complement_matches_paper() {
+        // Strand 1 "ATTGCAAGTC" → strand 2 read 5'→3' is "GACTTGCAAT".
+        let s = DnaString::from_ascii("ATTGCAAGTC").unwrap();
+        assert_eq!(s.reverse_complement().to_ascii(), "GACTTGCAAT");
+    }
+
+    #[test]
+    fn canonical_of_string() {
+        let s = DnaString::from_ascii("GT").unwrap();
+        assert_eq!(s.canonical().to_ascii(), "AC");
+        let t = DnaString::from_ascii("AC").unwrap();
+        assert_eq!(t.canonical().to_ascii(), "AC");
+    }
+
+    #[test]
+    fn kmers_iteration() {
+        let s = DnaString::from_ascii("ATTGCAAGT").unwrap();
+        let kmers: Vec<String> = s.kmers(3).map(|k| k.to_string()).collect();
+        assert_eq!(kmers, vec!["ATT", "TTG", "TGC", "GCA", "CAA", "AAG", "AGT"]);
+        assert_eq!(s.kmers(20).count(), 0);
+        assert!(s.kmer_at(0, 0).is_err());
+        assert!(s.kmer_at(8, 3).is_err());
+        assert_eq!(s.kmer_at(6, 3).unwrap().to_string(), "AGT");
+    }
+
+    #[test]
+    fn gc_fraction_and_counts() {
+        let s = DnaString::from_ascii("GGCCAATT").unwrap();
+        assert!((s.gc_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(s.base_counts(), [2, 2, 2, 2]);
+        assert_eq!(DnaString::new().gc_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = DnaString::from_ascii("ACGT").unwrap();
+        assert_eq!(format!("{s}"), "ACGT");
+        assert!(format!("{s:?}").contains("len=4"));
+        let long = DnaString::from_ascii(&"ACGT".repeat(50)).unwrap();
+        assert!(format!("{long:?}").contains("len=200"));
+    }
+
+    #[test]
+    fn from_kmer_conversion() {
+        let k = Kmer::from_str_exact("TGCCG").unwrap();
+        let s: DnaString = k.into();
+        assert_eq!(s.to_ascii(), "TGCCG");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ascii_roundtrip(v in proptest::collection::vec(0u8..4, 0..300)) {
+            let bases: Vec<Base> = v.iter().map(|c| Base::from_code(*c)).collect();
+            let s = DnaString::from_bases(&bases);
+            prop_assert_eq!(s.len(), bases.len());
+            prop_assert_eq!(s.to_bases(), bases.clone());
+            let parsed = DnaString::from_ascii(&s.to_ascii()).unwrap();
+            prop_assert_eq!(parsed, s);
+        }
+
+        #[test]
+        fn prop_rc_involution(v in proptest::collection::vec(0u8..4, 0..300)) {
+            let s = DnaString::from_bases_iter(v.iter().map(|c| Base::from_code(*c)));
+            prop_assert_eq!(s.reverse_complement().reverse_complement(), s);
+        }
+
+        #[test]
+        fn prop_kmers_match_naive(v in proptest::collection::vec(0u8..4, 0..120), k in 1usize..32) {
+            let bases: Vec<Base> = v.iter().map(|c| Base::from_code(*c)).collect();
+            let s = DnaString::from_bases(&bases);
+            let from_string: Vec<Kmer> = s.kmers(k).collect();
+            let naive: Vec<Kmer> = crate::kmer::kmers_of(&bases, k).collect();
+            prop_assert_eq!(from_string, naive);
+        }
+
+        #[test]
+        fn prop_substring_concat(v in proptest::collection::vec(0u8..4, 1..200), cut in 0usize..200) {
+            let bases: Vec<Base> = v.iter().map(|c| Base::from_code(*c)).collect();
+            let s = DnaString::from_bases(&bases);
+            let cut = cut.min(s.len());
+            let mut joined = s.substring(0, cut);
+            joined.extend_from(&s.substring(cut, s.len() - cut));
+            prop_assert_eq!(joined, s);
+        }
+    }
+}

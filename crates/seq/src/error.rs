@@ -1,0 +1,74 @@
+//! Error type shared by the sequence primitives.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating DNA sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// A character outside of `A`, `C`, `G`, `T`, `N` (case-insensitive) was
+    /// encountered where a nucleotide was expected.
+    InvalidBase(char),
+    /// A k value outside of the supported range `1..=31` was requested.
+    InvalidK(usize),
+    /// The input sequence was shorter than required (e.g. shorter than `k`).
+    SequenceTooShort {
+        /// Length that was required.
+        required: usize,
+        /// Length that was provided.
+        actual: usize,
+    },
+    /// A FASTA/FASTQ record was malformed.
+    MalformedRecord(String),
+    /// An I/O error occurred while reading or writing sequence files.
+    Io(String),
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::InvalidBase(c) => write!(f, "invalid nucleotide character {c:?}"),
+            SeqError::InvalidK(k) => write!(f, "k={k} is outside the supported range 1..=31"),
+            SeqError::SequenceTooShort { required, actual } => {
+                write!(f, "sequence too short: required {required}, got {actual}")
+            }
+            SeqError::MalformedRecord(msg) => write!(f, "malformed FASTA/FASTQ record: {msg}"),
+            SeqError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+impl From<std::io::Error> for SeqError {
+    fn from(e: std::io::Error) -> Self {
+        SeqError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msgs = [
+            SeqError::InvalidBase('x').to_string(),
+            SeqError::InvalidK(40).to_string(),
+            SeqError::SequenceTooShort { required: 32, actual: 5 }.to_string(),
+            SeqError::MalformedRecord("bad".into()).to_string(),
+            SeqError::Io("disk".into()).to_string(),
+        ];
+        assert!(msgs[0].contains('x'));
+        assert!(msgs[1].contains("40"));
+        assert!(msgs[2].contains("32") && msgs[2].contains('5'));
+        assert!(msgs[3].contains("bad"));
+        assert!(msgs[4].contains("disk"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: SeqError = io.into();
+        assert!(matches!(e, SeqError::Io(ref m) if m.contains("boom")));
+    }
+}

@@ -1,0 +1,509 @@
+//! Packed k-mers (k ≤ 31) and canonicalisation.
+//!
+//! The paper encodes the sequence of a k-mer directly into a 64-bit integer
+//! vertex ID (Figure 7a): each nucleotide takes two bits (`A=00`, `C=01`,
+//! `G=10`, `T=11`), the packed sequence is aligned to the *right* of the word
+//! (the last nucleotide occupies the two least-significant bits) and the
+//! remaining high bits are zero. With k ≤ 31 at most 62 bits are used, leaving
+//! the two most significant bits free for the NULL/contig markers and the
+//! contig-end "flip" bit handled by the assembler crate.
+//!
+//! [`Kmer`] implements exactly this packing, plus the operations the assembler
+//! needs: sliding-window extension, reverse complement, canonical form
+//! (lexicographically smaller of the k-mer and its reverse complement,
+//! Section III "Directionality") and prefix/suffix extraction of a (k+1)-mer.
+
+use crate::base::{Base, ALL_BASES};
+use crate::{DnaString, SeqError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum supported k (the sequence must fit in a `u64`).
+///
+/// K-mer *vertices* of the assembler are limited to k ≤ 31 so that the top two
+/// bits of the 64-bit vertex ID stay free (Figure 7 of the paper); the value 32
+/// is allowed here so that the (k+1)-mers extracted during DBG construction
+/// with k = 31 can still be represented as packed words.
+pub const MAX_K: usize = 32;
+
+/// Orientation of a k-mer occurrence relative to its canonical representative.
+///
+/// The paper calls the canonical orientation label `L` and the
+/// reverse-complemented orientation label `H` (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Orientation {
+    /// The k-mer as observed equals the canonical (lexicographically smaller) form.
+    Forward,
+    /// The k-mer as observed is the reverse complement of the canonical form.
+    ReverseComplement,
+}
+
+impl Orientation {
+    /// The complementary label (`L̄ = H`, `H̄ = L` in the paper's notation).
+    #[inline]
+    pub fn flip(self) -> Orientation {
+        match self {
+            Orientation::Forward => Orientation::ReverseComplement,
+            Orientation::ReverseComplement => Orientation::Forward,
+        }
+    }
+
+    /// Single-character debug label matching the paper (`L` / `H`).
+    #[inline]
+    pub fn label(self) -> char {
+        match self {
+            Orientation::Forward => 'L',
+            Orientation::ReverseComplement => 'H',
+        }
+    }
+}
+
+/// A k-mer (1 ≤ k ≤ 31) packed into a `u64` using the paper's 2-bit encoding.
+///
+/// The packing is right-aligned: the most recently pushed (right-most) base
+/// occupies bits 1..0, and the left-most base occupies bits `2k-1..2k-2`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Kmer {
+    packed: u64,
+    k: u8,
+}
+
+impl Kmer {
+    /// Creates the empty 0-mer used as a builder seed. Not a valid DBG vertex.
+    #[inline]
+    pub fn empty(k: usize) -> Result<Kmer, SeqError> {
+        if k == 0 || k > MAX_K {
+            return Err(SeqError::InvalidK(k));
+        }
+        Ok(Kmer { packed: 0, k: k as u8 })
+    }
+
+    /// Builds a k-mer from a slice of bases; `bases.len()` defines k.
+    pub fn from_bases(bases: &[Base]) -> Result<Kmer, SeqError> {
+        if bases.is_empty() || bases.len() > MAX_K {
+            return Err(SeqError::InvalidK(bases.len()));
+        }
+        let mut packed = 0u64;
+        for b in bases {
+            packed = (packed << 2) | b.code() as u64;
+        }
+        Ok(Kmer { packed, k: bases.len() as u8 })
+    }
+
+    /// Parses a k-mer from an ASCII string of `A`/`C`/`G`/`T`.
+    pub fn from_str_exact(s: &str) -> Result<Kmer, SeqError> {
+        let bases = crate::base::parse_bases(s)?;
+        Kmer::from_bases(&bases)
+    }
+
+    /// Reconstructs a k-mer from its packed 2-bit representation.
+    ///
+    /// Returns an error if `k` is out of range or if `packed` has bits set
+    /// above position `2k`.
+    pub fn from_packed(packed: u64, k: usize) -> Result<Kmer, SeqError> {
+        if k == 0 || k > MAX_K {
+            return Err(SeqError::InvalidK(k));
+        }
+        let mask = Kmer::mask(k as u8);
+        if k < 32 && packed & !mask != 0 {
+            return Err(SeqError::MalformedRecord(format!(
+                "packed k-mer value {packed:#x} has bits above 2k={}",
+                2 * k
+            )));
+        }
+        Ok(Kmer { packed, k: k as u8 })
+    }
+
+    #[inline]
+    fn mask(k: u8) -> u64 {
+        if k as usize >= 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * k as u32)) - 1
+        }
+    }
+
+    /// The k of this k-mer.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    /// The packed 2-bit representation (right-aligned, high bits zero).
+    ///
+    /// This is exactly the integer vertex ID of Figure 7(a) for k-mer vertices.
+    #[inline]
+    pub fn packed(&self) -> u64 {
+        self.packed
+    }
+
+    /// The base at position `i` (0 = left-most).
+    #[inline]
+    pub fn get(&self, i: usize) -> Base {
+        debug_assert!(i < self.k());
+        let shift = 2 * (self.k() - 1 - i);
+        Base::from_code((self.packed >> shift) as u8)
+    }
+
+    /// The left-most (first) base.
+    #[inline]
+    pub fn first(&self) -> Base {
+        self.get(0)
+    }
+
+    /// The right-most (last) base.
+    #[inline]
+    pub fn last(&self) -> Base {
+        Base::from_code(self.packed as u8)
+    }
+
+    /// Iterates over the bases from left to right.
+    pub fn iter(&self) -> impl Iterator<Item = Base> + '_ {
+        (0..self.k()).map(move |i| self.get(i))
+    }
+
+    /// Returns the bases as a vector (left to right).
+    pub fn to_bases(&self) -> Vec<Base> {
+        self.iter().collect()
+    }
+
+    /// Converts to a [`DnaString`].
+    pub fn to_dna_string(&self) -> DnaString {
+        DnaString::from_bases_iter(self.iter())
+    }
+
+    /// Slides the window one base to the right: drops the left-most base and
+    /// appends `b` on the right. Used when cutting reads into consecutive
+    /// k-mers (Figure 4).
+    #[inline]
+    pub fn extend_right(&self, b: Base) -> Kmer {
+        let packed = ((self.packed << 2) | b.code() as u64) & Kmer::mask(self.k);
+        Kmer { packed, k: self.k }
+    }
+
+    /// Slides the window one base to the left: drops the right-most base and
+    /// prepends `b` on the left.
+    #[inline]
+    pub fn extend_left(&self, b: Base) -> Kmer {
+        let packed = (self.packed >> 2) | ((b.code() as u64) << (2 * (self.k() - 1)));
+        Kmer { packed, k: self.k }
+    }
+
+    /// Appends a base producing a (k+1)-mer. Panics in debug builds if the
+    /// result would exceed [`MAX_K`].
+    #[inline]
+    pub fn append(&self, b: Base) -> Kmer {
+        debug_assert!(self.k() < MAX_K);
+        Kmer { packed: (self.packed << 2) | b.code() as u64, k: self.k + 1 }
+    }
+
+    /// The prefix of this k-mer with the last base removed (a (k−1)-mer).
+    ///
+    /// For a (k+1)-mer edge this yields the source vertex of the DBG edge.
+    #[inline]
+    pub fn prefix(&self) -> Kmer {
+        debug_assert!(self.k() > 1);
+        Kmer { packed: self.packed >> 2, k: self.k - 1 }
+    }
+
+    /// The suffix of this k-mer with the first base removed (a (k−1)-mer).
+    ///
+    /// For a (k+1)-mer edge this yields the target vertex of the DBG edge.
+    #[inline]
+    pub fn suffix(&self) -> Kmer {
+        let k = self.k - 1;
+        Kmer { packed: self.packed & Kmer::mask(k), k }
+    }
+
+    /// The reverse complement of this k-mer.
+    pub fn reverse_complement(&self) -> Kmer {
+        // Complement all bases (bitwise NOT under the 2-bit code), then reverse
+        // the order of the 2-bit groups.
+        let mut x = !self.packed;
+        // Reverse 2-bit groups within the 64-bit word.
+        x = ((x & 0x3333_3333_3333_3333) << 2) | ((x >> 2) & 0x3333_3333_3333_3333);
+        x = ((x & 0x0F0F_0F0F_0F0F_0F0F) << 4) | ((x >> 4) & 0x0F0F_0F0F_0F0F_0F0F);
+        x = x.swap_bytes();
+        // The reversed groups are now left-aligned; shift right so that the
+        // sequence is right-aligned again.
+        let packed = (x >> (64 - 2 * self.k() as u32)) & Kmer::mask(self.k);
+        Kmer { packed, k: self.k }
+    }
+
+    /// The canonical representative: the lexicographically smaller of this
+    /// k-mer and its reverse complement (Section III, "Directionality").
+    ///
+    /// With the 2-bit encoding, lexicographic comparison of the sequences is
+    /// identical to integer comparison of the packed values.
+    pub fn canonical(&self) -> CanonicalKmer {
+        let rc = self.reverse_complement();
+        if self.packed <= rc.packed {
+            CanonicalKmer { kmer: *self, orientation: Orientation::Forward }
+        } else {
+            CanonicalKmer { kmer: rc, orientation: Orientation::ReverseComplement }
+        }
+    }
+
+    /// Whether this k-mer is already canonical.
+    pub fn is_canonical(&self) -> bool {
+        self.packed <= self.reverse_complement().packed
+    }
+
+    /// Whether this k-mer equals its own reverse complement (a palindrome);
+    /// only possible for even k.
+    pub fn is_palindrome(&self) -> bool {
+        *self == self.reverse_complement()
+    }
+
+    /// All four k-mers obtainable by appending a base on the right and
+    /// dropping the left-most base (the possible out-neighbours in a simple
+    /// directed DBG, ignoring which ones actually occur in the reads).
+    pub fn successors(&self) -> [Kmer; 4] {
+        let mut out = [*self; 4];
+        for (i, b) in ALL_BASES.iter().enumerate() {
+            out[i] = self.extend_right(*b);
+        }
+        out
+    }
+
+    /// All four k-mers obtainable by prepending a base on the left.
+    pub fn predecessors(&self) -> [Kmer; 4] {
+        let mut out = [*self; 4];
+        for (i, b) in ALL_BASES.iter().enumerate() {
+            out[i] = self.extend_left(*b);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Kmer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Kmer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Kmer({}, k={})", self, self.k())
+    }
+}
+
+/// A k-mer paired with the orientation that produced it.
+///
+/// `kmer` is always the canonical (lexicographically smaller) form;
+/// `orientation` records whether the originally observed k-mer was already
+/// canonical (`Forward`, label `L`) or had to be reverse-complemented
+/// (`ReverseComplement`, label `H`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CanonicalKmer {
+    /// The canonical k-mer.
+    pub kmer: Kmer,
+    /// Orientation of the observed k-mer relative to `kmer`.
+    pub orientation: Orientation,
+}
+
+/// Iterates over all k-mers of a base slice, left to right.
+///
+/// Returns an empty iterator if the sequence is shorter than `k`.
+pub fn kmers_of(bases: &[Base], k: usize) -> impl Iterator<Item = Kmer> + '_ {
+    let valid = k >= 1 && k <= MAX_K && bases.len() >= k;
+    let mut current = if valid { Kmer::from_bases(&bases[..k]).ok() } else { None };
+    let mut next_idx = k;
+    std::iter::from_fn(move || {
+        let out = current?;
+        current = if next_idx < bases.len() {
+            let n = out.extend_right(bases[next_idx]);
+            next_idx += 1;
+            Some(n)
+        } else {
+            None
+        };
+        Some(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::parse_bases;
+    use proptest::prelude::*;
+
+    fn km(s: &str) -> Kmer {
+        Kmer::from_str_exact(s).unwrap()
+    }
+
+    #[test]
+    fn packing_matches_paper_figure7() {
+        // Figure 7(a): 5-mer "ATTGC" = 00 11 11 10 01 right-aligned.
+        let k = km("ATTGC");
+        assert_eq!(k.packed(), 0b00_11_11_10_01);
+        assert_eq!(k.k(), 5);
+        assert_eq!(k.to_string(), "ATTGC");
+    }
+
+    #[test]
+    fn from_packed_roundtrip_and_validation() {
+        let k = km("ACGGT");
+        let back = Kmer::from_packed(k.packed(), 5).unwrap();
+        assert_eq!(k, back);
+        assert!(Kmer::from_packed(1 << 63, 5).is_err());
+        assert!(Kmer::from_packed(0, 0).is_err());
+        assert!(Kmer::from_packed(0, 33).is_err());
+        assert!(Kmer::from_packed(u64::MAX, 32).is_ok());
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        assert!(Kmer::from_bases(&[]).is_err());
+        let too_long = vec![Base::A; 33];
+        assert!(Kmer::from_bases(&too_long).is_err());
+        let max = vec![Base::T; 32];
+        assert!(Kmer::from_bases(&max).is_ok());
+        assert_eq!(Kmer::from_bases(&max).unwrap().reverse_complement().to_string(), "A".repeat(32));
+    }
+
+    #[test]
+    fn get_first_last() {
+        let k = km("ACGT");
+        assert_eq!(k.get(0), Base::A);
+        assert_eq!(k.get(1), Base::C);
+        assert_eq!(k.get(2), Base::G);
+        assert_eq!(k.get(3), Base::T);
+        assert_eq!(k.first(), Base::A);
+        assert_eq!(k.last(), Base::T);
+    }
+
+    #[test]
+    fn extend_right_slides_window() {
+        // Figure 4: read "ATTG" cut into 3-mers "ATT", "TTG".
+        let first = km("ATT");
+        let second = first.extend_right(Base::G);
+        assert_eq!(second.to_string(), "TTG");
+    }
+
+    #[test]
+    fn extend_left_slides_window() {
+        let k = km("TTG");
+        assert_eq!(k.extend_left(Base::A).to_string(), "ATT");
+    }
+
+    #[test]
+    fn prefix_suffix_of_k_plus_1_mer() {
+        // Figure 4: the 3-mer "ATT" defines an edge from "AT" to "TT".
+        let e = km("ATT");
+        assert_eq!(e.prefix().to_string(), "AT");
+        assert_eq!(e.suffix().to_string(), "TT");
+    }
+
+    #[test]
+    fn append_creates_k_plus_1_mer() {
+        let k = km("AT");
+        assert_eq!(k.append(Base::T).to_string(), "ATT");
+    }
+
+    #[test]
+    fn reverse_complement_examples() {
+        // Figure 6: "GT" and "AC" are reverse complements; "AAG" ↔ "CTT".
+        assert_eq!(km("GT").reverse_complement().to_string(), "AC");
+        assert_eq!(km("AC").reverse_complement().to_string(), "GT");
+        assert_eq!(km("AAG").reverse_complement().to_string(), "CTT");
+        assert_eq!(km("ACGGT").reverse_complement().to_string(), "ACCGT");
+    }
+
+    #[test]
+    fn canonical_picks_smaller() {
+        // "GT" vs rc "AC": canonical is "AC" (paper, Figure 6).
+        let c = km("GT").canonical();
+        assert_eq!(c.kmer.to_string(), "AC");
+        assert_eq!(c.orientation, Orientation::ReverseComplement);
+        let c2 = km("AC").canonical();
+        assert_eq!(c2.kmer.to_string(), "AC");
+        assert_eq!(c2.orientation, Orientation::Forward);
+    }
+
+    #[test]
+    fn palindrome_detection() {
+        assert!(km("ACGT").is_palindrome()); // rc(ACGT) = ACGT
+        assert!(!km("AAA").is_palindrome());
+    }
+
+    #[test]
+    fn successors_predecessors() {
+        let k = km("CCG");
+        let succ: Vec<String> = k.successors().iter().map(|s| s.to_string()).collect();
+        assert_eq!(succ, vec!["CGA", "CGC", "CGG", "CGT"]);
+        // Paper example (Section IV-A): 4-mer "CCGT" has possible in-neighbours
+        // ACCG, CCCG, GCCG, TCCG.
+        let k = km("CCGT");
+        let mut preds: Vec<String> = k.predecessors().iter().map(|s| s.to_string()).collect();
+        preds.sort();
+        assert_eq!(preds, vec!["ACCG", "CCCG", "GCCG", "TCCG"]);
+    }
+
+    #[test]
+    fn kmers_of_sequence() {
+        let bases = parse_bases("ATTGCAAGT").unwrap();
+        let kmers: Vec<String> = kmers_of(&bases, 3).map(|k| k.to_string()).collect();
+        assert_eq!(
+            kmers,
+            vec!["ATT", "TTG", "TGC", "GCA", "CAA", "AAG", "AGT"]
+        );
+        assert_eq!(kmers_of(&bases, 10).count(), 0);
+        assert_eq!(kmers_of(&bases, 9).count(), 1);
+    }
+
+    #[test]
+    fn orientation_flip() {
+        assert_eq!(Orientation::Forward.flip(), Orientation::ReverseComplement);
+        assert_eq!(Orientation::ReverseComplement.flip(), Orientation::Forward);
+        assert_eq!(Orientation::Forward.label(), 'L');
+        assert_eq!(Orientation::ReverseComplement.label(), 'H');
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rc_is_involution(s in proptest::collection::vec(0u8..4, 1..=31)) {
+            let bases: Vec<Base> = s.iter().map(|c| Base::from_code(*c)).collect();
+            let k = Kmer::from_bases(&bases).unwrap();
+            prop_assert_eq!(k.reverse_complement().reverse_complement(), k);
+        }
+
+        #[test]
+        fn prop_rc_matches_naive(s in proptest::collection::vec(0u8..4, 1..=31)) {
+            let bases: Vec<Base> = s.iter().map(|c| Base::from_code(*c)).collect();
+            let k = Kmer::from_bases(&bases).unwrap();
+            let naive = crate::base::reverse_complement(&bases);
+            prop_assert_eq!(k.reverse_complement().to_bases(), naive);
+        }
+
+        #[test]
+        fn prop_canonical_is_idempotent(s in proptest::collection::vec(0u8..4, 1..=31)) {
+            let bases: Vec<Base> = s.iter().map(|c| Base::from_code(*c)).collect();
+            let k = Kmer::from_bases(&bases).unwrap();
+            let c = k.canonical();
+            prop_assert!(c.kmer.is_canonical());
+            prop_assert_eq!(c.kmer.canonical().kmer, c.kmer);
+            // Canonical of the rc is the same vertex.
+            prop_assert_eq!(k.reverse_complement().canonical().kmer, c.kmer);
+        }
+
+        #[test]
+        fn prop_display_roundtrip(s in proptest::collection::vec(0u8..4, 1..=31)) {
+            let bases: Vec<Base> = s.iter().map(|c| Base::from_code(*c)).collect();
+            let k = Kmer::from_bases(&bases).unwrap();
+            prop_assert_eq!(Kmer::from_str_exact(&k.to_string()).unwrap(), k);
+        }
+
+        #[test]
+        fn prop_extend_right_then_prefix(s in proptest::collection::vec(0u8..4, 2..=30), b in 0u8..4) {
+            let bases: Vec<Base> = s.iter().map(|c| Base::from_code(*c)).collect();
+            let k = Kmer::from_bases(&bases).unwrap();
+            let appended = k.append(Base::from_code(b));
+            prop_assert_eq!(appended.prefix(), k);
+            prop_assert_eq!(appended.suffix(), k.extend_right(Base::from_code(b)));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Integration tests for the cross-assembler comparison harness: the
+//! qualitative relationships the paper's evaluation reports must hold on the
+//! simulated datasets.
+
+use ppa_baselines::{all_assemblers, Assembler, BaselineParams, PpaAssembler, RayLike};
+use ppa_quality::{basic_stats, QuastReport};
+use ppa_readsim::preset_by_name;
+
+fn params(workers: usize) -> BaselineParams {
+    BaselineParams {
+        k: 25,
+        min_kmer_coverage: 1,
+        workers,
+        tip_length_threshold: 80,
+        bubble_edit_distance: 5,
+    }
+}
+
+#[test]
+fn every_assembler_produces_contigs_on_a_real_dataset() {
+    let dataset = preset_by_name("sim-hc2").unwrap().scaled(0.05).generate();
+    for assembler in all_assemblers() {
+        let result = assembler.assemble(&dataset.reads, &params(4));
+        assert!(
+            !result.contigs.is_empty(),
+            "{} produced no contigs",
+            assembler.name()
+        );
+        let stats = basic_stats(&result.contigs, 0);
+        assert!(
+            stats.total_length > dataset.reference.len() / 3,
+            "{} assembled only {} bases of a {} bp reference",
+            assembler.name(),
+            stats.total_length,
+            dataset.reference.len()
+        );
+    }
+}
+
+#[test]
+fn ppa_has_the_best_or_equal_n50() {
+    let dataset = preset_by_name("sim-hc2").unwrap().scaled(0.05).generate();
+    let mut n50s = Vec::new();
+    for assembler in all_assemblers() {
+        let result = assembler.assemble(&dataset.reads, &params(4));
+        let stats = basic_stats(&result.contigs, 200);
+        n50s.push((assembler.name(), stats.n50));
+    }
+    let ppa_n50 = n50s.iter().find(|(n, _)| *n == "PPA-assembler").unwrap().1;
+    for (name, n50) in &n50s {
+        assert!(
+            ppa_n50 >= *n50,
+            "PPA N50 ({ppa_n50}) should be at least {name}'s ({n50}); all: {n50s:?}"
+        );
+    }
+}
+
+#[test]
+fn ppa_misassembles_no_more_than_abyss_like() {
+    let dataset = preset_by_name("sim-hc2").unwrap().scaled(0.05).generate();
+    let mut misassemblies = std::collections::HashMap::new();
+    for assembler in all_assemblers() {
+        let result = assembler.assemble(&dataset.reads, &params(4));
+        let report = QuastReport::evaluate(
+            assembler.name(),
+            &result.contigs,
+            Some(&dataset.reference.sequence),
+            200,
+        );
+        misassemblies.insert(assembler.name(), report.reference.unwrap().misassemblies);
+    }
+    assert!(
+        misassemblies["PPA-assembler"] <= misassemblies["ABySS-like"],
+        "misassemblies: {misassemblies:?}"
+    );
+}
+
+#[test]
+fn ray_like_does_not_benefit_from_workers_but_ppa_does_not_regress() {
+    let dataset = preset_by_name("sim-hc2").unwrap().scaled(0.04).generate();
+    let ray_1 = RayLike.assemble(&dataset.reads, &params(1));
+    let ray_8 = RayLike.assemble(&dataset.reads, &params(8));
+    let mut a: Vec<usize> = ray_1.contigs.iter().map(|c| c.len()).collect();
+    let mut b: Vec<usize> = ray_8.contigs.iter().map(|c| c.len()).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "Ray-like output is independent of the worker count");
+
+    let ppa_1 = PpaAssembler::default().assemble(&dataset.reads, &params(1));
+    let ppa_4 = PpaAssembler::default().assemble(&dataset.reads, &params(4));
+    let mut c: Vec<usize> = ppa_1.contigs.iter().map(|x| x.len()).collect();
+    let mut d: Vec<usize> = ppa_4.contigs.iter().map(|x| x.len()).collect();
+    c.sort_unstable();
+    d.sort_unstable();
+    assert_eq!(c, d, "PPA output must not depend on the worker count either");
+}
