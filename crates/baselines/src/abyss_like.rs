@@ -62,7 +62,7 @@ impl VertexProgram for ProbeProgram {
         ctx: &mut Context<'_, Self>,
         id: u64,
         value: &mut ProbeState,
-        messages: Vec<Probe>,
+        messages: &mut [Probe],
     ) {
         let own = match &value.node.seq {
             NodeSeq::Kmer(k) => *k,
@@ -88,13 +88,16 @@ impl VertexProgram for ProbeProgram {
                     }
                     ctx.send_message(
                         other,
-                        Probe { slot_bit: other_slot.bit() as u8, sender_count: value.count },
+                        Probe {
+                            slot_bit: other_slot.bit() as u8,
+                            sender_count: value.count,
+                        },
                     );
                 }
             }
         } else {
             let mut seen: HashSet<u8> = HashSet::new();
-            for probe in messages {
+            for probe in messages.iter() {
                 if !seen.insert(probe.slot_bit) {
                     continue;
                 }
@@ -136,7 +139,7 @@ impl VertexProgram for PropProgram {
         ctx: &mut Context<'_, Self>,
         _id: u64,
         value: &mut PropState,
-        messages: Vec<u64>,
+        messages: &mut [u64],
     ) {
         if !value.unambiguous {
             // Ambiguous vertices never adopt or forward labels, so labels only
@@ -145,7 +148,7 @@ impl VertexProgram for PropProgram {
             return;
         }
         let before = value.label;
-        for label in messages {
+        for &label in messages.iter() {
             value.label = value.label.min(label);
         }
         if ctx.superstep() == 0 || value.label < before {
@@ -171,13 +174,23 @@ impl Assembler for AbyssLike {
         // Probe phase: existence-based edges.
         let config = PregelConfig::with_workers(params.workers).max_supersteps(2_000_000);
         let probe_pairs = counts.iter().map(|(&packed, &count)| {
-            (packed, ProbeState { node: AsmNode::new_kmer(kmer_of(packed, k)), count })
+            (
+                packed,
+                ProbeState {
+                    node: AsmNode::new_kmer(kmer_of(packed, k)),
+                    count,
+                },
+            )
         });
         let mut probe_set: VertexSet<u64, ProbeState> =
             VertexSet::from_pairs(config.workers, probe_pairs);
         let probe_metrics = ppa_pregel::run(&ProbeProgram, &config, &mut probe_set);
 
-        let nodes: Vec<AsmNode> = probe_set.into_pairs().into_iter().map(|(_, s)| s.node).collect();
+        let nodes: Vec<AsmNode> = probe_set
+            .into_pairs()
+            .into_iter()
+            .map(|(_, s)| s.node)
+            .collect();
 
         // Unitig formation: one-hop-per-superstep label propagation.
         let prop_pairs = nodes.iter().map(|n| {
@@ -236,11 +249,20 @@ mod tests {
 
     #[test]
     fn assembles_an_error_free_genome() {
-        let reference =
-            GenomeConfig { length: 1_500, repeat_families: 0, seed: 2, ..Default::default() }
-                .generate();
+        let reference = GenomeConfig {
+            length: 1_500,
+            repeat_families: 0,
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
         let reads = ReadSimConfig::error_free(80, 20.0).simulate(&reference);
-        let params = BaselineParams { k: 21, min_kmer_coverage: 0, workers: 2, ..Default::default() };
+        let params = BaselineParams {
+            k: 21,
+            min_kmer_coverage: 0,
+            workers: 2,
+            ..Default::default()
+        };
         let out = AbyssLike.assemble(&reads, &params);
         assert!(!out.contigs.is_empty());
         assert!(out.largest_contig() > 500);
@@ -282,11 +304,20 @@ mod tests {
 
     #[test]
     fn unitig_growth_needs_linear_supersteps() {
-        let reference =
-            GenomeConfig { length: 800, repeat_families: 0, seed: 4, ..Default::default() }
-                .generate();
+        let reference = GenomeConfig {
+            length: 800,
+            repeat_families: 0,
+            seed: 4,
+            ..Default::default()
+        }
+        .generate();
         let reads = ReadSimConfig::error_free(60, 15.0).simulate(&reference);
-        let params = BaselineParams { k: 17, min_kmer_coverage: 0, workers: 2, ..Default::default() };
+        let params = BaselineParams {
+            k: 17,
+            min_kmer_coverage: 0,
+            workers: 2,
+            ..Default::default()
+        };
         let out = AbyssLike.assemble(&reads, &params);
         // The notes record the superstep count of the growth phase; for a
         // ~780-vertex unambiguous chain it must be far beyond the logarithmic

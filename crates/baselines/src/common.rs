@@ -1,6 +1,9 @@
 //! Shared helpers for the baseline strategies.
 
+use ppa_pregel::fxhash::FxHashMap;
 use ppa_pregel::map_reduce;
+use ppa_pregel::mapreduce::Emitter;
+use ppa_seq::kmer::CanonicalScanner;
 use ppa_seq::{Base, FastxRecord, Kmer, ReadSet};
 use std::collections::HashMap;
 
@@ -13,34 +16,40 @@ pub fn count_canonical_kmers(
     min_coverage: u32,
     workers: usize,
 ) -> HashMap<u64, u32> {
+    if k == 0 || k > ppa_seq::kmer::MAX_K {
+        // Out-of-range k yields no k-mers (the pre-scanner sliding-window
+        // path behaved the same way) instead of panicking inside a worker.
+        return HashMap::new();
+    }
     let batches: Vec<&[FastxRecord]> = reads.records.chunks(512).collect();
     let counted = map_reduce(
         batches,
         workers,
-        |batch: &[FastxRecord]| {
-            let mut local: HashMap<u64, u32> = HashMap::new();
+        |batch: &[FastxRecord], out: &mut Emitter<'_, u64, u32>| {
+            let mut local: FxHashMap<u64, u32> = FxHashMap::default();
+            let mut scanner = CanonicalScanner::new(k).expect("baseline k in range");
             for read in batch {
                 for segment in read.acgt_segments() {
                     if segment.len() < k {
                         continue;
                     }
-                    let bases: Vec<Base> = segment
-                        .iter()
-                        .map(|&c| Base::from_ascii_checked(c).expect("ACGT segment"))
-                        .collect();
-                    for kmer in ppa_seq::kmer::kmers_of(&bases, k) {
-                        *local.entry(kmer.canonical().kmer.packed()).or_insert(0) += 1;
+                    scanner.reset();
+                    for &c in segment {
+                        let base = Base::from_ascii_checked(c).expect("ACGT segment");
+                        if let Some(canonical) = scanner.push(base) {
+                            *local.entry(canonical.kmer.packed()).or_insert(0) += 1;
+                        }
                     }
                 }
             }
-            local.into_iter().collect::<Vec<_>>()
+            for (key, count) in local {
+                out.emit(key, count);
+            }
         },
-        |key: &u64, counts: Vec<u32>| {
+        |key: &u64, counts: &mut [u32], out: &mut Vec<(u64, u32)>| {
             let total: u32 = counts.iter().sum();
             if total > min_coverage {
-                vec![(*key, total)]
-            } else {
-                vec![]
+                out.push((*key, total));
             }
         },
     );
@@ -76,6 +85,13 @@ mod tests {
             assert!(kmer.is_canonical());
             assert_eq!(count, 2, "k-mer {kmer} should be seen once per strand");
         }
+    }
+
+    #[test]
+    fn out_of_range_k_yields_no_kmers() {
+        let rs = reads(&["ACGTACGTAC"]);
+        assert!(count_canonical_kmers(&rs, 0, 0, 2).is_empty());
+        assert!(count_canonical_kmers(&rs, 33, 0, 2).is_empty());
     }
 
     #[test]

@@ -132,7 +132,10 @@ mod tests {
     #[test]
     fn registry_contains_the_figure12_assemblers() {
         let names: Vec<&str> = all_assemblers().iter().map(|a| a.name()).collect();
-        assert_eq!(names, vec!["PPA-assembler", "ABySS-like", "Ray-like", "SWAP-like"]);
+        assert_eq!(
+            names,
+            vec!["PPA-assembler", "ABySS-like", "Ray-like", "SWAP-like"]
+        );
     }
 
     #[test]

@@ -36,7 +36,8 @@ impl Assembler for PpaAssembler {
             min_contig_length: 0,
         };
         let assembly = assemble(reads, &config);
-        let notes = format!(
+        let notes =
+            format!(
             "label r1: {} supersteps / {} msgs; label r2: {} supersteps / {} msgs; N50 {} -> {}",
             assembly.stats.label_round1.supersteps,
             assembly.stats.label_round1.messages,
@@ -60,10 +61,20 @@ mod tests {
 
     #[test]
     fn ppa_wrapper_assembles_a_small_genome() {
-        let reference = GenomeConfig { length: 2_000, repeat_families: 0, seed: 9, ..Default::default() }
-            .generate();
+        let reference = GenomeConfig {
+            length: 2_000,
+            repeat_families: 0,
+            seed: 9,
+            ..Default::default()
+        }
+        .generate();
         let reads = ReadSimConfig::error_free(100, 20.0).simulate(&reference);
-        let params = BaselineParams { k: 21, min_kmer_coverage: 0, workers: 2, ..Default::default() };
+        let params = BaselineParams {
+            k: 21,
+            min_kmer_coverage: 0,
+            workers: 2,
+            ..Default::default()
+        };
         let out = PpaAssembler::default().assemble(&reads, &params);
         assert!(!out.contigs.is_empty());
         assert!(out.largest_contig() >= reference.len() - 200);

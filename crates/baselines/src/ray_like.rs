@@ -45,7 +45,9 @@ fn build_graph(reads: &ReadSet, k: usize, min_coverage: u32) -> HashMap<u64, Asm
         let kplus1 = Kmer::from_packed(packed, k + 1).expect("valid (k+1)-mer");
         let ((src, s_slot), (tgt, t_slot)) = edge_contributions(&kplus1);
         for (kmer, slot) in [(src, s_slot), (tgt, t_slot)] {
-            let node = nodes.entry(kmer.packed()).or_insert_with(|| AsmNode::new_kmer(kmer));
+            let node = nodes
+                .entry(kmer.packed())
+                .or_insert_with(|| AsmNode::new_kmer(kmer));
             node.push_edge(Edge {
                 neighbor: slot.neighbor_of(&kmer).packed(),
                 direction: slot.direction,
@@ -59,7 +61,7 @@ fn build_graph(reads: &ReadSet, k: usize, min_coverage: u32) -> HashMap<u64, Asm
 
 /// Chooses the extension edge Ray would follow from an oriented k-mer, or
 /// `None` if the choice is ambiguous / absent.
-fn choose_extension<'a>(node: &'a AsmNode, orientation: Orientation) -> Option<&'a Edge> {
+fn choose_extension(node: &AsmNode, orientation: Orientation) -> Option<&Edge> {
     let exit = match orientation {
         Orientation::Forward => ppa_assembler::Side::Right,
         Orientation::ReverseComplement => ppa_assembler::Side::Left,
@@ -123,9 +125,10 @@ impl Assembler for RayLike {
             for direction in [Orientation::Forward, Orientation::ReverseComplement] {
                 let mut current = seed_node;
                 let mut orientation = direction;
-                loop {
-                    let Some(edge) = choose_extension(current, orientation) else { break };
-                    let Some(next) = nodes.get(&edge.neighbor) else { break };
+                while let Some(edge) = choose_extension(current, orientation) {
+                    let Some(next) = nodes.get(&edge.neighbor) else {
+                        break;
+                    };
                     if visited.contains(&next.id) || next.vertex_type() == VertexType::Branch {
                         break;
                     }
@@ -164,7 +167,11 @@ impl Assembler for RayLike {
             nodes.len(),
             walk_steps
         );
-        BaselineAssembly { contigs, elapsed: start.elapsed(), notes }
+        BaselineAssembly {
+            contigs,
+            elapsed: start.elapsed(),
+            notes,
+        }
     }
 }
 
@@ -175,11 +182,20 @@ mod tests {
 
     #[test]
     fn reconstructs_an_error_free_genome_reasonably() {
-        let reference =
-            GenomeConfig { length: 1_200, repeat_families: 0, seed: 8, ..Default::default() }
-                .generate();
+        let reference = GenomeConfig {
+            length: 1_200,
+            repeat_families: 0,
+            seed: 8,
+            ..Default::default()
+        }
+        .generate();
         let reads = ReadSimConfig::error_free(80, 20.0).simulate(&reference);
-        let params = BaselineParams { k: 21, min_kmer_coverage: 0, workers: 4, ..Default::default() };
+        let params = BaselineParams {
+            k: 21,
+            min_kmer_coverage: 0,
+            workers: 4,
+            ..Default::default()
+        };
         let out = RayLike.assemble(&reads, &params);
         assert!(!out.contigs.is_empty());
         // Greedy extension along an unambiguous genome should recover most of it.
@@ -194,11 +210,20 @@ mod tests {
 
     #[test]
     fn greedy_extension_produces_valid_substrings() {
-        let reference =
-            GenomeConfig { length: 900, repeat_families: 0, seed: 12, ..Default::default() }
-                .generate();
+        let reference = GenomeConfig {
+            length: 900,
+            repeat_families: 0,
+            seed: 12,
+            ..Default::default()
+        }
+        .generate();
         let reads = ReadSimConfig::error_free(70, 15.0).simulate(&reference);
-        let params = BaselineParams { k: 19, min_kmer_coverage: 0, workers: 1, ..Default::default() };
+        let params = BaselineParams {
+            k: 19,
+            min_kmer_coverage: 0,
+            workers: 1,
+            ..Default::default()
+        };
         let out = RayLike.assemble(&reads, &params);
         let fwd = reference.sequence.to_ascii();
         let rc = reference.sequence.reverse_complement().to_ascii();
@@ -214,17 +239,31 @@ mod tests {
 
     #[test]
     fn worker_count_does_not_change_the_result() {
-        let reference =
-            GenomeConfig { length: 800, repeat_families: 2, seed: 21, ..Default::default() }
-                .generate();
+        let reference = GenomeConfig {
+            length: 800,
+            repeat_families: 2,
+            seed: 21,
+            ..Default::default()
+        }
+        .generate();
         let reads = ReadSimConfig::error_free(60, 12.0).simulate(&reference);
         let one = RayLike.assemble(
             &reads,
-            &BaselineParams { k: 17, min_kmer_coverage: 0, workers: 1, ..Default::default() },
+            &BaselineParams {
+                k: 17,
+                min_kmer_coverage: 0,
+                workers: 1,
+                ..Default::default()
+            },
         );
         let eight = RayLike.assemble(
             &reads,
-            &BaselineParams { k: 17, min_kmer_coverage: 0, workers: 8, ..Default::default() },
+            &BaselineParams {
+                k: 17,
+                min_kmer_coverage: 0,
+                workers: 8,
+                ..Default::default()
+            },
         );
         let mut a: Vec<usize> = one.contigs.iter().map(|c| c.len()).collect();
         let mut b: Vec<usize> = eight.contigs.iter().map(|c| c.len()).collect();

@@ -34,7 +34,11 @@ pub struct SpalerLike {
 
 impl Default for SpalerLike {
     fn default() -> Self {
-        SpalerLike { rounds: 3, sample_probability: 0.5, seed: 0x5354 }
+        SpalerLike {
+            rounds: 3,
+            sample_probability: 0.5,
+            seed: 0x5354,
+        }
     }
 }
 
@@ -99,7 +103,11 @@ impl Assembler for SpalerLike {
             "{} sampling rounds, p = {}; {} unmerged boundaries left",
             self.rounds, self.sample_probability, breakpoints
         );
-        BaselineAssembly { contigs, elapsed: start.elapsed(), notes }
+        BaselineAssembly {
+            contigs,
+            elapsed: start.elapsed(),
+            notes,
+        }
     }
 }
 
@@ -110,16 +118,25 @@ mod tests {
     use ppa_readsim::{GenomeConfig, ReadSimConfig};
 
     fn dataset() -> ReadSet {
-        let reference =
-            GenomeConfig { length: 3_000, repeat_families: 0, seed: 33, ..Default::default() }
-                .generate();
+        let reference = GenomeConfig {
+            length: 3_000,
+            repeat_families: 0,
+            seed: 33,
+            ..Default::default()
+        }
+        .generate();
         ReadSimConfig::error_free(90, 20.0).simulate(&reference)
     }
 
     #[test]
     fn produces_shorter_contigs_than_ppa() {
         let reads = dataset();
-        let params = BaselineParams { k: 21, min_kmer_coverage: 0, workers: 2, ..Default::default() };
+        let params = BaselineParams {
+            k: 21,
+            min_kmer_coverage: 0,
+            workers: 2,
+            ..Default::default()
+        };
         let spaler = SpalerLike::default().assemble(&reads, &params);
         let ppa = PpaAssembler::default().assemble(&reads, &params);
         assert!(!spaler.contigs.is_empty());
@@ -135,9 +152,22 @@ mod tests {
     #[test]
     fn more_rounds_merge_more_boundaries() {
         let reads = dataset();
-        let params = BaselineParams { k: 21, min_kmer_coverage: 0, workers: 2, ..Default::default() };
-        let few = SpalerLike { rounds: 1, ..Default::default() }.assemble(&reads, &params);
-        let many = SpalerLike { rounds: 8, ..Default::default() }.assemble(&reads, &params);
+        let params = BaselineParams {
+            k: 21,
+            min_kmer_coverage: 0,
+            workers: 2,
+            ..Default::default()
+        };
+        let few = SpalerLike {
+            rounds: 1,
+            ..Default::default()
+        }
+        .assemble(&reads, &params);
+        let many = SpalerLike {
+            rounds: 8,
+            ..Default::default()
+        }
+        .assemble(&reads, &params);
         assert!(
             many.contigs.len() <= few.contigs.len(),
             "more sampling rounds leave fewer breakpoints ({} vs {})",

@@ -70,11 +70,20 @@ mod tests {
 
     #[test]
     fn assembles_an_error_free_genome() {
-        let reference =
-            GenomeConfig { length: 1_500, repeat_families: 0, seed: 14, ..Default::default() }
-                .generate();
+        let reference = GenomeConfig {
+            length: 1_500,
+            repeat_families: 0,
+            seed: 14,
+            ..Default::default()
+        }
+        .generate();
         let reads = ReadSimConfig::error_free(80, 20.0).simulate(&reference);
-        let params = BaselineParams { k: 21, min_kmer_coverage: 0, workers: 2, ..Default::default() };
+        let params = BaselineParams {
+            k: 21,
+            min_kmer_coverage: 0,
+            workers: 2,
+            ..Default::default()
+        };
         let out = SwapLike.assemble(&reads, &params);
         assert!(!out.contigs.is_empty());
         assert!(out.largest_contig() >= reference.len() - 200);
@@ -84,11 +93,20 @@ mod tests {
     fn uses_more_labeling_supersteps_than_ppa() {
         // The structural difference the paper measures in Tables II/III: S-V
         // rounds cost more supersteps and messages than list ranking.
-        let reference =
-            GenomeConfig { length: 2_000, repeat_families: 0, seed: 15, ..Default::default() }
-                .generate();
+        let reference = GenomeConfig {
+            length: 2_000,
+            repeat_families: 0,
+            seed: 15,
+            ..Default::default()
+        }
+        .generate();
         let reads = ReadSimConfig::error_free(90, 15.0).simulate(&reference);
-        let params = BaselineParams { k: 21, min_kmer_coverage: 0, workers: 2, ..Default::default() };
+        let params = BaselineParams {
+            k: 21,
+            min_kmer_coverage: 0,
+            workers: 2,
+            ..Default::default()
+        };
         let swap = SwapLike.assemble(&reads, &params);
         let ppa = PpaAssembler::default().assemble(&reads, &params);
         let swap_steps: usize = swap

@@ -1,0 +1,100 @@
+//! Message-plane micro-benchmarks: the production sort-based shuffle vs. the
+//! pre-refactor hash-grouping plane preserved in [`ppa_bench::legacy`].
+//!
+//! Two workloads, each benched on both planes:
+//!
+//! * **labeling_chain** — list ranking over a synthetic 65,536-element chain
+//!   (message-heavy: every active vertex sends a request and receives a
+//!   response every round);
+//! * **shuffle_1m** — a mini-MapReduce pass over 1M key–value pairs with
+//!   500,000 distinct keys (short value runs — the shape of DBG
+//!   construction, where almost every canonical (k+1)-mer is its own key),
+//!   sum reduce.
+//!
+//! `cargo bench -p ppa_bench --bench message_plane`. The committed snapshot
+//! of these numbers lives in `BENCH_message_plane.json` (regenerate with
+//! `cargo run -p ppa_bench --release --bin message_plane`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppa_bench::legacy::{legacy_chain_ranking, legacy_map_reduce};
+use ppa_pregel::algorithms::{list_ranking, ListItem};
+use ppa_pregel::mapreduce::Emitter;
+use ppa_pregel::{map_reduce, PregelConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+const CHAIN: u64 = 65_536;
+const PAIRS: u64 = 1_000_000;
+const KEYS: u64 = 500_000;
+const WORKERS: usize = 4;
+
+fn chain_items(n: u64) -> Vec<ListItem<u64>> {
+    (0..n)
+        .map(|i| ListItem {
+            id: i,
+            pred: if i == 0 { None } else { Some(i - 1) },
+            value: 1,
+        })
+        .collect()
+}
+
+fn bench_labeling_chain(c: &mut Criterion) {
+    let config = PregelConfig::with_workers(WORKERS)
+        .max_supersteps(10_000)
+        .track_supersteps(false);
+    let mut group = c.benchmark_group("message_plane/labeling_chain");
+    group.bench_function("legacy_hash", |b| {
+        b.iter(|| black_box(legacy_chain_ranking(CHAIN, WORKERS)))
+    });
+    group.bench_function("sorted", |b| {
+        b.iter(|| {
+            let (out, _) = list_ranking(chain_items(CHAIN), &config);
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_shuffle_1m(c: &mut Criterion) {
+    let inputs: Vec<u64> = (0..PAIRS).collect();
+    let mut group = c.benchmark_group("message_plane/shuffle_1m");
+    group.bench_function("legacy_hash", |b| {
+        b.iter(|| {
+            let out = legacy_map_reduce(
+                inputs.clone(),
+                WORKERS,
+                |x: u64| vec![(x % KEYS, 1u64)],
+                |k: &u64, vs: Vec<u64>| vec![(*k, vs.into_iter().sum::<u64>())],
+            );
+            black_box(out.len())
+        })
+    });
+    group.bench_function("sorted", |b| {
+        b.iter(|| {
+            let out = map_reduce(
+                inputs.clone(),
+                WORKERS,
+                |x: u64, out: &mut Emitter<'_, u64, u64>| out.emit(x % KEYS, 1),
+                |k: &u64, vs: &mut [u64], out: &mut Vec<(u64, u64)>| {
+                    out.push((*k, vs.iter().sum::<u64>()))
+                },
+            );
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_labeling_chain, bench_shuffle_1m
+}
+criterion_main!(benches);

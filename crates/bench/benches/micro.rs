@@ -9,6 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppa_assembler::ops::construct::{build_dbg, ConstructConfig};
 use ppa_pregel::algorithms::{connected_components, list_ranking, ListItem};
+use ppa_pregel::mapreduce::Emitter;
 use ppa_pregel::{map_reduce, PregelConfig};
 use ppa_readsim::{GenomeConfig, ReadSimConfig};
 use ppa_seq::{banded_edit_distance, Base, DnaString, Kmer};
@@ -40,7 +41,9 @@ fn bench_kmer_ops(c: &mut Criterion) {
 }
 
 fn bench_labeling_primitives(c: &mut Criterion) {
-    let config = PregelConfig::with_workers(4).max_supersteps(10_000).track_supersteps(false);
+    let config = PregelConfig::with_workers(4)
+        .max_supersteps(10_000)
+        .track_supersteps(false);
     let mut group = c.benchmark_group("labeling_primitives");
     for &n in &[1_000u64, 10_000] {
         group.bench_with_input(BenchmarkId::new("list_ranking_chain", n), &n, |b, &n| {
@@ -77,9 +80,14 @@ fn bench_labeling_primitives(c: &mut Criterion) {
 }
 
 fn bench_edit_distance(c: &mut Criterion) {
-    let a = GenomeConfig { length: 2_000, repeat_families: 0, seed: 1, ..Default::default() }
-        .generate()
-        .sequence;
+    let a = GenomeConfig {
+        length: 2_000,
+        repeat_families: 0,
+        seed: 1,
+        ..Default::default()
+    }
+    .generate()
+    .sequence;
     let mut bases = a.to_bases();
     for i in (0..bases.len()).step_by(400) {
         bases[i] = bases[i].complement();
@@ -97,8 +105,10 @@ fn bench_mapreduce(c: &mut Criterion) {
             let out = map_reduce(
                 inputs.clone(),
                 4,
-                |x: u64| vec![(x % 1024, 1u64)],
-                |k: &u64, vs: Vec<u64>| vec![(*k, vs.into_iter().sum::<u64>())],
+                |x: u64, out: &mut Emitter<'_, u64, u64>| out.emit(x % 1024, 1),
+                |k: &u64, vs: &mut [u64], out: &mut Vec<(u64, u64)>| {
+                    out.push((*k, vs.iter().sum::<u64>()))
+                },
             );
             black_box(out.len())
         })
@@ -106,14 +116,28 @@ fn bench_mapreduce(c: &mut Criterion) {
 }
 
 fn bench_dbg_construction(c: &mut Criterion) {
-    let reference = GenomeConfig { length: 20_000, repeat_families: 2, seed: 3, ..Default::default() }
-        .generate();
-    let reads = ReadSimConfig { coverage: 15.0, ..ReadSimConfig::default() }.simulate(&reference);
+    let reference = GenomeConfig {
+        length: 20_000,
+        repeat_families: 2,
+        seed: 3,
+        ..Default::default()
+    }
+    .generate();
+    let reads = ReadSimConfig {
+        coverage: 15.0,
+        ..ReadSimConfig::default()
+    }
+    .simulate(&reference);
     c.bench_function("construct/20kbp_15x", |b| {
         b.iter(|| {
             let out = build_dbg(
                 &reads,
-                &ConstructConfig { k: 25, min_coverage: 1, workers: 4, batch_size: 512 },
+                &ConstructConfig {
+                    k: 25,
+                    min_coverage: 1,
+                    workers: 4,
+                    batch_size: 512,
+                },
             );
             black_box(out.vertices.len())
         })

@@ -35,7 +35,11 @@ impl SpillCodec for SpillVertex {
         for _ in 0..n {
             coverages.push(u32::decode(buf)?);
         }
-        Some(SpillVertex { id, bitmap, coverages })
+        Some(SpillVertex {
+            id,
+            bitmap,
+            coverages,
+        })
     }
 }
 
@@ -45,7 +49,12 @@ fn main() {
     let workers = args.workers.last().copied().unwrap_or(4);
     let construct = build_dbg(
         &dataset.reads,
-        &ConstructConfig { k: args.k, min_coverage: 1, workers, batch_size: 1024 },
+        &ConstructConfig {
+            k: args.k,
+            min_coverage: 1,
+            workers,
+            batch_size: 1024,
+        },
     );
 
     // In-memory hand-off (the PPA-assembler extension).
@@ -91,7 +100,11 @@ fn main() {
             construct.vertices.len(),
             secs(label_elapsed)
         ),
-        &["hand-off mode", "total hand-off time (s)", "round-trip overhead (s)"],
+        &[
+            "hand-off mode",
+            "total hand-off time (s)",
+            "round-trip overhead (s)",
+        ],
         &rows,
     );
     println!(

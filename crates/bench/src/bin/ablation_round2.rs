@@ -17,12 +17,20 @@ fn main() {
     let args = HarnessArgs::parse();
     let dataset = args.generate_dataset();
     let workers = args.workers.last().copied().unwrap_or(4);
-    let config = AssemblyConfig { k: args.k, min_kmer_coverage: 1, workers, ..Default::default() };
+    let config = AssemblyConfig {
+        k: args.k,
+        min_kmer_coverage: 1,
+        workers,
+        ..Default::default()
+    };
     let assembly = assemble(&dataset.reads, &config);
     let stats = &assembly.stats;
 
     print_table(
-        &format!("Second-round merging effectiveness on {} (scale {})", dataset.preset.name, args.scale),
+        &format!(
+            "Second-round merging effectiveness on {} (scale {})",
+            dataset.preset.name, args.scale
+        ),
         &["quantity", "after round-1 merge", "after round-2 merge"],
         &[
             vec![
@@ -37,12 +45,27 @@ fn main() {
             ],
         ],
     );
-    println!("\nk-mer vertices right after DBG construction: {}", stats.node_counts.kmer_vertices);
+    println!(
+        "\nk-mer vertices right after DBG construction: {}",
+        stats.node_counts.kmer_vertices
+    );
     println!(
         "error correction: {} bubbles pruned, {} tip k-mers and {} tip contigs deleted",
-        stats.corrections.first().map(|c| c.bubbles_pruned).unwrap_or(0),
-        stats.corrections.first().map(|c| c.tip_kmers_deleted).unwrap_or(0),
-        stats.corrections.first().map(|c| c.tip_contigs_deleted).unwrap_or(0),
+        stats
+            .corrections
+            .first()
+            .map(|c| c.bubbles_pruned)
+            .unwrap_or(0),
+        stats
+            .corrections
+            .first()
+            .map(|c| c.tip_kmers_deleted)
+            .unwrap_or(0),
+        stats
+            .corrections
+            .first()
+            .map(|c| c.tip_contigs_deleted)
+            .unwrap_or(0),
     );
     println!(
         "Expected shape (paper): N50 roughly doubles after round 2, and the vertex count drops by\n\

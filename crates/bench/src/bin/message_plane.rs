@@ -1,0 +1,143 @@
+//! Regenerates `BENCH_message_plane.json`: before/after numbers for the
+//! sort-based message plane on the two workloads of the `message_plane`
+//! Criterion bench (message-heavy chain labeling, 1M-pair shuffle).
+//!
+//! Run from the repository root: `cargo run -p ppa_bench --release --bin
+//! message_plane [--reps N] [--out PATH]`.
+
+use ppa_bench::legacy::{legacy_chain_ranking, legacy_map_reduce};
+use ppa_pregel::algorithms::{list_ranking, ListItem};
+use ppa_pregel::mapreduce::Emitter;
+use ppa_pregel::{map_reduce, PregelConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+const CHAIN: u64 = 65_536;
+const PAIRS: u64 = 1_000_000;
+const KEYS: u64 = 500_000;
+const WORKERS: usize = 4;
+
+/// Times `f` over `reps` runs and returns (min, mean) seconds.
+fn time<F: FnMut()>(reps: usize, mut f: F) -> (f64, f64) {
+    // One untimed warm-up run.
+    f();
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    (min, mean)
+}
+
+struct Workload {
+    name: &'static str,
+    description: &'static str,
+    legacy: (f64, f64),
+    sorted: (f64, f64),
+}
+
+impl Workload {
+    fn speedup(&self) -> f64 {
+        self.legacy.0 / self.sorted.0
+    }
+}
+
+fn main() {
+    let mut reps = 5usize;
+    let mut out_path = "BENCH_message_plane.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--out" => out_path = args.next().expect("--out PATH"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let config = PregelConfig::with_workers(WORKERS)
+        .max_supersteps(10_000)
+        .track_supersteps(false);
+    let chain_items = || -> Vec<ListItem<u64>> {
+        (0..CHAIN)
+            .map(|i| ListItem {
+                id: i,
+                pred: if i == 0 { None } else { Some(i - 1) },
+                value: 1,
+            })
+            .collect()
+    };
+
+    eprintln!("labeling_chain (n = {CHAIN}, {WORKERS} workers, {reps} reps)...");
+    let labeling = Workload {
+        name: "labeling_chain",
+        description: "list ranking over a 65,536-element chain (message-heavy labeling)",
+        legacy: time(reps, || {
+            black_box(legacy_chain_ranking(CHAIN, WORKERS));
+        }),
+        sorted: time(reps, || {
+            black_box(list_ranking(chain_items(), &config).0.len());
+        }),
+    };
+
+    eprintln!("shuffle_1m ({PAIRS} pairs, {KEYS} keys, {WORKERS} workers, {reps} reps)...");
+    let inputs: Vec<u64> = (0..PAIRS).collect();
+    let shuffle = Workload {
+        name: "shuffle_1m",
+        description: "mini-MapReduce over 1M pairs, 500,000 keys (DBG-construction-shaped short value runs), sum reduce",
+        legacy: time(reps, || {
+            black_box(
+                legacy_map_reduce(
+                    inputs.clone(),
+                    WORKERS,
+                    |x: u64| vec![(x % KEYS, 1u64)],
+                    |k: &u64, vs: Vec<u64>| vec![(*k, vs.into_iter().sum::<u64>())],
+                )
+                .len(),
+            );
+        }),
+        sorted: time(reps, || {
+            black_box(
+                map_reduce(
+                    inputs.clone(),
+                    WORKERS,
+                    |x: u64, out: &mut Emitter<'_, u64, u64>| out.emit(x % KEYS, 1),
+                    |k: &u64, vs: &mut [u64], out: &mut Vec<(u64, u64)>| out.push((*k, vs.iter().sum::<u64>())),
+                )
+                .len(),
+            );
+        }),
+    };
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"message_plane\",\n");
+    json.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, w) in [&labeling, &shuffle].into_iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+        json.push_str(&format!("      \"description\": \"{}\",\n", w.description));
+        json.push_str(&format!(
+            "      \"legacy_hash_plane\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}}},\n",
+            w.legacy.0, w.legacy.1
+        ));
+        json.push_str(&format!(
+            "      \"sorted_plane\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}}},\n",
+            w.sorted.0, w.sorted.1
+        ));
+        json.push_str(&format!("      \"speedup\": {:.2}\n", w.speedup()));
+        json.push_str(if i == 0 { "    },\n" } else { "    }\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("{json}");
+    println!(
+        "labeling_chain speedup: {:.2}x, shuffle_1m speedup: {:.2}x → {out_path}",
+        labeling.speedup(),
+        shuffle.speedup()
+    );
+}

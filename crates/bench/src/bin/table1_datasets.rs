@@ -18,7 +18,11 @@ fn main() {
             format!("{}", dataset.reads.len()),
             format!("{:.1}", dataset.reads.mean_read_length()),
             format!("{}", dataset.reference.len()),
-            if preset.has_reference { "yes".into() } else { "-".into() },
+            if preset.has_reference {
+                "yes".into()
+            } else {
+                "-".into()
+            },
             format!("{:.1}x", dataset.realized_coverage()),
         ]);
     }

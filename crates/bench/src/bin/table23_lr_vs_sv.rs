@@ -67,12 +67,18 @@ fn main() {
         "runtime S-V (s)",
     ];
     print_table(
-        &format!("Table II analogue — LR vs S-V for labeling unambiguous k-mers (scale {})", args.scale),
+        &format!(
+            "Table II analogue — LR vs S-V for labeling unambiguous k-mers (scale {})",
+            args.scale
+        ),
         &header,
         &kmer_rows,
     );
     print_table(
-        &format!("Table III analogue — LR vs S-V for labeling contigs (scale {})", args.scale),
+        &format!(
+            "Table III analogue — LR vs S-V for labeling contigs (scale {})",
+            args.scale
+        ),
         &header,
         &contig_rows,
     );

@@ -34,7 +34,12 @@ fn main() {
         };
         let result = assembler.assemble(&dataset.reads, &params);
         // Table V has no reference: only the reference-free metrics appear.
-        reports.push(QuastReport::evaluate(assembler.name(), &result.contigs, None, min_contig));
+        reports.push(QuastReport::evaluate(
+            assembler.name(),
+            &result.contigs,
+            None,
+            min_contig,
+        ));
     }
 
     println!(

@@ -1,0 +1,458 @@
+//! The **pre-refactor** message plane, preserved verbatim-in-spirit for the
+//! `message_plane` benchmark.
+//!
+//! Before the sort-based shuffle landed, the Pregel runner delivered messages
+//! by building a `FxHashMap<Id, Vec<Message>>` per worker per superstep (one
+//! heap `Vec` per receiving vertex) and handed every vertex an owned
+//! `Vec<Message>`; the mini-MapReduce reduce phase did the same per-key `Vec`
+//! dance followed by a separate sort of the grouped entries. This module keeps
+//! that implementation alive — allocation behaviour intact — so the benchmark
+//! and the `BENCH_message_plane.json` snapshot compare the production plane
+//! against the exact baseline it replaced, inside one binary.
+//!
+//! Nothing outside the benchmarks should use this module.
+
+use ppa_pregel::fxhash::{hash_one, FxHashMap};
+use ppa_pregel::VertexKey;
+use std::hash::Hash;
+
+/// The pre-refactor vertex-program interface: messages arrive as an owned
+/// `Vec` allocated by the shuffle.
+pub trait LegacyVertexProgram: Sync {
+    /// Vertex identifier type.
+    type Id: VertexKey;
+    /// Per-vertex state.
+    type Value: Send;
+    /// Message type.
+    type Message: Send;
+
+    /// Whether messages to the same vertex are merged with
+    /// [`combine`](LegacyVertexProgram::combine) during the shuffle
+    /// (receiver-side only, as the old runner did).
+    const USE_COMBINER: bool = false;
+
+    /// The per-vertex computation.
+    fn compute(
+        &self,
+        ctx: &mut LegacyContext<'_, Self>,
+        id: Self::Id,
+        value: &mut Self::Value,
+        messages: Vec<Self::Message>,
+    );
+
+    /// Merges `incoming` into `acc` (combiner programs only).
+    fn combine(&self, _acc: &mut Self::Message, _incoming: Self::Message) {
+        unreachable!("combine() called but USE_COMBINER is false");
+    }
+}
+
+/// Execution context handed to [`LegacyVertexProgram::compute`].
+pub struct LegacyContext<'a, P: LegacyVertexProgram + ?Sized> {
+    superstep: usize,
+    num_workers: usize,
+    outbox: &'a mut [Vec<(P::Id, P::Message)>],
+    messages_sent: &'a mut u64,
+    halt: bool,
+}
+
+impl<P: LegacyVertexProgram + ?Sized> LegacyContext<'_, P> {
+    /// The current superstep number (0-based).
+    #[inline]
+    pub fn superstep(&self) -> usize {
+        self.superstep
+    }
+
+    /// Sends a message to vertex `to`, delivered next superstep.
+    #[inline]
+    pub fn send_message(&mut self, to: P::Id, message: P::Message) {
+        let dst = (hash_one(&to) % self.num_workers as u64) as usize;
+        self.outbox[dst].push((to, message));
+        *self.messages_sent += 1;
+    }
+
+    /// Votes to halt until a message arrives.
+    #[inline]
+    pub fn vote_to_halt(&mut self) {
+        self.halt = true;
+    }
+}
+
+/// One message buffer per destination worker.
+type LegacyOutbox<P> = Vec<
+    Vec<(
+        <P as LegacyVertexProgram>::Id,
+        <P as LegacyVertexProgram>::Message,
+    )>,
+>;
+
+/// Final `(vertex, value)` pairs of a legacy run.
+pub type LegacyPairs<P> = Vec<(
+    <P as LegacyVertexProgram>::Id,
+    <P as LegacyVertexProgram>::Value,
+)>;
+
+struct LegacyEntry<V> {
+    value: V,
+    halted: bool,
+}
+
+/// Job totals of a legacy run, for sanity-checking against the new plane.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LegacyMetrics {
+    /// Supersteps executed.
+    pub supersteps: usize,
+    /// Logical messages sent.
+    pub total_messages: u64,
+}
+
+/// The pre-refactor superstep loop: per-destination `Vec<Vec<_>>` outboxes
+/// allocated fresh every superstep, and a `FxHashMap<Id, Vec<Message>>` inbox
+/// built per worker per superstep.
+pub fn run_legacy<P: LegacyVertexProgram>(
+    program: &P,
+    workers: usize,
+    pairs: impl IntoIterator<Item = (P::Id, P::Value)>,
+    max_supersteps: usize,
+) -> (LegacyPairs<P>, LegacyMetrics) {
+    let workers = workers.max(1);
+    let mut parts: Vec<FxHashMap<P::Id, LegacyEntry<P::Value>>> =
+        (0..workers).map(|_| FxHashMap::default()).collect();
+    for (id, value) in pairs {
+        let w = (hash_one(&id) % workers as u64) as usize;
+        parts[w].insert(
+            id,
+            LegacyEntry {
+                value,
+                halted: false,
+            },
+        );
+    }
+
+    let mut inboxes: Vec<FxHashMap<P::Id, Vec<P::Message>>> =
+        (0..workers).map(|_| FxHashMap::default()).collect();
+    let mut metrics = LegacyMetrics::default();
+
+    for superstep in 0..max_supersteps {
+        // ---- compute phase (fresh outbox Vecs every superstep) -------------
+        let mut results: Vec<(LegacyOutbox<P>, u64, bool)> = Vec::with_capacity(workers);
+        {
+            let worker_inputs: Vec<_> = parts
+                .iter_mut()
+                .zip(inboxes.iter_mut().map(std::mem::take))
+                .collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = worker_inputs
+                    .into_iter()
+                    .map(|(part, mut inbox)| {
+                        scope.spawn(move || {
+                            let mut outbox: Vec<Vec<(P::Id, P::Message)>> =
+                                (0..workers).map(|_| Vec::new()).collect();
+                            let mut messages_sent = 0u64;
+                            for (id, entry) in part.iter_mut() {
+                                let msgs = inbox.remove(id).unwrap_or_default();
+                                if entry.halted && msgs.is_empty() {
+                                    continue;
+                                }
+                                entry.halted = false;
+                                let mut ctx: LegacyContext<'_, P> = LegacyContext {
+                                    superstep,
+                                    num_workers: workers,
+                                    outbox: &mut outbox,
+                                    messages_sent: &mut messages_sent,
+                                    halt: false,
+                                };
+                                program.compute(&mut ctx, *id, &mut entry.value, msgs);
+                                entry.halted = ctx.halt;
+                            }
+                            let all_halted = part.values().all(|e| e.halted);
+                            (outbox, messages_sent, all_halted)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("legacy worker panicked"));
+                }
+            });
+        }
+
+        let mut messages_this_step = 0u64;
+        let mut all_halted = true;
+        for (_, sent, halted) in &results {
+            messages_this_step += sent;
+            all_halted &= halted;
+        }
+
+        // ---- shuffle phase (hash-grouping into per-vertex Vecs) ------------
+        let mut incoming: Vec<LegacyOutbox<P>> =
+            (0..workers).map(|_| Vec::with_capacity(workers)).collect();
+        for (outbox, _, _) in results {
+            for (dst, buf) in outbox.into_iter().enumerate() {
+                incoming[dst].push(buf);
+            }
+        }
+        inboxes.clear();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = incoming
+                .into_iter()
+                .map(|bufs| {
+                    scope.spawn(move || {
+                        let mut inbox: FxHashMap<P::Id, Vec<P::Message>> = FxHashMap::default();
+                        for buf in bufs {
+                            for (id, msg) in buf {
+                                let slot = inbox.entry(id).or_default();
+                                if P::USE_COMBINER && !slot.is_empty() {
+                                    let acc = slot.last_mut().expect("non-empty");
+                                    program.combine(acc, msg);
+                                } else {
+                                    slot.push(msg);
+                                }
+                            }
+                        }
+                        inbox
+                    })
+                })
+                .collect();
+            for h in handles {
+                inboxes.push(h.join().expect("legacy shuffle worker panicked"));
+            }
+        });
+
+        metrics.supersteps += 1;
+        metrics.total_messages += messages_this_step;
+        if messages_this_step == 0 && all_halted {
+            break;
+        }
+    }
+
+    let out = parts
+        .into_iter()
+        .flat_map(|p| p.into_iter().map(|(id, e)| (id, e.value)))
+        .collect();
+    (out, metrics)
+}
+
+/// The pre-refactor mini-MapReduce: reduce groups values into a
+/// `FxHashMap<K, Vec<V>>`, then sorts the grouped entries for determinism —
+/// one `Vec` per key plus a second ordering pass, exactly what the sort-based
+/// grouping replaced.
+pub fn legacy_map_reduce<I, K, V, O, MF, RF>(
+    inputs: Vec<I>,
+    workers: usize,
+    map_fn: MF,
+    reduce_fn: RF,
+) -> Vec<O>
+where
+    I: Send,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send,
+    MF: Fn(I) -> Vec<(K, V)> + Sync,
+    RF: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+{
+    let workers = workers.max(1);
+    let chunk_size = inputs.len().div_ceil(workers).max(1);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+    {
+        let mut it = inputs.into_iter();
+        for _ in 0..workers {
+            chunks.push(it.by_ref().take(chunk_size).collect());
+        }
+    }
+    let mut shuffled: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let map_fn = &map_fn;
+                scope.spawn(move || {
+                    let mut out: Vec<Vec<(K, V)>> = (0..workers).map(|_| Vec::new()).collect();
+                    for item in chunk {
+                        for (k, v) in map_fn(item) {
+                            let dst = (hash_one(&k) % workers as u64) as usize;
+                            out[dst].push((k, v));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            shuffled.push(h.join().expect("legacy map worker panicked"));
+        }
+    });
+
+    let mut incoming: Vec<Vec<Vec<(K, V)>>> = (0..workers).map(|_| Vec::new()).collect();
+    for src in shuffled {
+        for (dst, buf) in src.into_iter().enumerate() {
+            incoming[dst].push(buf);
+        }
+    }
+
+    let mut outputs: Vec<Vec<O>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = incoming
+            .into_iter()
+            .map(|bufs| {
+                let reduce_fn = &reduce_fn;
+                scope.spawn(move || {
+                    let mut grouped: FxHashMap<K, Vec<V>> = FxHashMap::default();
+                    for buf in bufs {
+                        for (k, v) in buf {
+                            grouped.entry(k).or_default().push(v);
+                        }
+                    }
+                    let mut entries: Vec<(K, Vec<V>)> = grouped.into_iter().collect();
+                    entries.sort_by(|a, b| a.0.cmp(&b.0));
+                    let mut out = Vec::new();
+                    for (k, vs) in entries {
+                        out.extend(reduce_fn(&k, vs));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            outputs.push(h.join().expect("legacy reduce worker panicked"));
+        }
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+/// The pre-refactor list-ranking program (the paper's Figure 1 BPPA), on the
+/// legacy plane — the "message-heavy labeling on a synthetic chain" workload.
+pub struct LegacyListRanking;
+
+/// Per-element state of [`LegacyListRanking`].
+#[derive(Debug, Clone)]
+pub struct LegacyRankState {
+    /// Predecessor element, `None` at the list head.
+    pub pred: Option<u64>,
+    /// Running sum from the head.
+    pub sum: u64,
+}
+
+/// Messages of [`LegacyListRanking`].
+#[derive(Debug, Clone)]
+pub enum LegacyRankMsg {
+    /// "Send me your sum and predecessor" — carries the requester's ID.
+    Request(u64),
+    /// The predecessor's reply.
+    Response {
+        /// The responder's running sum.
+        sum: u64,
+        /// The responder's predecessor.
+        pred: Option<u64>,
+    },
+}
+
+impl LegacyVertexProgram for LegacyListRanking {
+    type Id = u64;
+    type Value = LegacyRankState;
+    type Message = LegacyRankMsg;
+
+    fn compute(
+        &self,
+        ctx: &mut LegacyContext<'_, Self>,
+        id: u64,
+        value: &mut LegacyRankState,
+        messages: Vec<LegacyRankMsg>,
+    ) {
+        let mut requesters: Vec<u64> = Vec::new();
+        for msg in messages {
+            match msg {
+                LegacyRankMsg::Request(from) => requesters.push(from),
+                LegacyRankMsg::Response { sum, pred } => {
+                    value.sum += sum;
+                    value.pred = pred;
+                }
+            }
+        }
+        for from in requesters {
+            ctx.send_message(
+                from,
+                LegacyRankMsg::Response {
+                    sum: value.sum,
+                    pred: value.pred,
+                },
+            );
+        }
+        if ctx.superstep().is_multiple_of(2) {
+            match value.pred {
+                Some(p) => ctx.send_message(p, LegacyRankMsg::Request(id)),
+                None => ctx.vote_to_halt(),
+            }
+        } else {
+            ctx.vote_to_halt();
+        }
+    }
+}
+
+/// Runs legacy list ranking over a chain of `n` elements (each with value 1)
+/// and returns the rank of the tail as a correctness witness.
+pub fn legacy_chain_ranking(n: u64, workers: usize) -> u64 {
+    let pairs = (0..n).map(|i| {
+        (
+            i,
+            LegacyRankState {
+                pred: if i == 0 { None } else { Some(i - 1) },
+                sum: 1,
+            },
+        )
+    });
+    let (out, _) = run_legacy(&LegacyListRanking, workers, pairs, 4 * 64);
+    out.into_iter()
+        .find(|(id, _)| *id == n - 1)
+        .map(|(_, st)| st.sum)
+        .expect("tail exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_chain_ranking_is_correct() {
+        assert_eq!(legacy_chain_ranking(100, 3), 100);
+        assert_eq!(legacy_chain_ranking(1, 2), 1);
+    }
+
+    #[test]
+    fn legacy_map_reduce_matches_new_plane() {
+        let inputs: Vec<u64> = (0..10_000).collect();
+        let mut old = legacy_map_reduce(
+            inputs.clone(),
+            4,
+            |x: u64| vec![(x % 97, 1u64)],
+            |k: &u64, vs: Vec<u64>| vec![(*k, vs.into_iter().sum::<u64>())],
+        );
+        let mut new = ppa_pregel::map_reduce(
+            inputs,
+            4,
+            |x: u64, out: &mut ppa_pregel::mapreduce::Emitter<'_, u64, u64>| out.emit(x % 97, 1),
+            |k: &u64, vs: &mut [u64], out: &mut Vec<(u64, u64)>| {
+                out.push((*k, vs.iter().sum::<u64>()))
+            },
+        );
+        old.sort_unstable();
+        new.sort_unstable();
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn legacy_and_new_list_ranking_agree() {
+        let n = 2_048u64;
+        let legacy = legacy_chain_ranking(n, 4);
+        let items: Vec<ppa_pregel::algorithms::ListItem<u64>> = (0..n)
+            .map(|i| ppa_pregel::algorithms::ListItem {
+                id: i,
+                pred: if i == 0 { None } else { Some(i - 1) },
+                value: 1,
+            })
+            .collect();
+        let config = ppa_pregel::PregelConfig::with_workers(4).max_supersteps(1_000);
+        let (out, _) = ppa_pregel::algorithms::list_ranking(items, &config);
+        let new = out.into_iter().find(|(id, _)| *id == n - 1).unwrap().1;
+        assert_eq!(legacy, new);
+        assert_eq!(legacy, n);
+    }
+}

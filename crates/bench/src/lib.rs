@@ -114,6 +114,8 @@ pub fn secs(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
 }
 
+pub mod legacy;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,7 +131,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown dataset")]
     fn unknown_dataset_panics() {
-        let args = HarnessArgs { dataset: "nope".into(), ..Default::default() };
+        let args = HarnessArgs {
+            dataset: "nope".into(),
+            ..Default::default()
+        };
         args.preset();
     }
 

@@ -37,7 +37,11 @@ impl EdgeSlot {
     #[inline]
     pub fn bit(&self) -> u32 {
         (self.polarity.index() as u32) * 8
-            + if self.direction == Direction::Out { 4 } else { 0 }
+            + if self.direction == Direction::Out {
+                4
+            } else {
+                0
+            }
             + self.base.code() as u32
     }
 
@@ -47,7 +51,11 @@ impl EdgeSlot {
         debug_assert!(bit < 32);
         EdgeSlot {
             polarity: Polarity::from_index((bit / 8) as usize),
-            direction: if bit % 8 >= 4 { Direction::Out } else { Direction::In },
+            direction: if bit % 8 >= 4 {
+                Direction::Out
+            } else {
+                Direction::In
+            },
             base: Base::from_code((bit % 4) as u8),
         }
     }
@@ -115,7 +123,11 @@ impl CompactNeighbor {
         }
         Some(EdgeSlot {
             base: Base::from_code((self.0 >> 3) & 0b11),
-            direction: if self.0 & 0b100 != 0 { Direction::In } else { Direction::Out },
+            direction: if self.0 & 0b100 != 0 {
+                Direction::In
+            } else {
+                Direction::Out
+            },
             polarity: Polarity::from_index((self.0 & 0b11) as usize),
         })
     }
@@ -240,8 +252,16 @@ pub fn edge_contributions(kplus1: &Kmer) -> ((Kmer, EdgeSlot), (Kmer, EdgeSlot))
     let src = prefix.canonical();
     let tgt = suffix.canonical();
     let polarity = Polarity::from_labels(src.orientation, tgt.orientation);
-    let source_slot = EdgeSlot { polarity, direction: Direction::Out, base: kplus1.last() };
-    let target_slot = EdgeSlot { polarity, direction: Direction::In, base: kplus1.first() };
+    let source_slot = EdgeSlot {
+        polarity,
+        direction: Direction::Out,
+        base: kplus1.last(),
+    };
+    let target_slot = EdgeSlot {
+        polarity,
+        direction: Direction::In,
+        base: kplus1.first(),
+    };
     ((src.kmer, source_slot), (tgt.kmer, target_slot))
 }
 
@@ -300,8 +320,16 @@ mod tests {
     fn packed_adj_add_get_remove() {
         let mut adj = PackedAdj::new();
         assert!(adj.is_empty());
-        let a = EdgeSlot { polarity: Polarity::LL, direction: Direction::Out, base: Base::C };
-        let b = EdgeSlot { polarity: Polarity::HH, direction: Direction::In, base: Base::T };
+        let a = EdgeSlot {
+            polarity: Polarity::LL,
+            direction: Direction::Out,
+            base: Base::C,
+        };
+        let b = EdgeSlot {
+            polarity: Polarity::HH,
+            direction: Direction::In,
+            base: Base::T,
+        };
         adj.add(a, 5);
         adj.add(b, 9);
         adj.add(a, 2); // merges coverage
@@ -309,22 +337,42 @@ mod tests {
         assert_eq!(adj.coverage(a), Some(7));
         assert_eq!(adj.coverage(b), Some(9));
         assert_eq!(
-            adj.coverage(EdgeSlot { polarity: Polarity::LH, direction: Direction::Out, base: Base::A }),
+            adj.coverage(EdgeSlot {
+                polarity: Polarity::LH,
+                direction: Direction::Out,
+                base: Base::A
+            }),
             None
         );
         assert_eq!(adj.remove(a), Some(7));
         assert_eq!(adj.remove(a), None);
         assert_eq!(adj.degree(), 1);
-        assert_eq!(adj.coverage(b), Some(9), "removal must not disturb other slots");
+        assert_eq!(
+            adj.coverage(b),
+            Some(9),
+            "removal must not disturb other slots"
+        );
     }
 
     #[test]
     fn packed_adj_iteration_and_merge() {
         let mut a = PackedAdj::new();
         let mut b = PackedAdj::new();
-        let s1 = EdgeSlot { polarity: Polarity::LL, direction: Direction::Out, base: Base::A };
-        let s2 = EdgeSlot { polarity: Polarity::LH, direction: Direction::In, base: Base::G };
-        let s3 = EdgeSlot { polarity: Polarity::HL, direction: Direction::Out, base: Base::T };
+        let s1 = EdgeSlot {
+            polarity: Polarity::LL,
+            direction: Direction::Out,
+            base: Base::A,
+        };
+        let s2 = EdgeSlot {
+            polarity: Polarity::LH,
+            direction: Direction::In,
+            base: Base::G,
+        };
+        let s3 = EdgeSlot {
+            polarity: Polarity::HL,
+            direction: Direction::Out,
+            base: Base::T,
+        };
         a.add(s1, 1);
         a.add(s2, 2);
         b.add(s2, 3);

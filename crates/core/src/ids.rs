@@ -44,7 +44,10 @@ const WORKER_MASK: u64 = (1 << 30) - 1;
 /// this is asserted.
 #[inline]
 pub fn kmer_id(kmer: &Kmer) -> u64 {
-    debug_assert!(kmer.is_canonical(), "k-mer vertex IDs must encode the canonical form");
+    debug_assert!(
+        kmer.is_canonical(),
+        "k-mer vertex IDs must encode the canonical form"
+    );
     kmer.packed()
 }
 
@@ -62,7 +65,10 @@ pub fn kmer_from_id(id: u64, k: usize) -> Result<Kmer, SeqError> {
 /// [`NULL_ID`]) or if `worker` exceeds the 30-bit field.
 #[inline]
 pub fn contig_id(worker: u32, ordinal: u32) -> u64 {
-    assert!(ordinal > 0, "contig ordinals are 1-based to avoid colliding with NULL");
+    assert!(
+        ordinal > 0,
+        "contig ordinals are 1-based to avoid colliding with NULL"
+    );
     assert!(
         (worker as u64) <= WORKER_MASK,
         "worker index {worker} exceeds the 30-bit worker field"
@@ -74,7 +80,10 @@ pub fn contig_id(worker: u32, ordinal: u32) -> u64 {
 #[inline]
 pub fn contig_parts(id: u64) -> (u32, u32) {
     debug_assert!(is_contig_id(id));
-    (((id >> ORDINAL_BITS) & WORKER_MASK) as u32, (id & 0xFFFF_FFFF) as u32)
+    (
+        ((id >> ORDINAL_BITS) & WORKER_MASK) as u32,
+        (id & 0xFFFF_FFFF) as u32,
+    )
 }
 
 /// Whether `id` is the NULL dummy neighbour.

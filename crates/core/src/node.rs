@@ -119,7 +119,10 @@ impl VertexType {
     /// Whether the vertex may be merged into a contig.
     #[inline]
     pub fn is_unambiguous(&self) -> bool {
-        matches!(self, VertexType::One | VertexType::OneOne | VertexType::Isolated)
+        matches!(
+            self,
+            VertexType::One | VertexType::OneOne | VertexType::Isolated
+        )
     }
 }
 
@@ -141,13 +144,23 @@ pub struct AsmNode {
 impl AsmNode {
     /// Creates a k-mer node with no edges yet.
     pub fn new_kmer(kmer: Kmer) -> AsmNode {
-        AsmNode { id: ids::kmer_id(&kmer), seq: NodeSeq::Kmer(kmer), coverage: 0, edges: Vec::new() }
+        AsmNode {
+            id: ids::kmer_id(&kmer),
+            seq: NodeSeq::Kmer(kmer),
+            coverage: 0,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a contig node.
     pub fn new_contig(id: u64, seq: DnaString, coverage: u32) -> AsmNode {
         debug_assert!(ids::is_contig_id(id));
-        AsmNode { id, seq: NodeSeq::Contig(seq), coverage, edges: Vec::new() }
+        AsmNode {
+            id,
+            seq: NodeSeq::Contig(seq),
+            coverage,
+            edges: Vec::new(),
+        }
     }
 
     /// Whether this node is a contig vertex.
@@ -241,7 +254,10 @@ pub struct KmerVertex {
 impl KmerVertex {
     /// Creates a vertex with an empty adjacency.
     pub fn new(kmer: Kmer) -> KmerVertex {
-        KmerVertex { kmer, adj: PackedAdj::new() }
+        KmerVertex {
+            kmer,
+            adj: PackedAdj::new(),
+        }
     }
 
     /// The vertex ID (the packed canonical k-mer, Figure 7a).
@@ -288,7 +304,12 @@ mod tests {
     }
 
     fn edge(neighbor: u64, direction: Direction, polarity: Polarity, coverage: u32) -> Edge {
-        Edge { neighbor, direction, polarity, coverage }
+        Edge {
+            neighbor,
+            direction,
+            polarity,
+            coverage,
+        }
     }
 
     #[test]
@@ -296,12 +317,18 @@ mod tests {
         let k = NodeSeq::Kmer(km("ACGT"));
         assert_eq!(k.len(), 4);
         assert_eq!(k.to_dna().to_ascii(), "ACGT");
-        assert_eq!(k.oriented(Orientation::ReverseComplement).to_ascii(), "ACGT"); // palindrome
+        assert_eq!(
+            k.oriented(Orientation::ReverseComplement).to_ascii(),
+            "ACGT"
+        ); // palindrome
         let c = NodeSeq::Contig(DnaString::from_ascii("TGCCGTAC").unwrap());
         assert_eq!(c.len(), 8);
         assert!(!c.is_empty());
         assert_eq!(c.oriented(Orientation::Forward).to_ascii(), "TGCCGTAC");
-        assert_eq!(c.oriented(Orientation::ReverseComplement).to_ascii(), "GTACGGCA");
+        assert_eq!(
+            c.oriented(Orientation::ReverseComplement).to_ascii(),
+            "GTACGGCA"
+        );
     }
 
     #[test]
@@ -388,11 +415,19 @@ mod tests {
         // the Figure 8(b) vertex "ACGG" with its two items.
         let mut v = KmerVertex::new(km("ACGG"));
         v.adj.add(
-            EdgeSlot { polarity: Polarity::HH, direction: Direction::In, base: Base::G },
+            EdgeSlot {
+                polarity: Polarity::HH,
+                direction: Direction::In,
+                base: Base::G,
+            },
             7,
         );
         v.adj.add(
-            EdgeSlot { polarity: Polarity::HL, direction: Direction::Out, base: Base::A },
+            EdgeSlot {
+                polarity: Polarity::HL,
+                direction: Direction::Out,
+                base: Base::A,
+            },
             9,
         );
         let node = v.to_asm_node();

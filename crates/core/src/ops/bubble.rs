@@ -10,7 +10,7 @@
 
 use crate::node::{AsmNode, NodeSeq};
 use crate::polarity::Direction;
-use ppa_pregel::mapreduce::{map_reduce_with_metrics, MapReduceMetrics};
+use ppa_pregel::mapreduce::{map_reduce_with_metrics, Emitter, MapReduceMetrics};
 use ppa_seq::{banded_edit_distance, DnaString};
 use serde::{Deserialize, Serialize};
 
@@ -26,7 +26,10 @@ pub struct BubbleConfig {
 
 impl Default for BubbleConfig {
     fn default() -> Self {
-        BubbleConfig { max_edit_distance: 5, workers: 4 }
+        BubbleConfig {
+            max_edit_distance: 5,
+            workers: 4,
+        }
     }
 }
 
@@ -60,7 +63,7 @@ pub fn filter_bubbles(contigs: &[AsmNode], config: &BubbleConfig) -> BubbleOutco
     let (results, mapreduce) = map_reduce_with_metrics(
         inputs,
         config.workers,
-        |contig: &AsmNode| {
+        |contig: &AsmNode, out: &mut Emitter<'_, (u64, u64), Candidate>| {
             // Only contigs whose both ends attach to (distinct) ambiguous
             // vertices can form a bubble.
             let in_edge = contig.edges.iter().find(|e| e.direction == Direction::In);
@@ -76,14 +79,22 @@ pub fn filter_bubbles(contigs: &[AsmNode], config: &BubbleConfig) -> BubbleOutco
                     } else {
                         contig.seq.to_dna().reverse_complement()
                     };
-                    vec![((lo, hi), Candidate { id: contig.id, seq, coverage: contig.coverage })]
+                    out.emit(
+                        (lo, hi),
+                        Candidate {
+                            id: contig.id,
+                            seq,
+                            coverage: contig.coverage,
+                        },
+                    );
                 }
-                _ => vec![],
+                _ => {}
             }
         },
-        |_key: &(u64, u64), mut group: Vec<Candidate>| {
+        |_key: &(u64, u64), group: &mut [Candidate], out: &mut Vec<(bool, Vec<u64>)>| {
             if group.len() < 2 {
-                return vec![(false, Vec::new())];
+                out.push((false, Vec::new()));
+                return;
             }
             // Deterministic processing order regardless of shuffle order.
             group.sort_by_key(|c| c.id);
@@ -115,7 +126,7 @@ pub fn filter_bubbles(contigs: &[AsmNode], config: &BubbleConfig) -> BubbleOutco
                 .filter(|(_, p)| **p)
                 .map(|(c, _)| c.id)
                 .collect();
-            vec![(true, ids)]
+            out.push((true, ids));
         },
     );
 
@@ -127,7 +138,11 @@ pub fn filter_bubbles(contigs: &[AsmNode], config: &BubbleConfig) -> BubbleOutco
         }
         pruned.extend(ids);
     }
-    BubbleOutcome { pruned, candidate_groups, mapreduce }
+    BubbleOutcome {
+        pruned,
+        candidate_groups,
+        mapreduce,
+    }
 }
 
 /// Convenience helper: removes the pruned contigs from a node list in place.
@@ -182,7 +197,10 @@ mod tests {
     const END_B: u64 = 200;
 
     fn config() -> BubbleConfig {
-        BubbleConfig { max_edit_distance: 5, workers: 2 }
+        BubbleConfig {
+            max_edit_distance: 5,
+            workers: 2,
+        }
     }
 
     #[test]
@@ -226,7 +244,9 @@ mod tests {
         // in-neighbour is the larger endpoint), so its sequence must be
         // reverse-complemented before comparison.
         let main = contig_between(1, "GGCACAATTAGG", 40, END_A, END_B);
-        let rc_seq = DnaString::from_ascii("GGCACTATTAGG").unwrap().reverse_complement();
+        let rc_seq = DnaString::from_ascii("GGCACTATTAGG")
+            .unwrap()
+            .reverse_complement();
         let error = contig_between(2, &rc_seq.to_ascii(), 2, END_B, END_A);
         let out = filter_bubbles(&[main, error], &config());
         assert_eq!(out.pruned.len(), 1);

@@ -16,10 +16,11 @@
 
 use crate::adj::{edge_contributions, PackedAdj};
 use crate::node::KmerVertex;
-use ppa_pregel::mapreduce::{map_reduce_with_metrics, MapReduceMetrics};
+use ppa_pregel::fxhash::FxHashMap;
+use ppa_pregel::mapreduce::{map_reduce_with_metrics, Emitter, MapReduceMetrics};
+use ppa_seq::kmer::CanonicalScanner;
 use ppa_seq::{Base, FastxRecord, Kmer, ReadSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Configuration of DBG construction.
@@ -39,7 +40,12 @@ pub struct ConstructConfig {
 
 impl Default for ConstructConfig {
     fn default() -> Self {
-        ConstructConfig { k: 31, min_coverage: 1, workers: 4, batch_size: 1024 }
+        ConstructConfig {
+            k: 31,
+            min_coverage: 1,
+            workers: 4,
+            batch_size: 1024,
+        }
     }
 }
 
@@ -93,38 +99,43 @@ pub fn build_dbg(reads: &ReadSet, config: &ConstructConfig) -> ConstructOutcome 
     let theta = config.min_coverage;
 
     // ---- phase (i): count canonical (k+1)-mers ------------------------------
-    let batches: Vec<&[FastxRecord]> =
-        reads.records.chunks(config.batch_size.max(1)).collect();
+    let batches: Vec<&[FastxRecord]> = reads.records.chunks(config.batch_size.max(1)).collect();
     let (counted, phase1) = map_reduce_with_metrics(
         batches,
         config.workers,
-        |batch: &[FastxRecord]| {
-            // Pre-aggregate within the batch to cut shuffle volume.
-            let mut local: HashMap<u64, u32> = HashMap::new();
+        |batch: &[FastxRecord], out: &mut Emitter<'_, u64, u32>| {
+            // Pre-aggregate within the batch to cut shuffle volume. FxHash
+            // instead of SipHash: the key is an internally generated packed
+            // (k+1)-mer hashed once per window of every read — the hottest
+            // loop of the whole pipeline. The rolling scanner canonicalises
+            // each window incrementally and reads the segment bytes in place,
+            // so no per-segment `Vec<Base>` or per-window bit-reversal is
+            // needed.
+            let mut local: FxHashMap<u64, u32> = FxHashMap::default();
+            let mut scanner = CanonicalScanner::new(k + 1).expect("k validated above");
             for read in batch {
                 for segment in read.acgt_segments() {
                     if segment.len() < k + 1 {
                         continue;
                     }
-                    let bases: Vec<Base> = segment
-                        .iter()
-                        .map(|&c| Base::from_ascii_checked(c).expect("segment is ACGT-only"))
-                        .collect();
-                    for window in ppa_seq::kmer::kmers_of(&bases, k + 1) {
-                        let canonical = window.canonical().kmer;
-                        *local.entry(canonical.packed()).or_insert(0) += 1;
+                    scanner.reset();
+                    for &c in segment {
+                        let base = Base::from_ascii_checked(c).expect("segment is ACGT-only");
+                        if let Some(canonical) = scanner.push(base) {
+                            *local.entry(canonical.kmer.packed()).or_insert(0) += 1;
+                        }
                     }
                 }
             }
-            local.into_iter().collect::<Vec<(u64, u32)>>()
+            for (key, count) in local {
+                out.emit(key, count);
+            }
         },
-        |key: &u64, counts: Vec<u32>| {
+        |key: &u64, counts: &mut [u32], out: &mut Vec<(u64, u32)>| {
             let total: u64 = counts.iter().map(|&c| c as u64).sum();
             let total = total.min(u32::MAX as u64) as u32;
             if total > theta {
-                vec![(*key, total)]
-            } else {
-                vec![]
+                out.push((*key, total));
             }
         },
     );
@@ -136,18 +147,19 @@ pub fn build_dbg(reads: &ReadSet, config: &ConstructConfig) -> ConstructOutcome 
     let (vertices, phase2) = map_reduce_with_metrics(
         counted,
         config.workers,
-        |(packed, count): (u64, u32)| {
+        |(packed, count): (u64, u32), out: &mut Emitter<'_, u64, (u8, u32)>| {
             let kplus1 = Kmer::from_packed(packed, k + 1).expect("valid (k+1)-mer key");
             let ((src, s_slot), (tgt, t_slot)) = edge_contributions(&kplus1);
-            vec![(src.packed(), (s_slot.bit() as u8, count)), (tgt.packed(), (t_slot.bit() as u8, count))]
+            out.emit(src.packed(), (s_slot.bit() as u8, count));
+            out.emit(tgt.packed(), (t_slot.bit() as u8, count));
         },
-        |key: &u64, slots: Vec<(u8, u32)>| {
+        |key: &u64, slots: &mut [(u8, u32)], out: &mut Vec<KmerVertex>| {
             let kmer = Kmer::from_packed(*key, k).expect("valid k-mer key");
             let mut adj = PackedAdj::new();
-            for (bit, coverage) in slots {
+            for &(bit, coverage) in slots.iter() {
                 adj.add(crate::adj::EdgeSlot::from_bit(bit as u32), coverage);
             }
-            vec![KmerVertex { kmer, adj }]
+            out.push(KmerVertex { kmer, adj });
         },
     );
 
@@ -181,7 +193,12 @@ mod tests {
     }
 
     fn config(k: usize, theta: u32) -> ConstructConfig {
-        ConstructConfig { k, min_coverage: theta, workers: 3, batch_size: 2 }
+        ConstructConfig {
+            k,
+            min_coverage: theta,
+            workers: 3,
+            batch_size: 2,
+        }
     }
 
     #[test]
@@ -196,12 +213,14 @@ mod tests {
         assert_eq!(nodes.len(), 7);
         let mut names: Vec<String> = out.vertices.iter().map(|v| v.kmer.to_string()).collect();
         names.sort();
-        assert_eq!(names, vec!["ACGG", "CGGC", "CGTA", "CTGC", "GGCA", "GTAC", "TACA"]);
-        let by_type: HashMap<VertexType, usize> =
-            nodes.iter().fold(HashMap::new(), |mut m, n| {
-                *m.entry(n.vertex_type()).or_insert(0) += 1;
-                m
-            });
+        assert_eq!(
+            names,
+            vec!["ACGG", "CGGC", "CGTA", "CTGC", "GGCA", "GTAC", "TACA"]
+        );
+        let by_type: HashMap<VertexType, usize> = nodes.iter().fold(HashMap::new(), |mut m, n| {
+            *m.entry(n.vertex_type()).or_insert(0) += 1;
+            m
+        });
         // A simple path has exactly two ⟨1⟩ ends, five ⟨1-1⟩ interior vertices
         // and no branching vertices.
         assert_eq!(by_type.get(&VertexType::Branch).copied().unwrap_or(0), 0);
@@ -274,9 +293,14 @@ mod tests {
         let reads = reads_from(&["ACGTACGA", "ACGTACGC"]);
         let out = build_dbg(&reads, &config(3, 0));
         let nodes = out.into_nodes();
-        let branch_count =
-            nodes.iter().filter(|n| n.vertex_type() == VertexType::Branch).count();
-        assert!(branch_count >= 1, "the fork point must be an ambiguous vertex");
+        let branch_count = nodes
+            .iter()
+            .filter(|n| n.vertex_type() == VertexType::Branch)
+            .count();
+        assert!(
+            branch_count >= 1,
+            "the fork point must be an ambiguous vertex"
+        );
     }
 
     #[test]
@@ -284,13 +308,22 @@ mod tests {
         let out = build_dbg(&ReadSet::new(), &ConstructConfig::default());
         assert!(out.vertices.is_empty());
         let out = build_dbg(&reads_from(&["ACGT"]), &ConstructConfig::default());
-        assert!(out.vertices.is_empty(), "reads shorter than k+1 contribute nothing");
+        assert!(
+            out.vertices.is_empty(),
+            "reads shorter than k+1 contribute nothing"
+        );
     }
 
     #[test]
     #[should_panic(expected = "k must be in")]
     fn oversized_k_rejected() {
-        build_dbg(&ReadSet::new(), &ConstructConfig { k: 32, ..Default::default() });
+        build_dbg(
+            &ReadSet::new(),
+            &ConstructConfig {
+                k: 32,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
@@ -299,19 +332,19 @@ mod tests {
         // has a slot pointing back.
         let reads = reads_from(&["ATTGCAAGTC", "TGCAAGTCCA", "GACTTGCAAT"]);
         let out = build_dbg(&reads, &config(4, 0));
-        let by_id: HashMap<u64, &KmerVertex> =
-            out.vertices.iter().map(|v| (v.id(), v)).collect();
+        let by_id: HashMap<u64, &KmerVertex> = out.vertices.iter().map(|v| (v.id(), v)).collect();
         for v in &out.vertices {
             for (slot, _) in v.adj.iter() {
                 let neighbor = slot.neighbor_of(&v.kmer);
                 let n = by_id
                     .get(&neighbor.packed())
                     .unwrap_or_else(|| panic!("neighbour {} missing", neighbor));
-                let points_back = n
-                    .adj
-                    .iter()
-                    .any(|(s, _)| s.neighbor_of(&n.kmer) == v.kmer);
-                assert!(points_back, "edge {} -> {} has no reverse slot", v.kmer, neighbor);
+                let points_back = n.adj.iter().any(|(s, _)| s.neighbor_of(&n.kmer) == v.kmer);
+                assert!(
+                    points_back,
+                    "edge {} -> {} has no reverse slot",
+                    v.kmer, neighbor
+                );
             }
         }
     }

@@ -94,7 +94,10 @@ struct LrProgram {
 impl LrProgram {
     fn new(num_vertices: usize) -> LrProgram {
         let log = (usize::BITS - num_vertices.next_power_of_two().leading_zeros()) as usize;
-        LrProgram { superstep_budget: 2 * (log + 2) + 4, stalled: AtomicBool::new(false) }
+        LrProgram {
+            superstep_budget: 2 * (log + 2) + 4,
+            stalled: AtomicBool::new(false),
+        }
     }
 }
 
@@ -109,7 +112,7 @@ impl VertexProgram for LrProgram {
         ctx: &mut Context<'_, Self>,
         id: u64,
         value: &mut LrState,
-        messages: Vec<LrMsg>,
+        messages: &mut [LrMsg],
     ) {
         let superstep = ctx.superstep();
         if superstep == 0 {
@@ -130,12 +133,17 @@ impl VertexProgram for LrProgram {
             return;
         }
 
-        let mut requesters: Vec<u64> = Vec::new();
         if superstep == 1 {
             // Initialise the ID pair from the superstep-0 broadcasts.
             let ambiguous_neighbors: Vec<u64> = messages
                 .iter()
-                .filter_map(|m| if let LrMsg::Ambiguous(a) = m { Some(*a) } else { None })
+                .filter_map(|m| {
+                    if let LrMsg::Ambiguous(a) = m {
+                        Some(*a)
+                    } else {
+                        None
+                    }
+                })
                 .collect();
             for side in [LEFT, RIGHT] {
                 match value.neighbor[side] {
@@ -150,20 +158,19 @@ impl VertexProgram for LrProgram {
                 }
             }
         } else {
-            for msg in messages {
-                match msg {
-                    LrMsg::Request(from) => requesters.push(from),
-                    LrMsg::Response { responder, other } => {
-                        for side in [LEFT, RIGHT] {
-                            if !value.done[side] && value.ptr[side] == responder {
-                                value.ptr[side] = other;
-                                if is_flipped(other) {
-                                    value.done[side] = true;
-                                }
+            // Responses first: requests are answered from the post-update
+            // snapshot (requests and responses arrive in different supersteps,
+            // so the order only matters for robustness, not semantics).
+            for msg in messages.iter() {
+                if let LrMsg::Response { responder, other } = msg {
+                    for side in [LEFT, RIGHT] {
+                        if !value.done[side] && value.ptr[side] == *responder {
+                            value.ptr[side] = *other;
+                            if is_flipped(*other) {
+                                value.done[side] = true;
                             }
                         }
                     }
-                    LrMsg::Ambiguous(_) => {}
                 }
             }
         }
@@ -172,7 +179,11 @@ impl VertexProgram for LrProgram {
         // requester. Because every pointer advances in lockstep (one doubling
         // per round), exactly one of the two pointers leads back to the
         // requester — see the module documentation.
-        for from in requesters {
+        for msg in messages.iter() {
+            let LrMsg::Request(from) = msg else {
+                continue;
+            };
+            let from = *from;
             let left_matches = unflip(value.ptr[LEFT]) == from;
             let right_matches = unflip(value.ptr[RIGHT]) == from;
             let reply = match (left_matches, right_matches) {
@@ -190,7 +201,13 @@ impl VertexProgram for LrProgram {
                 }
             };
             if let Some(other) = reply {
-                ctx.send_message(from, LrMsg::Response { responder: id, other });
+                ctx.send_message(
+                    from,
+                    LrMsg::Response {
+                        responder: id,
+                        other,
+                    },
+                );
             }
         }
 
@@ -208,7 +225,7 @@ impl VertexProgram for LrProgram {
 
     fn should_terminate(&self, aggregate: &Count, superstep: usize) -> bool {
         // Only request phases (odd supersteps) carry the unfinished count.
-        if superstep % 2 == 0 {
+        if superstep.is_multiple_of(2) {
             return false;
         }
         if superstep >= self.superstep_budget && aggregate.0 > 0 {
@@ -227,7 +244,11 @@ pub(crate) fn build_lr_states(nodes: &[AsmNode]) -> impl Iterator<Item = (u64, L
         let vtype = node.vertex_type();
         let left = node.sole_edge_on(Side::Left).map(|e| e.neighbor);
         let right = node.sole_edge_on(Side::Right).map(|e| e.neighbor);
-        let broadcast = if vtype == VertexType::Branch { node.neighbor_ids() } else { vec![] };
+        let broadcast = if vtype == VertexType::Branch {
+            node.neighbor_ids()
+        } else {
+            vec![]
+        };
         (
             node.id,
             LrState {
@@ -290,7 +311,12 @@ pub fn label_contigs_lr(nodes: &[AsmNode], workers: usize) -> LabelOutcome {
         labels.extend(cc);
     }
 
-    LabelOutcome { labels, ambiguous, metrics, used_cycle_fallback }
+    LabelOutcome {
+        labels,
+        ambiguous,
+        metrics,
+        used_cycle_fallback,
+    }
 }
 
 #[cfg(test)]
@@ -310,8 +336,16 @@ pub(crate) mod tests {
                 .map(|(i, s)| FastxRecord::new_fasta(format!("r{i}"), s.as_bytes().to_vec()))
                 .collect(),
         );
-        build_dbg(&reads, &ConstructConfig { k, min_coverage: 0, workers: 2, batch_size: 4 })
-            .into_nodes()
+        build_dbg(
+            &reads,
+            &ConstructConfig {
+                k,
+                min_coverage: 0,
+                workers: 2,
+                batch_size: 4,
+            },
+        )
+        .into_nodes()
     }
 
     /// Groups labels into sets of vertex IDs.
@@ -397,7 +431,11 @@ pub(crate) mod tests {
         assert!(!outcome.used_cycle_fallback);
         assert!(outcome.metrics.converged);
         // Doubling: 7 vertices need ~3 rounds of 2 supersteps plus setup.
-        assert!(outcome.metrics.supersteps <= 14, "supersteps = {}", outcome.metrics.supersteps);
+        assert!(
+            outcome.metrics.supersteps <= 14,
+            "supersteps = {}",
+            outcome.metrics.supersteps
+        );
         // The label is the smaller of the two end IDs (paper: "the smaller
         // contig-end vertex's ID").
         let end_ids: Vec<u64> = nodes
@@ -415,14 +453,24 @@ pub(crate) mod tests {
         // must not be labelled, and the branches get distinct labels.
         let nodes = nodes_from_reads(&["TTACTTGATCCG", "TTACTTGAACGG"], 5);
         let outcome = label_contigs_lr(&nodes, 2);
-        assert!(!outcome.ambiguous.is_empty(), "the fork must create ambiguous vertices");
+        assert!(
+            !outcome.ambiguous.is_empty(),
+            "the fork must create ambiguous vertices"
+        );
         let groups = groups_of(&outcome);
-        assert!(groups.len() >= 2, "expected at least two labelled paths, got {}", groups.len());
+        assert!(
+            groups.len() >= 2,
+            "expected at least two labelled paths, got {}",
+            groups.len()
+        );
         // Labels plus ambiguous vertices cover every vertex exactly once.
         let labelled: usize = groups.iter().map(|g| g.len()).sum();
         assert_eq!(labelled + outcome.ambiguous.len(), nodes.len());
         // Groups must match the connected components of the unambiguous subgraph.
-        assert_eq!(groups_sorted(&outcome), unambiguous_component_oracle(&nodes));
+        assert_eq!(
+            groups_sorted(&outcome),
+            unambiguous_component_oracle(&nodes)
+        );
     }
 
     #[test]
@@ -437,7 +485,10 @@ pub(crate) mod tests {
             5,
         );
         let outcome = label_contigs_lr(&nodes, 3);
-        assert_eq!(groups_sorted(&outcome), unambiguous_component_oracle(&nodes));
+        assert_eq!(
+            groups_sorted(&outcome),
+            unambiguous_component_oracle(&nodes)
+        );
     }
 
     /// Builds a synthetic ring of `n` unambiguous vertices (each with one edge
@@ -485,7 +536,10 @@ pub(crate) mod tests {
         let nodes = synthetic_cycle(12);
         assert!(nodes.iter().all(|n| n.vertex_type() == VertexType::OneOne));
         let outcome = label_contigs_lr(&nodes, 2);
-        assert!(outcome.used_cycle_fallback, "cycles require the S-V fallback");
+        assert!(
+            outcome.used_cycle_fallback,
+            "cycles require the S-V fallback"
+        );
         let groups = groups_of(&outcome);
         assert_eq!(groups.len(), 1, "the whole cycle is one contig");
         assert_eq!(groups[0].len(), nodes.len());
@@ -503,7 +557,10 @@ pub(crate) mod tests {
         nodes.extend(synthetic_cycle(8));
         let outcome = label_contigs_lr(&nodes, 3);
         assert!(outcome.used_cycle_fallback);
-        assert_eq!(groups_sorted(&outcome), unambiguous_component_oracle(&nodes));
+        assert_eq!(
+            groups_sorted(&outcome),
+            unambiguous_component_oracle(&nodes)
+        );
     }
 
     #[test]

@@ -36,29 +36,40 @@ pub fn label_contigs_sv(nodes: &[AsmNode], workers: usize) -> LabelOutcome {
         .iter()
         .filter(|n| !ambiguous_set.contains(&n.id))
         .map(|n| {
-            let nbrs: Vec<u64> =
-                n.real_edges().map(|e| e.neighbor).filter(|id| !ambiguous_set.contains(id)).collect();
+            let nbrs: Vec<u64> = n
+                .real_edges()
+                .map(|e| e.neighbor)
+                .filter(|id| !ambiguous_set.contains(id))
+                .collect();
             (n.id, nbrs)
         })
         .collect();
 
     let (labels, metrics) = connected_components(adjacency, &config);
-    LabelOutcome { labels, ambiguous, metrics, used_cycle_fallback: false }
+    LabelOutcome {
+        labels,
+        ambiguous,
+        metrics,
+        used_cycle_fallback: false,
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::label::label_contigs_lr;
     use super::super::label::tests::{
         groups_sorted, nodes_from_reads, unambiguous_component_oracle,
     };
-    use super::super::label::label_contigs_lr;
     use super::*;
 
     #[test]
     fn sv_matches_oracle_on_simple_path() {
         let nodes = nodes_from_reads(&["CTGCCGT", "CCGTACA"], 4);
         let outcome = label_contigs_sv(&nodes, 2);
-        assert_eq!(groups_sorted(&outcome), unambiguous_component_oracle(&nodes));
+        assert_eq!(
+            groups_sorted(&outcome),
+            unambiguous_component_oracle(&nodes)
+        );
         assert!(outcome.metrics.converged);
         // S-V labels with the smallest vertex ID of the component.
         let min_id = nodes.iter().map(|n| n.id).min().unwrap();
@@ -113,7 +124,9 @@ mod tests {
         let refs: Vec<&str> = seqs.iter().map(|s| s.as_str()).collect();
         let nodes = nodes_from_reads(&refs, 9);
         assert!(
-            nodes.iter().all(|n| n.vertex_type() != crate::node::VertexType::Branch),
+            nodes
+                .iter()
+                .all(|n| n.vertex_type() != crate::node::VertexType::Branch),
             "the repeat-free genome must not create ambiguous vertices"
         );
         let lr = label_contigs_lr(&nodes, 2);

@@ -17,7 +17,7 @@
 use crate::ids::contig_id;
 use crate::node::{AsmNode, Edge, NodeSeq};
 use crate::polarity::{Direction, Polarity, Side};
-use ppa_pregel::mapreduce::{map_reduce_partitioned, MapReduceMetrics};
+use ppa_pregel::mapreduce::{map_reduce_partitioned, Emitter, MapReduceMetrics};
 use ppa_seq::{DnaString, Orientation};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -35,7 +35,11 @@ pub struct MergeConfig {
 
 impl Default for MergeConfig {
     fn default() -> Self {
-        MergeConfig { k: 31, tip_length_threshold: 80, workers: 4 }
+        MergeConfig {
+            k: 31,
+            tip_length_threshold: 80,
+            workers: 4,
+        }
     }
 }
 
@@ -162,15 +166,22 @@ pub(crate) fn stitch_group(
         (node, Side::Left)
     });
 
-    let start_orientation =
-        if entry_side == Side::Left { Orientation::Forward } else { Orientation::ReverseComplement };
+    let start_orientation = if entry_side == Side::Left {
+        Orientation::Forward
+    } else {
+        Orientation::ReverseComplement
+    };
 
     // In-neighbour: the outside edge on the entry side, if any.
     let in_neighbor = start_node.sole_edge_on(entry_side).and_then(|e| {
         if by_id.contains_key(&e.neighbor) {
             None
         } else {
-            Some((e.neighbor, outside_neighbor_label(e, start_orientation), e.coverage))
+            Some((
+                e.neighbor,
+                outside_neighbor_label(e, start_orientation),
+                e.coverage,
+            ))
         }
     });
 
@@ -196,8 +207,11 @@ pub(crate) fn stitch_group(
             break; // dangling end
         };
         if !by_id.contains_key(&edge.neighbor) {
-            out_neighbor =
-                Some((edge.neighbor, outside_neighbor_label(edge, current_orientation), edge.coverage));
+            out_neighbor = Some((
+                edge.neighbor,
+                outside_neighbor_label(edge, current_orientation),
+                edge.coverage,
+            ));
             break;
         }
         if visited.contains(&edge.neighbor) {
@@ -263,12 +277,16 @@ pub fn merge_contigs(
     let (per_worker, mapreduce) = map_reduce_partitioned(
         inputs,
         config.workers,
-        |(node_id, label): (u64, u64)| match by_id.get(&node_id) {
-            Some(node) => vec![(label, *node)],
-            None => vec![],
+        |(node_id, label): (u64, u64), out: &mut Emitter<'_, u64, &AsmNode>| {
+            if let Some(node) = by_id.get(&node_id) {
+                out.emit(label, *node);
+            }
         },
-        |_worker: usize, _label: &u64, members: Vec<&AsmNode>| {
-            vec![stitch_group(&members, k, tip)]
+        |_worker: usize,
+         _label: &u64,
+         members: &mut [&AsmNode],
+         out: &mut Vec<Option<ContigDraft>>| {
+            out.push(stitch_group(members, k, tip));
         },
     );
 
@@ -289,7 +307,12 @@ pub fn merge_contigs(
         }
     }
 
-    MergeOutcome { contigs, dropped_tips, groups, mapreduce }
+    MergeOutcome {
+        contigs,
+        dropped_tips,
+        groups,
+        mapreduce,
+    }
 }
 
 #[cfg(test)]
@@ -301,7 +324,11 @@ mod tests {
     use crate::ops::label::tests::nodes_from_reads;
 
     fn merge_cfg(k: usize, tip: usize) -> MergeConfig {
-        MergeConfig { k, tip_length_threshold: tip, workers: 3 }
+        MergeConfig {
+            k,
+            tip_length_threshold: tip,
+            workers: 3,
+        }
     }
 
     fn assemble_single_contig(reads: &[&str], k: usize) -> AsmNode {
@@ -323,7 +350,10 @@ mod tests {
             _ => panic!("expected a contig node"),
         };
         let expected = "CTGCCGTACA";
-        let rc = DnaString::from_ascii(expected).unwrap().reverse_complement().to_ascii();
+        let rc = DnaString::from_ascii(expected)
+            .unwrap()
+            .reverse_complement()
+            .to_ascii();
         assert!(
             seq == expected || seq == rc,
             "stitched sequence {seq} is neither {expected} nor its reverse complement"
@@ -439,10 +469,7 @@ mod tests {
 
     #[test]
     fn contig_ids_are_unique_and_contig_typed() {
-        let nodes = nodes_from_reads(
-            &["TTACTTGATCCGTT", "TTACTTGAACGGTT", "GGCATTACTTGA"],
-            5,
-        );
+        let nodes = nodes_from_reads(&["TTACTTGATCCGTT", "TTACTTGAACGGTT", "GGCATTACTTGA"], 5);
         let labels = label_contigs_lr(&nodes, 2);
         let out = merge_contigs(&nodes, &labels.labels, &merge_cfg(5, 0));
         let ids: HashSet<u64> = out.contigs.iter().map(|c| c.id).collect();

@@ -42,7 +42,11 @@ pub struct TipConfig {
 
 impl Default for TipConfig {
     fn default() -> Self {
-        TipConfig { k: 31, tip_length_threshold: 80, workers: 4 }
+        TipConfig {
+            k: 31,
+            tip_length_threshold: 80,
+            workers: 4,
+        }
     }
 }
 
@@ -110,9 +114,18 @@ enum TipMsg {
     /// "I am a surviving ambiguous k-mer" (superstep 0 → 1).
     KmerPresent { from: u64 },
     /// A contig announcing itself to one of its end k-mers (superstep 0 → 1).
-    ContigInfo { contig: u64, extra_len: usize, other_end: u64, edge: Edge },
+    ContigInfo {
+        contig: u64,
+        extra_len: usize,
+        other_end: u64,
+        edge: Edge,
+    },
     /// The tip probe.
-    Request { origin: u64, from: u64, cum_len: usize },
+    Request {
+        origin: u64,
+        from: u64,
+        cum_len: usize,
+    },
     /// The deletion wave retracing the probe.
     Delete { origin: u64, from: u64 },
     /// Tells a contig that its edge belongs to a removed tip.
@@ -155,7 +168,10 @@ impl TipProgram {
         if *initiated || live_type(adj) != VertexType::One {
             return;
         }
-        let entry = adj.iter().find(|a| !a.deleted).expect("type One has one live entry");
+        let entry = adj
+            .iter()
+            .find(|a| !a.deleted)
+            .expect("type One has one live entry");
         if is_null(entry.other) || entry.other == id {
             return;
         }
@@ -169,7 +185,11 @@ impl TipProgram {
         });
         ctx.send_message(
             entry.other,
-            TipMsg::Request { origin: id, from: id, cum_len: self.k + entry.extra_len },
+            TipMsg::Request {
+                origin: id,
+                from: id,
+                cum_len: self.k + entry.extra_len,
+            },
         );
     }
 }
@@ -185,7 +205,7 @@ impl VertexProgram for TipProgram {
         ctx: &mut Context<'_, Self>,
         id: u64,
         value: &mut TipState,
-        messages: Vec<TipMsg>,
+        messages: &mut [TipMsg],
     ) {
         let superstep = ctx.superstep();
         match value {
@@ -196,7 +216,11 @@ impl VertexProgram for TipProgram {
                     let extra_len = node.len().saturating_sub(self.k.saturating_sub(1));
                     let real: Vec<&Edge> = node.real_edges().collect();
                     for (idx, e) in real.iter().enumerate() {
-                        let other_end = if real.len() == 2 { real[1 - idx].neighbor } else { NULL_ID };
+                        let other_end = if real.len() == 2 {
+                            real[1 - idx].neighbor
+                        } else {
+                            NULL_ID
+                        };
                         // The edge as seen from the neighbouring k-mer: same
                         // polarity, opposite direction, pointing at the contig.
                         let edge = Edge {
@@ -207,11 +231,16 @@ impl VertexProgram for TipProgram {
                         };
                         ctx.send_message(
                             e.neighbor,
-                            TipMsg::ContigInfo { contig: node.id, extra_len, other_end, edge },
+                            TipMsg::ContigInfo {
+                                contig: node.id,
+                                extra_len,
+                                other_end,
+                                edge,
+                            },
                         );
                     }
                 } else {
-                    for msg in messages {
+                    for msg in messages.iter() {
                         if let TipMsg::DeleteContig = msg {
                             if !*deleted {
                                 *deleted = true;
@@ -222,7 +251,13 @@ impl VertexProgram for TipProgram {
                 }
                 ctx.vote_to_halt();
             }
-            TipState::Kmer { node, adj, deleted, initiated, pending } => {
+            TipState::Kmer {
+                node,
+                adj,
+                deleted,
+                initiated,
+                pending,
+            } => {
                 if superstep == 0 {
                     for e in node.real_edges() {
                         ctx.send_message(e.neighbor, TipMsg::KmerPresent { from: id });
@@ -232,7 +267,7 @@ impl VertexProgram for TipProgram {
                 }
                 if superstep == 1 {
                     // Rebuild the adjacency from the announcements.
-                    for msg in &messages {
+                    for msg in messages.iter() {
                         match msg {
                             TipMsg::KmerPresent { from } => {
                                 for e in node.edges.iter().filter(|e| e.neighbor == *from) {
@@ -245,7 +280,12 @@ impl VertexProgram for TipProgram {
                                     });
                                 }
                             }
-                            TipMsg::ContigInfo { contig, extra_len, other_end, edge } => {
+                            TipMsg::ContigInfo {
+                                contig,
+                                extra_len,
+                                other_end,
+                                edge,
+                            } => {
                                 adj.push(TipAdj {
                                     other: *other_end,
                                     edge: *edge,
@@ -276,18 +316,21 @@ impl VertexProgram for TipProgram {
                     return;
                 }
 
-                for msg in messages {
-                    match msg {
-                        TipMsg::Request { origin, from, cum_len } => {
+                for msg in messages.iter() {
+                    match *msg {
+                        TipMsg::Request {
+                            origin,
+                            from,
+                            cum_len,
+                        } => {
                             if *deleted {
                                 continue;
                             }
                             match live_type(adj) {
                                 VertexType::OneOne => {
                                     // Relay towards the other neighbour.
-                                    let incoming_idx = adj
-                                        .iter()
-                                        .position(|a| !a.deleted && a.other == from);
+                                    let incoming_idx =
+                                        adj.iter().position(|a| !a.deleted && a.other == from);
                                     let Some(i_in) = incoming_idx else {
                                         continue;
                                     };
@@ -312,7 +355,11 @@ impl VertexProgram for TipProgram {
                                     });
                                     ctx.send_message(
                                         out.other,
-                                        TipMsg::Request { origin, from: id, cum_len: new_len },
+                                        TipMsg::Request {
+                                            origin,
+                                            from: id,
+                                            cum_len: new_len,
+                                        },
                                     );
                                 }
                                 _ => {
@@ -321,7 +368,8 @@ impl VertexProgram for TipProgram {
                                         ctx.send_message(from, TipMsg::Delete { origin, from: id });
                                         // Delete the edge towards the tip (and the
                                         // contig on it, if any).
-                                        for a in adj.iter_mut().filter(|a| !a.deleted && a.other == from)
+                                        for a in
+                                            adj.iter_mut().filter(|a| !a.deleted && a.other == from)
                                         {
                                             a.deleted = true;
                                             if let Some(c) = a.via_contig {
@@ -371,7 +419,10 @@ pub fn remove_tips(
     config: &TipConfig,
 ) -> TipOutcome {
     let pregel_config = PregelConfig::with_workers(config.workers).max_supersteps(10_000);
-    let program = TipProgram { k: config.k, threshold: config.tip_length_threshold };
+    let program = TipProgram {
+        k: config.k,
+        threshold: config.tip_length_threshold,
+    };
 
     let pairs = ambiguous_kmers
         .iter()
@@ -387,7 +438,15 @@ pub fn remove_tips(
                 },
             )
         })
-        .chain(contigs.iter().map(|n| (n.id, TipState::Contig { node: n.clone(), deleted: false })));
+        .chain(contigs.iter().map(|n| {
+            (
+                n.id,
+                TipState::Contig {
+                    node: n.clone(),
+                    deleted: false,
+                },
+            )
+        }));
     let mut set: VertexSet<u64, TipState> = VertexSet::from_pairs(pregel_config.workers, pairs);
     let metrics = ppa_pregel::run(&program, &pregel_config, &mut set);
 
@@ -409,7 +468,9 @@ pub fn remove_tips(
     let mut deleted_contigs = 0usize;
     for (_, state) in set.into_pairs() {
         match state {
-            TipState::Kmer { node, adj, deleted, .. } => {
+            TipState::Kmer {
+                node, adj, deleted, ..
+            } => {
                 if deleted {
                     deleted_kmers += 1;
                     continue;
@@ -444,7 +505,13 @@ pub fn remove_tips(
         }
     }
 
-    TipOutcome { kmers, contigs: contig_nodes, deleted_kmers, deleted_contigs, metrics }
+    TipOutcome {
+        kmers,
+        contigs: contig_nodes,
+        deleted_kmers,
+        deleted_contigs,
+        metrics,
+    }
 }
 
 #[cfg(test)]
@@ -462,7 +529,11 @@ mod tests {
         let merged = merge_contigs(
             &nodes,
             &labels.labels,
-            &MergeConfig { k, tip_length_threshold: merge_tip, workers: 2 },
+            &MergeConfig {
+                k,
+                tip_length_threshold: merge_tip,
+                workers: 2,
+            },
         );
         let ambiguous: Vec<AsmNode> = nodes
             .iter()
@@ -473,7 +544,11 @@ mod tests {
     }
 
     fn tip_cfg(k: usize, threshold: usize) -> TipConfig {
-        TipConfig { k, tip_length_threshold: threshold, workers: 2 }
+        TipConfig {
+            k,
+            tip_length_threshold: threshold,
+            workers: 2,
+        }
     }
 
     /// A genome with a short erroneous dangling branch: the main sequence is
@@ -499,7 +574,10 @@ mod tests {
         // Keep even short dangling contigs at merge time (threshold 0) so that
         // the tip survives until this operation, then remove it here.
         let (ambiguous, contigs) = merged_graph(&refs, 9, 0);
-        assert!(!ambiguous.is_empty(), "the erroneous read must create a branch");
+        assert!(
+            !ambiguous.is_empty(),
+            "the erroneous read must create a branch"
+        );
         assert!(contigs.len() >= 2, "main path plus tip expected");
         let before = contigs.len();
         let out = remove_tips(&ambiguous, &contigs, &tip_cfg(9, 30));
@@ -560,7 +638,10 @@ mod tests {
                 }
             }
         }
-        assert!(contig_edges > 0, "ambiguous k-mers must link to their contigs");
+        assert!(
+            contig_edges > 0,
+            "ambiguous k-mers must link to their contigs"
+        );
     }
 
     #[test]
@@ -571,7 +652,10 @@ mod tests {
         let (ambiguous, mut contigs) = merged_graph(&refs, 9, 0);
         let bubbles = crate::ops::bubble::filter_bubbles(
             &contigs,
-            &crate::ops::bubble::BubbleConfig { max_edit_distance: 5, workers: 2 },
+            &crate::ops::bubble::BubbleConfig {
+                max_edit_distance: 5,
+                workers: 2,
+            },
         );
         remove_pruned(&mut contigs, &bubbles.pruned);
         let out = remove_tips(&ambiguous, &contigs, &tip_cfg(9, 30));

@@ -59,7 +59,12 @@ pub struct LabelStats {
 
 impl LabelStats {
     /// Builds label stats from a labeling outcome's metrics.
-    pub fn from_metrics(metrics: &Metrics, labeled: usize, ambiguous: usize, fallback: bool) -> Self {
+    pub fn from_metrics(
+        metrics: &Metrics,
+        labeled: usize,
+        ambiguous: usize,
+        fallback: bool,
+    ) -> Self {
         LabelStats {
             supersteps: metrics.supersteps,
             messages: metrics.total_messages,
@@ -141,7 +146,10 @@ pub struct WorkflowStats {
 impl WorkflowStats {
     /// Records a stage timing.
     pub fn record_stage(&mut self, stage: impl Into<String>, elapsed: Duration) {
-        self.timings.push(StageTiming { stage: stage.into(), elapsed });
+        self.timings.push(StageTiming {
+            stage: stage.into(),
+            elapsed,
+        });
     }
 
     /// Sum of all recorded stage timings (should closely match

@@ -61,7 +61,9 @@ impl Default for AssemblyConfig {
             min_kmer_coverage: 1,
             tip_length_threshold: 80,
             bubble_edit_distance: 5,
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             labeling: LabelingAlgorithm::ListRanking,
             error_correction_rounds: 1,
             min_contig_length: 0,
@@ -119,10 +121,13 @@ impl Assembly {
 
     /// GC fraction over all contigs.
     pub fn gc_fraction(&self) -> f64 {
-        let (gc, total) = self.contigs.iter().fold((0usize, 0usize), |(gc, total), c| {
-            let counts = c.sequence.base_counts();
-            (gc + counts[1] + counts[2], total + c.len())
-        });
+        let (gc, total) = self
+            .contigs
+            .iter()
+            .fold((0usize, 0usize), |(gc, total), c| {
+                let counts = c.sequence.base_counts();
+                (gc + counts[1] + counts[2], total + c.len())
+            });
         if total == 0 {
             0.0
         } else {
@@ -147,11 +152,7 @@ impl Assembly {
     }
 }
 
-fn run_labeling(
-    algorithm: LabelingAlgorithm,
-    nodes: &[AsmNode],
-    workers: usize,
-) -> LabelOutcome {
+fn run_labeling(algorithm: LabelingAlgorithm, nodes: &[AsmNode], workers: usize) -> LabelOutcome {
     match algorithm {
         LabelingAlgorithm::ListRanking => label_contigs_lr(nodes, workers),
         LabelingAlgorithm::SimplifiedSV => label_contigs_sv(nodes, workers),
@@ -209,8 +210,10 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
     };
 
     let ambiguous_set: HashSet<u64> = label1.ambiguous.iter().copied().collect();
-    let mut ambiguous_kmers: Vec<AsmNode> =
-        nodes.into_iter().filter(|n| ambiguous_set.contains(&n.id)).collect();
+    let mut ambiguous_kmers: Vec<AsmNode> = nodes
+        .into_iter()
+        .filter(|n| ambiguous_set.contains(&n.id))
+        .collect();
     let mut contigs = merge1.contigs;
     stats.node_counts.after_first_merge = ambiguous_kmers.len() + contigs.len();
     stats.n50_after_round1 = n50(&contigs.iter().map(|c| c.len()).collect::<Vec<_>>());
@@ -227,7 +230,10 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
             },
         );
         remove_pruned(&mut contigs, &bubbles.pruned);
-        stats.record_stage(format!("4 bubble filtering (round {})", round + 1), stage.elapsed());
+        stats.record_stage(
+            format!("4 bubble filtering (round {})", round + 1),
+            stage.elapsed(),
+        );
 
         // ⑤ tip removing (also rewires the ambiguous k-mers to the contigs).
         let stage = Instant::now();
@@ -240,7 +246,10 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
                 workers: config.workers,
             },
         );
-        stats.record_stage(format!("5 tip removing (round {})", round + 1), stage.elapsed());
+        stats.record_stage(
+            format!("5 tip removing (round {})", round + 1),
+            stage.elapsed(),
+        );
         stats.corrections.push(CorrectionStats {
             bubbles_pruned: bubbles.pruned.len(),
             bubble_groups: bubbles.candidate_groups,
@@ -250,12 +259,19 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
         });
 
         // ⑥ feed the corrected graph back into labeling + merging.
-        let mixed: Vec<AsmNode> =
-            tips.kmers.iter().cloned().chain(tips.contigs.iter().cloned()).collect();
+        let mixed: Vec<AsmNode> = tips
+            .kmers
+            .iter()
+            .cloned()
+            .chain(tips.contigs.iter().cloned())
+            .collect();
 
         let stage = Instant::now();
         let label2 = run_labeling(config.labeling, &mixed, config.workers);
-        stats.record_stage(format!("2 contig labeling (contigs, round {})", round + 2), stage.elapsed());
+        stats.record_stage(
+            format!("2 contig labeling (contigs, round {})", round + 2),
+            stage.elapsed(),
+        );
         stats.label_round2.push(LabelStats::from_metrics(
             &label2.metrics,
             label2.labels.len(),
@@ -265,7 +281,10 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
 
         let stage = Instant::now();
         let merge2 = merge_contigs(&mixed, &label2.labels, &merge_cfg);
-        stats.record_stage(format!("3 contig merging (round {})", round + 2), stage.elapsed());
+        stats.record_stage(
+            format!("3 contig merging (round {})", round + 2),
+            stage.elapsed(),
+        );
         stats.merge_round2.push(MergeStats {
             groups: merge2.groups,
             contigs: merge2.contigs.len(),
@@ -274,7 +293,10 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
         });
 
         let ambiguous2: HashSet<u64> = label2.ambiguous.iter().copied().collect();
-        ambiguous_kmers = mixed.into_iter().filter(|n| ambiguous2.contains(&n.id)).collect();
+        ambiguous_kmers = mixed
+            .into_iter()
+            .filter(|n| ambiguous2.contains(&n.id))
+            .collect();
         contigs = merge2.contigs;
     }
 
@@ -284,13 +306,20 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
     let mut out: Vec<Contig> = contigs
         .into_iter()
         .filter(|c| c.len() >= config.min_contig_length)
-        .map(|c| Contig { id: c.id, sequence: c.seq.to_dna(), coverage: c.coverage })
+        .map(|c| Contig {
+            id: c.id,
+            sequence: c.seq.to_dna(),
+            coverage: c.coverage,
+        })
         .collect();
     out.sort_by(|a, b| b.len().cmp(&a.len()).then(a.id.cmp(&b.id)));
     stats.n50_final = n50(&out.iter().map(Contig::len).collect::<Vec<_>>());
     stats.total_elapsed = total_start.elapsed();
 
-    Assembly { contigs: out, stats }
+    Assembly {
+        contigs: out,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -311,7 +340,12 @@ mod tests {
         }
     }
 
-    fn simulate(length: usize, coverage: f64, error: f64, seed: u64) -> (ppa_readsim::ReferenceGenome, ReadSet) {
+    fn simulate(
+        length: usize,
+        coverage: f64,
+        error: f64,
+        seed: u64,
+    ) -> (ppa_readsim::ReferenceGenome, ReadSet) {
         let reference = GenomeConfig {
             length,
             repeat_families: 0,
@@ -356,7 +390,10 @@ mod tests {
         );
         assert_eq!(assembly.n50(), largest);
         assert!(assembly.stats.total_elapsed.as_nanos() > 0);
-        assert_eq!(assembly.stats.node_counts.kmer_vertices, assembly.stats.construct.vertices as usize);
+        assert_eq!(
+            assembly.stats.node_counts.kmer_vertices,
+            assembly.stats.construct.vertices as usize
+        );
     }
 
     #[test]
@@ -401,10 +438,13 @@ mod tests {
             seed: 6,
         }
         .simulate(&reference);
-        let assembly = assemble(&reads, &AssemblyConfig {
-            min_kmer_coverage: 1,
-            ..small_config(21)
-        });
+        let assembly = assemble(
+            &reads,
+            &AssemblyConfig {
+                min_kmer_coverage: 1,
+                ..small_config(21)
+            },
+        );
         assert!(
             assembly.stats.n50_final >= assembly.stats.n50_after_round1,
             "round 2 must not reduce N50 ({} -> {})",
@@ -421,16 +461,22 @@ mod tests {
     #[test]
     fn both_labeling_algorithms_produce_equivalent_assemblies() {
         let (_, reads) = simulate(2_500, 20.0, 0.002, 31);
-        let lr = assemble(&reads, &AssemblyConfig {
-            labeling: LabelingAlgorithm::ListRanking,
-            min_kmer_coverage: 1,
-            ..small_config(21)
-        });
-        let sv = assemble(&reads, &AssemblyConfig {
-            labeling: LabelingAlgorithm::SimplifiedSV,
-            min_kmer_coverage: 1,
-            ..small_config(21)
-        });
+        let lr = assemble(
+            &reads,
+            &AssemblyConfig {
+                labeling: LabelingAlgorithm::ListRanking,
+                min_kmer_coverage: 1,
+                ..small_config(21)
+            },
+        );
+        let sv = assemble(
+            &reads,
+            &AssemblyConfig {
+                labeling: LabelingAlgorithm::SimplifiedSV,
+                min_kmer_coverage: 1,
+                ..small_config(21)
+            },
+        );
         // Same contig length multiset (IDs and order may differ).
         let mut a: Vec<usize> = lr.contigs.iter().map(Contig::len).collect();
         let mut b: Vec<usize> = sv.contigs.iter().map(Contig::len).collect();
@@ -443,10 +489,13 @@ mod tests {
     #[test]
     fn zero_correction_rounds_stop_after_first_merge() {
         let (_, reads) = simulate(2_000, 20.0, 0.0, 41);
-        let assembly = assemble(&reads, &AssemblyConfig {
-            error_correction_rounds: 0,
-            ..small_config(21)
-        });
+        let assembly = assemble(
+            &reads,
+            &AssemblyConfig {
+                error_correction_rounds: 0,
+                ..small_config(21)
+            },
+        );
         assert!(!assembly.contigs.is_empty());
         assert!(assembly.stats.label_round2.is_empty());
         assert!(assembly.stats.corrections.is_empty());
@@ -456,16 +505,22 @@ mod tests {
     #[test]
     fn min_contig_length_filters_output() {
         let (_, reads) = simulate(2_000, 15.0, 0.005, 53);
-        let all = assemble(&reads, &AssemblyConfig {
-            min_kmer_coverage: 0,
-            min_contig_length: 0,
-            ..small_config(21)
-        });
-        let filtered = assemble(&reads, &AssemblyConfig {
-            min_kmer_coverage: 0,
-            min_contig_length: 500,
-            ..small_config(21)
-        });
+        let all = assemble(
+            &reads,
+            &AssemblyConfig {
+                min_kmer_coverage: 0,
+                min_contig_length: 0,
+                ..small_config(21)
+            },
+        );
+        let filtered = assemble(
+            &reads,
+            &AssemblyConfig {
+                min_kmer_coverage: 0,
+                min_contig_length: 500,
+                ..small_config(21)
+            },
+        );
         assert!(filtered.contigs.len() <= all.contigs.len());
         assert!(filtered.contigs.iter().all(|c| c.len() >= 500));
     }

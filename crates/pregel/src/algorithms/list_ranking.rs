@@ -58,26 +58,32 @@ impl<I: VertexKey> VertexProgram for ListRankingProgram<I> {
         ctx: &mut Context<'_, Self>,
         id: I,
         value: &mut RankState<I>,
-        messages: Vec<RankMsg<I>>,
+        messages: &mut [RankMsg<I>],
     ) {
         // Responses are produced in odd supersteps and consumed in even ones;
         // requests are produced in even supersteps and consumed in odd ones.
         // Updates therefore always read a consistent snapshot of the previous
         // round, which is what makes simultaneous pointer jumping correct.
-        let mut requesters: Vec<I> = Vec::new();
-        for msg in messages {
-            match msg {
-                RankMsg::Request(from) => requesters.push(from),
-                RankMsg::Response { sum, pred } => {
-                    value.sum += sum;
-                    value.pred = pred;
-                }
+        // Apply the (at most one) response first so that requesters are
+        // answered from the updated snapshot.
+        for msg in messages.iter() {
+            if let RankMsg::Response { sum, pred } = msg {
+                value.sum += *sum;
+                value.pred = *pred;
             }
         }
-        for from in requesters {
-            ctx.send_message(from, RankMsg::Response { sum: value.sum, pred: value.pred });
+        for msg in messages.iter() {
+            if let RankMsg::Request(from) = msg {
+                ctx.send_message(
+                    *from,
+                    RankMsg::Response {
+                        sum: value.sum,
+                        pred: value.pred,
+                    },
+                );
+            }
         }
-        if ctx.superstep() % 2 == 0 {
+        if ctx.superstep().is_multiple_of(2) {
             match value.pred {
                 Some(p) => ctx.send_message(p, RankMsg::Request(id)),
                 None => ctx.vote_to_halt(),
@@ -95,11 +101,21 @@ pub fn list_ranking<I: VertexKey>(
     config: &PregelConfig,
 ) -> (Vec<(I, u64)>, Metrics) {
     let program = ListRankingProgram::<I>(std::marker::PhantomData);
-    let pairs = items
-        .into_iter()
-        .map(|item| (item.id, RankState { pred: item.pred, sum: item.value }));
+    let pairs = items.into_iter().map(|item| {
+        (
+            item.id,
+            RankState {
+                pred: item.pred,
+                sum: item.value,
+            },
+        )
+    });
     let (set, metrics) = run_from_pairs(&program, config, pairs);
-    let out = set.into_pairs().into_iter().map(|(id, st)| (id, st.sum)).collect();
+    let out = set
+        .into_pairs()
+        .into_iter()
+        .map(|(id, st)| (id, st.sum))
+        .collect();
     (out, metrics)
 }
 
@@ -134,7 +150,11 @@ mod tests {
     fn paper_figure1_example() {
         // Five vertices v1..v5 in a chain, all values 1 → sums 1..5.
         let items: Vec<ListItem<u64>> = (1..=5)
-            .map(|i| ListItem { id: i, pred: if i == 1 { None } else { Some(i - 1) }, value: 1 })
+            .map(|i| ListItem {
+                id: i,
+                pred: if i == 1 { None } else { Some(i - 1) },
+                value: 1,
+            })
             .collect();
         let (result, metrics) = list_ranking(items, &config());
         let result: HashMap<u64, u64> = result.into_iter().collect();
@@ -143,14 +163,22 @@ mod tests {
         }
         assert!(metrics.converged);
         // log2(5) ≈ 2.3 → 3 doubling rounds of 2 supersteps, plus slack.
-        assert!(metrics.supersteps <= 10, "supersteps = {}", metrics.supersteps);
+        assert!(
+            metrics.supersteps <= 10,
+            "supersteps = {}",
+            metrics.supersteps
+        );
     }
 
     #[test]
     fn long_chain_uses_logarithmic_supersteps() {
         let n = 4096u64;
         let items: Vec<ListItem<u64>> = (0..n)
-            .map(|i| ListItem { id: i, pred: if i == 0 { None } else { Some(i - 1) }, value: 1 })
+            .map(|i| ListItem {
+                id: i,
+                pred: if i == 0 { None } else { Some(i - 1) },
+                value: 1,
+            })
             .collect();
         let (result, metrics) = list_ranking(items, &config());
         let result: HashMap<u64, u64> = result.into_iter().collect();
@@ -168,7 +196,11 @@ mod tests {
     #[test]
     fn multiple_lists_and_singletons() {
         // Two separate chains and an isolated head.
-        let mut items = vec![ListItem { id: 100u64, pred: None, value: 7 }];
+        let mut items = vec![ListItem {
+            id: 100u64,
+            pred: None,
+            value: 7,
+        }];
         items.extend((0..10).map(|i| ListItem {
             id: i,
             pred: if i == 0 { None } else { Some(i - 1) },
@@ -207,8 +239,13 @@ mod tests {
     #[test]
     fn cycle_is_detected_as_non_convergence() {
         // A 4-cycle has no head; the job must stop at the cap and say so.
-        let items: Vec<ListItem<u64>> =
-            (0..4).map(|i| ListItem { id: i, pred: Some((i + 3) % 4), value: 1 }).collect();
+        let items: Vec<ListItem<u64>> = (0..4)
+            .map(|i| ListItem {
+                id: i,
+                pred: Some((i + 3) % 4),
+                value: 1,
+            })
+            .collect();
         let cfg = PregelConfig::with_workers(2).max_supersteps(40);
         let (_, metrics) = list_ranking(items, &cfg);
         assert!(!metrics.converged);

@@ -62,15 +62,15 @@ impl<I: VertexKey> VertexProgram for SvProgram<I> {
         ctx: &mut Context<'_, Self>,
         id: I,
         value: &mut SvState<I>,
-        messages: Vec<SvMsg<I>>,
+        messages: &mut [SvMsg<I>],
     ) {
         match ctx.superstep() % 4 {
             0 => {
                 // Apply shortcut responses from the previous round.
-                for msg in messages {
+                for msg in messages.iter() {
                     if let SvMsg::ParentIs(p) = msg {
-                        if p < value.parent {
-                            value.parent = p;
+                        if *p < value.parent {
+                            value.parent = *p;
                             value.changed_this_round = true;
                         }
                     }
@@ -85,11 +85,11 @@ impl<I: VertexKey> VertexProgram for SvProgram<I> {
                 // Tree hooking step 2: forward the smallest neighbour parent to
                 // our own parent, which will hook itself if it is a root.
                 let mut best: Option<I> = None;
-                for msg in messages {
+                for msg in messages.iter() {
                     if let SvMsg::NeighborParent(p) = msg {
                         best = Some(match best {
-                            Some(b) if b <= p => b,
-                            _ => p,
+                            Some(b) if b <= *p => b,
+                            _ => *p,
                         });
                     }
                 }
@@ -102,11 +102,11 @@ impl<I: VertexKey> VertexProgram for SvProgram<I> {
             2 => {
                 // Tree hooking step 3: roots accept the smallest hook target.
                 let mut best: Option<I> = None;
-                for msg in messages {
+                for msg in messages.iter() {
                     if let SvMsg::Hook(x) = msg {
                         best = Some(match best {
-                            Some(b) if b <= x => b,
-                            _ => x,
+                            Some(b) if b <= *x => b,
+                            _ => *x,
                         });
                     }
                 }
@@ -123,9 +123,9 @@ impl<I: VertexKey> VertexProgram for SvProgram<I> {
             }
             _ => {
                 // Shortcutting step 2: answer grandparent queries.
-                for msg in messages {
+                for msg in messages.iter() {
                     if let SvMsg::GetParent(from) = msg {
-                        ctx.send_message(from, SvMsg::ParentIs(value.parent));
+                        ctx.send_message(*from, SvMsg::ParentIs(value.parent));
                     }
                 }
                 // End of round: report whether anything changed and reset.
@@ -153,10 +153,21 @@ pub fn connected_components<I: VertexKey>(
 ) -> (Vec<(I, I)>, Metrics) {
     let program = SvProgram::<I>(std::marker::PhantomData);
     let pairs = adjacency.into_iter().map(|(id, neighbors)| {
-        (id, SvState { neighbors, parent: id, changed_this_round: false })
+        (
+            id,
+            SvState {
+                neighbors,
+                parent: id,
+                changed_this_round: false,
+            },
+        )
     });
     let (set, metrics) = run_from_pairs(&program, config, pairs);
-    let out = set.into_pairs().into_iter().map(|(id, st)| (id, st.parent)).collect();
+    let out = set
+        .into_pairs()
+        .into_iter()
+        .map(|(id, st)| (id, st.parent))
+        .collect();
     (out, metrics)
 }
 
@@ -173,7 +184,7 @@ mod tests {
     /// Union-find oracle.
     fn oracle(n: u64, edges: &[(u64, u64)]) -> HashMap<u64, u64> {
         let mut parent: Vec<u64> = (0..n).collect();
-        fn find(parent: &mut Vec<u64>, x: u64) -> u64 {
+        fn find(parent: &mut [u64], x: u64) -> u64 {
             let mut r = x;
             while parent[r as usize] != r {
                 r = parent[r as usize];
@@ -200,7 +211,9 @@ mod tests {
             let e = min_of_root.entry(r).or_insert(v);
             *e = (*e).min(v);
         }
-        (0..n).map(|v| (v, min_of_root[&find(&mut parent, v)])).collect()
+        (0..n)
+            .map(|v| (v, min_of_root[&find(&mut parent, v)]))
+            .collect()
     }
 
     fn adjacency(n: u64, edges: &[(u64, u64)]) -> Vec<(u64, Vec<u64>)> {

@@ -15,10 +15,11 @@ use std::io::{Read, Write};
 use std::time::{Duration, Instant};
 
 /// How two consecutive operations exchange their intermediate data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ChainMode {
     /// The output vertex set of one job is converted in memory into the input
     /// of the next job (the paper's extension; the default).
+    #[default]
     InMemory,
     /// The intermediate data is serialised to a byte stream and parsed back,
     /// emulating a round-trip through external storage.
@@ -26,12 +27,6 @@ pub enum ChainMode {
     /// Like [`ChainMode::Spill`] but the bytes are actually written to and
     /// read back from a temporary file.
     SpillToDisk,
-}
-
-impl Default for ChainMode {
-    fn default() -> Self {
-        ChainMode::InMemory
-    }
 }
 
 /// A minimal binary codec for spill emulation.
@@ -149,7 +144,11 @@ pub fn spill_roundtrip<T: SpillCodec>(items: Vec<T>, to_disk: bool) -> (Vec<T>, 
     for _ in 0..n {
         out.push(T::decode(&mut slice).expect("truncated spill record"));
     }
-    let stats = SpillStats { records, bytes, elapsed: start.elapsed() };
+    let stats = SpillStats {
+        records,
+        bytes,
+        elapsed: start.elapsed(),
+    };
     (out, stats)
 }
 

@@ -22,7 +22,10 @@ impl PregelConfig {
     /// Creates a configuration with the given number of workers and default
     /// limits.
     pub fn with_workers(workers: usize) -> PregelConfig {
-        PregelConfig { workers: workers.max(1), ..Default::default() }
+        PregelConfig {
+            workers: workers.max(1),
+            ..Default::default()
+        }
     }
 
     /// Sets the superstep cap.
@@ -41,7 +44,9 @@ impl PregelConfig {
 impl Default for PregelConfig {
     fn default() -> PregelConfig {
         PregelConfig {
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             max_supersteps: 10_000,
             track_supersteps: true,
         }
@@ -65,7 +70,9 @@ mod tests {
 
     #[test]
     fn builder_methods() {
-        let c = PregelConfig::with_workers(2).max_supersteps(99).track_supersteps(false);
+        let c = PregelConfig::with_workers(2)
+            .max_supersteps(99)
+            .track_supersteps(false);
         assert_eq!(c.max_supersteps, 99);
         assert!(!c.track_supersteps);
     }

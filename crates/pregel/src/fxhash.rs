@@ -108,7 +108,10 @@ mod tests {
         assert_eq!(hash_one(&"hello"), hash_one(&"hello"));
         assert_ne!(hash_one(&"hello"), hash_one(&"hellp"));
         // Mixed-length byte slices exercise the remainder path.
-        assert_ne!(hash_one(&[1u8, 2, 3].as_slice()), hash_one(&[1u8, 2].as_slice()));
+        assert_ne!(
+            hash_one(&[1u8, 2, 3].as_slice()),
+            hash_one(&[1u8, 2].as_slice())
+        );
     }
 
     #[test]

@@ -34,6 +34,36 @@
 //! Finally, [`algorithms`] contains generic *Practical Pregel Algorithms*
 //! (list ranking and the simplified Shiloach–Vishkin connected components)
 //! reviewed in Section II, reusable outside of genome assembly.
+//!
+//! # Message-plane architecture
+//!
+//! Both the superstep engine and the mini MapReduce move data through the
+//! same **sort-based, buffer-reusing shuffle** instead of hash-grouping into
+//! per-key containers:
+//!
+//! * **sorted delivery** — senders append `(destination, payload)` records to
+//!   one flat buffer per destination worker and sort each buffer before the
+//!   hand-off; receivers k-way-merge the pre-sorted buffers (linear, ties
+//!   broken by source worker) and hand every destination its records as a
+//!   contiguous **slice** of a flat array. [`VertexProgram::compute`] receives
+//!   `&mut [Message]` and the mini-MapReduce reduce UDF receives
+//!   `&mut [Value]` plus an output sink — no owned `Vec` per vertex or key on
+//!   either side.
+//! * **sender-side combining** — when a program sets
+//!   [`USE_COMBINER`](VertexProgram::USE_COMBINER), duplicate destinations are
+//!   folded in the sorted outbound buffers before the hand-off (and again
+//!   across senders during the merge), so at most one physical message per
+//!   (sender, vertex) crosses the shuffle.
+//! * **buffer reuse** — outboxes, the merged id/message arrays and the
+//!   combine scratch live in per-worker planes allocated once per job; a
+//!   steady-state superstep performs no per-vertex or per-superstep container
+//!   allocation. Map UDFs likewise emit through
+//!   [`mapreduce::Emitter`] straight into the shuffle buffers.
+//!
+//! The pre-refactor hash-grouping plane is preserved in the bench crate
+//! (`ppa_bench::legacy`); `cargo bench -p ppa_bench --bench message_plane`
+//! compares the two and `BENCH_message_plane.json` records the snapshot
+//! (≈3× on message-heavy labeling, ≈7× on a 1M-pair shuffle).
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -43,6 +73,7 @@ pub mod algorithms;
 pub mod chain;
 pub mod config;
 pub mod fxhash;
+mod kmerge;
 pub mod mapreduce;
 pub mod metrics;
 pub mod runner;

@@ -8,15 +8,42 @@
 //! are shuffled by key to workers, sorted/grouped, and a `reduce(.)` UDF
 //! processes each group.
 //!
-//! [`map_reduce`] reproduces that pass with one thread per worker. The
-//! partitioned variant [`map_reduce_partitioned`] exposes which worker
+//! [`map_reduce`] reproduces that pass with one thread per worker. Grouping is
+//! **sort-based**: every reduce worker concatenates the pair buffers addressed
+//! to it into one flat buffer, sorts it by key once, and hands each group to
+//! the reduce UDF as a mutable slice of values carved out of a single flat
+//! value array — there is no per-key `Vec` and no hash map on the reduce path
+//! (this literally is the "sorted and grouped by key" step of the paper's
+//! procedure, and it also makes group order deterministic: ascending by key).
+//!
+//! The partitioned variant [`map_reduce_partitioned`] exposes which worker
 //! produced each output, which contig merging needs in order to mint contig
 //! IDs of the form `worker ‖ ordinal` (Figure 7c).
 
-use crate::fxhash::{hash_one, FxHashMap};
+use crate::fxhash::hash_one;
 use serde::{Deserialize, Serialize};
 use std::hash::Hash;
 use std::time::{Duration, Instant};
+
+/// Sink the map UDF writes its key–value pairs into.
+///
+/// [`emit`](Emitter::emit) routes each pair straight into the flat buffer of
+/// its destination reduce worker — the map side allocates nothing per record
+/// (earlier revisions had `map` return a `Vec<(K, V)>` per input record,
+/// which put one heap allocation on the hot path of every read/vertex/contig
+/// fed through a shuffle).
+pub struct Emitter<'a, K, V> {
+    out: &'a mut [Vec<(K, V)>],
+}
+
+impl<K: Hash, V> Emitter<'_, K, V> {
+    /// Emits one key–value pair into the shuffle.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        let dst = (hash_one(&key) % self.out.len() as u64) as usize;
+        self.out[dst].push((key, value));
+    }
+}
 
 /// Metrics of one mini-MapReduce execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,6 +62,12 @@ pub struct MapReduceMetrics {
 
 /// Runs a mini-MapReduce pass and returns the outputs of every group,
 /// concatenated in worker order (deterministic for a fixed worker count).
+///
+/// The reduce UDF receives each group as `(&key, &mut [value])` — the slice
+/// is a window into the worker's flat, key-sorted value buffer (it may be
+/// reordered freely, e.g. sorted, but only lives for the duration of the
+/// call) — and pushes its outputs into the worker's shared output vector, so
+/// neither side of the shuffle allocates a container per key.
 pub fn map_reduce<I, K, V, O, MF, RF>(
     inputs: Vec<I>,
     workers: usize,
@@ -46,8 +79,8 @@ where
     K: Hash + Eq + Ord + Send,
     V: Send,
     O: Send,
-    MF: Fn(I) -> Vec<(K, V)> + Sync,
-    RF: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+    MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
+    RF: Fn(&K, &mut [V], &mut Vec<O>) + Sync,
 {
     map_reduce_with_metrics(inputs, workers, map_fn, reduce_fn).0
 }
@@ -64,11 +97,13 @@ where
     K: Hash + Eq + Ord + Send,
     V: Send,
     O: Send,
-    MF: Fn(I) -> Vec<(K, V)> + Sync,
-    RF: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+    MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
+    RF: Fn(&K, &mut [V], &mut Vec<O>) + Sync,
 {
     let (per_worker, metrics) =
-        map_reduce_partitioned(inputs, workers, map_fn, |_w, k, vs| reduce_fn(k, vs));
+        map_reduce_partitioned(inputs, workers, map_fn, |_w, k, vs, out| {
+            reduce_fn(k, vs, out)
+        });
     (per_worker.into_iter().flatten().collect(), metrics)
 }
 
@@ -85,8 +120,8 @@ where
     K: Hash + Eq + Ord + Send,
     V: Send,
     O: Send,
-    MF: Fn(I) -> Vec<(K, V)> + Sync,
-    RF: Fn(usize, &K, Vec<V>) -> Vec<O> + Sync,
+    MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
+    RF: Fn(usize, &K, &mut [V], &mut Vec<O>) + Sync,
 {
     let workers = workers.max(1);
     let start = Instant::now();
@@ -109,11 +144,15 @@ where
                 let map_fn = &map_fn;
                 scope.spawn(move || {
                     let mut out: Vec<Vec<(K, V)>> = (0..workers).map(|_| Vec::new()).collect();
+                    let mut emitter = Emitter { out: &mut out };
                     for item in chunk {
-                        for (k, v) in map_fn(item) {
-                            let dst = (hash_one(&k) % workers as u64) as usize;
-                            out[dst].push((k, v));
-                        }
+                        map_fn(item, &mut emitter);
+                    }
+                    // Presort per destination so that the reduce side only
+                    // k-way-merges: the sort work runs here, parallel across
+                    // all map threads.
+                    for buf in out.iter_mut() {
+                        buf.sort_unstable_by(|a, b| a.0.cmp(&b.0));
                     }
                     out
                 })
@@ -134,7 +173,7 @@ where
         }
     }
 
-    // ---- reduce phase: group by key (sorted, as in the paper) and reduce.
+    // ---- reduce phase: flat sort-based grouping, then reduce each key run.
     let mut outputs: Vec<Vec<O>> = Vec::with_capacity(workers);
     let mut groups = 0u64;
     std::thread::scope(|scope| {
@@ -144,21 +183,32 @@ where
             .map(|(w, bufs)| {
                 let reduce_fn = &reduce_fn;
                 scope.spawn(move || {
-                    let mut grouped: FxHashMap<K, Vec<V>> = FxHashMap::default();
-                    for buf in bufs {
-                        for (k, v) in buf {
-                            grouped.entry(k).or_default().push(v);
+                    // K-way merge of the pre-sorted source buffers straight
+                    // into one key per group plus a flat value buffer; each
+                    // group is the contiguous value run of its key. This
+                    // replaces the hash map *and* the sorted-key pass the
+                    // hash-based grouping needed for determinism (ties prefer
+                    // the lower source worker, so the merge is deterministic).
+                    let total: usize = bufs.iter().map(|b| b.len()).sum();
+                    let mut bufs = bufs;
+                    let mut group_keys: Vec<(K, usize)> = Vec::new();
+                    let mut vals: Vec<V> = Vec::with_capacity(total);
+                    crate::kmerge::merge_sorted_buffers(&mut bufs, |k, v| {
+                        let new_group = match group_keys.last() {
+                            Some((last, _)) => *last != k,
+                            None => true,
+                        };
+                        if new_group {
+                            group_keys.push((k, vals.len()));
                         }
-                    }
-                    // Sort keys so that group processing order (and thus output
-                    // order) is deterministic, mirroring the sort-by-key step
-                    // described in the paper.
-                    let mut entries: Vec<(K, Vec<V>)> = grouped.into_iter().collect();
-                    entries.sort_by(|a, b| a.0.cmp(&b.0));
-                    let group_count = entries.len() as u64;
+                        vals.push(v);
+                    });
+                    let group_count = group_keys.len() as u64;
                     let mut out = Vec::new();
-                    for (k, vs) in entries {
-                        out.extend(reduce_fn(w, &k, vs));
+                    for g in 0..group_keys.len() {
+                        let start = group_keys[g].1;
+                        let end = group_keys.get(g + 1).map(|(_, s)| *s).unwrap_or(vals.len());
+                        reduce_fn(w, &group_keys[g].0, &mut vals[start..end], &mut out);
                     }
                     (out, group_count)
                 })
@@ -185,24 +235,33 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn word_count() {
-        let docs = vec!["a b a", "b c", "a", ""];
+        let docs = ["a b a", "b c", "a", ""];
         let inputs: Vec<String> = docs.iter().map(|s| s.to_string()).collect();
         let (counts, metrics) = map_reduce_with_metrics(
             inputs,
             3,
-            |doc: String| {
-                doc.split_whitespace().map(|w| (w.to_string(), 1u64)).collect::<Vec<_>>()
+            |doc: String, out: &mut Emitter<'_, String, u64>| {
+                for w in doc.split_whitespace() {
+                    out.emit(w.to_string(), 1u64);
+                }
             },
-            |k: &String, vs: Vec<u64>| vec![(k.clone(), vs.into_iter().sum::<u64>())],
+            |k: &String, vs: &mut [u64], out: &mut Vec<(String, u64)>| {
+                out.push((k.clone(), vs.iter().sum::<u64>()))
+            },
         );
         let mut counts: Vec<(String, u64)> = counts;
         counts.sort();
         assert_eq!(
             counts,
-            vec![("a".to_string(), 3), ("b".to_string(), 2), ("c".to_string(), 1)]
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 2),
+                ("c".to_string(), 1)
+            ]
         );
         assert_eq!(metrics.input_records, 4);
         assert_eq!(metrics.pairs_shuffled, 6);
@@ -218,13 +277,11 @@ mod tests {
         let out = map_reduce(
             inputs,
             4,
-            |x: u64| vec![(x % 10, 1u64)],
-            |k: &u64, vs: Vec<u64>| {
+            |x: u64, out: &mut Emitter<'_, u64, u64>| out.emit(x % 10, 1),
+            |k: &u64, vs: &mut [u64], out: &mut Vec<u64>| {
                 let total: u64 = vs.iter().sum();
-                if total >= 10 && *k % 2 == 0 {
-                    vec![*k]
-                } else {
-                    vec![]
+                if total >= 10 && (*k).is_multiple_of(2) {
+                    out.push(*k);
                 }
             },
         );
@@ -239,8 +296,10 @@ mod tests {
         let (per_worker, _) = map_reduce_partitioned(
             inputs,
             4,
-            |x: u64| vec![(x, x)],
-            |w: usize, _k: &u64, vs: Vec<u64>| vs.into_iter().map(move |v| (w, v)).collect::<Vec<_>>(),
+            |x: u64, out: &mut Emitter<'_, u64, u64>| out.emit(x, x),
+            |w: usize, _k: &u64, vs: &mut [u64], out: &mut Vec<(usize, u64)>| {
+                out.extend(vs.iter().map(|&v| (w, v)));
+            },
         );
         assert_eq!(per_worker.len(), 4);
         // Every output is tagged with the worker that produced it, and the
@@ -260,8 +319,8 @@ mod tests {
         let (out, metrics) = map_reduce_with_metrics(
             Vec::<u64>::new(),
             4,
-            |x: u64| vec![(x, x)],
-            |_k: &u64, vs: Vec<u64>| vs,
+            |x: u64, out: &mut Emitter<'_, u64, u64>| out.emit(x, x),
+            |_k: &u64, vs: &mut [u64], out: &mut Vec<u64>| out.extend_from_slice(vs),
         );
         assert!(out.is_empty());
         assert_eq!(metrics.groups, 0);
@@ -273,8 +332,8 @@ mod tests {
         let out = map_reduce(
             inputs,
             1,
-            |x: u64| vec![(x % 2, x)],
-            |k: &u64, vs: Vec<u64>| vec![(*k, vs.len())],
+            |x: u64, out: &mut Emitter<'_, u64, u64>| out.emit(x % 2, x),
+            |k: &u64, vs: &mut [u64], out: &mut Vec<(u64, usize)>| out.push((*k, vs.len())),
         );
         let mut out = out;
         out.sort();
@@ -288,9 +347,93 @@ mod tests {
         let out = map_reduce(
             inputs,
             1,
-            |x: u64| vec![(x, ())],
-            |k: &u64, _vs: Vec<()>| vec![*k],
+            |x: u64, out: &mut Emitter<'_, u64, ()>| out.emit(x, ()),
+            |k: &u64, _vs: &mut [()], out: &mut Vec<u64>| out.push(*k),
         );
         assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn reduce_may_mutate_its_slice() {
+        // The reduce UDF is allowed to reorder its group in place (bubble
+        // filtering sorts candidates by contig ID, for example).
+        let inputs: Vec<u64> = vec![9, 3, 7, 1, 5];
+        let out = map_reduce(
+            inputs,
+            2,
+            |x: u64, out: &mut Emitter<'_, u64, u64>| out.emit(x % 2, x),
+            |_k: &u64, vs: &mut [u64], out: &mut Vec<Vec<u64>>| {
+                vs.sort_unstable();
+                out.push(vs.to_vec());
+            },
+        );
+        for group in out {
+            assert!(group.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    /// Hash-grouping oracle shared by the property tests below.
+    fn hash_grouped_sums(pairs: &[(u64, u64)]) -> std::collections::HashMap<u64, u64> {
+        let mut grouped: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for &(k, v) in pairs {
+            *grouped.entry(k).or_insert(0) += v;
+        }
+        grouped
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_sort_grouping_matches_hash_grouping(
+            pairs in proptest::collection::vec((0u64..64, 1u64..1000), 0..300),
+            workers in 1usize..6,
+        ) {
+            // Aggregating reduce (the combiner-style shape).
+            let expected = hash_grouped_sums(&pairs);
+            let out = map_reduce(
+                pairs.clone(),
+                workers,
+                |p: (u64, u64), out: &mut Emitter<'_, u64, u64>| out.emit(p.0, p.1),
+                |k: &u64, vs: &mut [u64], out: &mut Vec<(u64, u64)>| out.push((*k, vs.iter().sum::<u64>())),
+            );
+            prop_assert_eq!(out.len(), expected.len());
+            for (k, sum) in out {
+                prop_assert_eq!(sum, expected[&k]);
+            }
+
+            // Identity reduce (the non-combiner shape): every value survives,
+            // grouped with its key.
+            let out = map_reduce(
+                pairs.clone(),
+                workers,
+                |p: (u64, u64), out: &mut Emitter<'_, u64, u64>| out.emit(p.0, p.1),
+                |k: &u64, vs: &mut [u64], out: &mut Vec<(u64, u64)>| out.extend(vs.iter().map(|&v| (*k, v))),
+            );
+            let mut got = out;
+            let mut want = pairs.clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_worker_count_does_not_change_results(
+            pairs in proptest::collection::vec((0u64..32, 1u64..100), 0..200),
+        ) {
+            let mut reference: Option<Vec<(u64, u64)>> = None;
+            for workers in [1usize, 2, 5] {
+                let mut out = map_reduce(
+                    pairs.clone(),
+                    workers,
+                    |p: (u64, u64), out: &mut Emitter<'_, u64, u64>| out.emit(p.0, p.1),
+                    |k: &u64, vs: &mut [u64], out: &mut Vec<(u64, u64)>| out.push((*k, vs.iter().sum::<u64>())),
+                );
+                out.sort_unstable();
+                match &reference {
+                    Some(r) => prop_assert_eq!(r, &out),
+                    None => reference = Some(out),
+                }
+            }
+        }
     }
 }

@@ -54,7 +54,8 @@ impl Metrics {
         self.total_compute_calls += other.total_compute_calls;
         self.elapsed += other.elapsed;
         self.converged &= other.converged;
-        self.per_superstep.extend(other.per_superstep.iter().cloned());
+        self.per_superstep
+            .extend(other.per_superstep.iter().cloned());
     }
 
     /// Messages per superstep, averaged.
@@ -120,22 +121,37 @@ mod tests {
 
     #[test]
     fn absorb_propagates_non_convergence() {
-        let mut a = Metrics { converged: true, ..Default::default() };
-        let b = Metrics { converged: false, ..Default::default() };
+        let mut a = Metrics {
+            converged: true,
+            ..Default::default()
+        };
+        let b = Metrics {
+            converged: false,
+            ..Default::default()
+        };
         a.absorb(&b);
         assert!(!a.converged);
     }
 
     #[test]
     fn avg_messages() {
-        let m = Metrics { supersteps: 4, total_messages: 10, ..Default::default() };
+        let m = Metrics {
+            supersteps: 4,
+            total_messages: 10,
+            ..Default::default()
+        };
         assert!((m.avg_messages_per_superstep() - 2.5).abs() < 1e-12);
         assert_eq!(Metrics::default().avg_messages_per_superstep(), 0.0);
     }
 
     #[test]
     fn display_contains_key_numbers() {
-        let m = Metrics { supersteps: 4, total_messages: 10, converged: true, ..Default::default() };
+        let m = Metrics {
+            supersteps: 4,
+            total_messages: 10,
+            converged: true,
+            ..Default::default()
+        };
         let s = m.to_string();
         assert!(s.contains("supersteps=4") && s.contains("messages=10"));
     }

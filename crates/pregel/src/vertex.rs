@@ -38,12 +38,19 @@ pub trait VertexProgram: Sync {
     /// The per-vertex computation executed once per superstep for every active
     /// vertex (or any halted vertex that received messages, which reactivates
     /// it).
+    ///
+    /// `messages` is a mutable view into the engine's sorted delivery buffer:
+    /// the contiguous run of messages addressed to this vertex. The slice is
+    /// only valid for the duration of the call — programs that need to keep a
+    /// message must copy it out. Handing out a slice (instead of an owned
+    /// `Vec` per vertex, as earlier revisions did) is what makes steady-state
+    /// supersteps allocation-free on the delivery path.
     fn compute(
         &self,
         ctx: &mut Context<'_, Self>,
         id: Self::Id,
         value: &mut Self::Value,
-        messages: Vec<Self::Message>,
+        messages: &mut [Self::Message],
     );
 
     /// Merges `incoming` into `acc`. Only called when
@@ -145,7 +152,7 @@ mod tests {
             _ctx: &mut Context<'_, Self>,
             _id: u64,
             _value: &mut (),
-            _messages: Vec<u64>,
+            _messages: &mut [u64],
         ) {
         }
     }

@@ -15,6 +15,11 @@ use crate::vertex::VertexKey;
 pub(crate) struct VertexEntry<V> {
     pub(crate) value: V,
     pub(crate) halted: bool,
+    /// Superstep stamp (superstep + 1) of the last `compute` invocation; lets
+    /// the runner's straggler scan skip vertices already computed via the
+    /// sorted message-run walk. Reset by [`VertexSet::activate_all`] so stamps
+    /// never leak between consecutive jobs on the same set.
+    pub(crate) stamp: usize,
 }
 
 /// A collection of vertices hash-partitioned over a fixed number of workers.
@@ -27,7 +32,9 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
     /// Creates an empty vertex set partitioned over `workers` workers.
     pub fn new(workers: usize) -> VertexSet<I, V> {
         let workers = workers.max(1);
-        VertexSet { parts: (0..workers).map(|_| FxHashMap::default()).collect() }
+        VertexSet {
+            parts: (0..workers).map(|_| FxHashMap::default()).collect(),
+        }
     }
 
     /// Builds a vertex set from `(id, value)` pairs. Later duplicates replace
@@ -55,7 +62,14 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
     pub fn insert(&mut self, id: I, value: V) -> Option<V> {
         let w = self.worker_of(&id);
         self.parts[w]
-            .insert(id, VertexEntry { value, halted: false })
+            .insert(
+                id,
+                VertexEntry {
+                    value,
+                    halted: false,
+                    stamp: 0,
+                },
+            )
             .map(|e| e.value)
     }
 
@@ -93,17 +107,24 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
 
     /// Iterates over `(id, value)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&I, &V)> {
-        self.parts.iter().flat_map(|p| p.iter().map(|(k, e)| (k, &e.value)))
+        self.parts
+            .iter()
+            .flat_map(|p| p.iter().map(|(k, e)| (k, &e.value)))
     }
 
     /// Iterates mutably over `(id, value)` pairs in unspecified order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (&I, &mut V)> {
-        self.parts.iter_mut().flat_map(|p| p.iter_mut().map(|(k, e)| (k, &mut e.value)))
+        self.parts
+            .iter_mut()
+            .flat_map(|p| p.iter_mut().map(|(k, e)| (k, &mut e.value)))
     }
 
     /// Consumes the set and returns all values (order unspecified).
     pub fn into_values(self) -> Vec<V> {
-        self.parts.into_iter().flat_map(|p| p.into_values().map(|e| e.value)).collect()
+        self.parts
+            .into_iter()
+            .flat_map(|p| p.into_values().map(|e| e.value))
+            .collect()
     }
 
     /// Consumes the set and returns all `(id, value)` pairs (order unspecified).
@@ -114,11 +135,13 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
             .collect()
     }
 
-    /// Marks every vertex active (called at the start of a job).
+    /// Marks every vertex active and clears compute stamps (called at the
+    /// start of a job).
     pub(crate) fn activate_all(&mut self) {
         for p in &mut self.parts {
             for e in p.values_mut() {
                 e.halted = false;
+                e.stamp = 0;
             }
         }
     }
@@ -161,7 +184,8 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
                 .map(|part| {
                     let f = &f;
                     scope.spawn(move || {
-                        let mut out: Vec<Vec<(I2, V2)>> = (0..workers).map(|_| Vec::new()).collect();
+                        let mut out: Vec<Vec<(I2, V2)>> =
+                            (0..workers).map(|_| Vec::new()).collect();
                         for (id, entry) in part {
                             for (nid, nval) in f(id, entry.value) {
                                 let dst = (hash_one(&nid) % workers as u64) as usize;
@@ -198,7 +222,11 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
                                         merge(&mut o.get_mut().value, val);
                                     }
                                     std::collections::hash_map::Entry::Vacant(v) => {
-                                        v.insert(VertexEntry { value: val, halted: false });
+                                        v.insert(VertexEntry {
+                                            value: val,
+                                            halted: false,
+                                            stamp: 0,
+                                        });
                                     }
                                 }
                             }

@@ -34,7 +34,12 @@ pub struct AlignmentConfig {
 
 impl Default for AlignmentConfig {
     fn default() -> Self {
-        AlignmentConfig { anchor_k: 21, anchor_stride: 32, min_consistent_fraction: 0.9, band: 24 }
+        AlignmentConfig {
+            anchor_k: 21,
+            anchor_stride: 32,
+            min_consistent_fraction: 0.9,
+            band: 24,
+        }
     }
 }
 
@@ -75,10 +80,16 @@ struct DiffCounts {
 fn banded_diff_counts(a: &[Base], b: &[Base], band: usize) -> DiffCounts {
     let (n, m) = (a.len(), b.len());
     if n == 0 {
-        return DiffCounts { substitutions: 0, indels: m };
+        return DiffCounts {
+            substitutions: 0,
+            indels: m,
+        };
     }
     if m == 0 {
-        return DiffCounts { substitutions: 0, indels: n };
+        return DiffCounts {
+            substitutions: 0,
+            indels: n,
+        };
     }
     let band = band.max(n.abs_diff(m) + 1);
     const INF: u32 = u32::MAX / 4;
@@ -97,8 +108,8 @@ fn banded_diff_counts(a: &[Base], b: &[Base], band: usize) -> DiffCounts {
     let mut prev = vec![(INF, 0u32); width + 1];
     let mut curr = vec![(INF, 0u32); width + 1];
     // Row 0.
-    for j in 0..=band.min(m) {
-        prev[j] = (j as u32, 0);
+    for (j, cell) in prev.iter_mut().enumerate().take(band.min(m) + 1) {
+        *cell = (j as u32, 0);
     }
     for i in 1..=n {
         curr.iter_mut().for_each(|c| *c = (INF, 0));
@@ -143,9 +154,15 @@ fn banded_diff_counts(a: &[Base], b: &[Base], band: usize) -> DiffCounts {
     if cost >= INF {
         // Band too narrow (should not happen with the widened band): fall back
         // to calling everything a substitution.
-        return DiffCounts { substitutions: n.max(m), indels: 0 };
+        return DiffCounts {
+            substitutions: n.max(m),
+            indels: 0,
+        };
     }
-    DiffCounts { substitutions: subs as usize, indels: (cost - subs) as usize }
+    DiffCounts {
+        substitutions: subs as usize,
+        indels: (cost - subs) as usize,
+    }
 }
 
 /// Builds the forward k-mer index of the reference.
@@ -207,7 +224,12 @@ fn best_placement(
             (candidate, clustered)
         })
         .max_by_key(|&(_, v)| v)?;
-    Some(Placement { votes, hits, offset, reverse })
+    Some(Placement {
+        votes,
+        hits,
+        offset,
+        reverse,
+    })
 }
 
 /// Aligns every contig against the reference and accumulates the
@@ -250,7 +272,11 @@ pub fn align_contigs(
             metrics.misassembled_length += contig.len();
         }
 
-        let oriented = if placement.reverse { rc.clone() } else { contig.clone() };
+        let oriented = if placement.reverse {
+            rc.clone()
+        } else {
+            contig.clone()
+        };
         let oriented_bases = oriented.to_bases();
         // Clip the contig to the reference window implied by the offset.
         let (contig_start, ref_start) = if placement.offset >= 0 {
@@ -299,13 +325,22 @@ mod tests {
     use ppa_readsim::GenomeConfig;
 
     fn reference(len: usize, seed: u64) -> DnaString {
-        GenomeConfig { length: len, repeat_families: 0, seed, ..Default::default() }
-            .generate()
-            .sequence
+        GenomeConfig {
+            length: len,
+            repeat_families: 0,
+            seed,
+            ..Default::default()
+        }
+        .generate()
+        .sequence
     }
 
     fn cfg() -> AlignmentConfig {
-        AlignmentConfig { anchor_k: 15, anchor_stride: 16, ..Default::default() }
+        AlignmentConfig {
+            anchor_k: 15,
+            anchor_stride: 16,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -365,7 +400,11 @@ mod tests {
         bases.insert(600, Base::A);
         let contig = DnaString::from_bases(&bases);
         let m = align_contigs(&[contig], &reference, &cfg());
-        assert!(m.total_indels >= 3, "expected ≥3 indels, got {}", m.total_indels);
+        assert!(
+            m.total_indels >= 3,
+            "expected ≥3 indels, got {}",
+            m.total_indels
+        );
         assert!(m.total_mismatches <= 2);
     }
 
@@ -385,9 +424,14 @@ mod tests {
         let reference = reference(2_000, 19);
         let noise = reference.substring(0, 600).reverse_complement();
         // A sequence from a *different* genome does not anchor anywhere.
-        let other = GenomeConfig { length: 600, repeat_families: 0, seed: 999, ..Default::default() }
-            .generate()
-            .sequence;
+        let other = GenomeConfig {
+            length: 600,
+            repeat_families: 0,
+            seed: 999,
+            ..Default::default()
+        }
+        .generate()
+        .sequence;
         let m = align_contigs(&[other], &reference, &cfg());
         assert_eq!(m.aligned_length, 0);
         assert_eq!(m.unaligned_length, 600);
@@ -410,13 +454,37 @@ mod tests {
         let a = DnaString::from_ascii("ACGTACGTAC").unwrap().to_bases();
         let b = DnaString::from_ascii("ACGTTCGTAC").unwrap().to_bases();
         let d = banded_diff_counts(&a, &b, 8);
-        assert_eq!(d, DiffCounts { substitutions: 1, indels: 0 });
+        assert_eq!(
+            d,
+            DiffCounts {
+                substitutions: 1,
+                indels: 0
+            }
+        );
         let c = DnaString::from_ascii("ACGTCGTAC").unwrap().to_bases(); // one deletion
         let d = banded_diff_counts(&a, &c, 8);
-        assert_eq!(d, DiffCounts { substitutions: 0, indels: 1 });
+        assert_eq!(
+            d,
+            DiffCounts {
+                substitutions: 0,
+                indels: 1
+            }
+        );
         let d = banded_diff_counts(&a, &[], 8);
-        assert_eq!(d, DiffCounts { substitutions: 0, indels: 10 });
+        assert_eq!(
+            d,
+            DiffCounts {
+                substitutions: 0,
+                indels: 10
+            }
+        );
         let d = banded_diff_counts(&[], &[], 8);
-        assert_eq!(d, DiffCounts { substitutions: 0, indels: 0 });
+        assert_eq!(
+            d,
+            DiffCounts {
+                substitutions: 0,
+                indels: 0
+            }
+        );
     }
 }

@@ -46,7 +46,10 @@ fn nx(lengths: &[usize], fraction: f64) -> usize {
 /// `min_contig_length` (QUAST's default cutoff is 500 bp; the paper reports
 /// "the number of contigs whose length is larger than 500 bp").
 pub fn basic_stats(contigs: &[DnaString], min_contig_length: usize) -> BasicStats {
-    let kept: Vec<&DnaString> = contigs.iter().filter(|c| c.len() >= min_contig_length).collect();
+    let kept: Vec<&DnaString> = contigs
+        .iter()
+        .filter(|c| c.len() >= min_contig_length)
+        .collect();
     let lengths: Vec<usize> = kept.iter().map(|c| c.len()).collect();
     let total_length: usize = lengths.iter().sum();
     let gc_bases: usize = kept
@@ -62,7 +65,11 @@ pub fn basic_stats(contigs: &[DnaString], min_contig_length: usize) -> BasicStat
         n50: nx(&lengths, 0.5),
         n90: nx(&lengths, 0.9),
         largest_contig: lengths.iter().copied().max().unwrap_or(0),
-        gc_percent: if total_length == 0 { 0.0 } else { 100.0 * gc_bases as f64 / total_length as f64 },
+        gc_percent: if total_length == 0 {
+            0.0
+        } else {
+            100.0 * gc_bases as f64 / total_length as f64
+        },
         min_contig_length,
     }
 }

@@ -28,8 +28,7 @@ impl QuastReport {
         QuastReport {
             assembler: assembler.into(),
             basic: basic_stats(contigs, min_contig_length),
-            reference: reference
-                .map(|r| align_contigs(contigs, r, &AlignmentConfig::default())),
+            reference: reference.map(|r| align_contigs(contigs, r, &AlignmentConfig::default())),
         }
     }
 
@@ -38,17 +37,35 @@ impl QuastReport {
     /// no reference was supplied (as in Table V).
     pub fn rows(&self) -> Vec<(String, String)> {
         let mut rows = vec![
-            ("# of contigs".to_string(), self.basic.num_contigs.to_string()),
-            ("Total length".to_string(), self.basic.total_length.to_string()),
+            (
+                "# of contigs".to_string(),
+                self.basic.num_contigs.to_string(),
+            ),
+            (
+                "Total length".to_string(),
+                self.basic.total_length.to_string(),
+            ),
             ("N50".to_string(), self.basic.n50.to_string()),
-            ("Largest contig".to_string(), self.basic.largest_contig.to_string()),
-            ("GC (%)".to_string(), format!("{:.2}", self.basic.gc_percent)),
+            (
+                "Largest contig".to_string(),
+                self.basic.largest_contig.to_string(),
+            ),
+            (
+                "GC (%)".to_string(),
+                format!("{:.2}", self.basic.gc_percent),
+            ),
         ];
         if let Some(r) = &self.reference {
             rows.extend([
                 ("# Misassemblies".to_string(), r.misassemblies.to_string()),
-                ("Misassembled length".to_string(), r.misassembled_length.to_string()),
-                ("Unaligned length".to_string(), r.unaligned_length.to_string()),
+                (
+                    "Misassembled length".to_string(),
+                    r.misassembled_length.to_string(),
+                ),
+                (
+                    "Unaligned length".to_string(),
+                    r.unaligned_length.to_string(),
+                ),
                 (
                     "Genome fraction (%)".to_string(),
                     format!("{:.3}", r.genome_fraction_percent),
@@ -57,8 +74,14 @@ impl QuastReport {
                     "# Mismatches per 100 kbp".to_string(),
                     format!("{:.2}", r.mismatches_per_100kbp),
                 ),
-                ("# Indels per 100 kbp".to_string(), format!("{:.2}", r.indels_per_100kbp)),
-                ("Largest alignment".to_string(), r.largest_alignment.to_string()),
+                (
+                    "# Indels per 100 kbp".to_string(),
+                    format!("{:.2}", r.indels_per_100kbp),
+                ),
+                (
+                    "Largest alignment".to_string(),
+                    r.largest_alignment.to_string(),
+                ),
             ]);
         }
         rows
@@ -97,10 +120,17 @@ mod tests {
 
     #[test]
     fn report_with_and_without_reference() {
-        let reference = GenomeConfig { length: 3_000, repeat_families: 0, ..Default::default() }
-            .generate()
-            .sequence;
-        let contigs = vec![reference.substring(0, 1_500), reference.substring(1_600, 1_200)];
+        let reference = GenomeConfig {
+            length: 3_000,
+            repeat_families: 0,
+            ..Default::default()
+        }
+        .generate()
+        .sequence;
+        let contigs = vec![
+            reference.substring(0, 1_500),
+            reference.substring(1_600, 1_200),
+        ];
         let with_ref = QuastReport::evaluate("PPA", &contigs, Some(&reference), 500);
         assert_eq!(with_ref.basic.num_contigs, 2);
         assert!(with_ref.reference.is_some());
@@ -108,17 +138,29 @@ mod tests {
 
         let without = QuastReport::evaluate("PPA", &contigs, None, 500);
         assert!(without.reference.is_none());
-        assert_eq!(without.rows().len(), 5, "Table V only reports reference-free rows");
+        assert_eq!(
+            without.rows().len(),
+            5,
+            "Table V only reports reference-free rows"
+        );
     }
 
     #[test]
     fn comparison_table_lists_all_assemblers() {
-        let reference = GenomeConfig { length: 2_000, repeat_families: 0, ..Default::default() }
-            .generate()
-            .sequence;
+        let reference = GenomeConfig {
+            length: 2_000,
+            repeat_families: 0,
+            ..Default::default()
+        }
+        .generate()
+        .sequence;
         let a = QuastReport::evaluate("PPA", &[reference.substring(0, 1_800)], Some(&reference), 0);
-        let b =
-            QuastReport::evaluate("AbyssLike", &[reference.substring(0, 900)], Some(&reference), 0);
+        let b = QuastReport::evaluate(
+            "AbyssLike",
+            &[reference.substring(0, 900)],
+            Some(&reference),
+            0,
+        );
         let table = format_comparison(&[a, b]);
         assert!(table.contains("PPA"));
         assert!(table.contains("AbyssLike"));

@@ -50,7 +50,10 @@ impl GenomeConfig {
     /// Convenience constructor for a genome of `length` bp with default
     /// repeat structure.
     pub fn with_length(length: usize) -> GenomeConfig {
-        GenomeConfig { length, ..Default::default() }
+        GenomeConfig {
+            length,
+            ..Default::default()
+        }
     }
 
     /// Generates the reference genome.
@@ -151,7 +154,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let cfg = GenomeConfig { length: 5_000, ..Default::default() };
+        let cfg = GenomeConfig {
+            length: 5_000,
+            ..Default::default()
+        };
         let a = cfg.generate();
         let b = cfg.generate();
         assert_eq!(a.sequence, b.sequence);
@@ -169,8 +175,16 @@ mod tests {
         };
         let g = cfg.generate();
         assert_eq!(g.len(), 20_000);
-        assert!((g.gc_fraction() - 0.41).abs() < 0.03, "gc = {}", g.gc_fraction());
-        let at_rich = GenomeConfig { gc_content: 0.1, ..cfg }.generate();
+        assert!(
+            (g.gc_fraction() - 0.41).abs() < 0.03,
+            "gc = {}",
+            g.gc_fraction()
+        );
+        let at_rich = GenomeConfig {
+            gc_content: 0.1,
+            ..cfg
+        }
+        .generate();
         assert!(at_rich.gc_fraction() < 0.15);
     }
 
@@ -194,15 +208,25 @@ mod tests {
         .generate();
         let u_no = no_repeats.kmer_uniqueness(31);
         let u_yes = with_repeats.kmer_uniqueness(31);
-        assert!(u_no > 0.999, "random genome should be almost repeat-free: {u_no}");
-        assert!(u_yes < u_no, "planted repeats must introduce duplicate k-mers");
+        assert!(
+            u_no > 0.999,
+            "random genome should be almost repeat-free: {u_no}"
+        );
+        assert!(
+            u_yes < u_no,
+            "planted repeats must introduce duplicate k-mers"
+        );
         assert!(!with_repeats.repeat_positions.is_empty());
     }
 
     #[test]
     #[should_panic(expected = "length must be positive")]
     fn zero_length_rejected() {
-        GenomeConfig { length: 0, ..Default::default() }.generate();
+        GenomeConfig {
+            length: 0,
+            ..Default::default()
+        }
+        .generate();
     }
 
     #[test]

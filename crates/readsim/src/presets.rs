@@ -42,8 +42,9 @@ impl DatasetPreset {
         let mut scaled = self.clone();
         scaled.genome.length = ((self.genome.length as f64) * factor).round().max(1.0) as usize;
         // Scale repeat families with the genome so ambiguity density stays similar.
-        scaled.genome.repeat_families =
-            ((self.genome.repeat_families as f64) * factor).round().max(1.0) as usize;
+        scaled.genome.repeat_families = ((self.genome.repeat_families as f64) * factor)
+            .round()
+            .max(1.0) as usize;
         scaled
     }
 
@@ -51,7 +52,11 @@ impl DatasetPreset {
     pub fn generate(&self) -> SimulatedDataset {
         let reference = self.genome.generate();
         let reads = self.reads.simulate(&reference);
-        SimulatedDataset { preset: self.clone(), reference, reads }
+        SimulatedDataset {
+            preset: self.clone(),
+            reference,
+            reads,
+        }
     }
 
     /// Expected number of reads for this preset.
@@ -201,17 +206,25 @@ mod tests {
     fn four_presets_in_increasing_volume() {
         let presets = all_presets();
         assert_eq!(presets.len(), 4);
-        let volumes: Vec<usize> =
-            presets.iter().map(|p| p.expected_reads() * p.reads.read_length).collect();
+        let volumes: Vec<usize> = presets
+            .iter()
+            .map(|p| p.expected_reads() * p.reads.read_length)
+            .collect();
         for w in volumes.windows(2) {
-            assert!(w[0] < w[1], "presets must be ordered by increasing data volume: {volumes:?}");
+            assert!(
+                w[0] < w[1],
+                "presets must be ordered by increasing data volume: {volumes:?}"
+            );
         }
     }
 
     #[test]
     fn lookup_by_name() {
         assert_eq!(preset_by_name("sim-hc2").unwrap().name, "sim-hc2");
-        assert_eq!(preset_by_name("sim-bi").unwrap().paper_dataset, "Bombus impatiens (GAGE)");
+        assert_eq!(
+            preset_by_name("sim-bi").unwrap().paper_dataset,
+            "Bombus impatiens (GAGE)"
+        );
         assert!(preset_by_name("nope").is_none());
     }
 

@@ -120,12 +120,12 @@ impl ReadSimConfig {
                     qual.push(b'!');
                     continue;
                 }
-                let emitted = if self.substitution_rate > 0.0 && rng.gen_bool(self.substitution_rate)
-                {
-                    substitute(&mut rng, base)
-                } else {
-                    base
-                };
+                let emitted =
+                    if self.substitution_rate > 0.0 && rng.gen_bool(self.substitution_rate) {
+                        substitute(&mut rng, base)
+                    } else {
+                        base
+                    };
                 seq.push(emitted.to_ascii());
                 qual.push(if emitted == base { b'I' } else { b'#' });
             }
@@ -161,14 +161,23 @@ mod tests {
     use crate::genome::GenomeConfig;
 
     fn small_reference() -> ReferenceGenome {
-        GenomeConfig { length: 5_000, repeat_families: 0, seed: 11, ..Default::default() }
-            .generate()
+        GenomeConfig {
+            length: 5_000,
+            repeat_families: 0,
+            seed: 11,
+            ..Default::default()
+        }
+        .generate()
     }
 
     #[test]
     fn coverage_determines_read_count() {
         let reference = small_reference();
-        let cfg = ReadSimConfig { read_length: 100, coverage: 20.0, ..Default::default() };
+        let cfg = ReadSimConfig {
+            read_length: 100,
+            coverage: 20.0,
+            ..Default::default()
+        };
         let reads = cfg.simulate(&reference);
         assert_eq!(reads.len(), cfg.read_count(reference.len()));
         assert_eq!(reads.len(), 1000); // 20 × 5000 / 100
@@ -187,7 +196,10 @@ mod tests {
     #[test]
     fn error_free_reads_match_reference_windows() {
         let reference = small_reference();
-        let cfg = ReadSimConfig { both_strands: false, ..ReadSimConfig::error_free(50, 5.0) };
+        let cfg = ReadSimConfig {
+            both_strands: false,
+            ..ReadSimConfig::error_free(50, 5.0)
+        };
         let reads = cfg.simulate(&reference);
         let ref_ascii = reference.sequence.to_ascii();
         for r in &reads.records {
@@ -216,7 +228,9 @@ mod tests {
                 assert_eq!(seq, window);
                 forward += 1;
             } else {
-                let rc = ppa_seq::DnaString::from_ascii(window).unwrap().reverse_complement();
+                let rc = ppa_seq::DnaString::from_ascii(window)
+                    .unwrap()
+                    .reverse_complement();
                 assert_eq!(seq, rc.to_ascii());
                 reverse += 1;
             }
@@ -242,7 +256,7 @@ mod tests {
         let mut total = 0usize;
         for r in &reads.records {
             let start: usize = r.id.split(':').nth(1).unwrap().parse().unwrap();
-            let window = ref_ascii[start..start + 100].as_bytes();
+            let window = &ref_ascii.as_bytes()[start..start + 100];
             for (a, b) in r.seq.iter().zip(window) {
                 total += 1;
                 if a != b {
@@ -267,14 +281,25 @@ mod tests {
         let has_n = reads.records.iter().any(|r| r.seq.contains(&b'N'));
         let has_len_change = reads.records.iter().any(|r| r.len() != cfg.read_length);
         assert!(has_n, "expected at least one N call");
-        assert!(has_len_change, "expected indels to change some read lengths");
+        assert!(
+            has_len_change,
+            "expected indels to change some read lengths"
+        );
     }
 
     #[test]
     #[should_panic(expected = "read length")]
     fn read_longer_than_reference_rejected() {
-        let reference = GenomeConfig { length: 40, repeat_families: 0, ..Default::default() }
-            .generate();
-        ReadSimConfig { read_length: 100, ..Default::default() }.simulate(&reference);
+        let reference = GenomeConfig {
+            length: 40,
+            repeat_families: 0,
+            ..Default::default()
+        }
+        .generate();
+        ReadSimConfig {
+            read_length: 100,
+            ..Default::default()
+        }
+        .simulate(&reference);
     }
 }

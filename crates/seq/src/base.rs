@@ -161,7 +161,10 @@ mod tests {
     fn ascii_roundtrip() {
         for b in ALL_BASES {
             assert_eq!(Base::from_ascii(b.to_ascii()).unwrap(), b);
-            assert_eq!(Base::from_ascii(b.to_ascii().to_ascii_lowercase()).unwrap(), b);
+            assert_eq!(
+                Base::from_ascii(b.to_ascii().to_ascii_lowercase()).unwrap(),
+                b
+            );
         }
         assert!(Base::from_ascii(b'N').is_err());
         assert!(Base::from_ascii_checked(b'N').is_none());
@@ -194,6 +197,9 @@ mod tests {
 
     #[test]
     fn display_formats_as_letter() {
-        assert_eq!(format!("{}{}{}{}", Base::A, Base::C, Base::G, Base::T), "ACGT");
+        assert_eq!(
+            format!("{}{}{}{}", Base::A, Base::C, Base::G, Base::T),
+            "ACGT"
+        );
     }
 }

@@ -30,7 +30,10 @@ impl DnaString {
 
     /// Creates an empty sequence with capacity for `n` bases.
     pub fn with_capacity(n: usize) -> DnaString {
-        DnaString { words: Vec::with_capacity(n.div_ceil(BASES_PER_WORD)), len: 0 }
+        DnaString {
+            words: Vec::with_capacity(n.div_ceil(BASES_PER_WORD)),
+            len: 0,
+        }
     }
 
     /// Builds a sequence from a slice of bases.
@@ -149,14 +152,17 @@ impl DnaString {
             return Err(SeqError::InvalidK(k));
         }
         if i + k > self.len {
-            return Err(SeqError::SequenceTooShort { required: i + k, actual: self.len });
+            return Err(SeqError::SequenceTooShort {
+                required: i + k,
+                actual: self.len,
+            });
         }
         Kmer::from_bases(&(i..i + k).map(|j| self.get(j)).collect::<Vec<_>>())
     }
 
     /// Iterates over all k-mers of the sequence, left to right.
     pub fn kmers(&self, k: usize) -> impl Iterator<Item = Kmer> + '_ {
-        let valid = k >= 1 && k <= MAX_K && self.len >= k;
+        let valid = (1..=MAX_K).contains(&k) && self.len >= k;
         let mut current = if valid { self.kmer_at(0, k).ok() } else { None };
         let mut next = k;
         std::iter::from_fn(move || {

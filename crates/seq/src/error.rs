@@ -54,7 +54,11 @@ mod tests {
         let msgs = [
             SeqError::InvalidBase('x').to_string(),
             SeqError::InvalidK(40).to_string(),
-            SeqError::SequenceTooShort { required: 32, actual: 5 }.to_string(),
+            SeqError::SequenceTooShort {
+                required: 32,
+                actual: 5,
+            }
+            .to_string(),
             SeqError::MalformedRecord("bad".into()).to_string(),
             SeqError::Io("disk".into()).to_string(),
         ];
@@ -67,7 +71,7 @@ mod tests {
 
     #[test]
     fn from_io_error() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: SeqError = io.into();
         assert!(matches!(e, SeqError::Io(ref m) if m.contains("boom")));
     }

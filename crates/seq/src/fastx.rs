@@ -23,7 +23,11 @@ pub struct FastxRecord {
 impl FastxRecord {
     /// Creates a FASTA-style record without qualities.
     pub fn new_fasta(id: impl Into<String>, seq: impl Into<Vec<u8>>) -> FastxRecord {
-        FastxRecord { id: id.into(), seq: seq.into(), qual: Vec::new() }
+        FastxRecord {
+            id: id.into(),
+            seq: seq.into(),
+            qual: Vec::new(),
+        }
     }
 
     /// Creates a FASTQ-style record with qualities.
@@ -32,7 +36,11 @@ impl FastxRecord {
         seq: impl Into<Vec<u8>>,
         qual: impl Into<Vec<u8>>,
     ) -> FastxRecord {
-        FastxRecord { id: id.into(), seq: seq.into(), qual: qual.into() }
+        FastxRecord {
+            id: id.into(),
+            seq: seq.into(),
+            qual: qual.into(),
+        }
     }
 
     /// Length of the sequence in bases.
@@ -129,7 +137,9 @@ impl ReadSet {
                 .next()
                 .ok_or_else(|| SeqError::MalformedRecord("missing '+' line".into()))??;
             if !plus.starts_with('+') {
-                return Err(SeqError::MalformedRecord(format!("expected '+', got {plus:?}")));
+                return Err(SeqError::MalformedRecord(format!(
+                    "expected '+', got {plus:?}"
+                )));
             }
             let qual = lines
                 .next()
@@ -142,7 +152,11 @@ impl ReadSet {
                 )));
             }
             records.push(FastxRecord::new_fastq(
-                header[1..].split_whitespace().next().unwrap_or("").to_string(),
+                header[1..]
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or("")
+                    .to_string(),
                 seq.into_bytes(),
                 qual.into_bytes(),
             ));
@@ -260,7 +274,10 @@ mod tests {
     fn acgt_segments_split_on_n() {
         let r = FastxRecord::new_fasta("r", b"ACGNNTTGCaNxGG".to_vec());
         let segs = r.acgt_segments();
-        let segs: Vec<&str> = segs.iter().map(|s| std::str::from_utf8(s).unwrap()).collect();
+        let segs: Vec<&str> = segs
+            .iter()
+            .map(|s| std::str::from_utf8(s).unwrap())
+            .collect();
         assert_eq!(segs, vec!["ACG", "TTGCa", "GG"]);
         let clean = FastxRecord::new_fasta("r", b"ACGT".to_vec());
         assert_eq!(clean.acgt_segments().len(), 1);

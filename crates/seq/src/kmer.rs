@@ -75,7 +75,10 @@ impl Kmer {
         if k == 0 || k > MAX_K {
             return Err(SeqError::InvalidK(k));
         }
-        Ok(Kmer { packed: 0, k: k as u8 })
+        Ok(Kmer {
+            packed: 0,
+            k: k as u8,
+        })
     }
 
     /// Builds a k-mer from a slice of bases; `bases.len()` defines k.
@@ -87,7 +90,10 @@ impl Kmer {
         for b in bases {
             packed = (packed << 2) | b.code() as u64;
         }
-        Ok(Kmer { packed, k: bases.len() as u8 })
+        Ok(Kmer {
+            packed,
+            k: bases.len() as u8,
+        })
     }
 
     /// Parses a k-mer from an ASCII string of `A`/`C`/`G`/`T`.
@@ -194,7 +200,10 @@ impl Kmer {
     #[inline]
     pub fn append(&self, b: Base) -> Kmer {
         debug_assert!(self.k() < MAX_K);
-        Kmer { packed: (self.packed << 2) | b.code() as u64, k: self.k + 1 }
+        Kmer {
+            packed: (self.packed << 2) | b.code() as u64,
+            k: self.k + 1,
+        }
     }
 
     /// The prefix of this k-mer with the last base removed (a (k−1)-mer).
@@ -203,7 +212,10 @@ impl Kmer {
     #[inline]
     pub fn prefix(&self) -> Kmer {
         debug_assert!(self.k() > 1);
-        Kmer { packed: self.packed >> 2, k: self.k - 1 }
+        Kmer {
+            packed: self.packed >> 2,
+            k: self.k - 1,
+        }
     }
 
     /// The suffix of this k-mer with the first base removed (a (k−1)-mer).
@@ -212,7 +224,10 @@ impl Kmer {
     #[inline]
     pub fn suffix(&self) -> Kmer {
         let k = self.k - 1;
-        Kmer { packed: self.packed & Kmer::mask(k), k }
+        Kmer {
+            packed: self.packed & Kmer::mask(k),
+            k,
+        }
     }
 
     /// The reverse complement of this k-mer.
@@ -238,9 +253,15 @@ impl Kmer {
     pub fn canonical(&self) -> CanonicalKmer {
         let rc = self.reverse_complement();
         if self.packed <= rc.packed {
-            CanonicalKmer { kmer: *self, orientation: Orientation::Forward }
+            CanonicalKmer {
+                kmer: *self,
+                orientation: Orientation::Forward,
+            }
         } else {
-            CanonicalKmer { kmer: rc, orientation: Orientation::ReverseComplement }
+            CanonicalKmer {
+                kmer: rc,
+                orientation: Orientation::ReverseComplement,
+            }
         }
     }
 
@@ -305,12 +326,107 @@ pub struct CanonicalKmer {
     pub orientation: Orientation,
 }
 
+/// Incremental canonical k-mer scanner: maintains the packed forward word
+/// *and* the packed reverse-complement word as bases stream in, so each
+/// window's canonical form costs two shifts and a comparison instead of the
+/// full [`Kmer::reverse_complement`] bit-reversal per window.
+///
+/// This is the hot inner loop of DBG construction (every base of every read
+/// passes through it), which is why it works on raw 2-bit codes and never
+/// materialises a `Kmer` until a window is complete:
+///
+/// ```
+/// use ppa_seq::kmer::CanonicalScanner;
+/// use ppa_seq::Base;
+///
+/// let mut scanner = CanonicalScanner::new(2).unwrap();
+/// assert!(scanner.push(Base::G).is_none()); // window not yet full
+/// let canon = scanner.push(Base::T).unwrap(); // window "GT" → canonical "AC"
+/// assert_eq!(canon.kmer.to_string(), "AC");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CanonicalScanner {
+    k: u8,
+    mask: u64,
+    /// Shift that places a complemented base at the high end of the rc word.
+    rc_shift: u32,
+    fwd: u64,
+    rc: u64,
+    filled: usize,
+}
+
+impl CanonicalScanner {
+    /// Creates a scanner for windows of `k` bases (1 ≤ k ≤ [`MAX_K`]).
+    pub fn new(k: usize) -> Result<CanonicalScanner, SeqError> {
+        if k == 0 || k > MAX_K {
+            return Err(SeqError::InvalidK(k));
+        }
+        Ok(CanonicalScanner {
+            k: k as u8,
+            mask: Kmer::mask(k as u8),
+            rc_shift: 2 * (k as u32 - 1),
+            fwd: 0,
+            rc: 0,
+            filled: 0,
+        })
+    }
+
+    /// Forgets the current window (call between read segments; the scanner
+    /// must never slide across an `N` break).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.fwd = 0;
+        self.rc = 0;
+        self.filled = 0;
+    }
+
+    /// Slides the window one base to the right. Returns the canonical form of
+    /// the window once (and as long as) `k` bases have been consumed since the
+    /// last [`reset`](CanonicalScanner::reset).
+    #[inline]
+    pub fn push(&mut self, base: Base) -> Option<CanonicalKmer> {
+        let code = base.code() as u64;
+        self.fwd = ((self.fwd << 2) | code) & self.mask;
+        // The complement of the incoming base enters the rc word at the high
+        // end — the rc word always equals reverse_complement(fwd window).
+        self.rc = (self.rc >> 2) | ((3 ^ code) << self.rc_shift);
+        if self.filled + 1 < self.k as usize {
+            self.filled += 1;
+            return None;
+        }
+        self.filled = self.k as usize;
+        let (packed, orientation) = if self.fwd <= self.rc {
+            (self.fwd, Orientation::Forward)
+        } else {
+            (self.rc, Orientation::ReverseComplement)
+        };
+        Some(CanonicalKmer {
+            kmer: Kmer { packed, k: self.k },
+            orientation,
+        })
+    }
+}
+
+/// Iterates over the canonical form of every k-mer window of a base slice,
+/// left to right, using the rolling [`CanonicalScanner`].
+///
+/// Returns an empty iterator if the sequence is shorter than `k` (or `k` is
+/// out of range).
+pub fn canonical_kmers_of(bases: &[Base], k: usize) -> impl Iterator<Item = CanonicalKmer> + '_ {
+    let mut scanner = CanonicalScanner::new(k).ok();
+    bases.iter().filter_map(move |&b| scanner.as_mut()?.push(b))
+}
+
 /// Iterates over all k-mers of a base slice, left to right.
 ///
 /// Returns an empty iterator if the sequence is shorter than `k`.
 pub fn kmers_of(bases: &[Base], k: usize) -> impl Iterator<Item = Kmer> + '_ {
-    let valid = k >= 1 && k <= MAX_K && bases.len() >= k;
-    let mut current = if valid { Kmer::from_bases(&bases[..k]).ok() } else { None };
+    let valid = (1..=MAX_K).contains(&k) && bases.len() >= k;
+    let mut current = if valid {
+        Kmer::from_bases(&bases[..k]).ok()
+    } else {
+        None
+    };
     let mut next_idx = k;
     std::iter::from_fn(move || {
         let out = current?;
@@ -362,7 +478,13 @@ mod tests {
         assert!(Kmer::from_bases(&too_long).is_err());
         let max = vec![Base::T; 32];
         assert!(Kmer::from_bases(&max).is_ok());
-        assert_eq!(Kmer::from_bases(&max).unwrap().reverse_complement().to_string(), "A".repeat(32));
+        assert_eq!(
+            Kmer::from_bases(&max)
+                .unwrap()
+                .reverse_complement()
+                .to_string(),
+            "A".repeat(32)
+        );
     }
 
     #[test]
@@ -447,10 +569,7 @@ mod tests {
     fn kmers_of_sequence() {
         let bases = parse_bases("ATTGCAAGT").unwrap();
         let kmers: Vec<String> = kmers_of(&bases, 3).map(|k| k.to_string()).collect();
-        assert_eq!(
-            kmers,
-            vec!["ATT", "TTG", "TGC", "GCA", "CAA", "AAG", "AGT"]
-        );
+        assert_eq!(kmers, vec!["ATT", "TTG", "TGC", "GCA", "CAA", "AAG", "AGT"]);
         assert_eq!(kmers_of(&bases, 10).count(), 0);
         assert_eq!(kmers_of(&bases, 9).count(), 1);
     }
@@ -463,7 +582,75 @@ mod tests {
         assert_eq!(Orientation::ReverseComplement.label(), 'H');
     }
 
+    #[test]
+    fn scanner_matches_per_window_canonicalisation() {
+        let bases = parse_bases("ATTGCAAGTCCGTAGGATC").unwrap();
+        for k in [1usize, 2, 3, 5, 8] {
+            let rolled: Vec<(u64, Orientation)> = canonical_kmers_of(&bases, k)
+                .map(|c| (c.kmer.packed(), c.orientation))
+                .collect();
+            let naive: Vec<(u64, Orientation)> = kmers_of(&bases, k)
+                .map(|w| {
+                    let c = w.canonical();
+                    (c.kmer.packed(), c.orientation)
+                })
+                .collect();
+            assert_eq!(rolled, naive, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn scanner_reset_restarts_the_window() {
+        let mut scanner = CanonicalScanner::new(3).unwrap();
+        assert!(scanner.push(Base::A).is_none());
+        assert!(scanner.push(Base::C).is_none());
+        scanner.reset();
+        assert!(scanner.push(Base::G).is_none());
+        assert!(scanner.push(Base::T).is_none());
+        let c = scanner.push(Base::A).unwrap();
+        assert_eq!(c.kmer, km("GTA").canonical().kmer);
+    }
+
+    #[test]
+    fn scanner_rejects_invalid_k() {
+        assert!(CanonicalScanner::new(0).is_err());
+        assert!(CanonicalScanner::new(MAX_K + 1).is_err());
+        assert!(CanonicalScanner::new(MAX_K).is_ok());
+    }
+
+    #[test]
+    fn scanner_handles_max_k() {
+        // 33 bases → two 32-mer windows; both must match the naive path.
+        let bases = parse_bases(&"ACGTACGTACGTACGTACGTACGTACGTACGTA"[..33]).unwrap();
+        let rolled: Vec<u64> = canonical_kmers_of(&bases, 32)
+            .map(|c| c.kmer.packed())
+            .collect();
+        let naive: Vec<u64> = kmers_of(&bases, 32)
+            .map(|w| w.canonical().kmer.packed())
+            .collect();
+        assert_eq!(rolled, naive);
+        assert_eq!(rolled.len(), 2);
+    }
+
     proptest! {
+        #[test]
+        fn prop_scanner_matches_naive_canonical(
+            s in proptest::collection::vec(0u8..4, 1..60),
+            k in 1usize..32,
+        ) {
+            let bases: Vec<Base> = s.iter().map(|c| Base::from_code(*c)).collect();
+            let rolled: Vec<(u64, Orientation)> = canonical_kmers_of(&bases, k)
+                .map(|c| (c.kmer.packed(), c.orientation))
+                .collect();
+            let naive: Vec<(u64, Orientation)> = kmers_of(&bases, k)
+                .map(|w| {
+                    let c = w.canonical();
+                    (c.kmer.packed(), c.orientation)
+                })
+                .collect();
+            prop_assert_eq!(rolled, naive);
+        }
+
         #[test]
         fn prop_rc_is_involution(s in proptest::collection::vec(0u8..4, 1..=31)) {
             let bases: Vec<Base> = s.iter().map(|c| Base::from_code(*c)).collect();

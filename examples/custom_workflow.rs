@@ -14,15 +14,29 @@ use ppa_readsim::{GenomeConfig, ReadSimConfig};
 use std::collections::HashSet;
 
 fn main() {
-    let reference = GenomeConfig { length: 20_000, repeat_families: 3, ..Default::default() }.generate();
-    let reads = ReadSimConfig { coverage: 20.0, substitution_rate: 0.004, ..Default::default() }
-        .simulate(&reference);
+    let reference = GenomeConfig {
+        length: 20_000,
+        repeat_families: 3,
+        ..Default::default()
+    }
+    .generate();
+    let reads = ReadSimConfig {
+        coverage: 20.0,
+        substitution_rate: 0.004,
+        ..Default::default()
+    }
+    .simulate(&reference);
     let (k, workers) = (31, 4);
 
     // ① DBG construction.
     let construct = build_dbg(
         &reads,
-        &ConstructConfig { k, min_coverage: 1, workers, batch_size: 1024 },
+        &ConstructConfig {
+            k,
+            min_coverage: 1,
+            workers,
+            batch_size: 1024,
+        },
     );
     println!(
         "① built DBG: {} k-mer vertices from {} distinct (k+1)-mers",
@@ -41,19 +55,34 @@ fn main() {
     );
 
     // ③ contig merging.
-    let merge_cfg = MergeConfig { k, tip_length_threshold: 80, workers };
+    let merge_cfg = MergeConfig {
+        k,
+        tip_length_threshold: 80,
+        workers,
+    };
     let merged = merge_contigs(&nodes, &labels.labels, &merge_cfg);
-    println!("③ merged into {} contigs ({} short tips dropped)", merged.contigs.len(), merged.dropped_tips);
+    println!(
+        "③ merged into {} contigs ({} short tips dropped)",
+        merged.contigs.len(),
+        merged.dropped_tips
+    );
 
     // ⑤ two rounds of tip removal, no bubble filtering.
     let ambiguous: HashSet<u64> = labels.ambiguous.iter().copied().collect();
-    let mut kmers: Vec<AsmNode> = nodes.into_iter().filter(|n| ambiguous.contains(&n.id)).collect();
+    let mut kmers: Vec<AsmNode> = nodes
+        .into_iter()
+        .filter(|n| ambiguous.contains(&n.id))
+        .collect();
     let mut contigs = merged.contigs;
     for round in 1..=2 {
         let tips = remove_tips(
             &kmers,
             &contigs,
-            &TipConfig { k, tip_length_threshold: 80, workers },
+            &TipConfig {
+                k,
+                tip_length_threshold: 80,
+                workers,
+            },
         );
         println!(
             "⑤ tip-removal round {round}: deleted {} k-mers and {} contigs in {} supersteps",
@@ -64,7 +93,11 @@ fn main() {
     }
 
     // ⑥② ③ grow longer contigs once more over the corrected graph.
-    let mixed: Vec<AsmNode> = kmers.iter().cloned().chain(contigs.iter().cloned()).collect();
+    let mixed: Vec<AsmNode> = kmers
+        .iter()
+        .cloned()
+        .chain(contigs.iter().cloned())
+        .collect();
     let labels2 = label_contigs_sv(&mixed, workers);
     let merged2 = merge_contigs(&mixed, &labels2.labels, &merge_cfg);
     let mut lengths: Vec<usize> = merged2.contigs.iter().map(|c| c.len()).collect();

@@ -8,7 +8,12 @@ use ppa_quality::QuastReport;
 use ppa_readsim::{GenomeConfig, ReadSimConfig};
 
 fn main() {
-    let reference = GenomeConfig { length: 30_000, repeat_families: 3, ..Default::default() }.generate();
+    let reference = GenomeConfig {
+        length: 30_000,
+        repeat_families: 3,
+        ..Default::default()
+    }
+    .generate();
     let reads = ReadSimConfig {
         coverage: 25.0,
         substitution_rate: 0.008, // deliberately noisy
@@ -39,11 +44,20 @@ fn main() {
     // then a second labeling + merging round.
     let corrected = assemble(
         &reads,
-        &AssemblyConfig { k: 31, min_kmer_coverage: 1, workers: 4, ..Default::default() },
+        &AssemblyConfig {
+            k: 31,
+            min_kmer_coverage: 1,
+            workers: 4,
+            ..Default::default()
+        },
     );
 
     for (name, assembly) in [("uncorrected", &uncorrected), ("corrected", &corrected)] {
-        let contigs: Vec<_> = assembly.contigs.iter().map(|c| c.sequence.clone()).collect();
+        let contigs: Vec<_> = assembly
+            .contigs
+            .iter()
+            .map(|c| c.sequence.clone())
+            .collect();
         let report = QuastReport::evaluate(name, &contigs, Some(&reference.sequence), 200);
         let r = report.reference.as_ref().expect("reference supplied");
         println!(
@@ -55,7 +69,11 @@ fn main() {
             r.mismatches_per_100kbp,
         );
     }
-    let correction = corrected.stats.corrections.first().expect("one correction round");
+    let correction = corrected
+        .stats
+        .corrections
+        .first()
+        .expect("one correction round");
     println!(
         "\ncorrection round removed {} bubble contigs, {} tip k-mers, {} tip contigs",
         correction.bubbles_pruned, correction.tip_kmers_deleted, correction.tip_contigs_deleted

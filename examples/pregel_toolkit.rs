@@ -27,9 +27,19 @@ impl VertexProgram for ShortestPaths {
     type Aggregate = NoAggregate;
     const USE_COMBINER: bool = true;
 
-    fn compute(&self, ctx: &mut Context<'_, Self>, id: u64, value: &mut SpState, messages: Vec<u64>) {
-        let incoming = messages.into_iter().min().unwrap_or(u64::MAX);
-        let candidate = if ctx.superstep() == 0 && id == self.source { 0 } else { incoming };
+    fn compute(
+        &self,
+        ctx: &mut Context<'_, Self>,
+        id: u64,
+        value: &mut SpState,
+        messages: &mut [u64],
+    ) {
+        let incoming = messages.iter().min().copied().unwrap_or(u64::MAX);
+        let candidate = if ctx.superstep() == 0 && id == self.source {
+            0
+        } else {
+            incoming
+        };
         if candidate < value.distance {
             value.distance = candidate;
             for i in 0..value.neighbors.len() {
@@ -66,7 +76,13 @@ fn main() {
             if c + 1 < side {
                 neighbors.push(vertex(r, c + 1));
             }
-            (vertex(r, c), SpState { neighbors, distance: u64::MAX })
+            (
+                vertex(r, c),
+                SpState {
+                    neighbors,
+                    distance: u64::MAX,
+                },
+            )
         })
     });
     let (result, metrics) = run_from_pairs(&ShortestPaths { source: 0 }, &config, pairs);
@@ -79,7 +95,11 @@ fn main() {
 
     // The BPPA for list ranking (Section II of the paper).
     let items: Vec<ListItem<u64>> = (0..1_000)
-        .map(|i| ListItem { id: i, pred: if i == 0 { None } else { Some(i - 1) }, value: 1 })
+        .map(|i| ListItem {
+            id: i,
+            pred: if i == 0 { None } else { Some(i - 1) },
+            value: 1,
+        })
         .collect();
     let (ranks, metrics) = list_ranking(items, &config);
     let max_rank = ranks.iter().map(|(_, r)| *r).max().unwrap();

@@ -18,8 +18,12 @@ fn main() {
         ..Default::default()
     }
     .generate();
-    let reads = ReadSimConfig { coverage: 30.0, substitution_rate: 0.003, ..Default::default() }
-        .simulate(&reference);
+    let reads = ReadSimConfig {
+        coverage: 30.0,
+        substitution_rate: 0.003,
+        ..Default::default()
+    }
+    .simulate(&reference);
     println!(
         "simulated {} reads of ~{} bp from a {} bp reference",
         reads.len(),
@@ -28,7 +32,11 @@ fn main() {
     );
 
     // 2. Run the standard PPA-assembler workflow (Figure 10: ①②③④⑤⑥②③).
-    let config = AssemblyConfig { k: 31, workers: 4, ..Default::default() };
+    let config = AssemblyConfig {
+        k: 31,
+        workers: 4,
+        ..Default::default()
+    };
     let assembly = assemble(&reads, &config);
     println!(
         "assembled {} contigs, total {} bp, N50 {} bp, largest {} bp in {:.2}s",
@@ -48,7 +56,11 @@ fn main() {
     );
 
     // 3. Evaluate the assembly against the (known) reference, QUAST-style.
-    let contigs: Vec<_> = assembly.contigs.iter().map(|c| c.sequence.clone()).collect();
+    let contigs: Vec<_> = assembly
+        .contigs
+        .iter()
+        .map(|c| c.sequence.clone())
+        .collect();
     let report = QuastReport::evaluate("PPA-assembler", &contigs, Some(&reference.sequence), 500);
     println!("\nQuality report:");
     for (metric, value) in report.rows() {
@@ -57,8 +69,15 @@ fn main() {
 
     // 4. Write the contigs as FASTA.
     let mut fasta = Vec::new();
-    assembly.to_fasta().write_fasta(&mut fasta).expect("in-memory write");
+    assembly
+        .to_fasta()
+        .write_fasta(&mut fasta)
+        .expect("in-memory write");
     println!("\nFASTA output: {} bytes (first line: {})", fasta.len(), {
-        String::from_utf8_lossy(&fasta).lines().next().unwrap_or("").to_string()
+        String::from_utf8_lossy(&fasta)
+            .lines()
+            .next()
+            .unwrap_or("")
+            .to_string()
     });
 }

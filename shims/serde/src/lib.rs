@@ -1,0 +1,5 @@
+//! Offline serde shim: re-exports the no-op derive macros so that
+//! `use serde::{Deserialize, Serialize};` + `#[derive(Serialize, Deserialize)]`
+//! compile without the real crate. See `shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};

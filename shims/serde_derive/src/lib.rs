@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derive macros (offline serde shim).
+//!
+//! Nothing in this workspace serialises data through serde — the derives on
+//! config/metrics structs exist so the types stay serde-ready. The shims
+//! expand to nothing, which is all the workspace needs.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts the same attribute names real serde uses.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts the same attribute names real serde uses.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -92,5 +92,8 @@ fn ray_like_does_not_benefit_from_workers_but_ppa_does_not_regress() {
     let mut d: Vec<usize> = ppa_4.contigs.iter().map(|x| x.len()).collect();
     c.sort_unstable();
     d.sort_unstable();
-    assert_eq!(c, d, "PPA output must not depend on the worker count either");
+    assert_eq!(
+        c, d,
+        "PPA output must not depend on the worker count either"
+    );
 }

@@ -5,16 +5,30 @@ use ppa_quality::{AlignmentConfig, QuastReport};
 use ppa_readsim::{preset_by_name, GenomeConfig, ReadSimConfig};
 
 fn assembly_config(k: usize, workers: usize) -> AssemblyConfig {
-    AssemblyConfig { k, min_kmer_coverage: 1, workers, ..Default::default() }
+    AssemblyConfig {
+        k,
+        min_kmer_coverage: 1,
+        workers,
+        ..Default::default()
+    }
 }
 
 #[test]
 fn error_free_repeat_free_genome_reconstructs_almost_completely() {
-    let reference = GenomeConfig { length: 20_000, repeat_families: 0, seed: 100, ..Default::default() }
-        .generate();
+    let reference = GenomeConfig {
+        length: 20_000,
+        repeat_families: 0,
+        seed: 100,
+        ..Default::default()
+    }
+    .generate();
     let reads = ReadSimConfig::error_free(100, 30.0).simulate(&reference);
     let assembly = assemble(&reads, &assembly_config(31, 4));
-    let contigs: Vec<_> = assembly.contigs.iter().map(|c| c.sequence.clone()).collect();
+    let contigs: Vec<_> = assembly
+        .contigs
+        .iter()
+        .map(|c| c.sequence.clone())
+        .collect();
     let report = QuastReport::evaluate("PPA", &contigs, Some(&reference.sequence), 0);
     let reference_metrics = report.reference.expect("reference supplied");
     assert!(
@@ -31,13 +45,12 @@ fn error_free_repeat_free_genome_reconstructs_almost_completely() {
 fn noisy_genome_with_repeats_assembles_with_good_quality() {
     let dataset = preset_by_name("sim-hc2").unwrap().scaled(0.1).generate();
     let assembly = assemble(&dataset.reads, &assembly_config(25, 4));
-    let contigs: Vec<_> = assembly.contigs.iter().map(|c| c.sequence.clone()).collect();
-    let report = QuastReport::evaluate(
-        "PPA",
-        &contigs,
-        Some(&dataset.reference.sequence),
-        200,
-    );
+    let contigs: Vec<_> = assembly
+        .contigs
+        .iter()
+        .map(|c| c.sequence.clone())
+        .collect();
+    let report = QuastReport::evaluate("PPA", &contigs, Some(&dataset.reference.sequence), 200);
     let basic = &report.basic;
     let reference_metrics = report.reference.as_ref().expect("reference supplied");
     assert!(basic.num_contigs > 0);
@@ -60,17 +73,26 @@ fn lr_and_sv_workflows_agree_end_to_end() {
     let dataset = preset_by_name("sim-hcx").unwrap().scaled(0.03).generate();
     let lr = assemble(
         &dataset.reads,
-        &AssemblyConfig { labeling: LabelingAlgorithm::ListRanking, ..assembly_config(25, 4) },
+        &AssemblyConfig {
+            labeling: LabelingAlgorithm::ListRanking,
+            ..assembly_config(25, 4)
+        },
     );
     let sv = assemble(
         &dataset.reads,
-        &AssemblyConfig { labeling: LabelingAlgorithm::SimplifiedSV, ..assembly_config(25, 4) },
+        &AssemblyConfig {
+            labeling: LabelingAlgorithm::SimplifiedSV,
+            ..assembly_config(25, 4)
+        },
     );
     let mut lr_lengths: Vec<usize> = lr.contigs.iter().map(|c| c.len()).collect();
     let mut sv_lengths: Vec<usize> = sv.contigs.iter().map(|c| c.len()).collect();
     lr_lengths.sort_unstable();
     sv_lengths.sort_unstable();
-    assert_eq!(lr_lengths, sv_lengths, "the two labeling algorithms must yield the same contigs");
+    assert_eq!(
+        lr_lengths, sv_lengths,
+        "the two labeling algorithms must yield the same contigs"
+    );
     // And the list-ranking variant must be cheaper in messages (Table II).
     assert!(
         lr.stats.label_round1.messages < sv.stats.label_round1.messages,
@@ -82,31 +104,57 @@ fn lr_and_sv_workflows_agree_end_to_end() {
 
 #[test]
 fn worker_count_does_not_change_the_assembly() {
-    let reference = GenomeConfig { length: 10_000, repeat_families: 2, seed: 7, ..Default::default() }
-        .generate();
-    let reads = ReadSimConfig { coverage: 20.0, substitution_rate: 0.002, ..Default::default() }
-        .simulate(&reference);
+    let reference = GenomeConfig {
+        length: 10_000,
+        repeat_families: 2,
+        seed: 7,
+        ..Default::default()
+    }
+    .generate();
+    let reads = ReadSimConfig {
+        coverage: 20.0,
+        substitution_rate: 0.002,
+        ..Default::default()
+    }
+    .simulate(&reference);
     let single = assemble(&reads, &assembly_config(25, 1));
     let many = assemble(&reads, &assembly_config(25, 8));
-    let mut a: Vec<String> = single.contigs.iter().map(|c| c.sequence.canonical().to_ascii()).collect();
-    let mut b: Vec<String> = many.contigs.iter().map(|c| c.sequence.canonical().to_ascii()).collect();
+    let mut a: Vec<String> = single
+        .contigs
+        .iter()
+        .map(|c| c.sequence.canonical().to_ascii())
+        .collect();
+    let mut b: Vec<String> = many
+        .contigs
+        .iter()
+        .map(|c| c.sequence.canonical().to_ascii())
+        .collect();
     a.sort();
     b.sort();
-    assert_eq!(a, b, "assembly must be deterministic w.r.t. the worker count");
+    assert_eq!(
+        a, b,
+        "assembly must be deterministic w.r.t. the worker count"
+    );
 }
 
 #[test]
 fn circular_genome_assembles_via_cycle_fallback() {
     // A plasmid-like circular genome: reads wrap around the origin.
-    let linear = GenomeConfig { length: 5_000, repeat_families: 0, seed: 77, ..Default::default() }
-        .generate();
+    let linear = GenomeConfig {
+        length: 5_000,
+        repeat_families: 0,
+        seed: 77,
+        ..Default::default()
+    }
+    .generate();
     let mut doubled = linear.sequence.clone();
     doubled.extend_from(&linear.sequence);
-    let circular_reads = ReadSimConfig::error_free(100, 20.0).simulate(&ppa_readsim::ReferenceGenome {
-        sequence: doubled.substring(0, linear.sequence.len() + 100),
-        config: linear.config.clone(),
-        repeat_positions: vec![],
-    });
+    let circular_reads =
+        ReadSimConfig::error_free(100, 20.0).simulate(&ppa_readsim::ReferenceGenome {
+            sequence: doubled.substring(0, linear.sequence.len() + 100),
+            config: linear.config.clone(),
+            repeat_positions: vec![],
+        });
     let assembly = assemble(&circular_reads, &assembly_config(31, 4));
     assert!(!assembly.contigs.is_empty());
     assert!(assembly.largest_contig() >= 4_500);
@@ -116,9 +164,17 @@ fn circular_genome_assembles_via_cycle_fallback() {
 fn quality_tool_flags_a_deliberately_bad_assembly() {
     // Sanity-check the QUAST-like metrics themselves: a chimeric "assembly"
     // must score worse than the true contigs.
-    let reference = GenomeConfig { length: 8_000, repeat_families: 0, seed: 5, ..Default::default() }
-        .generate();
-    let good = vec![reference.sequence.substring(0, 4_000), reference.sequence.substring(4_000, 4_000)];
+    let reference = GenomeConfig {
+        length: 8_000,
+        repeat_families: 0,
+        seed: 5,
+        ..Default::default()
+    }
+    .generate();
+    let good = vec![
+        reference.sequence.substring(0, 4_000),
+        reference.sequence.substring(4_000, 4_000),
+    ];
     let mut chimera = reference.sequence.substring(0, 2_000);
     chimera.extend_from(&reference.sequence.substring(6_000, 2_000));
     let bad = vec![chimera];
