@@ -18,12 +18,12 @@
 //! comparison focuses on the construction and unitig-growth differences the
 //! paper discusses.
 
-use crate::common::{count_canonical_kmers, kmer_of};
+use crate::common::{count_canonical_kmers_on, kmer_of};
 use crate::{Assembler, BaselineAssembly, BaselineParams};
-use ppa_assembler::ops::merge::{merge_contigs, MergeConfig};
+use ppa_assembler::ops::merge::{merge_contigs_on, MergeConfig};
 use ppa_assembler::{edge_contributions, AsmNode, Edge, EdgeSlot, NodeSeq, VertexType};
 use ppa_pregel::aggregate::NoAggregate;
-use ppa_pregel::{Context, PregelConfig, VertexProgram, VertexSet};
+use ppa_pregel::{Context, ExecCtx, PregelConfig, VertexProgram, VertexSet};
 use ppa_seq::{Base, ReadSet};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -169,10 +169,15 @@ impl Assembler for AbyssLike {
     fn assemble(&self, reads: &ReadSet, params: &BaselineParams) -> BaselineAssembly {
         let start = Instant::now();
         let k = params.k;
-        let counts = count_canonical_kmers(reads, k, params.min_kmer_coverage, params.workers);
+        // One persistent pool drives k-mer counting, both Pregel jobs and the
+        // final merge.
+        let ctx = ExecCtx::new(params.workers);
+        let counts = count_canonical_kmers_on(&ctx, reads, k, params.min_kmer_coverage);
 
         // Probe phase: existence-based edges.
-        let config = PregelConfig::with_workers(params.workers).max_supersteps(2_000_000);
+        let config = PregelConfig::with_workers(params.workers)
+            .max_supersteps(2_000_000)
+            .exec_ctx(ctx.clone());
         let probe_pairs = counts.iter().map(|(&packed, &count)| {
             (
                 packed,
@@ -215,7 +220,8 @@ impl Assembler for AbyssLike {
             .collect();
 
         // Stitch groups into contigs (shared substrate).
-        let merged = merge_contigs(
+        let merged = merge_contigs_on(
+            &ctx,
             &nodes,
             &labels,
             &MergeConfig {

@@ -1,20 +1,31 @@
 //! Shared helpers for the baseline strategies.
 
 use ppa_pregel::fxhash::FxHashMap;
-use ppa_pregel::map_reduce;
-use ppa_pregel::mapreduce::Emitter;
+use ppa_pregel::mapreduce::{map_reduce_on, Emitter};
+use ppa_pregel::ExecCtx;
 use ppa_seq::kmer::CanonicalScanner;
 use ppa_seq::{Base, FastxRecord, Kmer, ReadSet};
 use std::collections::HashMap;
 
 /// Counts canonical k-mers of the given size across all reads (splitting at
 /// `N`s), in parallel, and drops those whose count does not exceed
-/// `min_coverage`.
+/// `min_coverage`. (Private worker pool; prefer
+/// [`count_canonical_kmers_on`] when the caller already has a context.)
 pub fn count_canonical_kmers(
     reads: &ReadSet,
     k: usize,
     min_coverage: u32,
     workers: usize,
+) -> HashMap<u64, u32> {
+    count_canonical_kmers_on(&ExecCtx::new(workers), reads, k, min_coverage)
+}
+
+/// [`count_canonical_kmers`] on a caller-provided execution context.
+pub fn count_canonical_kmers_on(
+    ctx: &ExecCtx,
+    reads: &ReadSet,
+    k: usize,
+    min_coverage: u32,
 ) -> HashMap<u64, u32> {
     if k == 0 || k > ppa_seq::kmer::MAX_K {
         // Out-of-range k yields no k-mers (the pre-scanner sliding-window
@@ -22,9 +33,9 @@ pub fn count_canonical_kmers(
         return HashMap::new();
     }
     let batches: Vec<&[FastxRecord]> = reads.records.chunks(512).collect();
-    let counted = map_reduce(
+    let counted = map_reduce_on(
+        ctx,
         batches,
-        workers,
         |batch: &[FastxRecord], out: &mut Emitter<'_, u64, u32>| {
             let mut local: FxHashMap<u64, u32> = FxHashMap::default();
             let mut scanner = CanonicalScanner::new(k).expect("baseline k in range");

@@ -34,6 +34,10 @@ impl Assembler for PpaAssembler {
             },
             error_correction_rounds: 1,
             min_contig_length: 0,
+            // One persistent pool for the whole run, like the workflow would
+            // build itself — constructed here so the comparison harnesses
+            // measure the same engine configuration as `workflow::assemble`.
+            exec: Some(ppa_pregel::ExecCtx::new(params.workers)),
         };
         let assembly = assemble(reads, &config);
         let notes =

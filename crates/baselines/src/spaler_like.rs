@@ -12,9 +12,10 @@
 //! unambiguous paths PPA-assembler produces.
 
 use crate::{Assembler, BaselineAssembly, BaselineParams};
-use ppa_assembler::ops::construct::{build_dbg, ConstructConfig};
-use ppa_assembler::ops::label::label_contigs_lr;
-use ppa_assembler::ops::merge::{merge_contigs, MergeConfig};
+use ppa_assembler::ops::construct::{build_dbg_on, ConstructConfig};
+use ppa_assembler::ops::label::label_contigs_lr_on;
+use ppa_assembler::ops::merge::{merge_contigs_on, MergeConfig};
+use ppa_pregel::ExecCtx;
 use ppa_seq::{DnaString, ReadSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,7 +50,9 @@ impl Assembler for SpalerLike {
 
     fn assemble(&self, reads: &ReadSet, params: &BaselineParams) -> BaselineAssembly {
         let start = Instant::now();
-        let construct = build_dbg(
+        let ctx = ExecCtx::new(params.workers);
+        let construct = build_dbg_on(
+            &ctx,
             reads,
             &ConstructConfig {
                 k: params.k,
@@ -59,8 +62,9 @@ impl Assembler for SpalerLike {
             },
         );
         let nodes = construct.into_nodes();
-        let labels = label_contigs_lr(&nodes, params.workers);
-        let merged = merge_contigs(
+        let labels = label_contigs_lr_on(&ctx, &nodes);
+        let merged = merge_contigs_on(
+            &ctx,
             &nodes,
             &labels.labels,
             &MergeConfig {

@@ -13,9 +13,10 @@
 //! misassembly counts in Table IV.
 
 use crate::{Assembler, BaselineAssembly, BaselineParams};
-use ppa_assembler::ops::construct::{build_dbg, ConstructConfig};
-use ppa_assembler::ops::label_sv::label_contigs_sv;
-use ppa_assembler::ops::merge::{merge_contigs, MergeConfig};
+use ppa_assembler::ops::construct::{build_dbg_on, ConstructConfig};
+use ppa_assembler::ops::label_sv::label_contigs_sv_on;
+use ppa_assembler::ops::merge::{merge_contigs_on, MergeConfig};
+use ppa_pregel::ExecCtx;
 use ppa_seq::ReadSet;
 use std::time::Instant;
 
@@ -30,7 +31,9 @@ impl Assembler for SwapLike {
 
     fn assemble(&self, reads: &ReadSet, params: &BaselineParams) -> BaselineAssembly {
         let start = Instant::now();
-        let construct = build_dbg(
+        let ctx = ExecCtx::new(params.workers);
+        let construct = build_dbg_on(
+            &ctx,
             reads,
             &ConstructConfig {
                 k: params.k,
@@ -40,8 +43,9 @@ impl Assembler for SwapLike {
             },
         );
         let nodes = construct.into_nodes();
-        let labels = label_contigs_sv(&nodes, params.workers);
-        let merged = merge_contigs(
+        let labels = label_contigs_sv_on(&ctx, &nodes);
+        let merged = merge_contigs_on(
+            &ctx,
             &nodes,
             &labels.labels,
             &MergeConfig {

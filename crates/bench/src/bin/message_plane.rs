@@ -6,31 +6,16 @@
 //! message_plane [--reps N] [--out PATH]`.
 
 use ppa_bench::legacy::{legacy_chain_ranking, legacy_map_reduce};
+use ppa_bench::{time_runs as time, SnapshotArgs};
 use ppa_pregel::algorithms::{list_ranking, ListItem};
 use ppa_pregel::mapreduce::Emitter;
 use ppa_pregel::{map_reduce, PregelConfig};
 use std::hint::black_box;
-use std::time::Instant;
 
 const CHAIN: u64 = 65_536;
 const PAIRS: u64 = 1_000_000;
 const KEYS: u64 = 500_000;
 const WORKERS: usize = 4;
-
-/// Times `f` over `reps` runs and returns (min, mean) seconds.
-fn time<F: FnMut()>(reps: usize, mut f: F) -> (f64, f64) {
-    // One untimed warm-up run.
-    f();
-    let mut times = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        times.push(start.elapsed().as_secs_f64());
-    }
-    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
-    let mean = times.iter().sum::<f64>() / times.len() as f64;
-    (min, mean)
-}
 
 struct Workload {
     name: &'static str,
@@ -46,16 +31,7 @@ impl Workload {
 }
 
 fn main() {
-    let mut reps = 5usize;
-    let mut out_path = "BENCH_message_plane.json".to_string();
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        match flag.as_str() {
-            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
-            "--out" => out_path = args.next().expect("--out PATH"),
-            other => panic!("unknown flag {other}"),
-        }
-    }
+    let SnapshotArgs { reps, out_path } = SnapshotArgs::parse("BENCH_message_plane.json");
 
     let config = PregelConfig::with_workers(WORKERS)
         .max_supersteps(10_000)

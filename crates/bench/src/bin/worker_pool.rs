@@ -1,0 +1,186 @@
+//! Regenerates `BENCH_worker_pool.json`: scoped-spawn vs. persistent-pool
+//! execution on short-superstep workloads.
+//!
+//! Two workloads:
+//!
+//! * `short_superstep_chain` — a chain of supersteps with *identical* phase
+//!   bodies (scramble + sort + fold over a small per-worker buffer, the shape
+//!   of a short compute/shuffle phase), dispatched once through the
+//!   pre-engine scoped-spawn path (`ppa_bench::legacy::scoped_run_per_worker`
+//!   — one `std::thread::scope` + one spawn/join per worker per phase) and
+//!   once through one long-lived `WorkerPool`. This isolates exactly what the
+//!   engine PR changed: the per-phase dispatch cost.
+//! * `job_chain_ctx_reuse` — twelve consecutive list-ranking Pregel jobs (the
+//!   workflow shape: many jobs back to back), run once with a fresh `ExecCtx`
+//!   per job (pool spawned per job, cold shuffle planes) and once with one
+//!   shared `ExecCtx` (pool spawned once, planes parked in the context
+//!   between jobs).
+//!
+//! Run from the repository root: `cargo run -p ppa_bench --release --bin
+//! worker_pool [--reps N] [--out PATH]`.
+
+use ppa_bench::legacy::scoped_run_per_worker;
+use ppa_bench::{time_runs as time, SnapshotArgs};
+use ppa_pregel::algorithms::{list_ranking, ListItem};
+use ppa_pregel::{ExecCtx, PregelConfig, WorkerPool};
+use std::hint::black_box;
+
+const WORKERS: usize = 4;
+/// Supersteps in the dispatch chain.
+const STEPS: usize = 600;
+/// Elements per worker buffer (a short superstep's worth of messages).
+const BUF: usize = 2_048;
+/// Chain length of one list-ranking job in the job-chain workload.
+const CHAIN: u64 = 4_096;
+/// Consecutive jobs in the job-chain workload.
+const JOBS: usize = 12;
+
+/// One phase body: scramble the buffer, re-sort it, fold a checksum — the
+/// microseconds-sized unit of work a short compute or shuffle phase performs.
+fn phase_body(buf: &mut [u64]) -> u64 {
+    for x in buf.iter_mut() {
+        *x = x
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    }
+    buf.sort_unstable();
+    buf.iter().fold(0u64, |acc, &x| acc ^ x)
+}
+
+/// Drives `STEPS` supersteps × 2 phases over per-worker buffers through the
+/// given dispatcher.
+fn superstep_chain(mut dispatch: impl FnMut(&mut Vec<Vec<u64>>) -> u64) -> u64 {
+    let mut buffers: Vec<Vec<u64>> = (0..WORKERS)
+        .map(|w| (0..BUF as u64).map(|i| i * 7 + w as u64).collect())
+        .collect();
+    let mut checksum = 0u64;
+    for _ in 0..STEPS {
+        // compute-like phase + shuffle-like phase, one dispatch each.
+        checksum ^= dispatch(&mut buffers);
+        checksum ^= dispatch(&mut buffers);
+    }
+    checksum
+}
+
+fn chain_items() -> Vec<ListItem<u64>> {
+    (0..CHAIN)
+        .map(|i| ListItem {
+            id: i,
+            pred: if i == 0 { None } else { Some(i - 1) },
+            value: 1,
+        })
+        .collect()
+}
+
+/// Runs `JOBS` consecutive list-ranking jobs, each on `make_config()`.
+fn job_chain(mut make_config: impl FnMut() -> PregelConfig) -> usize {
+    let mut total = 0usize;
+    for _ in 0..JOBS {
+        let (out, metrics) = list_ranking(chain_items(), &make_config());
+        assert!(metrics.converged);
+        total += out.len();
+    }
+    total
+}
+
+struct Workload {
+    name: &'static str,
+    description: &'static str,
+    baseline_label: &'static str,
+    pooled_label: &'static str,
+    baseline: (f64, f64),
+    pooled: (f64, f64),
+}
+
+impl Workload {
+    fn speedup(&self) -> f64 {
+        self.baseline.0 / self.pooled.0
+    }
+}
+
+fn main() {
+    let SnapshotArgs { reps, out_path } = SnapshotArgs::parse("BENCH_worker_pool.json");
+
+    eprintln!(
+        "short_superstep_chain ({STEPS} supersteps x 2 phases, {BUF} x u64 per worker, \
+         {WORKERS} workers, {reps} reps)..."
+    );
+    let pool = WorkerPool::new(WORKERS);
+    let dispatch_chain = Workload {
+        name: "short_superstep_chain",
+        description: "600 supersteps x 2 phases of identical scramble/sort/fold bodies over \
+                      2,048-element per-worker buffers; only the dispatch mechanism differs",
+        baseline_label: "legacy_scoped_spawn",
+        pooled_label: "worker_pool",
+        baseline: time(reps, || {
+            black_box(superstep_chain(|buffers| {
+                scoped_run_per_worker(buffers.iter_mut().collect(), |_w, buf: &mut Vec<u64>| {
+                    phase_body(buf)
+                })
+                .into_iter()
+                .fold(0, u64::wrapping_add)
+            }));
+        }),
+        pooled: time(reps, || {
+            black_box(superstep_chain(|buffers| {
+                pool.run_per_worker(buffers.iter_mut().collect(), |_w, buf: &mut Vec<u64>| {
+                    phase_body(buf)
+                })
+                .into_iter()
+                .fold(0, u64::wrapping_add)
+            }));
+        }),
+    };
+
+    eprintln!("job_chain_ctx_reuse ({JOBS} list-ranking jobs of {CHAIN} elements, {reps} reps)...");
+    let base_config = PregelConfig::with_workers(WORKERS)
+        .max_supersteps(10_000)
+        .track_supersteps(false);
+    let shared_ctx = ExecCtx::new(WORKERS);
+    let job_reuse = Workload {
+        name: "job_chain_ctx_reuse",
+        description: "12 consecutive list-ranking Pregel jobs (4,096-element chain); fresh \
+                      ExecCtx per job vs one shared ExecCtx (pool + parked shuffle planes)",
+        baseline_label: "fresh_ctx_per_job",
+        pooled_label: "shared_ctx",
+        baseline: time(reps, || {
+            black_box(job_chain(|| base_config.clone()));
+        }),
+        pooled: time(reps, || {
+            black_box(job_chain(|| {
+                base_config.clone().exec_ctx(shared_ctx.clone())
+            }));
+        }),
+    };
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"worker_pool\",\n");
+    json.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"workloads\": [\n");
+    let workloads = [&dispatch_chain, &job_reuse];
+    for (i, w) in workloads.into_iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+        json.push_str(&format!("      \"description\": \"{}\",\n", w.description));
+        json.push_str(&format!(
+            "      \"{}\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}}},\n",
+            w.baseline_label, w.baseline.0, w.baseline.1
+        ));
+        json.push_str(&format!(
+            "      \"{}\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}}},\n",
+            w.pooled_label, w.pooled.0, w.pooled.1
+        ));
+        json.push_str(&format!("      \"speedup\": {:.2}\n", w.speedup()));
+        json.push_str(if i == 0 { "    },\n" } else { "    }\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("{json}");
+    println!(
+        "short_superstep_chain speedup: {:.2}x, job_chain_ctx_reuse speedup: {:.2}x → {out_path}",
+        dispatch_chain.speedup(),
+        job_reuse.speedup()
+    );
+}

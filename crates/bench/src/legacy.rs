@@ -1,20 +1,59 @@
-//! The **pre-refactor** message plane, preserved verbatim-in-spirit for the
-//! `message_plane` benchmark.
+//! The **pre-refactor** execution strategies, preserved verbatim-in-spirit
+//! for the `message_plane` and `worker_pool` benchmarks.
 //!
-//! Before the sort-based shuffle landed, the Pregel runner delivered messages
-//! by building a `FxHashMap<Id, Vec<Message>>` per worker per superstep (one
-//! heap `Vec` per receiving vertex) and handed every vertex an owned
-//! `Vec<Message>`; the mini-MapReduce reduce phase did the same per-key `Vec`
-//! dance followed by a separate sort of the grouped entries. This module keeps
-//! that implementation alive — allocation behaviour intact — so the benchmark
-//! and the `BENCH_message_plane.json` snapshot compare the production plane
-//! against the exact baseline it replaced, inside one binary.
+//! Two generations of replaced machinery live here:
+//!
+//! * the hash-grouping **message plane** (PR 1 replaced it with the
+//!   sort-based plane): the runner delivered messages by building a
+//!   `FxHashMap<Id, Vec<Message>>` per worker per superstep (one heap `Vec`
+//!   per receiving vertex) and handed every vertex an owned `Vec<Message>`;
+//!   the mini-MapReduce reduce phase did the same per-key `Vec` dance
+//!   followed by a separate sort of the grouped entries;
+//! * the **scoped-spawn dispatch** ([`scoped_run_per_worker`]; the engine PR
+//!   replaced it with the persistent `ppa_pregel::engine::WorkerPool`): every
+//!   compute/shuffle/map/reduce phase created a fresh `std::thread::scope`
+//!   and spawned one thread per worker, paying a spawn + join per worker per
+//!   phase.
+//!
+//! Keeping them alive — allocation and spawn behaviour intact — lets the
+//! benchmarks and the `BENCH_message_plane.json` / `BENCH_worker_pool.json`
+//! snapshots compare production code against the exact baselines it
+//! replaced, inside one binary.
 //!
 //! Nothing outside the benchmarks should use this module.
 
 use ppa_pregel::fxhash::{hash_one, FxHashMap};
 use ppa_pregel::VertexKey;
 use std::hash::Hash;
+
+/// The pre-engine phase dispatch: runs `f(worker, input)` for every input on
+/// a **freshly scoped-and-spawned** thread team and returns the results in
+/// worker order — exactly what the runner, the mini MapReduce and
+/// `VertexSet::convert` did once per phase before the persistent
+/// `WorkerPool` landed. The `worker_pool` benchmark drives the same job
+/// bodies through this and through the pool to isolate the dispatch cost.
+pub fn scoped_run_per_worker<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let mut results: Vec<R> = Vec::with_capacity(inputs.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(w, input)| {
+                let f = &f;
+                scope.spawn(move || f(w, input))
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("scoped worker panicked"));
+        }
+    });
+    results
+}
 
 /// The pre-refactor vertex-program interface: messages arrive as an owned
 /// `Vec` allocated by the shuffle.

@@ -10,7 +10,8 @@
 
 use crate::node::{AsmNode, NodeSeq};
 use crate::polarity::Direction;
-use ppa_pregel::mapreduce::{map_reduce_with_metrics, Emitter, MapReduceMetrics};
+use ppa_pregel::mapreduce::{map_reduce_with_metrics_on, Emitter, MapReduceMetrics};
+use ppa_pregel::ExecCtx;
 use ppa_seq::{banded_edit_distance, DnaString};
 use serde::{Deserialize, Serialize};
 
@@ -56,13 +57,25 @@ struct Candidate {
 }
 
 /// Runs bubble filtering over the given contig vertices and returns the list
-/// of pruned contig IDs. The caller removes them from its node set.
+/// of pruned contig IDs. The caller removes them from its node set. (Private
+/// worker pool; inside a workflow, prefer [`filter_bubbles_on`].)
 pub fn filter_bubbles(contigs: &[AsmNode], config: &BubbleConfig) -> BubbleOutcome {
+    filter_bubbles_on(&ExecCtx::new(config.workers), contigs, config)
+}
+
+/// Runs bubble filtering on a caller-provided execution context (whose pool
+/// size must match `config.workers`).
+pub fn filter_bubbles_on(
+    ctx: &ExecCtx,
+    contigs: &[AsmNode],
+    config: &BubbleConfig,
+) -> BubbleOutcome {
+    ctx.assert_matches(config.workers, "BubbleConfig.workers");
     let max_dist = config.max_edit_distance;
     let inputs: Vec<&AsmNode> = contigs.iter().collect();
-    let (results, mapreduce) = map_reduce_with_metrics(
+    let (results, mapreduce) = map_reduce_with_metrics_on(
+        ctx,
         inputs,
-        config.workers,
         |contig: &AsmNode, out: &mut Emitter<'_, (u64, u64), Candidate>| {
             // Only contigs whose both ends attach to (distinct) ambiguous
             // vertices can form a bubble.

@@ -17,7 +17,8 @@
 use crate::adj::{edge_contributions, PackedAdj};
 use crate::node::KmerVertex;
 use ppa_pregel::fxhash::FxHashMap;
-use ppa_pregel::mapreduce::{map_reduce_with_metrics, Emitter, MapReduceMetrics};
+use ppa_pregel::mapreduce::{map_reduce_with_metrics_on, Emitter, MapReduceMetrics};
+use ppa_pregel::ExecCtx;
 use ppa_seq::kmer::CanonicalScanner;
 use ppa_seq::{Base, FastxRecord, Kmer, ReadSet};
 use serde::{Deserialize, Serialize};
@@ -88,21 +89,30 @@ impl ConstructOutcome {
     }
 }
 
-/// Runs DBG construction over a read set.
+/// Runs DBG construction over a read set (on a private worker pool; inside a
+/// workflow, prefer [`build_dbg_on`] with the shared context).
 pub fn build_dbg(reads: &ReadSet, config: &ConstructConfig) -> ConstructOutcome {
+    build_dbg_on(&ExecCtx::new(config.workers), reads, config)
+}
+
+/// Runs DBG construction on a caller-provided execution context: both
+/// mini-MapReduce phases dispatch onto its persistent worker pool. The
+/// context's pool size must match `config.workers`.
+pub fn build_dbg_on(ctx: &ExecCtx, reads: &ReadSet, config: &ConstructConfig) -> ConstructOutcome {
     assert!(
         config.k >= 1 && config.k <= 31,
         "k must be in 1..=31 so that k-mer vertex IDs leave the top two bits free"
     );
+    ctx.assert_matches(config.workers, "ConstructConfig.workers");
     let start = Instant::now();
     let k = config.k;
     let theta = config.min_coverage;
 
     // ---- phase (i): count canonical (k+1)-mers ------------------------------
     let batches: Vec<&[FastxRecord]> = reads.records.chunks(config.batch_size.max(1)).collect();
-    let (counted, phase1) = map_reduce_with_metrics(
+    let (counted, phase1) = map_reduce_with_metrics_on(
+        ctx,
         batches,
-        config.workers,
         |batch: &[FastxRecord], out: &mut Emitter<'_, u64, u32>| {
             // Pre-aggregate within the batch to cut shuffle volume. FxHash
             // instead of SipHash: the key is an internally generated packed
@@ -144,9 +154,9 @@ pub fn build_dbg(reads: &ReadSet, config: &ConstructConfig) -> ConstructOutcome 
     let kept_kplus1 = counted.len() as u64;
 
     // ---- phase (ii): build k-mer vertices with packed adjacency -------------
-    let (vertices, phase2) = map_reduce_with_metrics(
+    let (vertices, phase2) = map_reduce_with_metrics_on(
+        ctx,
         counted,
-        config.workers,
         |(packed, count): (u64, u32), out: &mut Emitter<'_, u64, (u8, u32)>| {
             let kplus1 = Kmer::from_packed(packed, k + 1).expect("valid (k+1)-mer key");
             let ((src, s_slot), (tgt, t_slot)) = edge_contributions(&kplus1);

@@ -31,7 +31,7 @@ use crate::node::{AsmNode, VertexType};
 use crate::polarity::Side;
 use ppa_pregel::aggregate::Count;
 use ppa_pregel::algorithms::connected_components;
-use ppa_pregel::{Context, Metrics, PregelConfig, VertexProgram, VertexSet};
+use ppa_pregel::{Context, ExecCtx, Metrics, PregelConfig, VertexProgram, VertexSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Result of a contig-labeling run (either algorithm).
@@ -264,8 +264,18 @@ pub(crate) fn build_lr_states(nodes: &[AsmNode]) -> impl Iterator<Item = (u64, L
 
 /// Labels every maximal unambiguous path using bidirectional list ranking,
 /// falling back to the simplified S-V algorithm for unambiguous cycles.
+/// (Private worker pool; inside a workflow, prefer [`label_contigs_lr_on`].)
 pub fn label_contigs_lr(nodes: &[AsmNode], workers: usize) -> LabelOutcome {
-    let config = PregelConfig::with_workers(workers).max_supersteps(4_000);
+    label_contigs_lr_on(&ExecCtx::new(workers), nodes)
+}
+
+/// [`label_contigs_lr`] on a caller-provided execution context: the list-
+/// ranking job and its S-V cycle fallback both run on the context's
+/// persistent pool (worker count = pool size).
+pub fn label_contigs_lr_on(ctx: &ExecCtx, nodes: &[AsmNode]) -> LabelOutcome {
+    let config = PregelConfig::with_workers(ctx.workers())
+        .max_supersteps(4_000)
+        .exec_ctx(ctx.clone());
     let program = LrProgram::new(nodes.len());
     let mut set: VertexSet<u64, LrState> =
         VertexSet::from_pairs(config.workers, build_lr_states(nodes));

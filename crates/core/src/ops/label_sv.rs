@@ -17,13 +17,22 @@
 use super::label::LabelOutcome;
 use crate::node::{AsmNode, VertexType};
 use ppa_pregel::algorithms::connected_components;
-use ppa_pregel::PregelConfig;
+use ppa_pregel::{ExecCtx, PregelConfig};
 use std::collections::HashSet;
 
 /// Labels every maximal unambiguous path with the smallest vertex ID of the
-/// path, using the simplified S-V algorithm.
+/// path, using the simplified S-V algorithm. (Private worker pool; inside a
+/// workflow, prefer [`label_contigs_sv_on`].)
 pub fn label_contigs_sv(nodes: &[AsmNode], workers: usize) -> LabelOutcome {
-    let config = PregelConfig::with_workers(workers).max_supersteps(4_000);
+    label_contigs_sv_on(&ExecCtx::new(workers), nodes)
+}
+
+/// [`label_contigs_sv`] on a caller-provided execution context: the S-V job
+/// runs on the context's persistent pool (worker count = pool size).
+pub fn label_contigs_sv_on(ctx: &ExecCtx, nodes: &[AsmNode]) -> LabelOutcome {
+    let config = PregelConfig::with_workers(ctx.workers())
+        .max_supersteps(4_000)
+        .exec_ctx(ctx.clone());
 
     let ambiguous: Vec<u64> = nodes
         .iter()

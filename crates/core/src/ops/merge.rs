@@ -17,7 +17,8 @@
 use crate::ids::contig_id;
 use crate::node::{AsmNode, Edge, NodeSeq};
 use crate::polarity::{Direction, Polarity, Side};
-use ppa_pregel::mapreduce::{map_reduce_partitioned, Emitter, MapReduceMetrics};
+use ppa_pregel::mapreduce::{map_reduce_partitioned_on, Emitter, MapReduceMetrics};
+use ppa_pregel::ExecCtx;
 use ppa_seq::{DnaString, Orientation};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -264,19 +265,32 @@ pub(crate) fn stitch_group(
 
 /// Runs contig merging: groups the labelled vertices by label with a
 /// mini-MapReduce pass and stitches every group into a contig vertex.
+/// (Private worker pool; inside a workflow, prefer [`merge_contigs_on`].)
 pub fn merge_contigs(
     nodes: &[AsmNode],
     labels: &[(u64, u64)],
     config: &MergeConfig,
 ) -> MergeOutcome {
+    merge_contigs_on(&ExecCtx::new(config.workers), nodes, labels, config)
+}
+
+/// Runs contig merging on a caller-provided execution context (whose pool
+/// size must match `config.workers`).
+pub fn merge_contigs_on(
+    ctx: &ExecCtx,
+    nodes: &[AsmNode],
+    labels: &[(u64, u64)],
+    config: &MergeConfig,
+) -> MergeOutcome {
+    ctx.assert_matches(config.workers, "MergeConfig.workers");
     let by_id: HashMap<u64, &AsmNode> = nodes.iter().map(|n| (n.id, n)).collect();
     let inputs: Vec<(u64, u64)> = labels.to_vec();
     let k = config.k;
     let tip = config.tip_length_threshold;
 
-    let (per_worker, mapreduce) = map_reduce_partitioned(
+    let (per_worker, mapreduce) = map_reduce_partitioned_on(
+        ctx,
         inputs,
-        config.workers,
         |(node_id, label): (u64, u64), out: &mut Emitter<'_, u64, &AsmNode>| {
             if let Some(node) = by_id.get(&node_id) {
                 out.emit(label, *node);

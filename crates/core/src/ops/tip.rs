@@ -23,7 +23,7 @@ use crate::ids::{is_null, NULL_ID};
 use crate::node::{AsmNode, Edge, VertexType};
 use crate::polarity::Side;
 use ppa_pregel::aggregate::Count;
-use ppa_pregel::{Context, Metrics, PregelConfig, VertexProgram, VertexSet};
+use ppa_pregel::{Context, ExecCtx, Metrics, PregelConfig, VertexProgram, VertexSet};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -412,13 +412,34 @@ impl VertexProgram for TipProgram {
 }
 
 /// Runs tip removing over the ambiguous k-mer vertices and the contig vertices
-/// produced by merging (after bubble filtering).
+/// produced by merging (after bubble filtering). (Private worker pool; inside
+/// a workflow, prefer [`remove_tips_on`].)
 pub fn remove_tips(
     ambiguous_kmers: &[AsmNode],
     contigs: &[AsmNode],
     config: &TipConfig,
 ) -> TipOutcome {
-    let pregel_config = PregelConfig::with_workers(config.workers).max_supersteps(10_000);
+    remove_tips_on(
+        &ExecCtx::new(config.workers),
+        ambiguous_kmers,
+        contigs,
+        config,
+    )
+}
+
+/// Runs tip removing on a caller-provided execution context (whose pool size
+/// must match `config.workers`): the underlying Pregel job executes on the
+/// context's persistent pool.
+pub fn remove_tips_on(
+    ctx: &ExecCtx,
+    ambiguous_kmers: &[AsmNode],
+    contigs: &[AsmNode],
+    config: &TipConfig,
+) -> TipOutcome {
+    ctx.assert_matches(config.workers, "TipConfig.workers");
+    let pregel_config = PregelConfig::with_workers(config.workers)
+        .max_supersteps(10_000)
+        .exec_ctx(ctx.clone());
     let program = TipProgram {
         k: config.k,
         threshold: config.tip_length_threshold,

@@ -10,13 +10,14 @@
 //! strategy can call the operations in [`crate::ops`] directly.
 
 use crate::node::AsmNode;
-use crate::ops::bubble::{filter_bubbles, remove_pruned, BubbleConfig};
-use crate::ops::construct::{build_dbg, ConstructConfig};
-use crate::ops::label::{label_contigs_lr, LabelOutcome};
-use crate::ops::label_sv::label_contigs_sv;
-use crate::ops::merge::{merge_contigs, MergeConfig};
-use crate::ops::tip::{remove_tips, TipConfig};
+use crate::ops::bubble::{filter_bubbles_on, remove_pruned, BubbleConfig};
+use crate::ops::construct::{build_dbg_on, ConstructConfig};
+use crate::ops::label::{label_contigs_lr_on, LabelOutcome};
+use crate::ops::label_sv::label_contigs_sv_on;
+use crate::ops::merge::{merge_contigs_on, MergeConfig};
+use crate::ops::tip::{remove_tips_on, TipConfig};
 use crate::stats::{n50, CorrectionStats, LabelStats, MergeStats, WorkflowStats};
+use ppa_pregel::ExecCtx;
 use ppa_seq::{DnaString, FastxRecord, ReadSet};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -52,6 +53,14 @@ pub struct AssemblyConfig {
     pub error_correction_rounds: usize,
     /// Contigs shorter than this are dropped from the final output.
     pub min_contig_length: usize,
+    /// Persistent execution context to run every operation on. When `None`
+    /// (the default), [`assemble`] builds one context for the run — either
+    /// way, all five operations of all rounds execute on a single long-lived
+    /// worker pool. Supply a context to share the pool across several
+    /// assemblies (e.g. a parameter sweep). Runtime-only: not part of the
+    /// serialised configuration, and its pool size must match `workers`.
+    #[serde(skip)]
+    pub exec: Option<ExecCtx>,
 }
 
 impl Default for AssemblyConfig {
@@ -67,6 +76,7 @@ impl Default for AssemblyConfig {
             labeling: LabelingAlgorithm::ListRanking,
             error_correction_rounds: 1,
             min_contig_length: 0,
+            exec: None,
         }
     }
 }
@@ -152,21 +162,32 @@ impl Assembly {
     }
 }
 
-fn run_labeling(algorithm: LabelingAlgorithm, nodes: &[AsmNode], workers: usize) -> LabelOutcome {
+fn run_labeling(algorithm: LabelingAlgorithm, ctx: &ExecCtx, nodes: &[AsmNode]) -> LabelOutcome {
     match algorithm {
-        LabelingAlgorithm::ListRanking => label_contigs_lr(nodes, workers),
-        LabelingAlgorithm::SimplifiedSV => label_contigs_sv(nodes, workers),
+        LabelingAlgorithm::ListRanking => label_contigs_lr_on(ctx, nodes),
+        LabelingAlgorithm::SimplifiedSV => label_contigs_sv_on(ctx, nodes),
     }
 }
 
 /// Runs the standard PPA-assembler workflow over a read set.
+///
+/// Every operation of every round — DBG construction, labeling, merging,
+/// bubble filtering, tip removing — executes on one persistent worker pool
+/// ([`AssemblyConfig::exec`], or a pool built here when unset): threads are
+/// spawned once per run, not once per superstep/phase.
 pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
     let total_start = Instant::now();
     let mut stats = WorkflowStats::default();
+    let ctx = config
+        .exec
+        .clone()
+        .unwrap_or_else(|| ExecCtx::new(config.workers));
+    ctx.assert_matches(config.workers, "AssemblyConfig.workers");
 
     // ── ① DBG construction ────────────────────────────────────────────────
     let stage = Instant::now();
-    let construct = build_dbg(
+    let construct = build_dbg_on(
+        &ctx,
         reads,
         &ConstructConfig {
             k: config.k,
@@ -184,7 +205,7 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
 
     // ── ② contig labeling (round 1, k-mer vertices) ───────────────────────
     let stage = Instant::now();
-    let label1 = run_labeling(config.labeling, &nodes, config.workers);
+    let label1 = run_labeling(config.labeling, &ctx, &nodes);
     stats.record_stage("2 contig labeling (k-mers)", stage.elapsed());
     stats.label_round1 = LabelStats::from_metrics(
         &label1.metrics,
@@ -200,7 +221,7 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
         tip_length_threshold: config.tip_length_threshold,
         workers: config.workers,
     };
-    let merge1 = merge_contigs(&nodes, &label1.labels, &merge_cfg);
+    let merge1 = merge_contigs_on(&ctx, &nodes, &label1.labels, &merge_cfg);
     stats.record_stage("3 contig merging (round 1)", stage.elapsed());
     stats.merge_round1 = MergeStats {
         groups: merge1.groups,
@@ -222,7 +243,8 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
     for round in 0..config.error_correction_rounds {
         // ④ bubble filtering.
         let stage = Instant::now();
-        let bubbles = filter_bubbles(
+        let bubbles = filter_bubbles_on(
+            &ctx,
             &contigs,
             &BubbleConfig {
                 max_edit_distance: config.bubble_edit_distance,
@@ -237,7 +259,8 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
 
         // ⑤ tip removing (also rewires the ambiguous k-mers to the contigs).
         let stage = Instant::now();
-        let tips = remove_tips(
+        let tips = remove_tips_on(
+            &ctx,
             &ambiguous_kmers,
             &contigs,
             &TipConfig {
@@ -267,7 +290,7 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
             .collect();
 
         let stage = Instant::now();
-        let label2 = run_labeling(config.labeling, &mixed, config.workers);
+        let label2 = run_labeling(config.labeling, &ctx, &mixed);
         stats.record_stage(
             format!("2 contig labeling (contigs, round {})", round + 2),
             stage.elapsed(),
@@ -280,7 +303,7 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
         ));
 
         let stage = Instant::now();
-        let merge2 = merge_contigs(&mixed, &label2.labels, &merge_cfg);
+        let merge2 = merge_contigs_on(&ctx, &mixed, &label2.labels, &merge_cfg);
         stats.record_stage(
             format!("3 contig merging (round {})", round + 2),
             stage.elapsed(),
@@ -337,6 +360,7 @@ mod tests {
             labeling: LabelingAlgorithm::ListRanking,
             error_correction_rounds: 1,
             min_contig_length: 0,
+            exec: None,
         }
     }
 

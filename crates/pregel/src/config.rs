@@ -1,5 +1,6 @@
 //! Runtime configuration for the Pregel engine.
 
+use crate::engine::ExecCtx;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for a Pregel job.
@@ -16,6 +17,13 @@ pub struct PregelConfig {
     /// Whether to record a per-superstep metrics breakdown in addition to the
     /// job totals.
     pub track_supersteps: bool,
+    /// Persistent execution context to run on. When set, the job executes on
+    /// the context's long-lived worker pool (and parks its shuffle planes in
+    /// the context between jobs); when `None`, the runner builds a private
+    /// single-job pool. Runtime-only: not part of the serialised
+    /// configuration.
+    #[serde(skip)]
+    pub exec: Option<ExecCtx>,
 }
 
 impl PregelConfig {
@@ -39,6 +47,14 @@ impl PregelConfig {
         self.track_supersteps = track;
         self
     }
+
+    /// Runs the job on the given persistent execution context. Also aligns
+    /// `workers` with the context's pool size (the two must agree).
+    pub fn exec_ctx(mut self, ctx: ExecCtx) -> PregelConfig {
+        self.workers = ctx.workers();
+        self.exec = Some(ctx);
+        self
+    }
 }
 
 impl Default for PregelConfig {
@@ -49,6 +65,7 @@ impl Default for PregelConfig {
                 .unwrap_or(4),
             max_supersteps: 10_000,
             track_supersteps: true,
+            exec: None,
         }
     }
 }
@@ -75,5 +92,14 @@ mod tests {
             .track_supersteps(false);
         assert_eq!(c.max_supersteps, 99);
         assert!(!c.track_supersteps);
+        assert_eq!(c.exec, None);
+    }
+
+    #[test]
+    fn exec_ctx_aligns_worker_count() {
+        let ctx = ExecCtx::new(3);
+        let c = PregelConfig::with_workers(8).exec_ctx(ctx.clone());
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.exec, Some(ctx));
     }
 }

@@ -64,6 +64,25 @@
 //! (`ppa_bench::legacy`); `cargo bench -p ppa_bench --bench message_plane`
 //! compares the two and `BENCH_message_plane.json` records the snapshot
 //! (≈3× on message-heavy labeling, ≈7× on a 1M-pair shuffle).
+//!
+//! # Execution engine
+//!
+//! All of the parallel entry points — the superstep runner's compute and
+//! shuffle phases, the mini MapReduce's map and reduce phases, and
+//! [`VertexSet::convert`] — execute on the persistent worker pool of
+//! [`engine`] (per-superstep aggregate folding is a cheap O(workers) pass
+//! that stays on the dispatching thread): threads are spawned once per
+//! [`ExecCtx`] and phases are handed
+//! to the parked workers, instead of creating a fresh `std::thread::scope`
+//! team per superstep/phase. An `ExecCtx` travels inside
+//! [`PregelConfig::exec`](config::PregelConfig::exec) (and, one level up,
+//! `AssemblyConfig::exec` in `ppa_assembler`), so a whole multi-job workflow
+//! runs on one worker team; entry points called without a context build a
+//! private single-job pool. The `ExecCtx` also owns the runner's shuffle
+//! planes between jobs, extending buffer reuse across whole job chains. The
+//! per-phase scoped-spawn dispatch this replaced is preserved in
+//! `ppa_bench::legacy`; `BENCH_worker_pool.json` records the comparison on a
+//! short-superstep chain workload.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -72,6 +91,7 @@ pub mod aggregate;
 pub mod algorithms;
 pub mod chain;
 pub mod config;
+pub mod engine;
 pub mod fxhash;
 mod kmerge;
 pub mod mapreduce;
@@ -83,8 +103,12 @@ pub mod vertex_set;
 pub use aggregate::{Aggregate, BoolOr, Count, MaxU64, MinU64, NoAggregate, SumU64};
 pub use chain::{ChainMode, SpillCodec};
 pub use config::PregelConfig;
-pub use mapreduce::{map_reduce, map_reduce_with_metrics, MapReduceMetrics};
+pub use engine::{ExecCtx, WorkerPool};
+pub use mapreduce::{
+    map_reduce, map_reduce_on, map_reduce_with_metrics, map_reduce_with_metrics_on,
+    MapReduceMetrics,
+};
 pub use metrics::{Metrics, SuperstepMetrics};
-pub use runner::{run, run_from_pairs};
+pub use runner::{run, run_from_pairs, run_on};
 pub use vertex::{Context, VertexKey, VertexProgram};
 pub use vertex_set::VertexSet;

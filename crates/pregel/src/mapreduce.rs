@@ -19,7 +19,13 @@
 //! The partitioned variant [`map_reduce_partitioned`] exposes which worker
 //! produced each output, which contig merging needs in order to mint contig
 //! IDs of the form `worker ‖ ordinal` (Figure 7c).
+//!
+//! Both phases dispatch onto a persistent [`ExecCtx`] worker pool: the `*_on`
+//! variants run on a caller-provided context (one pool shared by a whole
+//! workflow), while the plain variants build a private single-pass context —
+//! either way, no per-phase thread scope is created.
 
+use crate::engine::ExecCtx;
 use crate::fxhash::hash_one;
 use serde::{Deserialize, Serialize};
 use std::hash::Hash;
@@ -100,10 +106,45 @@ where
     MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
     RF: Fn(&K, &mut [V], &mut Vec<O>) + Sync,
 {
+    map_reduce_with_metrics_on(&ExecCtx::new(workers), inputs, map_fn, reduce_fn)
+}
+
+/// [`map_reduce`] on a caller-provided execution context (the worker count is
+/// the context's pool size).
+pub fn map_reduce_on<I, K, V, O, MF, RF>(
+    ctx: &ExecCtx,
+    inputs: Vec<I>,
+    map_fn: MF,
+    reduce_fn: RF,
+) -> Vec<O>
+where
+    I: Send,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send,
+    MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
+    RF: Fn(&K, &mut [V], &mut Vec<O>) + Sync,
+{
+    map_reduce_with_metrics_on(ctx, inputs, map_fn, reduce_fn).0
+}
+
+/// [`map_reduce_with_metrics`] on a caller-provided execution context.
+pub fn map_reduce_with_metrics_on<I, K, V, O, MF, RF>(
+    ctx: &ExecCtx,
+    inputs: Vec<I>,
+    map_fn: MF,
+    reduce_fn: RF,
+) -> (Vec<O>, MapReduceMetrics)
+where
+    I: Send,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send,
+    MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
+    RF: Fn(&K, &mut [V], &mut Vec<O>) + Sync,
+{
     let (per_worker, metrics) =
-        map_reduce_partitioned(inputs, workers, map_fn, |_w, k, vs, out| {
-            reduce_fn(k, vs, out)
-        });
+        map_reduce_partitioned_on(ctx, inputs, map_fn, |_w, k, vs, out| reduce_fn(k, vs, out));
     (per_worker.into_iter().flatten().collect(), metrics)
 }
 
@@ -123,7 +164,27 @@ where
     MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
     RF: Fn(usize, &K, &mut [V], &mut Vec<O>) + Sync,
 {
-    let workers = workers.max(1);
+    map_reduce_partitioned_on(&ExecCtx::new(workers), inputs, map_fn, reduce_fn)
+}
+
+/// [`map_reduce_partitioned`] on a caller-provided execution context: both
+/// the map and the reduce phase dispatch onto the context's persistent pool
+/// instead of spawning a thread scope each.
+pub fn map_reduce_partitioned_on<I, K, V, O, MF, RF>(
+    ctx: &ExecCtx,
+    inputs: Vec<I>,
+    map_fn: MF,
+    reduce_fn: RF,
+) -> (Vec<Vec<O>>, MapReduceMetrics)
+where
+    I: Send,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send,
+    MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
+    RF: Fn(usize, &K, &mut [V], &mut Vec<O>) + Sync,
+{
+    let workers = ctx.workers();
     let start = Instant::now();
     let input_records = inputs.len() as u64;
 
@@ -136,31 +197,19 @@ where
             chunks.push(it.by_ref().take(chunk_size).collect());
         }
     }
-    let mut shuffled: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                let map_fn = &map_fn;
-                scope.spawn(move || {
-                    let mut out: Vec<Vec<(K, V)>> = (0..workers).map(|_| Vec::new()).collect();
-                    let mut emitter = Emitter { out: &mut out };
-                    for item in chunk {
-                        map_fn(item, &mut emitter);
-                    }
-                    // Presort per destination so that the reduce side only
-                    // k-way-merges: the sort work runs here, parallel across
-                    // all map threads.
-                    for buf in out.iter_mut() {
-                        buf.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            shuffled.push(h.join().expect("map worker panicked"));
+    let shuffled: Vec<Vec<Vec<(K, V)>>> = ctx.pool().run_per_worker(chunks, |_w, chunk| {
+        let mut out: Vec<Vec<(K, V)>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut emitter = Emitter { out: &mut out };
+        for item in chunk {
+            map_fn(item, &mut emitter);
         }
+        // Presort per destination so that the reduce side only
+        // k-way-merges: the sort work runs here, parallel across
+        // all map workers.
+        for buf in out.iter_mut() {
+            buf.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        }
+        out
     });
 
     // ---- shuffle: transpose the per-source buffers to per-destination.
@@ -174,52 +223,41 @@ where
     }
 
     // ---- reduce phase: flat sort-based grouping, then reduce each key run.
+    let results: Vec<(Vec<O>, u64)> = ctx.pool().run_per_worker(incoming, |w, mut bufs| {
+        // K-way merge of the pre-sorted source buffers straight
+        // into one key per group plus a flat value buffer; each
+        // group is the contiguous value run of its key. This
+        // replaces the hash map *and* the sorted-key pass the
+        // hash-based grouping needed for determinism (ties prefer
+        // the lower source worker, so the merge is deterministic).
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        let mut group_keys: Vec<(K, usize)> = Vec::new();
+        let mut vals: Vec<V> = Vec::with_capacity(total);
+        crate::kmerge::merge_sorted_buffers(&mut bufs, |k, v| {
+            let new_group = match group_keys.last() {
+                Some((last, _)) => *last != k,
+                None => true,
+            };
+            if new_group {
+                group_keys.push((k, vals.len()));
+            }
+            vals.push(v);
+        });
+        let group_count = group_keys.len() as u64;
+        let mut out = Vec::new();
+        for g in 0..group_keys.len() {
+            let start = group_keys[g].1;
+            let end = group_keys.get(g + 1).map(|(_, s)| *s).unwrap_or(vals.len());
+            reduce_fn(w, &group_keys[g].0, &mut vals[start..end], &mut out);
+        }
+        (out, group_count)
+    });
     let mut outputs: Vec<Vec<O>> = Vec::with_capacity(workers);
     let mut groups = 0u64;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = incoming
-            .into_iter()
-            .enumerate()
-            .map(|(w, bufs)| {
-                let reduce_fn = &reduce_fn;
-                scope.spawn(move || {
-                    // K-way merge of the pre-sorted source buffers straight
-                    // into one key per group plus a flat value buffer; each
-                    // group is the contiguous value run of its key. This
-                    // replaces the hash map *and* the sorted-key pass the
-                    // hash-based grouping needed for determinism (ties prefer
-                    // the lower source worker, so the merge is deterministic).
-                    let total: usize = bufs.iter().map(|b| b.len()).sum();
-                    let mut bufs = bufs;
-                    let mut group_keys: Vec<(K, usize)> = Vec::new();
-                    let mut vals: Vec<V> = Vec::with_capacity(total);
-                    crate::kmerge::merge_sorted_buffers(&mut bufs, |k, v| {
-                        let new_group = match group_keys.last() {
-                            Some((last, _)) => *last != k,
-                            None => true,
-                        };
-                        if new_group {
-                            group_keys.push((k, vals.len()));
-                        }
-                        vals.push(v);
-                    });
-                    let group_count = group_keys.len() as u64;
-                    let mut out = Vec::new();
-                    for g in 0..group_keys.len() {
-                        let start = group_keys[g].1;
-                        let end = group_keys.get(g + 1).map(|(_, s)| *s).unwrap_or(vals.len());
-                        reduce_fn(w, &group_keys[g].0, &mut vals[start..end], &mut out);
-                    }
-                    (out, group_count)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (out, g) = h.join().expect("reduce worker panicked");
-            groups += g;
-            outputs.push(out);
-        }
-    });
+    for (out, g) in results {
+        groups += g;
+        outputs.push(out);
+    }
 
     let output_records = outputs.iter().map(|o| o.len() as u64).sum();
     let metrics = MapReduceMetrics {
@@ -312,6 +350,28 @@ mod tests {
         }
         let total: usize = per_worker.iter().map(|o| o.len()).sum();
         assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn shared_ctx_reused_across_passes() {
+        // One pool drives several consecutive passes — the workflow shape.
+        let ctx = ExecCtx::new(3);
+        for round in 1u64..=4 {
+            let inputs: Vec<u64> = (0..60).collect();
+            let mut out = map_reduce_on(
+                &ctx,
+                inputs,
+                |x: u64, out: &mut Emitter<'_, u64, u64>| out.emit(x % 5, x * round),
+                |k: &u64, vs: &mut [u64], out: &mut Vec<(u64, u64)>| {
+                    out.push((*k, vs.iter().sum::<u64>()))
+                },
+            );
+            out.sort_unstable();
+            let expected: u64 = (0..60u64).map(|x| x * round).sum();
+            assert_eq!(out.iter().map(|&(_, s)| s).sum::<u64>(), expected);
+            assert_eq!(out.len(), 5);
+        }
+        assert!(ctx.pool().busy_nanos() > 0);
     }
 
     #[test]

@@ -22,6 +22,16 @@ pub struct SuperstepMetrics {
     pub messages_dropped: u64,
     /// Wall-clock time of the superstep (compute + message shuffle).
     pub elapsed: Duration,
+    /// Wall-clock time of the compute phase alone.
+    pub compute_elapsed: Duration,
+    /// Wall-clock time of the shuffle phase alone.
+    pub shuffle_elapsed: Duration,
+    /// Fraction of the worker pool's capacity spent executing jobs during
+    /// this superstep: worker busy time summed over the pool, divided by
+    /// `workers × (compute + shuffle wall-clock)`. Values near 1.0 mean the
+    /// phases kept every thread busy; low values on short supersteps expose
+    /// dispatch overhead and load imbalance.
+    pub pool_utilization: f64,
 }
 
 /// Metrics of a whole Pregel job.
@@ -109,6 +119,9 @@ mod tests {
                 messages_sent: 7,
                 messages_dropped: 0,
                 elapsed: Duration::from_millis(3),
+                compute_elapsed: Duration::from_millis(2),
+                shuffle_elapsed: Duration::from_millis(1),
+                pool_utilization: 0.5,
             }],
         };
         a.absorb(&b);

@@ -23,41 +23,52 @@
 //!    during the merge.
 //!
 //! All buffers — per-destination outboxes, the sorted `ids`/`messages` arrays
-//! and the combine scratch — live in per-worker [`WorkerPlane`]s allocated
-//! once per job and reused across supersteps, so a steady-state superstep
-//! performs no per-vertex or per-superstep container allocation. This
-//! replaces the earlier `FxHashMap<Id, Vec<Message>>` grouping (one heap
-//! `Vec` per receiving vertex per superstep), which dominated the shuffle
-//! cost; see the `message_plane` benchmark for the before/after comparison.
+//! and the combine scratch — live in per-worker [`WorkerPlane`]s reused
+//! across supersteps, so a steady-state superstep performs no per-vertex or
+//! per-superstep container allocation. This replaces the earlier
+//! `FxHashMap<Id, Vec<Message>>` grouping (one heap `Vec` per receiving
+//! vertex per superstep), which dominated the shuffle cost; see the
+//! `message_plane` benchmark for the before/after comparison.
+//!
+//! Both phases are dispatched onto the persistent worker pool of an
+//! [`ExecCtx`] — either the one carried by
+//! [`PregelConfig::exec`](crate::config::PregelConfig::exec) (shared across a
+//! whole workflow, with the planes parked in the context between jobs) or a
+//! private single-job context; no per-superstep thread scope is created
+//! anywhere. See the `engine` module docs and the `worker_pool` benchmark for
+//! the scoped-spawn comparison.
 //!
 //! This mirrors the bulk-synchronous structure of Pregel+ with the network
 //! replaced by in-memory buffer handoff.
 
 use crate::aggregate::Aggregate;
 use crate::config::PregelConfig;
+use crate::engine::ExecCtx;
 use crate::metrics::{Metrics, SuperstepMetrics};
-use crate::vertex::{Context, VertexProgram};
+use crate::vertex::{Context, VertexKey, VertexProgram};
 use crate::vertex_set::VertexSet;
 use std::time::Instant;
 
 /// One `(destination vertex, message)` buffer per destination worker.
 type OutboxColumn<P> = Vec<Vec<(<P as VertexProgram>::Id, <P as VertexProgram>::Message)>>;
 
-/// Reusable per-worker message-plane buffers, allocated once per job.
-struct WorkerPlane<P: VertexProgram> {
+/// Reusable per-worker message-plane buffers. Allocated once, reused across
+/// supersteps, and parked in the [`ExecCtx`] scratch cache between jobs so
+/// consecutive jobs with the same id/message types also reuse them.
+struct WorkerPlane<I, M> {
     /// Sorted vertex IDs of the inbound messages, parallel to `in_msgs`.
-    in_ids: Vec<P::Id>,
+    in_ids: Vec<I>,
     /// Inbound messages; `in_msgs[i]` is addressed to `in_ids[i]`, and the
     /// messages of one vertex form a contiguous run.
-    in_msgs: Vec<P::Message>,
+    in_msgs: Vec<M>,
     /// Scratch buffer for sender-side combining.
-    scratch: Vec<(P::Id, P::Message)>,
+    scratch: Vec<(I, M)>,
     /// One outbound buffer per destination worker.
-    outbox: Vec<Vec<(P::Id, P::Message)>>,
+    outbox: Vec<Vec<(I, M)>>,
 }
 
-impl<P: VertexProgram> WorkerPlane<P> {
-    fn new(workers: usize) -> WorkerPlane<P> {
+impl<I, M> WorkerPlane<I, M> {
+    fn new(workers: usize) -> WorkerPlane<I, M> {
         WorkerPlane {
             in_ids: Vec::new(),
             in_msgs: Vec::new(),
@@ -65,6 +76,34 @@ impl<P: VertexProgram> WorkerPlane<P> {
             outbox: (0..workers).map(|_| Vec::new()).collect(),
         }
     }
+
+    /// Empties every buffer (keeping capacity) so the plane can be parked in
+    /// the scratch cache without holding user data.
+    fn clear(&mut self) {
+        self.in_ids.clear();
+        self.in_msgs.clear();
+        self.scratch.clear();
+        for buf in &mut self.outbox {
+            buf.clear();
+        }
+    }
+}
+
+/// Takes the parked planes for `(I, M)` out of the context, or builds fresh
+/// ones when none fit the current worker count.
+fn planes_from_ctx<I: VertexKey, M: Send + 'static>(
+    ctx: &ExecCtx,
+    workers: usize,
+) -> Vec<WorkerPlane<I, M>> {
+    if let Some(mut planes) = ctx.take_scratch::<Vec<WorkerPlane<I, M>>>() {
+        if planes.len() == workers && planes.iter().all(|p| p.outbox.len() == workers) {
+            for plane in &mut planes {
+                plane.clear();
+            }
+            return planes;
+        }
+    }
+    (0..workers).map(|_| WorkerPlane::new(workers)).collect()
 }
 
 /// Per-worker counters produced by one compute phase.
@@ -77,6 +116,11 @@ struct ComputeCounts<A> {
 }
 
 /// Runs `program` over `vertices` until convergence and returns the metrics.
+///
+/// Executes on the persistent worker pool of
+/// [`config.exec`](crate::config::PregelConfig::exec) when one is set (the
+/// common case inside a workflow — all jobs share one pool and reuse its
+/// shuffle planes), or on a private single-job pool otherwise.
 ///
 /// The vertex set keeps the final vertex values; a typical operation runs a
 /// job and then inspects or [`convert`](VertexSet::convert)s the set.
@@ -91,6 +135,21 @@ pub fn run<P: VertexProgram>(
     config: &PregelConfig,
     vertices: &mut VertexSet<P::Id, P::Value>,
 ) -> Metrics {
+    match config.exec.as_ref() {
+        Some(ctx) => run_on(ctx, program, config, vertices),
+        None => run_on(&ExecCtx::new(config.workers), program, config, vertices),
+    }
+}
+
+/// Like [`run`], but on an explicit execution context (ignoring
+/// `config.exec`). `ctx`, `config` and `vertices` must agree on the worker
+/// count.
+pub fn run_on<P: VertexProgram>(
+    ctx: &ExecCtx,
+    program: &P,
+    config: &PregelConfig,
+    vertices: &mut VertexSet<P::Id, P::Value>,
+) -> Metrics {
     assert_eq!(
         config.workers,
         vertices.workers(),
@@ -98,12 +157,13 @@ pub fn run<P: VertexProgram>(
         config.workers,
         vertices.workers()
     );
+    ctx.assert_matches(vertices.workers(), "VertexSet partitioning");
     let workers = vertices.workers();
     let total_vertices = vertices.len();
     let job_start = Instant::now();
 
     vertices.activate_all();
-    let mut planes: Vec<WorkerPlane<P>> = (0..workers).map(|_| WorkerPlane::new(workers)).collect();
+    let mut planes: Vec<WorkerPlane<P::Id, P::Message>> = planes_from_ctx(ctx, workers);
     let mut prev_aggregate = P::Aggregate::identity();
     let mut metrics = Metrics {
         converged: false,
@@ -117,118 +177,109 @@ pub fn run<P: VertexProgram>(
             break;
         }
         let step_start = Instant::now();
+        let busy_before = ctx.pool().busy_nanos();
 
-        // ---- compute phase -------------------------------------------------
-        let mut counts: Vec<ComputeCounts<P::Aggregate>> = Vec::with_capacity(workers);
-        {
+        // ---- compute phase (dispatched onto the persistent pool) ------------
+        let counts: Vec<ComputeCounts<P::Aggregate>> = {
             let prev_agg = &prev_aggregate;
             let worker_inputs: Vec<_> = vertices.parts.iter_mut().zip(planes.iter_mut()).collect();
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = worker_inputs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(w, (part, plane))| {
-                        scope.spawn(move || {
-                            let mut local_aggregate = P::Aggregate::identity();
-                            let mut messages_sent = 0u64;
-                            let mut active = 0usize;
-                            let mut messages_dropped = 0u64;
-                            // The stamp marks vertices computed in this
-                            // superstep (stamp 0 = never, hence the +1).
-                            let stamp = superstep + 1;
+            ctx.pool()
+                .run_per_worker(worker_inputs, |w, (part, plane)| {
+                    let mut local_aggregate = P::Aggregate::identity();
+                    let mut messages_sent = 0u64;
+                    let mut active = 0usize;
+                    let mut messages_dropped = 0u64;
+                    // The stamp marks vertices computed in this
+                    // superstep (stamp 0 = never, hence the +1).
+                    let stamp = superstep + 1;
 
-                            // Pass 1: walk the sorted message runs; one hash
-                            // lookup per *receiving* vertex, one contiguous
-                            // slice per vertex, nothing allocated.
-                            let n_in = plane.in_ids.len();
-                            let mut i = 0usize;
-                            while i < n_in {
-                                let id = plane.in_ids[i];
-                                let mut j = i + 1;
-                                while j < n_in && plane.in_ids[j] == id {
-                                    j += 1;
-                                }
-                                if let Some(entry) = part.get_mut(&id) {
-                                    entry.halted = false;
-                                    entry.stamp = stamp;
-                                    active += 1;
-                                    let mut ctx: Context<'_, P> = Context {
-                                        superstep,
-                                        worker: w,
-                                        num_workers: workers,
-                                        total_vertices,
-                                        prev_aggregate: prev_agg,
-                                        local_aggregate: &mut local_aggregate,
-                                        outbox: &mut plane.outbox,
-                                        messages_sent: &mut messages_sent,
-                                        halt: false,
-                                    };
-                                    program.compute(
-                                        &mut ctx,
-                                        id,
-                                        &mut entry.value,
-                                        &mut plane.in_msgs[i..j],
-                                    );
-                                    entry.halted = ctx.halt;
-                                } else {
-                                    // Addressed to a vertex this worker does
-                                    // not host.
-                                    messages_dropped += (j - i) as u64;
-                                }
-                                i = j;
-                            }
+                    // Pass 1: walk the sorted message runs; one hash
+                    // lookup per *receiving* vertex, one contiguous
+                    // slice per vertex, nothing allocated.
+                    let n_in = plane.in_ids.len();
+                    let mut i = 0usize;
+                    while i < n_in {
+                        let id = plane.in_ids[i];
+                        let mut j = i + 1;
+                        while j < n_in && plane.in_ids[j] == id {
+                            j += 1;
+                        }
+                        if let Some(entry) = part.get_mut(&id) {
+                            entry.halted = false;
+                            entry.stamp = stamp;
+                            active += 1;
+                            let mut vctx: Context<'_, P> = Context {
+                                superstep,
+                                worker: w,
+                                num_workers: workers,
+                                total_vertices,
+                                prev_aggregate: prev_agg,
+                                local_aggregate: &mut local_aggregate,
+                                outbox: &mut plane.outbox,
+                                messages_sent: &mut messages_sent,
+                                halt: false,
+                            };
+                            program.compute(
+                                &mut vctx,
+                                id,
+                                &mut entry.value,
+                                &mut plane.in_msgs[i..j],
+                            );
+                            entry.halted = vctx.halt;
+                        } else {
+                            // Addressed to a vertex this worker does
+                            // not host.
+                            messages_dropped += (j - i) as u64;
+                        }
+                        i = j;
+                    }
 
-                            // Pass 2: active vertices that received nothing.
-                            let mut all_halted = true;
-                            for (id, entry) in part.iter_mut() {
-                                if entry.stamp == stamp {
-                                    all_halted &= entry.halted;
-                                    continue;
-                                }
-                                if entry.halted {
-                                    continue;
-                                }
-                                active += 1;
-                                let mut ctx: Context<'_, P> = Context {
-                                    superstep,
-                                    worker: w,
-                                    num_workers: workers,
-                                    total_vertices,
-                                    prev_aggregate: prev_agg,
-                                    local_aggregate: &mut local_aggregate,
-                                    outbox: &mut plane.outbox,
-                                    messages_sent: &mut messages_sent,
-                                    halt: false,
-                                };
-                                program.compute(&mut ctx, *id, &mut entry.value, &mut []);
-                                entry.halted = ctx.halt;
-                                all_halted &= entry.halted;
-                            }
+                    // Pass 2: active vertices that received nothing.
+                    let mut all_halted = true;
+                    for (id, entry) in part.iter_mut() {
+                        if entry.stamp == stamp {
+                            all_halted &= entry.halted;
+                            continue;
+                        }
+                        if entry.halted {
+                            continue;
+                        }
+                        active += 1;
+                        let mut vctx: Context<'_, P> = Context {
+                            superstep,
+                            worker: w,
+                            num_workers: workers,
+                            total_vertices,
+                            prev_aggregate: prev_agg,
+                            local_aggregate: &mut local_aggregate,
+                            outbox: &mut plane.outbox,
+                            messages_sent: &mut messages_sent,
+                            halt: false,
+                        };
+                        program.compute(&mut vctx, *id, &mut entry.value, &mut []);
+                        entry.halted = vctx.halt;
+                        all_halted &= entry.halted;
+                    }
 
-                            // Presort every destination buffer (spreading the
-                            // shuffle's sort work over the compute threads)
-                            // and fold duplicates if the program combines.
-                            for buf in plane.outbox.iter_mut() {
-                                buf.sort_unstable_by_key(|a| a.0);
-                            }
-                            if P::USE_COMBINER {
-                                combine_outbox(program, plane);
-                            }
-                            ComputeCounts::<P::Aggregate> {
-                                local_aggregate,
-                                messages_sent,
-                                messages_dropped,
-                                active,
-                                all_halted,
-                            }
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    counts.push(h.join().expect("pregel worker panicked"));
-                }
-            });
-        }
+                    // Presort every destination buffer (spreading the
+                    // shuffle's sort work over the compute threads)
+                    // and fold duplicates if the program combines.
+                    for buf in plane.outbox.iter_mut() {
+                        buf.sort_unstable_by_key(|a| a.0);
+                    }
+                    if P::USE_COMBINER {
+                        combine_outbox(program, plane);
+                    }
+                    ComputeCounts::<P::Aggregate> {
+                        local_aggregate,
+                        messages_sent,
+                        messages_dropped,
+                        active,
+                        all_halted,
+                    }
+                })
+        };
+        let compute_elapsed = step_start.elapsed();
 
         // ---- aggregate & bookkeeping ---------------------------------------
         let mut aggregate = P::Aggregate::identity();
@@ -244,11 +295,12 @@ pub fn run<P: VertexProgram>(
             all_halted &= c.all_halted;
         }
 
-        // ---- shuffle phase --------------------------------------------------
+        // ---- shuffle phase (dispatched onto the persistent pool) ------------
         // Transpose outbox buffer ownership: worker `src` hands its buffer for
-        // destination `dst` to `dst`'s shuffle thread. Only `Vec` headers move;
+        // destination `dst` to `dst`'s shuffle job. Only `Vec` headers move;
         // the allocations travel to the shuffle and come back afterwards so
         // their capacity is reused next superstep.
+        let shuffle_start = Instant::now();
         let mut columns: Vec<OutboxColumn<P>> =
             (0..workers).map(|_| Vec::with_capacity(workers)).collect();
         for plane in planes.iter_mut() {
@@ -256,50 +308,42 @@ pub fn run<P: VertexProgram>(
                 columns[dst].push(std::mem::take(buf));
             }
         }
-        let mut returned: Vec<OutboxColumn<P>> = Vec::with_capacity(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = planes
-                .iter_mut()
-                .zip(columns)
-                .map(|(plane, mut bufs)| {
-                    scope.spawn(move || {
-                        // K-way merge of the pre-sorted source buffers into
-                        // the parallel id/message arrays (ties prefer the
-                        // lower source worker, so the merged order is a pure
-                        // function of the deterministic per-sender buffers).
-                        plane.in_ids.clear();
-                        plane.in_msgs.clear();
-                        let total: usize = bufs.iter().map(|b| b.len()).sum();
-                        plane.in_ids.reserve(total);
-                        plane.in_msgs.reserve(total);
-                        let (in_ids, in_msgs) = (&mut plane.in_ids, &mut plane.in_msgs);
-                        crate::kmerge::merge_sorted_buffers(&mut bufs, |id, msg| {
-                            if P::USE_COMBINER {
-                                if let Some(last) = in_ids.last() {
-                                    if *last == id {
-                                        let acc = in_msgs.last_mut().expect("parallel arrays");
-                                        program.combine(acc, msg);
-                                        return;
-                                    }
+        let shuffle_inputs: Vec<_> = planes.iter_mut().zip(columns).collect();
+        let returned: Vec<OutboxColumn<P>> =
+            ctx.pool()
+                .run_per_worker(shuffle_inputs, |_w, (plane, mut bufs)| {
+                    // K-way merge of the pre-sorted source buffers into
+                    // the parallel id/message arrays (ties prefer the
+                    // lower source worker, so the merged order is a pure
+                    // function of the deterministic per-sender buffers).
+                    plane.in_ids.clear();
+                    plane.in_msgs.clear();
+                    let total: usize = bufs.iter().map(|b| b.len()).sum();
+                    plane.in_ids.reserve(total);
+                    plane.in_msgs.reserve(total);
+                    let (in_ids, in_msgs) = (&mut plane.in_ids, &mut plane.in_msgs);
+                    crate::kmerge::merge_sorted_buffers(&mut bufs, |id, msg| {
+                        if P::USE_COMBINER {
+                            if let Some(last) = in_ids.last() {
+                                if *last == id {
+                                    let acc = in_msgs.last_mut().expect("parallel arrays");
+                                    program.combine(acc, msg);
+                                    return;
                                 }
                             }
-                            in_ids.push(id);
-                            in_msgs.push(msg);
-                        });
-                        bufs
-                    })
-                })
-                .collect();
-            for h in handles {
-                returned.push(h.join().expect("pregel shuffle worker panicked"));
-            }
-        });
+                        }
+                        in_ids.push(id);
+                        in_msgs.push(msg);
+                    });
+                    bufs
+                });
         // Give every (src, dst) buffer back to its owning worker.
         for (dst, bufs) in returned.into_iter().enumerate() {
             for (src, buf) in bufs.into_iter().enumerate() {
                 planes[src].outbox[dst] = buf;
             }
         }
+        let shuffle_elapsed = shuffle_start.elapsed();
 
         // ---- metrics & termination ------------------------------------------
         metrics.supersteps += 1;
@@ -307,12 +351,22 @@ pub fn run<P: VertexProgram>(
         metrics.total_dropped += dropped_this_step;
         metrics.total_compute_calls += active_this_step as u64;
         if config.track_supersteps {
+            let busy = ctx.pool().busy_nanos().saturating_sub(busy_before);
+            let phase_wall = compute_elapsed + shuffle_elapsed;
+            let capacity = phase_wall.as_nanos() as u64 * workers as u64;
             metrics.per_superstep.push(SuperstepMetrics {
                 superstep,
                 active_vertices: active_this_step,
                 messages_sent: messages_this_step,
                 messages_dropped: dropped_this_step,
                 elapsed: step_start.elapsed(),
+                compute_elapsed,
+                shuffle_elapsed,
+                pool_utilization: if capacity == 0 {
+                    0.0
+                } else {
+                    (busy as f64 / capacity as f64).min(1.0)
+                },
             });
         }
 
@@ -328,6 +382,13 @@ pub fn run<P: VertexProgram>(
         superstep += 1;
     }
 
+    // Park the (cleared) planes in the context so the next job with the same
+    // id/message types starts with warm buffers.
+    for plane in &mut planes {
+        plane.clear();
+    }
+    ctx.store_scratch(planes);
+
     metrics.elapsed = job_start.elapsed();
     metrics
 }
@@ -335,7 +396,7 @@ pub fn run<P: VertexProgram>(
 /// Sender-side combining: folds adjacent messages for the same vertex in the
 /// (already sorted) destination buffers, so that at most one message per
 /// (sender worker, receiving vertex) crosses the shuffle.
-fn combine_outbox<P: VertexProgram>(program: &P, plane: &mut WorkerPlane<P>) {
+fn combine_outbox<P: VertexProgram>(program: &P, plane: &mut WorkerPlane<P::Id, P::Message>) {
     for buf in plane.outbox.iter_mut() {
         if buf.len() < 2 {
             continue;

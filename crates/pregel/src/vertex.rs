@@ -26,8 +26,10 @@ pub trait VertexProgram: Sync {
     /// Per-vertex state (including the adjacency list, following Pregel's
     /// "think like a vertex" model where the vertex owns its edges).
     type Value: Send;
-    /// Message type exchanged between vertices.
-    type Message: Send;
+    /// Message type exchanged between vertices. (`'static` because the
+    /// engine parks the shuffle planes holding messages in the
+    /// [`ExecCtx`](crate::engine::ExecCtx) scratch cache between jobs.)
+    type Message: Send + 'static;
     /// Global aggregator value.
     type Aggregate: Aggregate;
 

@@ -7,6 +7,7 @@
 //! of one job are transformed in place into the input vertices of the next job
 //! and re-shuffled by the new vertex IDs, without a round-trip through HDFS.
 
+use crate::engine::ExecCtx;
 use crate::fxhash::{hash_one, FxHashMap};
 use crate::vertex::VertexKey;
 
@@ -158,13 +159,18 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
     /// Every vertex of the finished job is transformed by `f` into zero or
     /// more `(id, value)` pairs for the next job; the generated pairs are then
     /// shuffled to their new owner workers. The transformation runs in
-    /// parallel, one thread per worker, mirroring how "each machine generates
-    /// a set of objects of type V<sub>j'</sub> by calling convert(.) on its
-    /// assigned vertices".
+    /// parallel, one pool worker per partition, mirroring how "each machine
+    /// generates a set of objects of type V<sub>j'</sub> by calling
+    /// convert(.) on its assigned vertices".
     ///
     /// If several pairs share an ID, `merge` folds the later value into the
     /// earlier one (needed e.g. when two half-built adjacency lists of the
-    /// same k-mer must be unioned).
+    /// same k-mer must be unioned). Merge order is deterministic: pairs of
+    /// one source worker fold in emission order, sources fold in worker
+    /// order.
+    ///
+    /// Runs on a private single-pass pool; inside a workflow, prefer
+    /// [`convert_on`](VertexSet::convert_on) with the shared context.
     pub fn convert<I2, V2, F, M>(self, f: F, merge: M) -> VertexSet<I2, V2>
     where
         I2: VertexKey,
@@ -174,71 +180,83 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
         V: Send,
         I: Send,
     {
+        let ctx = ExecCtx::new(self.workers());
+        self.convert_on(&ctx, f, merge)
+    }
+
+    /// [`convert`](VertexSet::convert) on a caller-provided execution
+    /// context (which must match the set's worker count).
+    ///
+    /// Like the runner's and the mini MapReduce's shuffles, grouping is
+    /// **sort-based**: every source worker presorts its per-destination
+    /// buffers by the new vertex ID (stable, so same-ID pairs keep their
+    /// emission order) and each destination k-way-merges the pre-sorted
+    /// buffers, folding duplicate-ID runs with `merge` as they stream past —
+    /// one hash-map insert per *distinct* ID instead of one lookup per pair.
+    pub fn convert_on<I2, V2, F, M>(self, ctx: &ExecCtx, f: F, merge: M) -> VertexSet<I2, V2>
+    where
+        I2: VertexKey,
+        V2: Send,
+        F: Fn(I, V) -> Vec<(I2, V2)> + Sync,
+        M: Fn(&mut V2, V2) + Sync,
+        V: Send,
+        I: Send,
+    {
         let workers = self.workers();
-        // Phase 1: per-worker transformation, producing per-destination buffers.
-        let mut shuffled: Vec<Vec<Vec<(I2, V2)>>> = Vec::with_capacity(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .parts
-                .into_iter()
-                .map(|part| {
-                    let f = &f;
-                    scope.spawn(move || {
-                        let mut out: Vec<Vec<(I2, V2)>> =
-                            (0..workers).map(|_| Vec::new()).collect();
-                        for (id, entry) in part {
-                            for (nid, nval) in f(id, entry.value) {
-                                let dst = (hash_one(&nid) % workers as u64) as usize;
-                                out[dst].push((nid, nval));
-                            }
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                shuffled.push(h.join().expect("convert worker panicked"));
-            }
-        });
-        // Phase 2: transpose and merge per destination worker.
+        ctx.assert_matches(workers, "VertexSet partitioning");
+        // Phase 1: per-worker transformation into per-destination buffers,
+        // each presorted by destination ID (stable keeps same-ID emission
+        // order, so the merge fold order matches the sequential semantics).
+        let shuffled: Vec<Vec<Vec<(I2, V2)>>> =
+            ctx.pool().run_per_worker(self.parts, |_w, part| {
+                let mut out: Vec<Vec<(I2, V2)>> = (0..workers).map(|_| Vec::new()).collect();
+                for (id, entry) in part {
+                    for (nid, nval) in f(id, entry.value) {
+                        let dst = (hash_one(&nid) % workers as u64) as usize;
+                        out[dst].push((nid, nval));
+                    }
+                }
+                for buf in out.iter_mut() {
+                    buf.sort_by_key(|pair| pair.0);
+                }
+                out
+            });
+        // Phase 2: transpose, then k-way-merge per destination worker.
         let mut incoming: Vec<Vec<Vec<(I2, V2)>>> = (0..workers).map(|_| Vec::new()).collect();
         for src in shuffled {
             for (dst, buf) in src.into_iter().enumerate() {
                 incoming[dst].push(buf);
             }
         }
-        let mut parts: Vec<FxHashMap<I2, VertexEntry<V2>>> = Vec::with_capacity(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = incoming
-                .into_iter()
-                .map(|bufs| {
-                    let merge = &merge;
-                    scope.spawn(move || {
-                        let mut map: FxHashMap<I2, VertexEntry<V2>> = FxHashMap::default();
-                        for buf in bufs {
-                            for (id, val) in buf {
-                                match map.entry(id) {
-                                    std::collections::hash_map::Entry::Occupied(mut o) => {
-                                        merge(&mut o.get_mut().value, val);
-                                    }
-                                    std::collections::hash_map::Entry::Vacant(v) => {
-                                        v.insert(VertexEntry {
-                                            value: val,
-                                            halted: false,
-                                            stamp: 0,
-                                        });
-                                    }
-                                }
-                            }
+        let parts: Vec<FxHashMap<I2, VertexEntry<V2>>> =
+            ctx.pool().run_per_worker(incoming, |_w, mut bufs| {
+                // Duplicate IDs arrive as one contiguous run of the merged
+                // stream (ties prefer the lower source worker), so folding
+                // needs only the previous record, and the map sees each ID
+                // exactly once.
+                let mut map: FxHashMap<I2, VertexEntry<V2>> = FxHashMap::default();
+                let mut open: Option<(I2, VertexEntry<V2>)> = None;
+                crate::kmerge::merge_sorted_buffers(&mut bufs, |id, val| match &mut open {
+                    Some((last, entry)) if *last == id => merge(&mut entry.value, val),
+                    _ => {
+                        if let Some((last, entry)) = open.take() {
+                            map.insert(last, entry);
                         }
-                        map
-                    })
-                })
-                .collect();
-            for h in handles {
-                parts.push(h.join().expect("convert merge worker panicked"));
-            }
-        });
+                        open = Some((
+                            id,
+                            VertexEntry {
+                                value: val,
+                                halted: false,
+                                stamp: 0,
+                            },
+                        ));
+                    }
+                });
+                if let Some((last, entry)) = open {
+                    map.insert(last, entry);
+                }
+                map
+            });
         VertexSet { parts }
     }
 
@@ -353,5 +371,111 @@ mod tests {
     fn zero_workers_clamped_to_one() {
         let s: VertexSet<u64, ()> = VertexSet::new(0);
         assert_eq!(s.workers(), 1);
+    }
+
+    #[test]
+    fn convert_on_shared_ctx_works_across_conversions() {
+        let ctx = ExecCtx::new(3);
+        let s: VertexSet<u64, u64> = VertexSet::from_pairs(3, (0..90).map(|i| (i, 1)));
+        let once: VertexSet<u64, u64> =
+            s.convert_on(&ctx, |id, v| vec![(id / 3, v)], |acc, v| *acc += v);
+        assert_eq!(once.len(), 30);
+        let twice: VertexSet<u64, u64> =
+            once.convert_on(&ctx, |id, v| vec![(id / 3, v)], |acc, v| *acc += v);
+        assert_eq!(twice.len(), 10);
+        assert!(twice.iter().all(|(_, v)| *v == 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn convert_on_rejects_mismatched_ctx() {
+        let ctx = ExecCtx::new(2);
+        let s: VertexSet<u64, u64> = VertexSet::from_pairs(3, (0..9).map(|i| (i, 1)));
+        let _: VertexSet<u64, u64> = s.convert_on(&ctx, |id, v| vec![(id, v)], |acc, v| *acc += v);
+    }
+
+    // ---- property tests: sort-merge convert vs. hash-grouping oracle --------
+
+    use proptest::prelude::*;
+
+    /// The pre-migration hash-grouping semantics: fold every emitted pair, in
+    /// (source worker, emission order), into a map via entry lookup.
+    fn hash_grouping_oracle<F>(set: &VertexSet<u64, u64>, f: F) -> Vec<(u64, Vec<u64>)>
+    where
+        F: Fn(u64, u64) -> Vec<(u64, u64)>,
+    {
+        let mut grouped: std::collections::HashMap<u64, Vec<u64>> =
+            std::collections::HashMap::new();
+        for part in &set.parts {
+            for (id, entry) in part {
+                for (nid, nval) in f(*id, entry.value) {
+                    grouped.entry(nid).or_default().push(nval);
+                }
+            }
+        }
+        let mut out: Vec<(u64, Vec<u64>)> = grouped.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_convert_matches_hash_grouping(
+            pairs in proptest::collection::vec((0u64..200, 1u64..1_000), 0..150),
+            workers in 1usize..6,
+            fan in 1u64..4,
+        ) {
+            let set: VertexSet<u64, u64> = VertexSet::from_pairs(workers, pairs.clone());
+            // Fan each vertex out to `fan` destination IDs to force ID
+            // collisions across (and within) source workers.
+            let f = move |id: u64, v: u64| -> Vec<(u64, u64)> {
+                (0..fan).map(|i| (id % (17 + i), v + i)).collect()
+            };
+            let expected = hash_grouping_oracle(&set, f);
+            // Fold with an order-sensitive merge: append to a per-ID list.
+            let got: VertexSet<u64, Vec<u64>> = set.convert(
+                move |id, v| f(id, v).into_iter().map(|(nid, nval)| (nid, vec![nval])).collect(),
+                |acc, mut v| acc.append(&mut v),
+            );
+            let mut got: Vec<(u64, Vec<u64>)> = got.into_pairs();
+            got.sort_unstable();
+            prop_assert_eq!(got.len(), expected.len());
+            for ((gid, gvals), (eid, evals)) in got.into_iter().zip(expected) {
+                prop_assert_eq!(gid, eid);
+                // The multiset of folded values must agree; the fold order of
+                // the sort-merge path is additionally checked for determinism
+                // below.
+                let mut gvals = gvals;
+                let mut evals = evals;
+                gvals.sort_unstable();
+                evals.sort_unstable();
+                prop_assert_eq!(gvals, evals);
+            }
+        }
+
+        #[test]
+        fn prop_convert_is_deterministic_with_order_sensitive_merge(
+            pairs in proptest::collection::vec((0u64..100, 1u64..1_000), 0..120),
+            workers in 1usize..5,
+        ) {
+            // `merge` keeps the concatenation order, so equality between two
+            // runs proves the whole shuffle (presort + k-way merge + fold) is
+            // a pure function of the input.
+            let build = || -> Vec<(u64, Vec<u64>)> {
+                let set: VertexSet<u64, u64> = VertexSet::from_pairs(workers, pairs.clone());
+                let out: VertexSet<u64, Vec<u64>> = set.convert(
+                    |id, v| vec![(id % 13, vec![v]), (id % 7, vec![v + 1])],
+                    |acc, mut v| acc.append(&mut v),
+                );
+                let mut out = out.into_pairs();
+                out.sort_unstable();
+                out
+            };
+            let first = build();
+            for _ in 0..2 {
+                prop_assert_eq!(build(), first.clone());
+            }
+        }
     }
 }
