@@ -227,7 +227,6 @@ impl Assembler for AbyssLike {
             &MergeConfig {
                 k,
                 tip_length_threshold: params.tip_length_threshold,
-                workers: params.workers,
             },
         );
 

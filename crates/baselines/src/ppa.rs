@@ -1,7 +1,9 @@
 //! PPA-assembler behind the common [`Assembler`] trait.
 
 use crate::{Assembler, BaselineAssembly, BaselineParams};
-use ppa_assembler::{assemble, AssemblyConfig, LabelingAlgorithm};
+use ppa_assembler::pipeline::{GraphState, Pipeline};
+use ppa_assembler::stats::WorkflowStats;
+use ppa_assembler::{AssemblyConfig, LabelingAlgorithm};
 use ppa_seq::ReadSet;
 use std::time::Instant;
 
@@ -34,24 +36,33 @@ impl Assembler for PpaAssembler {
             },
             error_correction_rounds: 1,
             min_contig_length: 0,
-            // One persistent pool for the whole run, like the workflow would
-            // build itself — constructed here so the comparison harnesses
-            // measure the same engine configuration as `workflow::assemble`.
-            exec: Some(ppa_pregel::ExecCtx::new(params.workers)),
+            exec: None,
         };
-        let assembly = assemble(reads, &config);
-        let notes =
-            format!(
+        // The paper-workflow pipeline driven directly, with the stats
+        // observer attached — the same stages `workflow::assemble` runs, on
+        // one persistent pool per run so the comparison harnesses measure the
+        // same engine configuration.
+        let ctx = ppa_pregel::ExecCtx::new(params.workers);
+        let mut stats = WorkflowStats::default();
+        let mut state = GraphState::new(reads);
+        Pipeline::paper_workflow(&config)
+            .observe(&mut stats)
+            .run(&mut state, &ctx);
+        let notes = format!(
             "label r1: {} supersteps / {} msgs; label r2: {} supersteps / {} msgs; N50 {} -> {}",
-            assembly.stats.label_round1.supersteps,
-            assembly.stats.label_round1.messages,
-            assembly.stats.label_round2.first().map(|l| l.supersteps).unwrap_or(0),
-            assembly.stats.label_round2.first().map(|l| l.messages).unwrap_or(0),
-            assembly.stats.n50_after_round1,
-            assembly.stats.n50_final,
+            stats.label_round1.supersteps,
+            stats.label_round1.messages,
+            stats
+                .label_round2
+                .first()
+                .map(|l| l.supersteps)
+                .unwrap_or(0),
+            stats.label_round2.first().map(|l| l.messages).unwrap_or(0),
+            stats.n50_after_round1,
+            stats.n50_final,
         );
         BaselineAssembly {
-            contigs: assembly.contigs.into_iter().map(|c| c.sequence).collect(),
+            contigs: state.output.into_iter().map(|c| c.sequence).collect(),
             elapsed: start.elapsed(),
             notes,
         }

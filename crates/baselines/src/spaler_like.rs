@@ -57,7 +57,6 @@ impl Assembler for SpalerLike {
             &ConstructConfig {
                 k: params.k,
                 min_coverage: params.min_kmer_coverage,
-                workers: params.workers,
                 batch_size: 1024,
             },
         );
@@ -70,7 +69,6 @@ impl Assembler for SpalerLike {
             &MergeConfig {
                 k: params.k,
                 tip_length_threshold: params.tip_length_threshold,
-                workers: params.workers,
             },
         );
 

@@ -38,7 +38,6 @@ impl Assembler for SwapLike {
             &ConstructConfig {
                 k: params.k,
                 min_coverage: params.min_kmer_coverage,
-                workers: params.workers,
                 batch_size: 1024,
             },
         );
@@ -51,7 +50,6 @@ impl Assembler for SwapLike {
             &MergeConfig {
                 k: params.k,
                 tip_length_threshold: params.tip_length_threshold,
-                workers: params.workers,
             },
         );
         let notes = format!(

@@ -135,9 +135,9 @@ fn bench_dbg_construction(c: &mut Criterion) {
                 &ConstructConfig {
                     k: 25,
                     min_coverage: 1,
-                    workers: 4,
                     batch_size: 512,
                 },
+                4,
             );
             black_box(out.vertices.len())
         })

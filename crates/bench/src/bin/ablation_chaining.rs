@@ -52,14 +52,14 @@ fn main() {
         &ConstructConfig {
             k: args.k,
             min_coverage: 1,
-            workers,
             batch_size: 1024,
         },
+        workers,
     );
 
     // In-memory hand-off (the PPA-assembler extension).
     let start = Instant::now();
-    let nodes = construct.into_nodes();
+    let nodes = construct.to_nodes();
     let in_memory_convert = start.elapsed();
     let label_start = Instant::now();
     let _ = label_contigs_lr(&nodes, workers);

@@ -10,8 +10,11 @@
 //!
 //! Usage: `cargo run -p ppa-bench --release --bin ablation_round2 -- --dataset sim-hc2 --scale 0.1`
 
-use ppa_assembler::{assemble, AssemblyConfig};
+use ppa_assembler::pipeline::{GraphState, Pipeline, StageLogger};
+use ppa_assembler::stats::WorkflowStats;
+use ppa_assembler::AssemblyConfig;
 use ppa_bench::{print_table, HarnessArgs};
+use ppa_pregel::ExecCtx;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -23,8 +26,17 @@ fn main() {
         workers,
         ..Default::default()
     };
-    let assembly = assemble(&dataset.reads, &config);
-    let stats = &assembly.stats;
+    // Drive the paper-workflow pipeline directly: the StageLogger streams
+    // per-stage timings while the run progresses, WorkflowStats feeds the
+    // ablation table below.
+    let mut stats = WorkflowStats::default();
+    let mut progress = StageLogger::with_prefix(dataset.preset.name.clone());
+    let mut state = GraphState::new(&dataset.reads);
+    Pipeline::paper_workflow(&config)
+        .observe(&mut stats)
+        .observe(&mut progress)
+        .run(&mut state, &ExecCtx::new(workers));
+    let stats = &stats;
 
     print_table(
         &format!(

@@ -5,8 +5,11 @@
 //! Usage:
 //! `cargo run -p ppa-bench --release --bin table23_lr_vs_sv -- [--scale 0.1] [--workers 4]`
 
-use ppa_assembler::{assemble, AssemblyConfig, LabelingAlgorithm};
+use ppa_assembler::pipeline::{GraphState, Pipeline, StageLogger};
+use ppa_assembler::stats::WorkflowStats;
+use ppa_assembler::{AssemblyConfig, LabelingAlgorithm};
 use ppa_bench::{print_table, secs, HarnessArgs};
+use ppa_pregel::ExecCtx;
 use ppa_readsim::all_presets;
 
 fn main() {
@@ -31,8 +34,17 @@ fn main() {
                 labeling: algo,
                 ..Default::default()
             };
-            let assembly = assemble(&dataset.reads, &config);
-            per_algo.push((name, assembly.stats));
+            // Drive the paper-workflow pipeline directly so the run shows
+            // per-stage progress: WorkflowStats for the table rows, a
+            // StageLogger for live stage-by-stage output.
+            let mut stats = WorkflowStats::default();
+            let mut progress = StageLogger::with_prefix(format!("{} {name}", preset.name));
+            let mut state = GraphState::new(&dataset.reads);
+            Pipeline::paper_workflow(&config)
+                .observe(&mut stats)
+                .observe(&mut progress)
+                .run(&mut state, &ExecCtx::new(workers));
+            per_algo.push((name, stats));
         }
         let (lr, sv) = (&per_algo[0].1, &per_algo[1].1);
         kmer_rows.push(vec![

@@ -26,6 +26,17 @@
 //! workflow (①②③④⑤⑥②③ — grow contigs once more after error correction), and
 //! every operation can also be called individually to build custom pipelines.
 //!
+//! ## Build your own workflow
+//!
+//! The operations are also available as first-class [`pipeline::Stage`]s
+//! composed through the [`pipeline::Pipeline`] builder: `.then(stage)` chains
+//! stages over a shared [`pipeline::GraphState`], `.repeat(n, stages)`
+//! expresses correction loops, and `.observe(observer)` attaches
+//! [`pipeline::PipelineObserver`] hooks for timing/stats — the
+//! [`stats::WorkflowStats`] every `assemble()` run returns is itself such an
+//! observer. See the [`pipeline`] module docs for a worked example;
+//! [`pipeline::Pipeline::paper_workflow`] is the preset `assemble()` uses.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -51,6 +62,7 @@ pub mod adj;
 pub mod ids;
 pub mod node;
 pub mod ops;
+pub mod pipeline;
 pub mod polarity;
 pub mod stats;
 pub mod workflow;
@@ -58,5 +70,6 @@ pub mod workflow;
 pub use adj::{edge_contributions, CompactNeighbor, EdgeSlot, PackedAdj};
 pub use ids::NULL_ID;
 pub use node::{AsmNode, Edge, KmerVertex, NodeSeq, VertexType};
+pub use pipeline::{GraphState, Pipeline, PipelineObserver, Stage, StageDetails, StageReport};
 pub use polarity::{Direction, Polarity, Side};
 pub use workflow::{assemble, Assembly, AssemblyConfig, Contig, LabelingAlgorithm};

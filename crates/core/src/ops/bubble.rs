@@ -21,15 +21,12 @@ pub struct BubbleConfig {
     /// A contig may be pruned only if its edit distance to a higher-coverage
     /// sibling is strictly smaller than this threshold (the paper uses 5).
     pub max_edit_distance: usize,
-    /// Number of mini-MapReduce workers.
-    pub workers: usize,
 }
 
 impl Default for BubbleConfig {
     fn default() -> Self {
         BubbleConfig {
             max_edit_distance: 5,
-            workers: 4,
         }
     }
 }
@@ -58,19 +55,19 @@ struct Candidate {
 
 /// Runs bubble filtering over the given contig vertices and returns the list
 /// of pruned contig IDs. The caller removes them from its node set. (Private
-/// worker pool; inside a workflow, prefer [`filter_bubbles_on`].)
-pub fn filter_bubbles(contigs: &[AsmNode], config: &BubbleConfig) -> BubbleOutcome {
-    filter_bubbles_on(&ExecCtx::new(config.workers), contigs, config)
+/// pool of `workers` threads; inside a workflow, prefer
+/// [`filter_bubbles_on`].)
+pub fn filter_bubbles(contigs: &[AsmNode], config: &BubbleConfig, workers: usize) -> BubbleOutcome {
+    filter_bubbles_on(&ExecCtx::new(workers), contigs, config)
 }
 
-/// Runs bubble filtering on a caller-provided execution context (whose pool
-/// size must match `config.workers`).
+/// Runs bubble filtering on a caller-provided execution context (the worker
+/// count is the context's pool size).
 pub fn filter_bubbles_on(
     ctx: &ExecCtx,
     contigs: &[AsmNode],
     config: &BubbleConfig,
 ) -> BubbleOutcome {
-    ctx.assert_matches(config.workers, "BubbleConfig.workers");
     let max_dist = config.max_edit_distance;
     let inputs: Vec<&AsmNode> = contigs.iter().collect();
     let (results, mapreduce) = map_reduce_with_metrics_on(
@@ -212,7 +209,6 @@ mod tests {
     fn config() -> BubbleConfig {
         BubbleConfig {
             max_edit_distance: 5,
-            workers: 2,
         }
     }
 
@@ -222,7 +218,7 @@ mod tests {
         // differs by one substitution and has low coverage.
         let main = contig_between(1, "GGCACAATTAGG", 40, END_A, END_B);
         let error = contig_between(2, "GGCACTATTAGG", 2, END_A, END_B);
-        let out = filter_bubbles(&[main.clone(), error.clone()], &config());
+        let out = filter_bubbles(&[main.clone(), error.clone()], &config(), 2);
         assert_eq!(out.pruned, vec![error.id]);
         assert_eq!(out.candidate_groups, 1);
         let mut contigs = vec![main, error];
@@ -237,7 +233,7 @@ mod tests {
         // (e.g. a real biological variant) must both survive.
         let a = contig_between(1, "GGCACAATTAGGCCAATT", 40, END_A, END_B);
         let b = contig_between(2, "GGCATTTTGGGGTTTAAC", 3, END_A, END_B);
-        let out = filter_bubbles(&[a, b], &config());
+        let out = filter_bubbles(&[a, b], &config(), 2);
         assert!(out.pruned.is_empty());
         assert_eq!(out.candidate_groups, 1);
     }
@@ -246,7 +242,7 @@ mod tests {
     fn contigs_with_different_end_pairs_are_not_compared() {
         let a = contig_between(1, "GGCACAATTAGG", 40, END_A, END_B);
         let b = contig_between(2, "GGCACTATTAGG", 2, END_A, 300);
-        let out = filter_bubbles(&[a, b], &config());
+        let out = filter_bubbles(&[a, b], &config(), 2);
         assert!(out.pruned.is_empty());
         assert_eq!(out.candidate_groups, 0);
     }
@@ -261,7 +257,7 @@ mod tests {
             .unwrap()
             .reverse_complement();
         let error = contig_between(2, &rc_seq.to_ascii(), 2, END_B, END_A);
-        let out = filter_bubbles(&[main, error], &config());
+        let out = filter_bubbles(&[main, error], &config(), 2);
         assert_eq!(out.pruned.len(), 1);
     }
 
@@ -270,7 +266,7 @@ mod tests {
         let mut dangling = contig_between(1, "GGCACAATTAGG", 5, END_A, END_B);
         dangling.edges[1].neighbor = crate::ids::NULL_ID;
         let other = contig_between(2, "GGCACTATTAGG", 40, END_A, END_B);
-        let out = filter_bubbles(&[dangling, other], &config());
+        let out = filter_bubbles(&[dangling, other], &config(), 2);
         assert!(out.pruned.is_empty());
         assert_eq!(out.candidate_groups, 0);
     }
@@ -280,7 +276,7 @@ mod tests {
         let best = contig_between(1, "GGCACAATTAGG", 50, END_A, END_B);
         let worse = contig_between(2, "GGCACTATTAGG", 5, END_A, END_B);
         let worst = contig_between(3, "GGCACTATTCGG", 2, END_A, END_B);
-        let out = filter_bubbles(&[best.clone(), worse, worst], &config());
+        let out = filter_bubbles(&[best.clone(), worse, worst], &config(), 2);
         assert_eq!(out.pruned.len(), 2);
         assert!(!out.pruned.contains(&best.id));
     }
@@ -289,7 +285,7 @@ mod tests {
     fn equal_coverage_prunes_exactly_one() {
         let a = contig_between(1, "GGCACAATTAGG", 10, END_A, END_B);
         let b = contig_between(2, "GGCACTATTAGG", 10, END_A, END_B);
-        let out = filter_bubbles(&[a, b], &config());
+        let out = filter_bubbles(&[a, b], &config(), 2);
         assert_eq!(out.pruned.len(), 1);
     }
 
@@ -298,14 +294,14 @@ mod tests {
         // Both ends attach to the same ambiguous vertex: not a bubble candidate
         // (the paper requires two distinct neighbours nb1 < nb2).
         let a = contig_between(1, "GGCACAATTAGG", 10, END_A, END_A);
-        let out = filter_bubbles(&[a], &config());
+        let out = filter_bubbles(&[a], &config(), 2);
         assert!(out.pruned.is_empty());
         assert_eq!(out.candidate_groups, 0);
     }
 
     #[test]
     fn empty_input() {
-        let out = filter_bubbles(&[], &config());
+        let out = filter_bubbles(&[], &config(), 2);
         assert!(out.pruned.is_empty());
         assert_eq!(out.candidate_groups, 0);
     }

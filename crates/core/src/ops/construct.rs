@@ -32,8 +32,6 @@ pub struct ConstructConfig {
     /// Coverage threshold θ: a (k+1)-mer is kept only if its count is strictly
     /// greater than θ. `0` keeps everything (useful for error-free input).
     pub min_coverage: u32,
-    /// Number of mini-MapReduce workers.
-    pub workers: usize,
     /// How many reads each map task processes at once (larger batches give
     /// better pre-aggregation, mirroring the per-worker counting of the paper).
     pub batch_size: usize,
@@ -44,7 +42,6 @@ impl Default for ConstructConfig {
         ConstructConfig {
             k: 31,
             min_coverage: 1,
-            workers: 4,
             batch_size: 1024,
         }
     }
@@ -83,27 +80,35 @@ pub struct ConstructOutcome {
 
 impl ConstructOutcome {
     /// Expands every vertex into the unified [`crate::AsmNode`] representation
-    /// (the in-memory `convert(.)` hand-off to the contig-labeling job).
-    pub fn into_nodes(&self) -> Vec<crate::AsmNode> {
+    /// (the in-memory `convert(.)` hand-off to the contig-labeling job),
+    /// consuming the outcome. Use [`to_nodes`](ConstructOutcome::to_nodes)
+    /// when the compact vertices are still needed afterwards.
+    pub fn into_nodes(self) -> Vec<crate::AsmNode> {
+        self.to_nodes()
+    }
+
+    /// Like [`into_nodes`](ConstructOutcome::into_nodes), but borrows the
+    /// outcome so `vertices`/`stats` remain available.
+    pub fn to_nodes(&self) -> Vec<crate::AsmNode> {
         self.vertices.iter().map(|v| v.to_asm_node()).collect()
     }
 }
 
-/// Runs DBG construction over a read set (on a private worker pool; inside a
-/// workflow, prefer [`build_dbg_on`] with the shared context).
-pub fn build_dbg(reads: &ReadSet, config: &ConstructConfig) -> ConstructOutcome {
-    build_dbg_on(&ExecCtx::new(config.workers), reads, config)
+/// Runs DBG construction over a read set on a private pool of `workers`
+/// threads (inside a workflow, prefer [`build_dbg_on`] with the shared
+/// context).
+pub fn build_dbg(reads: &ReadSet, config: &ConstructConfig, workers: usize) -> ConstructOutcome {
+    build_dbg_on(&ExecCtx::new(workers), reads, config)
 }
 
 /// Runs DBG construction on a caller-provided execution context: both
-/// mini-MapReduce phases dispatch onto its persistent worker pool. The
-/// context's pool size must match `config.workers`.
+/// mini-MapReduce phases dispatch onto its persistent worker pool, and the
+/// worker count is the pool size.
 pub fn build_dbg_on(ctx: &ExecCtx, reads: &ReadSet, config: &ConstructConfig) -> ConstructOutcome {
     assert!(
         config.k >= 1 && config.k <= 31,
         "k must be in 1..=31 so that k-mer vertex IDs leave the top two bits free"
     );
-    ctx.assert_matches(config.workers, "ConstructConfig.workers");
     let start = Instant::now();
     let k = config.k;
     let theta = config.min_coverage;
@@ -206,9 +211,12 @@ mod tests {
         ConstructConfig {
             k,
             min_coverage: theta,
-            workers: 3,
             batch_size: 2,
         }
+    }
+
+    fn dbg(reads: &ReadSet, config: &ConstructConfig) -> ConstructOutcome {
+        build_dbg(reads, config, 3)
     }
 
     #[test]
@@ -217,9 +225,9 @@ mod tests {
         // reads, yields (for k = 4) the seven canonical vertices CTGC, GGCA,
         // CGGC, ACGG, CGTA, GTAC, TACA forming a simple path.
         let reads = reads_from(&["CTGCCGT", "CCGTACA"]);
-        let out = build_dbg(&reads, &config(4, 0));
+        let out = dbg(&reads, &config(4, 0));
         assert_eq!(out.k, 4);
-        let nodes = out.into_nodes();
+        let nodes = out.to_nodes();
         assert_eq!(nodes.len(), 7);
         let mut names: Vec<String> = out.vertices.iter().map(|v| v.kmer.to_string()).collect();
         names.sort();
@@ -246,8 +254,8 @@ mod tests {
         // canonical k-mer vertices and edges (Section III, Figure 6).
         let forward = reads_from(&["CTGCCGTACA"]);
         let reverse = reads_from(&["TGTACGGCAG"]);
-        let a = build_dbg(&forward, &config(3, 0));
-        let b = build_dbg(&reverse, &config(3, 0));
+        let a = dbg(&forward, &config(3, 0));
+        let b = dbg(&reverse, &config(3, 0));
         let ids_a: Vec<u64> = {
             let mut v: Vec<u64> = a.vertices.iter().map(|x| x.id()).collect();
             v.sort_unstable();
@@ -260,7 +268,7 @@ mod tests {
         };
         assert_eq!(ids_a, ids_b);
         // Edge coverage must merge across strands too.
-        let both = build_dbg(&reads_from(&["CTGCCGTACA", "TGTACGGCAG"]), &config(3, 0));
+        let both = dbg(&reads_from(&["CTGCCGTACA", "TGTACGGCAG"]), &config(3, 0));
         for v in &both.vertices {
             for (_, cov) in v.adj.iter() {
                 assert_eq!(cov, 2, "each edge is supported by both strands");
@@ -272,8 +280,8 @@ mod tests {
     fn coverage_threshold_filters_rare_kplus1_mers() {
         // "ACGTACGGA" appears three times, an erroneous variant once.
         let reads = reads_from(&["ACGTACGGA", "ACGTACGGA", "ACGTACGGA", "ACGTTCGGA"]);
-        let strict = build_dbg(&reads, &config(3, 1));
-        let lenient = build_dbg(&reads, &config(3, 0));
+        let strict = dbg(&reads, &config(3, 1));
+        let lenient = dbg(&reads, &config(3, 0));
         assert!(strict.stats.kept_kplus1_mers < lenient.stats.kept_kplus1_mers);
         assert!(strict.stats.vertices < lenient.stats.vertices);
         // The filtered graph contains no low-coverage adjacency slot.
@@ -288,11 +296,11 @@ mod tests {
     fn n_characters_split_reads() {
         // The N breaks the read into "ACGTA" and "CGGAT": no (k+1)-mer may span it.
         let with_n = reads_from(&["ACGTANCGGAT"]);
-        let out = build_dbg(&with_n, &config(3, 0));
-        let without_break = build_dbg(&reads_from(&["ACGTACGGAT"]), &config(3, 0));
+        let out = dbg(&with_n, &config(3, 0));
+        let without_break = dbg(&reads_from(&["ACGTACGGAT"]), &config(3, 0));
         assert!(out.stats.distinct_kplus1_mers < without_break.stats.distinct_kplus1_mers);
         // Reads shorter than k+1 (after splitting) are ignored entirely.
-        let tiny = build_dbg(&reads_from(&["ACN", "GT"]), &config(3, 0));
+        let tiny = dbg(&reads_from(&["ACN", "GT"]), &config(3, 0));
         assert_eq!(tiny.stats.vertices, 0);
         assert!(tiny.vertices.is_empty());
     }
@@ -301,7 +309,7 @@ mod tests {
     fn branching_reads_create_ambiguous_vertices() {
         // Two reads share the prefix "ACGTACG" then diverge, creating a fork.
         let reads = reads_from(&["ACGTACGA", "ACGTACGC"]);
-        let out = build_dbg(&reads, &config(3, 0));
+        let out = dbg(&reads, &config(3, 0));
         let nodes = out.into_nodes();
         let branch_count = nodes
             .iter()
@@ -315,9 +323,9 @@ mod tests {
 
     #[test]
     fn empty_and_too_short_input() {
-        let out = build_dbg(&ReadSet::new(), &ConstructConfig::default());
+        let out = dbg(&ReadSet::new(), &ConstructConfig::default());
         assert!(out.vertices.is_empty());
-        let out = build_dbg(&reads_from(&["ACGT"]), &ConstructConfig::default());
+        let out = dbg(&reads_from(&["ACGT"]), &ConstructConfig::default());
         assert!(
             out.vertices.is_empty(),
             "reads shorter than k+1 contribute nothing"
@@ -333,6 +341,7 @@ mod tests {
                 k: 32,
                 ..Default::default()
             },
+            2,
         );
     }
 
@@ -341,7 +350,7 @@ mod tests {
         // For every edge slot of every vertex, the neighbour vertex exists and
         // has a slot pointing back.
         let reads = reads_from(&["ATTGCAAGTC", "TGCAAGTCCA", "GACTTGCAAT"]);
-        let out = build_dbg(&reads, &config(4, 0));
+        let out = dbg(&reads, &config(4, 0));
         let by_id: HashMap<u64, &KmerVertex> = out.vertices.iter().map(|v| (v.id(), v)).collect();
         for v in &out.vertices {
             for (slot, _) in v.adj.iter() {

@@ -351,9 +351,9 @@ pub(crate) mod tests {
             &ConstructConfig {
                 k,
                 min_coverage: 0,
-                workers: 2,
                 batch_size: 4,
             },
+            2,
         )
         .into_nodes()
     }

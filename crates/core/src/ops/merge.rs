@@ -30,8 +30,6 @@ pub struct MergeConfig {
     pub k: usize,
     /// Tip-length threshold: dangling groups no longer than this are dropped.
     pub tip_length_threshold: usize,
-    /// Number of mini-MapReduce workers.
-    pub workers: usize,
 }
 
 impl Default for MergeConfig {
@@ -39,7 +37,6 @@ impl Default for MergeConfig {
         MergeConfig {
             k: 31,
             tip_length_threshold: 80,
-            workers: 4,
         }
     }
 }
@@ -265,24 +262,25 @@ pub(crate) fn stitch_group(
 
 /// Runs contig merging: groups the labelled vertices by label with a
 /// mini-MapReduce pass and stitches every group into a contig vertex.
-/// (Private worker pool; inside a workflow, prefer [`merge_contigs_on`].)
+/// (Private pool of `workers` threads; inside a workflow, prefer
+/// [`merge_contigs_on`].)
 pub fn merge_contigs(
     nodes: &[AsmNode],
     labels: &[(u64, u64)],
     config: &MergeConfig,
+    workers: usize,
 ) -> MergeOutcome {
-    merge_contigs_on(&ExecCtx::new(config.workers), nodes, labels, config)
+    merge_contigs_on(&ExecCtx::new(workers), nodes, labels, config)
 }
 
-/// Runs contig merging on a caller-provided execution context (whose pool
-/// size must match `config.workers`).
+/// Runs contig merging on a caller-provided execution context (the worker
+/// count is the context's pool size).
 pub fn merge_contigs_on(
     ctx: &ExecCtx,
     nodes: &[AsmNode],
     labels: &[(u64, u64)],
     config: &MergeConfig,
 ) -> MergeOutcome {
-    ctx.assert_matches(config.workers, "MergeConfig.workers");
     let by_id: HashMap<u64, &AsmNode> = nodes.iter().map(|n| (n.id, n)).collect();
     let inputs: Vec<(u64, u64)> = labels.to_vec();
     let k = config.k;
@@ -341,14 +339,13 @@ mod tests {
         MergeConfig {
             k,
             tip_length_threshold: tip,
-            workers: 3,
         }
     }
 
     fn assemble_single_contig(reads: &[&str], k: usize) -> AsmNode {
         let nodes = nodes_from_reads(reads, k);
         let labels = label_contigs_lr(&nodes, 2);
-        let out = merge_contigs(&nodes, &labels.labels, &merge_cfg(k, 0));
+        let out = merge_contigs(&nodes, &labels.labels, &merge_cfg(k, 0), 3);
         assert_eq!(out.contigs.len(), 1, "expected exactly one contig");
         out.contigs.into_iter().next().unwrap()
     }
@@ -420,7 +417,7 @@ mod tests {
         // at the ambiguous fork vertex.
         let nodes = nodes_from_reads(&["TTACTTGATCCGTT", "TTACTTGAACGGTT"], 5);
         let labels = label_contigs_lr(&nodes, 2);
-        let out = merge_contigs(&nodes, &labels.labels, &merge_cfg(5, 0));
+        let out = merge_contigs(&nodes, &labels.labels, &merge_cfg(5, 0), 3);
         assert!(out.contigs.len() >= 2);
         let ambiguous: HashSet<u64> = labels.ambiguous.iter().copied().collect();
         // At least one contig must have a real (ambiguous) neighbour, and all
@@ -447,12 +444,12 @@ mod tests {
         let labels = label_contigs_lr(&nodes, 2);
         // The single 10 bp contig dangles on both sides; with a threshold of 80
         // it is discarded.
-        let out = merge_contigs(&nodes, &labels.labels, &merge_cfg(4, 80));
+        let out = merge_contigs(&nodes, &labels.labels, &merge_cfg(4, 80), 3);
         assert_eq!(out.contigs.len(), 0);
         assert_eq!(out.dropped_tips, 1);
         assert_eq!(out.groups, 1);
         // With threshold 0 it is kept.
-        let kept = merge_contigs(&nodes, &labels.labels, &merge_cfg(4, 0));
+        let kept = merge_contigs(&nodes, &labels.labels, &merge_cfg(4, 0), 3);
         assert_eq!(kept.contigs.len(), 1);
         assert_eq!(kept.dropped_tips, 0);
     }
@@ -464,7 +461,7 @@ mod tests {
         // have NULL ends.
         let nodes = crate::ops::label::tests::synthetic_cycle(12);
         let labels = label_contigs_lr(&nodes, 2);
-        let out = merge_contigs(&nodes, &labels.labels, &merge_cfg(6, 0));
+        let out = merge_contigs(&nodes, &labels.labels, &merge_cfg(6, 0), 3);
         assert_eq!(out.contigs.len(), 1);
         let contig = &out.contigs[0];
         assert_eq!(contig.vertex_type(), VertexType::Isolated);
@@ -476,7 +473,7 @@ mod tests {
     #[test]
     fn empty_labels_produce_no_contigs() {
         let nodes = nodes_from_reads(&["CTGCCGT"], 4);
-        let out = merge_contigs(&nodes, &[], &merge_cfg(4, 0));
+        let out = merge_contigs(&nodes, &[], &merge_cfg(4, 0), 3);
         assert!(out.contigs.is_empty());
         assert_eq!(out.groups, 0);
     }
@@ -485,7 +482,7 @@ mod tests {
     fn contig_ids_are_unique_and_contig_typed() {
         let nodes = nodes_from_reads(&["TTACTTGATCCGTT", "TTACTTGAACGGTT", "GGCATTACTTGA"], 5);
         let labels = label_contigs_lr(&nodes, 2);
-        let out = merge_contigs(&nodes, &labels.labels, &merge_cfg(5, 0));
+        let out = merge_contigs(&nodes, &labels.labels, &merge_cfg(5, 0), 3);
         let ids: HashSet<u64> = out.contigs.iter().map(|c| c.id).collect();
         assert_eq!(ids.len(), out.contigs.len(), "contig IDs must be unique");
         assert!(ids.iter().all(|id| is_contig_id(*id)));

@@ -3,8 +3,10 @@
 //! Each operation is a standalone function that consumes and produces plain
 //! collections of graph nodes, so that users can compose them into custom
 //! workflows exactly as the paper advertises ("users may combine the provided
-//! operations to implement various sequencing strategies"). The standard
-//! pipeline is assembled in [`crate::workflow`].
+//! operations to implement various sequencing strategies"). Each is also
+//! wrapped as a first-class [`crate::pipeline::Stage`] for composition
+//! through the [`crate::pipeline::Pipeline`] builder; the standard pipeline
+//! is assembled in [`crate::workflow`].
 
 pub mod bubble;
 pub mod construct;

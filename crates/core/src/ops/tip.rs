@@ -36,8 +36,6 @@ pub struct TipConfig {
     /// Maximum total length (in bases) of a dangling path that is considered a
     /// tip and removed (the paper uses 80).
     pub tip_length_threshold: usize,
-    /// Number of Pregel workers.
-    pub workers: usize,
 }
 
 impl Default for TipConfig {
@@ -45,7 +43,6 @@ impl Default for TipConfig {
         TipConfig {
             k: 31,
             tip_length_threshold: 80,
-            workers: 4,
         }
     }
 }
@@ -412,32 +409,27 @@ impl VertexProgram for TipProgram {
 }
 
 /// Runs tip removing over the ambiguous k-mer vertices and the contig vertices
-/// produced by merging (after bubble filtering). (Private worker pool; inside
-/// a workflow, prefer [`remove_tips_on`].)
+/// produced by merging (after bubble filtering). (Private pool of `workers`
+/// threads; inside a workflow, prefer [`remove_tips_on`].)
 pub fn remove_tips(
     ambiguous_kmers: &[AsmNode],
     contigs: &[AsmNode],
     config: &TipConfig,
+    workers: usize,
 ) -> TipOutcome {
-    remove_tips_on(
-        &ExecCtx::new(config.workers),
-        ambiguous_kmers,
-        contigs,
-        config,
-    )
+    remove_tips_on(&ExecCtx::new(workers), ambiguous_kmers, contigs, config)
 }
 
-/// Runs tip removing on a caller-provided execution context (whose pool size
-/// must match `config.workers`): the underlying Pregel job executes on the
-/// context's persistent pool.
+/// Runs tip removing on a caller-provided execution context: the underlying
+/// Pregel job executes on the context's persistent pool (worker count = pool
+/// size).
 pub fn remove_tips_on(
     ctx: &ExecCtx,
     ambiguous_kmers: &[AsmNode],
     contigs: &[AsmNode],
     config: &TipConfig,
 ) -> TipOutcome {
-    ctx.assert_matches(config.workers, "TipConfig.workers");
-    let pregel_config = PregelConfig::with_workers(config.workers)
+    let pregel_config = PregelConfig::with_workers(ctx.workers())
         .max_supersteps(10_000)
         .exec_ctx(ctx.clone());
     let program = TipProgram {
@@ -553,8 +545,8 @@ mod tests {
             &MergeConfig {
                 k,
                 tip_length_threshold: merge_tip,
-                workers: 2,
             },
+            2,
         );
         let ambiguous: Vec<AsmNode> = nodes
             .iter()
@@ -568,7 +560,6 @@ mod tests {
         TipConfig {
             k,
             tip_length_threshold: threshold,
-            workers: 2,
         }
     }
 
@@ -601,7 +592,7 @@ mod tests {
         );
         assert!(contigs.len() >= 2, "main path plus tip expected");
         let before = contigs.len();
-        let out = remove_tips(&ambiguous, &contigs, &tip_cfg(9, 30));
+        let out = remove_tips(&ambiguous, &contigs, &tip_cfg(9, 30), 2);
         assert!(
             out.deleted_contigs >= 1 || out.deleted_kmers >= 1,
             "the short dangling branch must be removed"
@@ -620,7 +611,7 @@ mod tests {
         let refs: Vec<&str> = reads.iter().map(|s| s.as_str()).collect();
         let (ambiguous, contigs) = merged_graph(&refs, 9, 0);
         // With a tiny threshold nothing qualifies as a tip.
-        let out = remove_tips(&ambiguous, &contigs, &tip_cfg(9, 1));
+        let out = remove_tips(&ambiguous, &contigs, &tip_cfg(9, 1), 2);
         assert_eq!(out.deleted_contigs, 0);
         assert_eq!(out.deleted_kmers, 0);
         assert_eq!(out.contigs.len(), contigs.len());
@@ -632,7 +623,7 @@ mod tests {
         // An error-free single path has no ambiguous vertices at all.
         let (ambiguous, contigs) = merged_graph(&["CTGCCGTACA", "GCCGTACAGG"], 4, 0);
         assert!(ambiguous.is_empty());
-        let out = remove_tips(&ambiguous, &contigs, &tip_cfg(4, 80));
+        let out = remove_tips(&ambiguous, &contigs, &tip_cfg(4, 80), 2);
         assert_eq!(out.deleted_contigs, 0);
         assert_eq!(out.contigs.len(), contigs.len());
     }
@@ -642,7 +633,7 @@ mod tests {
         let reads = tippy_reads();
         let refs: Vec<&str> = reads.iter().map(|s| s.as_str()).collect();
         let (ambiguous, contigs) = merged_graph(&refs, 9, 0);
-        let out = remove_tips(&ambiguous, &contigs, &tip_cfg(9, 0));
+        let out = remove_tips(&ambiguous, &contigs, &tip_cfg(9, 0), 2);
         // No deletions with threshold 0, but adjacency must now reference
         // contigs instead of merged-away unambiguous k-mers.
         let contig_ids: HashSet<u64> = out.contigs.iter().map(|c| c.id).collect();
@@ -675,17 +666,17 @@ mod tests {
             &contigs,
             &crate::ops::bubble::BubbleConfig {
                 max_edit_distance: 5,
-                workers: 2,
             },
+            2,
         );
         remove_pruned(&mut contigs, &bubbles.pruned);
-        let out = remove_tips(&ambiguous, &contigs, &tip_cfg(9, 30));
+        let out = remove_tips(&ambiguous, &contigs, &tip_cfg(9, 30), 2);
         assert!(out.metrics.converged);
     }
 
     #[test]
     fn empty_input() {
-        let out = remove_tips(&[], &[], &TipConfig::default());
+        let out = remove_tips(&[], &[], &TipConfig::default(), 2);
         assert!(out.kmers.is_empty());
         assert!(out.contigs.is_empty());
         assert_eq!(out.deleted_kmers + out.deleted_contigs, 0);

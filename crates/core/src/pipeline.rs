@@ -1,0 +1,1052 @@
+//! The composable pipeline API: first-class stages over a unified
+//! [`GraphState`].
+//!
+//! The paper's central claim (Figure 10) is that assembly is a *composition*
+//! of reusable Pregel operations — "users may combine the provided operations
+//! to implement various sequencing strategies". This module makes that
+//! composition a first-class object:
+//!
+//! * [`Stage`] — one pipeline step. Every paper operation ships as an
+//!   implementor ([`Construct`], [`Label`] in its LR and S-V flavours,
+//!   [`Merge`], [`FilterBubbles`], [`RemoveTips`]) plus the terminal
+//!   [`FilterLength`]; custom stages are ordinary trait impls.
+//! * [`GraphState`] — the unified working state the stages transform: the
+//!   input reads, the current node set, the most recent labeling, the contig
+//!   vertices, the ambiguous k-mers awaiting re-wiring, and the final output.
+//! * [`Pipeline`] — the builder: [`then`](Pipeline::then) appends a stage,
+//!   [`repeat`](Pipeline::repeat) loops a block of stages (the paper's
+//!   ④⑤⑥②③ error-correction rounds), [`observe`](Pipeline::observe) attaches
+//!   a [`PipelineObserver`], and [`run`](Pipeline::run) executes the stages
+//!   on an [`ExecCtx`] worker pool.
+//! * [`PipelineObserver`] — timing/stats instrumentation as a hook instead of
+//!   inline code: the runner measures every stage and delivers a
+//!   [`StageReport`]; [`WorkflowStats`] *is* the built-in observer (it
+//!   rebuilds all the paper-table statistics from the reports), and
+//!   [`StageLogger`] prints per-stage progress for the bench harnesses.
+//!
+//! [`Pipeline::paper_workflow`] is the preset for the paper's evaluation
+//! workflow ①②③(④⑤②③)×r; [`crate::workflow::assemble`] is now a thin wrapper
+//! over it.
+//!
+//! # Build your own workflow
+//!
+//! The "S-V labeling, no bubble filtering, two tip-removal rounds" strategy
+//! of `examples/custom_workflow.rs` is a handful of builder calls:
+//!
+//! ```
+//! use ppa_assembler::ops::{ConstructConfig, MergeConfig, TipConfig};
+//! use ppa_assembler::pipeline::{
+//!     FilterLength, GraphState, Label, Merge, Pipeline, RemoveTips, Stage,
+//! };
+//! use ppa_assembler::stats::WorkflowStats;
+//! use ppa_pregel::ExecCtx;
+//! use ppa_readsim::{GenomeConfig, ReadSimConfig};
+//!
+//! let reference = GenomeConfig { length: 2_000, repeat_families: 0, ..Default::default() }
+//!     .generate();
+//! let reads = ReadSimConfig::error_free(100, 20.0).simulate(&reference);
+//!
+//! let (k, workers) = (21, 2);
+//! let merge = MergeConfig { k, tip_length_threshold: 80 };
+//! let mut stats = WorkflowStats::default();
+//! let mut pipeline = Pipeline::new()
+//!     .then(ppa_assembler::pipeline::Construct::new(ConstructConfig {
+//!         k,
+//!         min_coverage: 0,
+//!         batch_size: 1024,
+//!     }))
+//!     .then(Label::simplified_sv())
+//!     .then(Merge::new(merge.clone()))
+//!     .repeat(
+//!         2,
+//!         vec![Box::new(RemoveTips::new(TipConfig { k, tip_length_threshold: 80 }))
+//!             as Box<dyn Stage>],
+//!     )
+//!     .then(Label::simplified_sv())
+//!     .then(Merge::new(merge))
+//!     .then(FilterLength::new(0))
+//!     .observe(&mut stats);
+//!
+//! let mut state = GraphState::new(&reads);
+//! let reports = pipeline.run(&mut state, &ExecCtx::new(workers));
+//! assert!(!state.output.is_empty());
+//! assert_eq!(reports.len(), 8); // construct, label, merge, 2 × tips, label, merge, filter
+//! assert!(stats.total_elapsed.as_nanos() > 0);
+//! ```
+
+use crate::node::AsmNode;
+use crate::ops::bubble::{filter_bubbles_on, remove_pruned, BubbleConfig};
+use crate::ops::construct::{build_dbg_on, ConstructConfig, ConstructStats};
+use crate::ops::label::{label_contigs_lr_on, LabelOutcome};
+use crate::ops::label_sv::label_contigs_sv_on;
+use crate::ops::merge::{merge_contigs_on, MergeConfig};
+use crate::ops::tip::{remove_tips_on, TipConfig};
+use crate::stats::{n50, CorrectionStats, LabelStats, MergeStats, WorkflowStats};
+use crate::workflow::{AssemblyConfig, Contig, LabelingAlgorithm};
+use ppa_pregel::{ExecCtx, Metrics};
+use ppa_seq::ReadSet;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Graph state
+// ---------------------------------------------------------------------------
+
+/// The unified working state a [`Pipeline`] threads through its stages: what
+/// `assemble()` used to shuttle between operations as local variables.
+///
+/// All fields are public so custom [`Stage`]s can transform the state freely;
+/// the invariants the built-in stages maintain are documented per field.
+#[derive(Debug)]
+pub struct GraphState<'r> {
+    /// The input read set ([`Construct`] consumes it).
+    pub reads: &'r ReadSet,
+    /// The current node set that labeling and merging operate on: the k-mer
+    /// vertices after [`Construct`]; the mixed k-mer + contig set rebuilt by
+    /// [`Label`] after a [`RemoveTips`] rewired the graph. [`Merge`] drains
+    /// it (into `ambiguous_kmers` and `contigs`).
+    pub nodes: Vec<AsmNode>,
+    /// The most recent labeling outcome ([`Label`] sets it, [`Merge`] takes
+    /// it).
+    pub labels: Option<LabelOutcome>,
+    /// The current contig vertices ([`Merge`] produces them,
+    /// [`FilterBubbles`]/[`RemoveTips`] correct them).
+    pub contigs: Vec<AsmNode>,
+    /// Ambiguous (⟨m-n⟩) k-mer vertices awaiting re-wiring by [`RemoveTips`].
+    pub ambiguous_kmers: Vec<AsmNode>,
+    /// Whether `ambiguous_kmers`/`contigs` have had their adjacency rebuilt
+    /// by [`RemoveTips`] since the last [`Merge`]. Re-labeling a drained node
+    /// set requires this: straight after a merge, the k-mer adjacencies still
+    /// reference vertices that were folded into contigs, so [`Label`] refuses
+    /// to rebuild its working set from an un-rewired graph.
+    pub rewired: bool,
+    /// The final assembly output ([`FilterLength`] moves `contigs` here).
+    pub output: Vec<Contig>,
+}
+
+impl<'r> GraphState<'r> {
+    /// A fresh state over a read set, ready for a [`Construct`] stage.
+    pub fn new(reads: &'r ReadSet) -> GraphState<'r> {
+        GraphState {
+            reads,
+            nodes: Vec::new(),
+            labels: None,
+            contigs: Vec::new(),
+            ambiguous_kmers: Vec::new(),
+            rewired: false,
+            output: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage reports & the observer protocol
+// ---------------------------------------------------------------------------
+
+/// Stage-specific result payload carried by a [`StageReport`].
+#[derive(Debug, Clone)]
+pub enum StageDetails {
+    /// ① DBG construction finished with these statistics.
+    Construct(ConstructStats),
+    /// ② contig labeling finished (either algorithm).
+    Label(LabelStats),
+    /// ③ contig merging finished.
+    Merge {
+        /// Grouping/stitching statistics.
+        stats: MergeStats,
+        /// Surviving graph size after the merge (ambiguous k-mers + contigs).
+        nodes_after: usize,
+        /// N50 of the freshly merged contigs.
+        n50: usize,
+    },
+    /// ④ bubble filtering finished.
+    Bubbles {
+        /// Contigs pruned as low-coverage bubble branches.
+        pruned: usize,
+        /// End-pair groups with more than one contig.
+        candidate_groups: usize,
+    },
+    /// ⑤ tip removing finished.
+    Tips {
+        /// k-mer vertices deleted.
+        deleted_kmers: usize,
+        /// Contig vertices deleted.
+        deleted_contigs: usize,
+        /// Pregel metrics of the REQUEST/DELETE job.
+        metrics: Metrics,
+    },
+    /// Final length filtering finished.
+    FilterLength {
+        /// Contigs kept in the output.
+        kept: usize,
+        /// Contigs dropped as too short.
+        dropped: usize,
+        /// N50 of the output.
+        n50: usize,
+    },
+    /// A user-defined stage with no structured payload.
+    Custom,
+}
+
+impl StageDetails {
+    /// One-line human-readable summary (used by [`StageLogger`]).
+    pub fn summary(&self) -> String {
+        match self {
+            StageDetails::Construct(s) => format!(
+                "{} k-mer vertices from {} kept (k+1)-mers",
+                s.vertices, s.kept_kplus1_mers
+            ),
+            StageDetails::Label(s) => format!(
+                "{} labeled / {} ambiguous in {} supersteps, {} msgs",
+                s.labeled_vertices, s.ambiguous_vertices, s.supersteps, s.messages
+            ),
+            StageDetails::Merge {
+                stats, nodes_after, ..
+            } => format!(
+                "{} contigs from {} groups ({} tips dropped), {} nodes remain",
+                stats.contigs, stats.groups, stats.dropped_tips, nodes_after
+            ),
+            StageDetails::Bubbles {
+                pruned,
+                candidate_groups,
+            } => format!("{pruned} contigs pruned in {candidate_groups} candidate groups"),
+            StageDetails::Tips {
+                deleted_kmers,
+                deleted_contigs,
+                metrics,
+            } => format!(
+                "{deleted_kmers} k-mers and {deleted_contigs} contigs deleted in {} supersteps",
+                metrics.supersteps
+            ),
+            StageDetails::FilterLength { kept, dropped, n50 } => {
+                format!("{kept} contigs kept ({dropped} too short), N50 {n50}")
+            }
+            StageDetails::Custom => String::new(),
+        }
+    }
+}
+
+/// What one stage execution produced: identity, timing, and a typed payload.
+///
+/// A stage constructs the report with [`StageReport::new`]; the pipeline
+/// runner then fills in `round` (the 1-based occurrence of this stage name
+/// within the run) and `elapsed` (measured around the stage) before
+/// delivering it to the observers and returning it from
+/// [`Pipeline::run`].
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// The stage's [`name`](Stage::name).
+    pub stage: String,
+    /// 1-based occurrence of this stage name within the pipeline run (e.g.
+    /// the second `Label` execution has `round == 2`). Set by the runner.
+    pub round: usize,
+    /// Wall-clock time of the stage. Measured by the runner.
+    pub elapsed: Duration,
+    /// Stage-specific payload.
+    pub details: StageDetails,
+}
+
+impl StageReport {
+    /// Builds a report for a finished stage; the pipeline fills in timing and
+    /// round.
+    pub fn new(stage: impl Into<String>, details: StageDetails) -> StageReport {
+        StageReport {
+            stage: stage.into(),
+            round: 0,
+            elapsed: Duration::ZERO,
+            details,
+        }
+    }
+}
+
+/// Instrumentation hook: the pipeline announces every stage boundary.
+///
+/// All methods default to no-ops, so an observer implements only what it
+/// cares about. [`WorkflowStats`] implements this trait to rebuild the
+/// paper-table statistics; [`StageLogger`] implements it for progress output.
+pub trait PipelineObserver {
+    /// The pipeline is about to run its first stage.
+    fn on_pipeline_start(&mut self) {}
+    /// `stage` is about to run.
+    fn on_stage_start(&mut self, stage: &str) {
+        let _ = stage;
+    }
+    /// A stage finished; `report` carries its name, round, timing, payload.
+    fn on_stage_end(&mut self, report: &StageReport) {
+        let _ = report;
+    }
+    /// The pipeline finished all stages after `total` wall-clock time.
+    fn on_pipeline_end(&mut self, total: Duration) {
+        let _ = total;
+    }
+}
+
+/// Returns the correction-stats slot for a 1-based correction round,
+/// growing the vector as needed (bubble and tip reports of the same round
+/// land in the same slot).
+fn correction_at(stats: &mut WorkflowStats, round: usize) -> &mut CorrectionStats {
+    let round = round.max(1);
+    while stats.corrections.len() < round {
+        stats.corrections.push(CorrectionStats::default());
+    }
+    &mut stats.corrections[round - 1]
+}
+
+impl PipelineObserver for WorkflowStats {
+    fn on_stage_end(&mut self, report: &StageReport) {
+        let round = report.round.max(1);
+        match &report.details {
+            StageDetails::Construct(stats) => {
+                self.node_counts.kmer_vertices = stats.vertices as usize;
+                self.construct = stats.clone();
+                self.record_stage("1 DBG construction", report.elapsed);
+            }
+            StageDetails::Label(stats) => {
+                if round == 1 {
+                    self.label_round1 = stats.clone();
+                    self.record_stage("2 contig labeling (k-mers)", report.elapsed);
+                } else {
+                    self.label_round2.push(stats.clone());
+                    self.record_stage(
+                        format!("2 contig labeling (contigs, round {round})"),
+                        report.elapsed,
+                    );
+                }
+            }
+            StageDetails::Merge {
+                stats,
+                nodes_after,
+                n50,
+            } => {
+                if round == 1 {
+                    self.merge_round1 = stats.clone();
+                    self.node_counts.after_first_merge = *nodes_after;
+                    self.n50_after_round1 = *n50;
+                } else {
+                    self.merge_round2.push(stats.clone());
+                }
+                self.node_counts.after_final_merge = *nodes_after;
+                self.record_stage(format!("3 contig merging (round {round})"), report.elapsed);
+            }
+            StageDetails::Bubbles {
+                pruned,
+                candidate_groups,
+            } => {
+                let entry = correction_at(self, round);
+                entry.bubbles_pruned = *pruned;
+                entry.bubble_groups = *candidate_groups;
+                self.record_stage(
+                    format!("4 bubble filtering (round {round})"),
+                    report.elapsed,
+                );
+            }
+            StageDetails::Tips {
+                deleted_kmers,
+                deleted_contigs,
+                metrics,
+            } => {
+                let entry = correction_at(self, round);
+                entry.tip_kmers_deleted = *deleted_kmers;
+                entry.tip_contigs_deleted = *deleted_contigs;
+                entry.tip_metrics = metrics.clone();
+                self.record_stage(format!("5 tip removing (round {round})"), report.elapsed);
+            }
+            StageDetails::FilterLength { n50, .. } => {
+                self.n50_final = *n50;
+                self.record_stage("6 length filtering", report.elapsed);
+            }
+            StageDetails::Custom => {
+                self.record_stage(report.stage.clone(), report.elapsed);
+            }
+        }
+    }
+
+    fn on_pipeline_end(&mut self, total: Duration) {
+        self.total_elapsed = total;
+    }
+}
+
+/// A [`PipelineObserver`] that prints one progress line per stage to stderr —
+/// the per-stage output of the bench harnesses.
+#[derive(Debug, Default)]
+pub struct StageLogger {
+    /// Prefix prepended to every line (e.g. the dataset or algorithm name).
+    pub prefix: String,
+}
+
+impl StageLogger {
+    /// A logger whose lines are prefixed with `prefix`.
+    pub fn with_prefix(prefix: impl Into<String>) -> StageLogger {
+        StageLogger {
+            prefix: prefix.into(),
+        }
+    }
+}
+
+impl PipelineObserver for StageLogger {
+    fn on_stage_end(&mut self, report: &StageReport) {
+        let prefix = if self.prefix.is_empty() {
+            String::new()
+        } else {
+            format!("[{}] ", self.prefix)
+        };
+        eprintln!(
+            "{prefix}{} (round {}): {:.3}s — {}",
+            report.stage,
+            report.round,
+            report.elapsed.as_secs_f64(),
+            report.details.summary()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Stage trait and the built-in stages
+// ---------------------------------------------------------------------------
+
+/// One step of a [`Pipeline`]: transforms the [`GraphState`] on the given
+/// execution context and reports what it did.
+///
+/// Implementors should be stateless configuration holders — `run` takes
+/// `&self` so a stage can execute repeatedly inside
+/// [`Pipeline::repeat`].
+pub trait Stage {
+    /// Stable identifier of the stage kind (used for round counting and
+    /// observer output).
+    fn name(&self) -> &str;
+    /// Executes the stage. Timing and round numbering are handled by the
+    /// pipeline runner; the returned report only needs name + details.
+    fn run(&self, state: &mut GraphState<'_>, ctx: &ExecCtx) -> StageReport;
+}
+
+/// Operation ① — DBG construction: `state.reads` → `state.nodes`.
+#[derive(Debug, Clone)]
+pub struct Construct {
+    /// The construction parameters (k, θ, batch size).
+    pub config: ConstructConfig,
+}
+
+impl Construct {
+    /// A construction stage with the given parameters.
+    pub fn new(config: ConstructConfig) -> Construct {
+        Construct { config }
+    }
+}
+
+impl Stage for Construct {
+    fn name(&self) -> &str {
+        "construct"
+    }
+
+    fn run(&self, state: &mut GraphState<'_>, ctx: &ExecCtx) -> StageReport {
+        let outcome = build_dbg_on(ctx, state.reads, &self.config);
+        let stats = outcome.stats.clone();
+        state.nodes = outcome.into_nodes();
+        state.labels = None;
+        state.contigs.clear();
+        state.ambiguous_kmers.clear();
+        state.rewired = false;
+        state.output.clear();
+        StageReport::new(self.name(), StageDetails::Construct(stats))
+    }
+}
+
+/// Operation ② — contig labeling over `state.nodes`, with either algorithm.
+#[derive(Debug, Clone)]
+pub struct Label {
+    /// Which labeling algorithm to run.
+    pub algorithm: LabelingAlgorithm,
+}
+
+impl Label {
+    /// A labeling stage running the given algorithm.
+    pub fn new(algorithm: LabelingAlgorithm) -> Label {
+        Label { algorithm }
+    }
+
+    /// Bidirectional list ranking (the BPPA the paper recommends).
+    pub fn list_ranking() -> Label {
+        Label::new(LabelingAlgorithm::ListRanking)
+    }
+
+    /// The simplified Shiloach–Vishkin connected-components algorithm.
+    pub fn simplified_sv() -> Label {
+        Label::new(LabelingAlgorithm::SimplifiedSV)
+    }
+}
+
+impl Stage for Label {
+    fn name(&self) -> &str {
+        "label"
+    }
+
+    fn run(&self, state: &mut GraphState<'_>, ctx: &ExecCtx) -> StageReport {
+        // A preceding Merge drained `nodes`; rebuild the mixed working set
+        // from the corrected graph — but only once RemoveTips has rewired the
+        // adjacency, otherwise labeling would run over stale k-mer edges.
+        if state.nodes.is_empty() && !(state.ambiguous_kmers.is_empty() && state.contigs.is_empty())
+        {
+            assert!(
+                state.rewired,
+                "the Label stage found a drained node set whose adjacency was not rebuilt: \
+                 after Merge, run RemoveTips before re-labeling"
+            );
+            state.nodes = state
+                .ambiguous_kmers
+                .iter()
+                .cloned()
+                .chain(state.contigs.iter().cloned())
+                .collect();
+        }
+        let outcome = match self.algorithm {
+            LabelingAlgorithm::ListRanking => label_contigs_lr_on(ctx, &state.nodes),
+            LabelingAlgorithm::SimplifiedSV => label_contigs_sv_on(ctx, &state.nodes),
+        };
+        let stats = LabelStats::from_metrics(
+            &outcome.metrics,
+            outcome.labels.len(),
+            outcome.ambiguous.len(),
+            outcome.used_cycle_fallback,
+        );
+        state.labels = Some(outcome);
+        StageReport::new(self.name(), StageDetails::Label(stats))
+    }
+}
+
+/// Operation ③ — contig merging: drains `state.nodes` + the pending labels
+/// into fresh `state.contigs`, parking the ambiguous k-mers in
+/// `state.ambiguous_kmers`.
+#[derive(Debug, Clone)]
+pub struct Merge {
+    /// The merging parameters (k, tip-length threshold).
+    pub config: MergeConfig,
+}
+
+impl Merge {
+    /// A merging stage with the given parameters.
+    pub fn new(config: MergeConfig) -> Merge {
+        Merge { config }
+    }
+}
+
+impl Stage for Merge {
+    fn name(&self) -> &str {
+        "merge"
+    }
+
+    fn run(&self, state: &mut GraphState<'_>, ctx: &ExecCtx) -> StageReport {
+        let labels = state
+            .labels
+            .take()
+            .expect("the Merge stage requires a preceding Label stage");
+        let merged = merge_contigs_on(ctx, &state.nodes, &labels.labels, &self.config);
+        let stats = MergeStats {
+            groups: merged.groups,
+            contigs: merged.contigs.len(),
+            dropped_tips: merged.dropped_tips,
+            mapreduce: merged.mapreduce.clone(),
+        };
+        let ambiguous: HashSet<u64> = labels.ambiguous.iter().copied().collect();
+        let nodes = std::mem::take(&mut state.nodes);
+        state.ambiguous_kmers = nodes
+            .into_iter()
+            .filter(|n| ambiguous.contains(&n.id))
+            .collect();
+        state.contigs = merged.contigs;
+        state.rewired = false;
+        let nodes_after = state.ambiguous_kmers.len() + state.contigs.len();
+        let n50_merged = n50(&state.contigs.iter().map(|c| c.len()).collect::<Vec<_>>());
+        StageReport::new(
+            self.name(),
+            StageDetails::Merge {
+                stats,
+                nodes_after,
+                n50: n50_merged,
+            },
+        )
+    }
+}
+
+/// Operation ④ — bubble filtering: prunes low-coverage parallel contigs from
+/// `state.contigs` in place.
+#[derive(Debug, Clone)]
+pub struct FilterBubbles {
+    /// The bubble-filtering parameters (edit-distance threshold).
+    pub config: BubbleConfig,
+}
+
+impl FilterBubbles {
+    /// A bubble-filtering stage with the given parameters.
+    pub fn new(config: BubbleConfig) -> FilterBubbles {
+        FilterBubbles { config }
+    }
+}
+
+impl Stage for FilterBubbles {
+    fn name(&self) -> &str {
+        "filter_bubbles"
+    }
+
+    fn run(&self, state: &mut GraphState<'_>, ctx: &ExecCtx) -> StageReport {
+        let outcome = filter_bubbles_on(ctx, &state.contigs, &self.config);
+        remove_pruned(&mut state.contigs, &outcome.pruned);
+        StageReport::new(
+            self.name(),
+            StageDetails::Bubbles {
+                pruned: outcome.pruned.len(),
+                candidate_groups: outcome.candidate_groups,
+            },
+        )
+    }
+}
+
+/// Operation ⑤ — tip removing: rewires `state.ambiguous_kmers` +
+/// `state.contigs` and marks the state rewired, so the next [`Label`] stage
+/// rebuilds the mixed k-mer + contig working set from them.
+#[derive(Debug, Clone)]
+pub struct RemoveTips {
+    /// The tip-removal parameters (k, tip-length threshold).
+    pub config: TipConfig,
+}
+
+impl RemoveTips {
+    /// A tip-removal stage with the given parameters.
+    pub fn new(config: TipConfig) -> RemoveTips {
+        RemoveTips { config }
+    }
+}
+
+impl Stage for RemoveTips {
+    fn name(&self) -> &str {
+        "remove_tips"
+    }
+
+    fn run(&self, state: &mut GraphState<'_>, ctx: &ExecCtx) -> StageReport {
+        let tips = remove_tips_on(ctx, &state.ambiguous_kmers, &state.contigs, &self.config);
+        // The mixed working set is rebuilt lazily by the next Label stage, so
+        // consecutive tip rounds do not each materialise a full graph copy.
+        state.nodes.clear();
+        state.ambiguous_kmers = tips.kmers;
+        state.contigs = tips.contigs;
+        state.rewired = true;
+        StageReport::new(
+            self.name(),
+            StageDetails::Tips {
+                deleted_kmers: tips.deleted_kmers,
+                deleted_contigs: tips.deleted_contigs,
+                metrics: tips.metrics,
+            },
+        )
+    }
+}
+
+/// Terminal stage: moves `state.contigs` into `state.output`, dropping
+/// contigs shorter than the configured minimum and sorting longest-first.
+#[derive(Debug, Clone)]
+pub struct FilterLength {
+    /// Contigs shorter than this are dropped from the output.
+    pub min_length: usize,
+}
+
+impl FilterLength {
+    /// A length-filter stage with the given minimum contig length.
+    pub fn new(min_length: usize) -> FilterLength {
+        FilterLength { min_length }
+    }
+}
+
+impl Stage for FilterLength {
+    fn name(&self) -> &str {
+        "filter_length"
+    }
+
+    fn run(&self, state: &mut GraphState<'_>, _ctx: &ExecCtx) -> StageReport {
+        let contigs = std::mem::take(&mut state.contigs);
+        let before = contigs.len();
+        let mut out: Vec<Contig> = contigs
+            .into_iter()
+            .filter(|c| c.len() >= self.min_length)
+            .map(|c| Contig {
+                id: c.id,
+                sequence: c.seq.to_dna(),
+                coverage: c.coverage,
+            })
+            .collect();
+        out.sort_by(|a, b| b.len().cmp(&a.len()).then(a.id.cmp(&b.id)));
+        let n50_out = n50(&out.iter().map(Contig::len).collect::<Vec<_>>());
+        let kept = out.len();
+        state.output = out;
+        StageReport::new(
+            self.name(),
+            StageDetails::FilterLength {
+                kept,
+                dropped: before - kept,
+                n50: n50_out,
+            },
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pipeline builder
+// ---------------------------------------------------------------------------
+
+enum PipelineItem {
+    Stage(Box<dyn Stage>),
+    Repeat {
+        times: usize,
+        stages: Vec<Box<dyn Stage>>,
+    },
+}
+
+/// A composed sequence of [`Stage`]s with attached [`PipelineObserver`]s.
+///
+/// Built with [`then`](Pipeline::then) / [`repeat`](Pipeline::repeat) /
+/// [`observe`](Pipeline::observe); executed with [`run`](Pipeline::run). The
+/// lifetime parameter is the borrow of the attached observers.
+pub struct Pipeline<'o> {
+    items: Vec<PipelineItem>,
+    observers: Vec<&'o mut dyn PipelineObserver>,
+}
+
+impl Default for Pipeline<'_> {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+impl<'o> Pipeline<'o> {
+    /// An empty pipeline.
+    pub fn new() -> Pipeline<'o> {
+        Pipeline {
+            items: Vec::new(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Appends one stage.
+    pub fn then(mut self, stage: impl Stage + 'static) -> Pipeline<'o> {
+        self.items.push(PipelineItem::Stage(Box::new(stage)));
+        self
+    }
+
+    /// Appends a block of stages executed `times` times in sequence — the
+    /// paper's error-correction loop is `repeat(r, [④, ⑤, ②, ③])`.
+    pub fn repeat(mut self, times: usize, stages: Vec<Box<dyn Stage>>) -> Pipeline<'o> {
+        self.items.push(PipelineItem::Repeat { times, stages });
+        self
+    }
+
+    /// Attaches an observer; every attached observer sees every stage
+    /// boundary of [`run`](Pipeline::run).
+    pub fn observe(mut self, observer: &'o mut dyn PipelineObserver) -> Pipeline<'o> {
+        self.observers.push(observer);
+        self
+    }
+
+    /// The number of stage executions one `run` performs.
+    pub fn stage_count(&self) -> usize {
+        self.items
+            .iter()
+            .map(|item| match item {
+                PipelineItem::Stage(_) => 1,
+                PipelineItem::Repeat { times, stages } => times * stages.len(),
+            })
+            .sum()
+    }
+
+    /// The paper's evaluation workflow ①②③(④⑤②③)×r plus the final length
+    /// filter, parameterised by an [`AssemblyConfig`].
+    ///
+    /// [`crate::workflow::assemble`] runs exactly this pipeline; build it
+    /// yourself to attach extra observers or to splice in custom stages.
+    pub fn paper_workflow(config: &AssemblyConfig) -> Pipeline<'o> {
+        let merge_cfg = MergeConfig {
+            k: config.k,
+            tip_length_threshold: config.tip_length_threshold,
+        };
+        Pipeline::new()
+            .then(Construct::new(ConstructConfig {
+                k: config.k,
+                min_coverage: config.min_kmer_coverage,
+                batch_size: 1024,
+            }))
+            .then(Label::new(config.labeling))
+            .then(Merge::new(merge_cfg.clone()))
+            .repeat(
+                config.error_correction_rounds,
+                vec![
+                    Box::new(FilterBubbles::new(BubbleConfig {
+                        max_edit_distance: config.bubble_edit_distance,
+                    })),
+                    Box::new(RemoveTips::new(TipConfig {
+                        k: config.k,
+                        tip_length_threshold: config.tip_length_threshold,
+                    })),
+                    Box::new(Label::new(config.labeling)),
+                    Box::new(Merge::new(merge_cfg)),
+                ],
+            )
+            .then(FilterLength::new(config.min_contig_length))
+    }
+
+    /// Executes every stage in order on the given state and execution
+    /// context, returning the per-stage reports (also delivered to the
+    /// attached observers).
+    pub fn run(&mut self, state: &mut GraphState<'_>, ctx: &ExecCtx) -> Vec<StageReport> {
+        let total = Instant::now();
+        let items = &self.items;
+        let observers = &mut self.observers;
+        for obs in observers.iter_mut() {
+            obs.on_pipeline_start();
+        }
+
+        let mut rounds: HashMap<String, usize> = HashMap::new();
+        let mut reports: Vec<StageReport> = Vec::new();
+        let mut run_stage = |stage: &dyn Stage,
+                             state: &mut GraphState<'_>,
+                             rounds: &mut HashMap<String, usize>,
+                             reports: &mut Vec<StageReport>| {
+            for obs in observers.iter_mut() {
+                obs.on_stage_start(stage.name());
+            }
+            let start = Instant::now();
+            let mut report = stage.run(state, ctx);
+            report.elapsed = start.elapsed();
+            let round = rounds.entry(report.stage.clone()).or_insert(0);
+            *round += 1;
+            report.round = *round;
+            for obs in observers.iter_mut() {
+                obs.on_stage_end(&report);
+            }
+            reports.push(report);
+        };
+
+        for item in items {
+            match item {
+                PipelineItem::Stage(stage) => {
+                    run_stage(stage.as_ref(), state, &mut rounds, &mut reports)
+                }
+                PipelineItem::Repeat { times, stages } => {
+                    for _ in 0..*times {
+                        for stage in stages {
+                            run_stage(stage.as_ref(), state, &mut rounds, &mut reports);
+                        }
+                    }
+                }
+            }
+        }
+
+        let total = total.elapsed();
+        for obs in self.observers.iter_mut() {
+            obs.on_pipeline_end(total);
+        }
+        reports
+    }
+}
+
+impl std::fmt::Debug for Pipeline<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stages: Vec<String> = self
+            .items
+            .iter()
+            .map(|item| match item {
+                PipelineItem::Stage(s) => s.name().to_string(),
+                PipelineItem::Repeat { times, stages } => format!(
+                    "repeat×{times}[{}]",
+                    stages
+                        .iter()
+                        .map(|s| s.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            })
+            .collect();
+        f.debug_struct("Pipeline")
+            .field("stages", &stages)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_readsim::{GenomeConfig, ReadSimConfig};
+
+    fn reads(length: usize, error: f64, seed: u64) -> ReadSet {
+        let reference = GenomeConfig {
+            length,
+            repeat_families: 0,
+            seed,
+            ..Default::default()
+        }
+        .generate();
+        ReadSimConfig {
+            read_length: 100.min(length / 2),
+            coverage: 20.0,
+            substitution_rate: error,
+            indel_rate: 0.0,
+            n_rate: 0.0,
+            both_strands: true,
+            seed: seed + 1,
+        }
+        .simulate(&reference)
+    }
+
+    fn small_config() -> AssemblyConfig {
+        AssemblyConfig {
+            k: 21,
+            min_kmer_coverage: 0,
+            workers: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn paper_workflow_produces_contigs_and_reports() {
+        let reads = reads(2_000, 0.0, 7);
+        let config = small_config();
+        let mut state = GraphState::new(&reads);
+        let reports = Pipeline::paper_workflow(&config).run(&mut state, &ExecCtx::new(2));
+        assert!(!state.output.is_empty());
+        // ① ② ③ + (④ ⑤ ② ③) + filter = 8 stage executions for 1 round.
+        assert_eq!(reports.len(), 8);
+        assert_eq!(reports[0].stage, "construct");
+        assert_eq!(reports[7].stage, "filter_length");
+        // Round numbering: the second label/merge executions are round 2.
+        assert_eq!(reports[1].round, 1);
+        assert_eq!(reports[5].stage, "label");
+        assert_eq!(reports[5].round, 2);
+        assert_eq!(reports[6].stage, "merge");
+        assert_eq!(reports[6].round, 2);
+    }
+
+    #[test]
+    fn workflow_stats_observer_matches_inline_shape() {
+        let reads = reads(2_000, 0.004, 19);
+        let config = AssemblyConfig {
+            min_kmer_coverage: 1,
+            ..small_config()
+        };
+        let mut stats = WorkflowStats::default();
+        let mut state = GraphState::new(&reads);
+        Pipeline::paper_workflow(&config)
+            .observe(&mut stats)
+            .run(&mut state, &ExecCtx::new(2));
+        assert_eq!(stats.corrections.len(), 1);
+        assert_eq!(stats.label_round2.len(), 1);
+        assert_eq!(stats.merge_round2.len(), 1);
+        assert_eq!(
+            stats.node_counts.kmer_vertices,
+            stats.construct.vertices as usize
+        );
+        assert!(stats.total_elapsed.as_nanos() > 0);
+        assert!(stats
+            .timings
+            .iter()
+            .any(|t| t.stage == "1 DBG construction"));
+        assert!(stats
+            .timings
+            .iter()
+            .any(|t| t.stage == "2 contig labeling (contigs, round 2)"));
+    }
+
+    #[test]
+    fn stage_count_accounts_for_repeats() {
+        let config = AssemblyConfig {
+            error_correction_rounds: 3,
+            ..small_config()
+        };
+        let pipeline = Pipeline::<'static>::paper_workflow(&config);
+        assert_eq!(pipeline.stage_count(), 3 + 3 * 4 + 1);
+    }
+
+    #[test]
+    fn repeat_zero_times_skips_the_block() {
+        let reads = reads(1_500, 0.0, 29);
+        let config = AssemblyConfig {
+            error_correction_rounds: 0,
+            ..small_config()
+        };
+        let mut stats = WorkflowStats::default();
+        let mut state = GraphState::new(&reads);
+        let reports = Pipeline::paper_workflow(&config)
+            .observe(&mut stats)
+            .run(&mut state, &ExecCtx::new(2));
+        assert_eq!(reports.len(), 4); // construct, label, merge, filter
+        assert!(stats.corrections.is_empty());
+        assert_eq!(stats.n50_after_round1, stats.n50_final);
+    }
+
+    #[test]
+    #[should_panic(expected = "run RemoveTips before re-labeling")]
+    fn relabeling_an_unrewired_graph_panics() {
+        // Label after Merge without an intervening RemoveTips used to label
+        // an empty node set and silently discard the assembly; now it panics
+        // with guidance.
+        let reads = reads(2_000, 0.0, 43);
+        let config = small_config();
+        let mut state = GraphState::new(&reads);
+        Pipeline::new()
+            .then(Construct::new(ConstructConfig {
+                k: config.k,
+                min_coverage: 0,
+                batch_size: 1024,
+            }))
+            .then(Label::list_ranking())
+            .then(Merge::new(MergeConfig {
+                k: config.k,
+                tip_length_threshold: config.tip_length_threshold,
+            }))
+            .then(Label::list_ranking())
+            .run(&mut state, &ExecCtx::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a preceding Label stage")]
+    fn merge_without_label_panics() {
+        let reads = ReadSet::new();
+        let mut state = GraphState::new(&reads);
+        Pipeline::new()
+            .then(Merge::new(MergeConfig::default()))
+            .run(&mut state, &ExecCtx::new(1));
+    }
+
+    #[test]
+    fn custom_stage_and_custom_details_flow_through() {
+        struct Halve;
+        impl Stage for Halve {
+            fn name(&self) -> &str {
+                "halve"
+            }
+            fn run(&self, state: &mut GraphState<'_>, _ctx: &ExecCtx) -> StageReport {
+                let keep = state.contigs.len() / 2;
+                state.contigs.truncate(keep);
+                StageReport::new(self.name(), StageDetails::Custom)
+            }
+        }
+        let reads = reads(2_000, 0.0, 37);
+        let config = small_config();
+        let mut stats = WorkflowStats::default();
+        let mut state = GraphState::new(&reads);
+        let mut pipeline = Pipeline::new()
+            .then(Construct::new(ConstructConfig {
+                k: config.k,
+                min_coverage: 0,
+                batch_size: 1024,
+            }))
+            .then(Label::list_ranking())
+            .then(Merge::new(MergeConfig {
+                k: config.k,
+                tip_length_threshold: config.tip_length_threshold,
+            }))
+            .then(Halve)
+            .then(FilterLength::new(0))
+            .observe(&mut stats);
+        let reports = pipeline.run(&mut state, &ExecCtx::new(2));
+        assert_eq!(reports[3].stage, "halve");
+        assert!(matches!(reports[3].details, StageDetails::Custom));
+        assert!(stats.timings.iter().any(|t| t.stage == "halve"));
+    }
+}

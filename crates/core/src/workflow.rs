@@ -1,27 +1,22 @@
-//! The assembly workflow: wiring the five operations into the pipeline the
-//! paper evaluates (Figure 10, workflow ①②③④⑤⑥②③).
+//! The assembly workflow: the paper's evaluation pipeline (Figure 10,
+//! workflow ①②③④⑤⑥②③) behind one function.
 //!
 //! [`assemble`] runs: DBG construction → contig labeling → contig merging →
 //! (bubble filtering → tip removing → labeling → merging)×`error_correction_rounds`,
 //! with every intermediate hand-off performed in memory (the `convert`
-//! extension). Each stage's metrics are recorded in
-//! [`WorkflowStats`](crate::stats::WorkflowStats) so that the bench harnesses
-//! can regenerate the paper's tables and figures. Users who want a different
-//! strategy can call the operations in [`crate::ops`] directly.
+//! extension). It is a thin wrapper over
+//! [`Pipeline::paper_workflow`](crate::pipeline::Pipeline::paper_workflow)
+//! with [`WorkflowStats`] attached as the
+//! observer, so the bench harnesses can regenerate the paper's tables and
+//! figures from [`Assembly::stats`]. Users who want a different strategy
+//! compose their own [`crate::pipeline::Pipeline`] (or call the operations in
+//! [`crate::ops`] directly).
 
-use crate::node::AsmNode;
-use crate::ops::bubble::{filter_bubbles_on, remove_pruned, BubbleConfig};
-use crate::ops::construct::{build_dbg_on, ConstructConfig};
-use crate::ops::label::{label_contigs_lr_on, LabelOutcome};
-use crate::ops::label_sv::label_contigs_sv_on;
-use crate::ops::merge::{merge_contigs_on, MergeConfig};
-use crate::ops::tip::{remove_tips_on, TipConfig};
-use crate::stats::{n50, CorrectionStats, LabelStats, MergeStats, WorkflowStats};
+use crate::pipeline::{GraphState, Pipeline};
+use crate::stats::{n50, WorkflowStats};
 use ppa_pregel::ExecCtx;
 use ppa_seq::{DnaString, FastxRecord, ReadSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
-use std::time::Instant;
 
 /// Which algorithm performs contig labeling (operation ②).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -162,185 +157,30 @@ impl Assembly {
     }
 }
 
-fn run_labeling(algorithm: LabelingAlgorithm, ctx: &ExecCtx, nodes: &[AsmNode]) -> LabelOutcome {
-    match algorithm {
-        LabelingAlgorithm::ListRanking => label_contigs_lr_on(ctx, nodes),
-        LabelingAlgorithm::SimplifiedSV => label_contigs_sv_on(ctx, nodes),
-    }
-}
-
 /// Runs the standard PPA-assembler workflow over a read set.
 ///
-/// Every operation of every round — DBG construction, labeling, merging,
-/// bubble filtering, tip removing — executes on one persistent worker pool
+/// Thin wrapper over the composable pipeline API: builds
+/// [`Pipeline::paper_workflow`] for `config`, attaches the run's
+/// [`WorkflowStats`] as the observer, and executes it. Every operation of
+/// every round — DBG construction, labeling, merging, bubble filtering, tip
+/// removing — executes on one persistent worker pool
 /// ([`AssemblyConfig::exec`], or a pool built here when unset): threads are
 /// spawned once per run, not once per superstep/phase.
 pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
-    let total_start = Instant::now();
-    let mut stats = WorkflowStats::default();
     let ctx = config
         .exec
         .clone()
         .unwrap_or_else(|| ExecCtx::new(config.workers));
     ctx.assert_matches(config.workers, "AssemblyConfig.workers");
 
-    // ── ① DBG construction ────────────────────────────────────────────────
-    let stage = Instant::now();
-    let construct = build_dbg_on(
-        &ctx,
-        reads,
-        &ConstructConfig {
-            k: config.k,
-            min_coverage: config.min_kmer_coverage,
-            workers: config.workers,
-            batch_size: 1024,
-        },
-    );
-    stats.record_stage("1 DBG construction", stage.elapsed());
-    stats.node_counts.kmer_vertices = construct.vertices.len();
-
-    // In-memory conversion to the unified node representation.
-    let nodes: Vec<AsmNode> = construct.into_nodes();
-    stats.construct = construct.stats;
-
-    // ── ② contig labeling (round 1, k-mer vertices) ───────────────────────
-    let stage = Instant::now();
-    let label1 = run_labeling(config.labeling, &ctx, &nodes);
-    stats.record_stage("2 contig labeling (k-mers)", stage.elapsed());
-    stats.label_round1 = LabelStats::from_metrics(
-        &label1.metrics,
-        label1.labels.len(),
-        label1.ambiguous.len(),
-        label1.used_cycle_fallback,
-    );
-
-    // ── ③ contig merging (round 1) ────────────────────────────────────────
-    let stage = Instant::now();
-    let merge_cfg = MergeConfig {
-        k: config.k,
-        tip_length_threshold: config.tip_length_threshold,
-        workers: config.workers,
-    };
-    let merge1 = merge_contigs_on(&ctx, &nodes, &label1.labels, &merge_cfg);
-    stats.record_stage("3 contig merging (round 1)", stage.elapsed());
-    stats.merge_round1 = MergeStats {
-        groups: merge1.groups,
-        contigs: merge1.contigs.len(),
-        dropped_tips: merge1.dropped_tips,
-        mapreduce: merge1.mapreduce.clone(),
-    };
-
-    let ambiguous_set: HashSet<u64> = label1.ambiguous.iter().copied().collect();
-    let mut ambiguous_kmers: Vec<AsmNode> = nodes
-        .into_iter()
-        .filter(|n| ambiguous_set.contains(&n.id))
-        .collect();
-    let mut contigs = merge1.contigs;
-    stats.node_counts.after_first_merge = ambiguous_kmers.len() + contigs.len();
-    stats.n50_after_round1 = n50(&contigs.iter().map(|c| c.len()).collect::<Vec<_>>());
-
-    // ── ④⑤⑥②③ error correction + contig growth rounds ────────────────────
-    for round in 0..config.error_correction_rounds {
-        // ④ bubble filtering.
-        let stage = Instant::now();
-        let bubbles = filter_bubbles_on(
-            &ctx,
-            &contigs,
-            &BubbleConfig {
-                max_edit_distance: config.bubble_edit_distance,
-                workers: config.workers,
-            },
-        );
-        remove_pruned(&mut contigs, &bubbles.pruned);
-        stats.record_stage(
-            format!("4 bubble filtering (round {})", round + 1),
-            stage.elapsed(),
-        );
-
-        // ⑤ tip removing (also rewires the ambiguous k-mers to the contigs).
-        let stage = Instant::now();
-        let tips = remove_tips_on(
-            &ctx,
-            &ambiguous_kmers,
-            &contigs,
-            &TipConfig {
-                k: config.k,
-                tip_length_threshold: config.tip_length_threshold,
-                workers: config.workers,
-            },
-        );
-        stats.record_stage(
-            format!("5 tip removing (round {})", round + 1),
-            stage.elapsed(),
-        );
-        stats.corrections.push(CorrectionStats {
-            bubbles_pruned: bubbles.pruned.len(),
-            bubble_groups: bubbles.candidate_groups,
-            tip_kmers_deleted: tips.deleted_kmers,
-            tip_contigs_deleted: tips.deleted_contigs,
-            tip_metrics: tips.metrics.clone(),
-        });
-
-        // ⑥ feed the corrected graph back into labeling + merging.
-        let mixed: Vec<AsmNode> = tips
-            .kmers
-            .iter()
-            .cloned()
-            .chain(tips.contigs.iter().cloned())
-            .collect();
-
-        let stage = Instant::now();
-        let label2 = run_labeling(config.labeling, &ctx, &mixed);
-        stats.record_stage(
-            format!("2 contig labeling (contigs, round {})", round + 2),
-            stage.elapsed(),
-        );
-        stats.label_round2.push(LabelStats::from_metrics(
-            &label2.metrics,
-            label2.labels.len(),
-            label2.ambiguous.len(),
-            label2.used_cycle_fallback,
-        ));
-
-        let stage = Instant::now();
-        let merge2 = merge_contigs_on(&ctx, &mixed, &label2.labels, &merge_cfg);
-        stats.record_stage(
-            format!("3 contig merging (round {})", round + 2),
-            stage.elapsed(),
-        );
-        stats.merge_round2.push(MergeStats {
-            groups: merge2.groups,
-            contigs: merge2.contigs.len(),
-            dropped_tips: merge2.dropped_tips,
-            mapreduce: merge2.mapreduce.clone(),
-        });
-
-        let ambiguous2: HashSet<u64> = label2.ambiguous.iter().copied().collect();
-        ambiguous_kmers = mixed
-            .into_iter()
-            .filter(|n| ambiguous2.contains(&n.id))
-            .collect();
-        contigs = merge2.contigs;
-    }
-
-    stats.node_counts.after_final_merge = ambiguous_kmers.len() + contigs.len();
-
-    // ── final output ───────────────────────────────────────────────────────
-    let mut out: Vec<Contig> = contigs
-        .into_iter()
-        .filter(|c| c.len() >= config.min_contig_length)
-        .map(|c| Contig {
-            id: c.id,
-            sequence: c.seq.to_dna(),
-            coverage: c.coverage,
-        })
-        .collect();
-    out.sort_by(|a, b| b.len().cmp(&a.len()).then(a.id.cmp(&b.id)));
-    stats.n50_final = n50(&out.iter().map(Contig::len).collect::<Vec<_>>());
-    stats.total_elapsed = total_start.elapsed();
+    let mut stats = WorkflowStats::default();
+    let mut state = GraphState::new(reads);
+    Pipeline::paper_workflow(config)
+        .observe(&mut stats)
+        .run(&mut state, &ctx);
 
     Assembly {
-        contigs: out,
+        contigs: state.output,
         stats,
     }
 }

@@ -3,7 +3,7 @@
 //! These are the two building blocks that the contig-labeling operation of the
 //! assembler specialises:
 //!
-//! * [`list_ranking`] — the BPPA for list ranking (pointer jumping / doubling),
+//! * [`list_ranking()`](fn@list_ranking) — the BPPA for list ranking (pointer jumping / doubling),
 //!   `O(log n)` rounds of two supersteps each;
 //! * [`connected_components`] — the *simplified* Shiloach–Vishkin algorithm
 //!   (tree hooking + shortcutting, without star hooking), `O(log n)` rounds of

@@ -23,7 +23,7 @@
 //!    during the merge.
 //!
 //! All buffers — per-destination outboxes, the sorted `ids`/`messages` arrays
-//! and the combine scratch — live in per-worker [`WorkerPlane`]s reused
+//! and the combine scratch — live in per-worker `WorkerPlane`s reused
 //! across supersteps, so a steady-state superstep performs no per-vertex or
 //! per-superstep container allocation. This replaces the earlier
 //! `FxHashMap<Id, Vec<Message>>` grouping (one heap `Vec` per receiving

@@ -11,7 +11,7 @@
 //!   lengths and sequences;
 //! * [`align`] — anchor-based alignment of contigs against a reference and the
 //!   derived reference-based metrics;
-//! * [`report`] — a combined [`QuastReport`](report::QuastReport) that prints
+//! * [`report`] — a combined [`QuastReport`] that prints
 //!   in the same shape as the paper's quality tables.
 
 #![deny(missing_docs)]

@@ -1,7 +1,7 @@
 //! Arbitrary-length 2-bit packed DNA sequences.
 //!
 //! Contigs (Figure 9) and reference genomes can be far longer than 31 bases,
-//! so they cannot live in a single `u64` like a [`Kmer`](crate::Kmer). A
+//! so they cannot live in a single `u64` like a [`Kmer`]. A
 //! [`DnaString`] stores the sequence as a vector of 64-bit words, 32 bases per
 //! word, using the same 2-bit code (`A=00`, `C=01`, `G=10`, `T=11`). This is
 //! the "variable-length bitmap" that a contig vertex keeps as its sequence in

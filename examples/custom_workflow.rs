@@ -1,17 +1,33 @@
-//! Composing the toolkit's operations by hand, exactly as the paper's Figure
-//! 10 allows: here we build a custom pipeline that uses the simplified S-V
-//! algorithm for labeling, skips bubble filtering entirely, and runs two
-//! rounds of tip removal instead of one.
+//! Composing the toolkit's operations exactly as the paper's Figure 10
+//! allows — now through the first-class pipeline API: this custom pipeline
+//! uses the simplified S-V algorithm for labeling, skips bubble filtering
+//! entirely, and runs two rounds of tip removal instead of one. A custom
+//! [`PipelineObserver`] prints every stage as it completes.
 //!
 //! Run with: `cargo run -p ppa-examples --release --bin custom_workflow`
 
-use ppa_assembler::ops::construct::{build_dbg, ConstructConfig};
-use ppa_assembler::ops::label_sv::label_contigs_sv;
-use ppa_assembler::ops::merge::{merge_contigs, MergeConfig};
-use ppa_assembler::ops::tip::{remove_tips, TipConfig};
-use ppa_assembler::AsmNode;
+use ppa_assembler::ops::{ConstructConfig, MergeConfig, TipConfig};
+use ppa_assembler::pipeline::{
+    Construct, FilterLength, GraphState, Label, Merge, Pipeline, PipelineObserver, RemoveTips,
+    Stage, StageReport,
+};
+use ppa_pregel::ExecCtx;
 use ppa_readsim::{GenomeConfig, ReadSimConfig};
-use std::collections::HashSet;
+
+/// A console observer: one line per finished stage.
+struct Console;
+
+impl PipelineObserver for Console {
+    fn on_stage_end(&mut self, report: &StageReport) {
+        println!(
+            "{:<14} round {}  {:>8.3}s  {}",
+            report.stage,
+            report.round,
+            report.elapsed.as_secs_f64(),
+            report.details.summary()
+        );
+    }
+}
 
 fn main() {
     let reference = GenomeConfig {
@@ -28,82 +44,40 @@ fn main() {
     .simulate(&reference);
     let (k, workers) = (31, 4);
 
-    // ① DBG construction.
-    let construct = build_dbg(
-        &reads,
-        &ConstructConfig {
-            k,
-            min_coverage: 1,
-            workers,
-            batch_size: 1024,
-        },
-    );
-    println!(
-        "① built DBG: {} k-mer vertices from {} distinct (k+1)-mers",
-        construct.stats.vertices, construct.stats.kept_kplus1_mers
-    );
-    let nodes = construct.into_nodes();
-
-    // ② contig labeling with the simplified S-V algorithm (instead of LR).
-    let labels = label_contigs_sv(&nodes, workers);
-    println!(
-        "② labelled {} unambiguous vertices ({} ambiguous) in {} supersteps / {} messages",
-        labels.labels.len(),
-        labels.ambiguous.len(),
-        labels.metrics.supersteps,
-        labels.metrics.total_messages
-    );
-
-    // ③ contig merging.
-    let merge_cfg = MergeConfig {
+    // The "S-V labeling, no bubbles, two tip rounds" strategy as a pipeline:
+    // ① construct, ② label (S-V), ③ merge, ⑤⑤ two tip rounds, then grow
+    // longer contigs once more (⑥②③) and emit the final output.
+    let merge = MergeConfig {
         k,
         tip_length_threshold: 80,
-        workers,
     };
-    let merged = merge_contigs(&nodes, &labels.labels, &merge_cfg);
-    println!(
-        "③ merged into {} contigs ({} short tips dropped)",
-        merged.contigs.len(),
-        merged.dropped_tips
-    );
-
-    // ⑤ two rounds of tip removal, no bubble filtering.
-    let ambiguous: HashSet<u64> = labels.ambiguous.iter().copied().collect();
-    let mut kmers: Vec<AsmNode> = nodes
-        .into_iter()
-        .filter(|n| ambiguous.contains(&n.id))
-        .collect();
-    let mut contigs = merged.contigs;
-    for round in 1..=2 {
-        let tips = remove_tips(
-            &kmers,
-            &contigs,
-            &TipConfig {
+    let mut console = Console;
+    let mut pipeline = Pipeline::new()
+        .then(Construct::new(ConstructConfig {
+            k,
+            min_coverage: 1,
+            batch_size: 1024,
+        }))
+        .then(Label::simplified_sv())
+        .then(Merge::new(merge.clone()))
+        .repeat(
+            2,
+            vec![Box::new(RemoveTips::new(TipConfig {
                 k,
                 tip_length_threshold: 80,
-                workers,
-            },
-        );
-        println!(
-            "⑤ tip-removal round {round}: deleted {} k-mers and {} contigs in {} supersteps",
-            tips.deleted_kmers, tips.deleted_contigs, tips.metrics.supersteps
-        );
-        kmers = tips.kmers;
-        contigs = tips.contigs;
-    }
+            })) as Box<dyn Stage>],
+        )
+        .then(Label::simplified_sv())
+        .then(Merge::new(merge))
+        .then(FilterLength::new(0))
+        .observe(&mut console);
 
-    // ⑥② ③ grow longer contigs once more over the corrected graph.
-    let mixed: Vec<AsmNode> = kmers
-        .iter()
-        .cloned()
-        .chain(contigs.iter().cloned())
-        .collect();
-    let labels2 = label_contigs_sv(&mixed, workers);
-    let merged2 = merge_contigs(&mixed, &labels2.labels, &merge_cfg);
-    let mut lengths: Vec<usize> = merged2.contigs.iter().map(|c| c.len()).collect();
-    lengths.sort_unstable_by(|a, b| b.cmp(a));
+    let mut state = GraphState::new(&reads);
+    pipeline.run(&mut state, &ExecCtx::new(workers));
+
+    let lengths: Vec<usize> = state.output.iter().map(|c| c.len()).collect();
     println!(
-        "final: {} contigs, largest {} bp, N50 {} bp",
+        "\nfinal: {} contigs, largest {} bp, N50 {} bp",
         lengths.len(),
         lengths.first().copied().unwrap_or(0),
         ppa_assembler::stats::n50(&lengths)

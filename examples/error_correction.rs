@@ -1,9 +1,16 @@
 //! Error correction in action: assemble an error-prone read set with and
-//! without the bubble-filtering / tip-removing operations and compare.
+//! without the bubble-filtering / tip-removing operations and compare — both
+//! variants expressed through the pipeline API. The uncorrected variant is
+//! the paper workflow with zero correction rounds; the corrected one is the
+//! standard ①②③④⑤⑥②③ preset. `WorkflowStats` is attached as an observer, so
+//! all statistics below come from the observer hook.
 //!
 //! Run with: `cargo run -p ppa-examples --release --bin error_correction`
 
-use ppa_assembler::{assemble, AssemblyConfig};
+use ppa_assembler::pipeline::{GraphState, Pipeline};
+use ppa_assembler::stats::WorkflowStats;
+use ppa_assembler::AssemblyConfig;
+use ppa_pregel::ExecCtx;
 use ppa_quality::QuastReport;
 use ppa_readsim::{GenomeConfig, ReadSimConfig};
 
@@ -28,37 +35,43 @@ fn main() {
         reference.len()
     );
 
+    let workers = 4;
+    let ctx = ExecCtx::new(workers);
+
     // Without error correction: stop after the first merging round and keep
     // every (k+1)-mer regardless of coverage.
-    let uncorrected = assemble(
-        &reads,
-        &AssemblyConfig {
-            k: 31,
-            min_kmer_coverage: 0,
-            error_correction_rounds: 0,
-            workers: 4,
-            ..Default::default()
-        },
-    );
-    // With the standard workflow: θ filtering, bubble filtering, tip removing,
-    // then a second labeling + merging round.
-    let corrected = assemble(
-        &reads,
-        &AssemblyConfig {
-            k: 31,
-            min_kmer_coverage: 1,
-            workers: 4,
-            ..Default::default()
-        },
-    );
+    let uncorrected_cfg = AssemblyConfig {
+        k: 31,
+        min_kmer_coverage: 0,
+        error_correction_rounds: 0,
+        workers,
+        ..Default::default()
+    };
+    // With the standard workflow: θ filtering, bubble filtering, tip
+    // removing, then a second labeling + merging round.
+    let corrected_cfg = AssemblyConfig {
+        k: 31,
+        min_kmer_coverage: 1,
+        workers,
+        ..Default::default()
+    };
 
-    for (name, assembly) in [("uncorrected", &uncorrected), ("corrected", &corrected)] {
-        let contigs: Vec<_> = assembly
-            .contigs
-            .iter()
-            .map(|c| c.sequence.clone())
-            .collect();
-        let report = QuastReport::evaluate(name, &contigs, Some(&reference.sequence), 200);
+    let mut results = Vec::new();
+    for (name, config) in [
+        ("uncorrected", &uncorrected_cfg),
+        ("corrected", &corrected_cfg),
+    ] {
+        let mut stats = WorkflowStats::default();
+        let mut state = GraphState::new(&reads);
+        Pipeline::paper_workflow(config)
+            .observe(&mut stats)
+            .run(&mut state, &ctx);
+        results.push((name, state.output, stats));
+    }
+
+    for (name, output, _) in &results {
+        let contigs: Vec<_> = output.iter().map(|c| c.sequence.clone()).collect();
+        let report = QuastReport::evaluate(*name, &contigs, Some(&reference.sequence), 200);
         let r = report.reference.as_ref().expect("reference supplied");
         println!(
             "{name:<12} contigs≥200: {:<5} N50: {:<6} largest: {:<6} genome fraction: {:>6.2}%  mismatches/100kbp: {:>8.2}",
@@ -69,8 +82,9 @@ fn main() {
             r.mismatches_per_100kbp,
         );
     }
-    let correction = corrected
-        .stats
+
+    let corrected_stats = &results[1].2;
+    let correction = corrected_stats
         .corrections
         .first()
         .expect("one correction round");
@@ -80,6 +94,6 @@ fn main() {
     );
     println!(
         "N50 grew from {} (round 1) to {} (round 2) thanks to re-merging after correction",
-        corrected.stats.n50_after_round1, corrected.stats.n50_final
+        corrected_stats.n50_after_round1, corrected_stats.n50_final
     );
 }

@@ -84,7 +84,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length range for [`vec`]: constructed from `a..b` or `a..=b`.
+    /// A length range for [`vec()`](crate::collection::vec): constructed from `a..b` or `a..=b`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,

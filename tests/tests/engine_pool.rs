@@ -64,28 +64,24 @@ fn five_ops(reads: &ReadSet, shared: Option<&ExecCtx>) -> Vec<(u64, u32, String)
     let construct_cfg = ConstructConfig {
         k: K,
         min_coverage: 1,
-        workers: WORKERS,
         batch_size: 64,
     };
     let merge_cfg = MergeConfig {
         k: K,
         tip_length_threshold: 80,
-        workers: WORKERS,
     };
     let bubble_cfg = BubbleConfig {
         max_edit_distance: 5,
-        workers: WORKERS,
     };
     let tip_cfg = TipConfig {
         k: K,
         tip_length_threshold: 80,
-        workers: WORKERS,
     };
 
     // ① DBG construction.
     let outcome = match shared {
         Some(ctx) => build_dbg_on(ctx, reads, &construct_cfg),
-        None => build_dbg(reads, &construct_cfg),
+        None => build_dbg(reads, &construct_cfg, WORKERS),
     };
     let nodes: Vec<AsmNode> = outcome.into_nodes();
 
@@ -98,14 +94,14 @@ fn five_ops(reads: &ReadSet, shared: Option<&ExecCtx>) -> Vec<(u64, u32, String)
     // ③ contig merging.
     let merged = match shared {
         Some(ctx) => merge_contigs_on(ctx, &nodes, &label.labels, &merge_cfg),
-        None => merge_contigs(&nodes, &label.labels, &merge_cfg),
+        None => merge_contigs(&nodes, &label.labels, &merge_cfg, WORKERS),
     };
     let mut contigs = merged.contigs;
 
     // ④ bubble filtering.
     let bubbles = match shared {
         Some(ctx) => filter_bubbles_on(ctx, &contigs, &bubble_cfg),
-        None => filter_bubbles(&contigs, &bubble_cfg),
+        None => filter_bubbles(&contigs, &bubble_cfg, WORKERS),
     };
     remove_pruned(&mut contigs, &bubbles.pruned);
 
@@ -117,7 +113,7 @@ fn five_ops(reads: &ReadSet, shared: Option<&ExecCtx>) -> Vec<(u64, u32, String)
         .collect();
     let tips = match shared {
         Some(ctx) => remove_tips_on(ctx, &ambiguous_kmers, &contigs, &tip_cfg),
-        None => remove_tips(&ambiguous_kmers, &contigs, &tip_cfg),
+        None => remove_tips(&ambiguous_kmers, &contigs, &tip_cfg, WORKERS),
     };
 
     let survivors: Vec<AsmNode> = tips
@@ -213,7 +209,6 @@ fn per_superstep_metrics_report_phase_times_and_utilization() {
         &ConstructConfig {
             k: K,
             min_coverage: 1,
-            workers: WORKERS,
             batch_size: 64,
         },
     );
