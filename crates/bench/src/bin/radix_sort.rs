@@ -1,0 +1,203 @@
+//! Regenerates `BENCH_radix_sort.json`: the LSD radix presort
+//! (`ppa_pregel::radix`) against the comparison-sort plane it replaced.
+//!
+//! Three workload groups:
+//!
+//! * **sort microbench** — 1M `(u64, u64)` records under three key
+//!   distributions (uniform 64-bit, clustered-by-partition, DBG-shaped short
+//!   runs), pdqsort (`ppa_bench::legacy::comparison_sort_pairs`) vs
+//!   `radix::sort_pairs` with a warm scratch;
+//! * **shuffle_1m** — the full mini-MapReduce pass over 1M pairs / 500k keys
+//!   (the `message_plane` bench's shuffle workload), with the presorts forced
+//!   onto the comparison fallback (`legacy::with_comparison_plane`) vs the
+//!   radix plane;
+//! * **assemble_e2e** — whole `workflow::assemble` wall clock on a simulated
+//!   dataset, comparison plane vs radix plane (every presort of every
+//!   operation of every round flips at once).
+//!
+//! Run from the repository root: `cargo run -p ppa_bench --release --bin
+//! radix_sort [--reps N] [--out PATH]`.
+
+use ppa_assembler::workflow::{assemble, AssemblyConfig};
+use ppa_bench::legacy::{comparison_sort_pairs, with_comparison_plane};
+use ppa_bench::{time_runs as time, SnapshotArgs};
+use ppa_pregel::mapreduce::Emitter;
+use ppa_pregel::{map_reduce, radix};
+use ppa_readsim::preset_by_name;
+use std::hint::black_box;
+
+const N: usize = 1_000_000;
+const WORKERS: usize = 4;
+const SHUFFLE_KEYS: u64 = 500_000;
+
+struct Workload {
+    name: &'static str,
+    description: &'static str,
+    comparison: (f64, f64),
+    radix: (f64, f64),
+}
+
+impl Workload {
+    fn speedup(&self) -> f64 {
+        self.comparison.0 / self.radix.0
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Builds one master input per distribution; timed iterations copy it into a
+/// pre-sized buffer (same memcpy on both sides) and sort.
+fn distribution(name: &str) -> Vec<(u64, u64)> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    (0..N as u64)
+        .map(|i| {
+            let r = xorshift(&mut state);
+            let key = match name {
+                // Full-width keys: radix pays all 8 passes.
+                "uniform" => r,
+                // Keys clustered by owning partition (top bits = partition,
+                // low bits narrow): digit skipping removes most passes —
+                // the shape of per-destination outbox buffers.
+                "clustered" => ((i % 8) << 56) | (r & 0xF_FFFF),
+                // Narrow key space with many duplicates — the (k+1)-mer
+                // counting / DBG shuffle shape (short same-key runs).
+                "dbg_runs" => r % SHUFFLE_KEYS,
+                _ => unreachable!(),
+            };
+            (key, i)
+        })
+        .collect()
+}
+
+fn sort_microbench(name: &'static str, description: &'static str, reps: usize) -> Workload {
+    eprintln!("sort_{name} ({N} records, {reps} reps)...");
+    let master = distribution(name);
+    let mut records = master.clone();
+    let mut scratch: Vec<(u64, u64)> = Vec::with_capacity(N);
+    Workload {
+        name,
+        description,
+        comparison: time(reps, || {
+            records.clone_from(&master);
+            comparison_sort_pairs(black_box(&mut records));
+        }),
+        radix: time(reps, || {
+            records.clone_from(&master);
+            radix::sort_pairs(black_box(&mut records), &mut scratch);
+        }),
+    }
+}
+
+fn run_shuffle(inputs: &[u64]) -> usize {
+    // Multiplicative-hashed keys: shuffle buffers arrive in random key order,
+    // like the packed canonical (k+1)-mers of DBG construction do (emitting
+    // `x % KEYS` over sequential inputs would instead produce nearly-sorted
+    // buffers — pdqsort's best case, not the production shape).
+    map_reduce(
+        inputs.to_vec(),
+        WORKERS,
+        |x: u64, out: &mut Emitter<'_, u64, u64>| {
+            out.emit(x.wrapping_mul(0x9E37_79B9_7F4A_7C15) % SHUFFLE_KEYS, 1)
+        },
+        |k: &u64, vs: &mut [u64], out: &mut Vec<(u64, u64)>| out.push((*k, vs.iter().sum::<u64>())),
+    )
+    .len()
+}
+
+fn main() {
+    let SnapshotArgs { reps, out_path } = SnapshotArgs::parse("BENCH_radix_sort.json");
+
+    let mut workloads = vec![
+        sort_microbench(
+            "uniform",
+            "1M-pair sort, uniform 64-bit keys (worst case: all 8 radix passes)",
+            reps,
+        ),
+        sort_microbench(
+            "clustered",
+            "1M-pair sort, partition-clustered keys (digit skipping: ~4 passes)",
+            reps,
+        ),
+        sort_microbench(
+            "dbg_runs",
+            "1M-pair sort, 500k-key space with short duplicate runs (DBG-construction shape)",
+            reps,
+        ),
+    ];
+
+    eprintln!("shuffle_1m ({N} pairs, {SHUFFLE_KEYS} keys, {WORKERS} workers, {reps} reps)...");
+    let inputs: Vec<u64> = (0..N as u64).collect();
+    workloads.push(Workload {
+        name: "shuffle_1m",
+        description:
+            "full mini-MapReduce pass over 1M pairs / 500k keys, comparison presort vs radix presort",
+        comparison: time(reps, || {
+            black_box(with_comparison_plane(|| run_shuffle(&inputs)));
+        }),
+        radix: time(reps, || {
+            black_box(run_shuffle(&inputs));
+        }),
+    });
+
+    let dataset = preset_by_name("sim-hc2")
+        .expect("sim-hc2 preset exists")
+        .scaled(0.5)
+        .generate();
+    let config = AssemblyConfig {
+        k: 25,
+        workers: WORKERS,
+        ..Default::default()
+    };
+    eprintln!(
+        "assemble_e2e ({} reads, k={}, {WORKERS} workers, {reps} reps)...",
+        dataset.reads.len(),
+        config.k
+    );
+    workloads.push(Workload {
+        name: "assemble_e2e",
+        description: "whole workflow::assemble on sim-hc2 ×0.5, comparison plane vs radix plane",
+        comparison: time(reps, || {
+            black_box(with_comparison_plane(|| {
+                assemble(&dataset.reads, &config).contigs.len()
+            }));
+        }),
+        radix: time(reps, || {
+            black_box(assemble(&dataset.reads, &config).contigs.len());
+        }),
+    });
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"radix_sort\",\n");
+    json.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"workloads\": [\n");
+    let last = workloads.len() - 1;
+    for (i, w) in workloads.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+        json.push_str(&format!("      \"description\": \"{}\",\n", w.description));
+        json.push_str(&format!(
+            "      \"comparison_plane\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}}},\n",
+            w.comparison.0, w.comparison.1
+        ));
+        json.push_str(&format!(
+            "      \"radix_plane\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}}},\n",
+            w.radix.0, w.radix.1
+        ));
+        json.push_str(&format!("      \"speedup\": {:.2}\n", w.speedup()));
+        json.push_str(if i == last { "    }\n" } else { "    },\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("{json}");
+    for w in &workloads {
+        println!("{}: {:.2}x", w.name, w.speedup());
+    }
+    println!("→ {out_path}");
+}

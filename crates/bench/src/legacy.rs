@@ -1,7 +1,7 @@
 //! The **pre-refactor** execution strategies, preserved verbatim-in-spirit
 //! for the `message_plane` and `worker_pool` benchmarks.
 //!
-//! Two generations of replaced machinery live here:
+//! Three generations of replaced machinery live here:
 //!
 //! * the hash-grouping **message plane** (PR 1 replaced it with the
 //!   sort-based plane): the runner delivered messages by building a
@@ -13,7 +13,13 @@
 //!   replaced it with the persistent `ppa_pregel::engine::WorkerPool`): every
 //!   compute/shuffle/map/reduce phase created a fresh `std::thread::scope`
 //!   and spawned one thread per worker, paying a spawn + join per worker per
-//!   phase.
+//!   phase;
+//! * the **comparison-sort presort plane** (the radix PR replaced it with the
+//!   stable LSD radix sort of `ppa_pregel::radix`): every shuffle presort ran
+//!   pdqsort/merge sort over the packed keys. [`with_comparison_plane`]
+//!   forces the production shuffles back onto a stable comparison sort, and
+//!   [`comparison_sort_pairs`] exposes the raw pdqsort baseline for the
+//!   `radix_sort` microbench.
 //!
 //! Keeping them alive — allocation and spawn behaviour intact — lets the
 //! benchmarks and the `BENCH_message_plane.json` / `BENCH_worker_pool.json`
@@ -25,6 +31,23 @@
 use ppa_pregel::fxhash::{hash_one, FxHashMap};
 use ppa_pregel::VertexKey;
 use std::hash::Hash;
+
+/// Runs `f` with every `ppa_pregel::radix` presort forced onto the stable
+/// comparison-sort fallback — the pre-radix plane, measurable end to end
+/// inside one binary. Not reentrant and process-global: bench use only.
+pub fn with_comparison_plane<R>(f: impl FnOnce() -> R) -> R {
+    ppa_pregel::radix::force_comparison_plane(true);
+    let result = f();
+    ppa_pregel::radix::force_comparison_plane(false);
+    result
+}
+
+/// The raw pdqsort baseline the radix presort replaced: an unstable
+/// comparison sort by key, as `runner.rs`/`mapreduce.rs` ran before the
+/// radix plane.
+pub fn comparison_sort_pairs<K: Ord + Copy, V>(records: &mut [(K, V)]) {
+    records.sort_unstable_by_key(|r| r.0);
+}
 
 /// The pre-engine phase dispatch: runs `f(worker, input)` for every input on
 /// a **freshly scoped-and-spawned** thread team and returns the results in

@@ -5,8 +5,10 @@
 //!
 //! * **Phase (i)**: every read is split at `N` characters, each ACGT segment is
 //!   cut into (k+1)-mers with a sliding window (Figure 4), and the canonical
-//!   (k+1)-mers are counted. Counts are pre-aggregated per input batch (the
-//!   paper pre-aggregates per worker) before the shuffle, and (k+1)-mers whose
+//!   (k+1)-mers are counted by radix-sorting each batch's packed (k+1)-mers
+//!   and run-length encoding the sorted runs (no hash table in the hot loop).
+//!   Counts are thereby pre-aggregated per input batch (the paper
+//!   pre-aggregates per worker) before the shuffle, and (k+1)-mers whose
 //!   total count does not exceed the user threshold θ are discarded as likely
 //!   sequencing errors.
 //! * **Phase (ii)**: every surviving (k+1)-mer contributes one out-edge slot to
@@ -16,13 +18,23 @@
 
 use crate::adj::{edge_contributions, PackedAdj};
 use crate::node::KmerVertex;
-use ppa_pregel::fxhash::FxHashMap;
 use ppa_pregel::mapreduce::{map_reduce_with_metrics_on, Emitter, MapReduceMetrics};
 use ppa_pregel::ExecCtx;
 use ppa_seq::kmer::CanonicalScanner;
 use ppa_seq::{Base, FastxRecord, Kmer, ReadSet};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Per-thread (k+1)-mer buffer + radix scratch for phase (i)'s
+    /// sort-then-count. The map tasks run on the persistent pool threads of
+    /// the [`ExecCtx`], so the capacity warmed up on the first batch is
+    /// reused by every later batch — and every later construction job —
+    /// executed on that thread.
+    static KMER_COUNT_BUFS: RefCell<(Vec<u64>, Vec<u64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
 /// Configuration of DBG construction.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -119,32 +131,47 @@ pub fn build_dbg_on(ctx: &ExecCtx, reads: &ReadSet, config: &ConstructConfig) ->
         ctx,
         batches,
         |batch: &[FastxRecord], out: &mut Emitter<'_, u64, u32>| {
-            // Pre-aggregate within the batch to cut shuffle volume. FxHash
-            // instead of SipHash: the key is an internally generated packed
-            // (k+1)-mer hashed once per window of every read — the hottest
-            // loop of the whole pipeline. The rolling scanner canonicalises
-            // each window incrementally and reads the segment bytes in place,
-            // so no per-segment `Vec<Base>` or per-window bit-reversal is
-            // needed.
-            let mut local: FxHashMap<u64, u32> = FxHashMap::default();
-            let mut scanner = CanonicalScanner::new(k + 1).expect("k validated above");
-            for read in batch {
-                for segment in read.acgt_segments() {
-                    if segment.len() < k + 1 {
-                        continue;
-                    }
-                    scanner.reset();
-                    for &c in segment {
-                        let base = Base::from_ascii_checked(c).expect("segment is ACGT-only");
-                        if let Some(canonical) = scanner.push(base) {
-                            *local.entry(canonical.kmer.packed()).or_insert(0) += 1;
+            // Pre-aggregate within the batch to cut shuffle volume, by
+            // sorting the batch's packed canonical (k+1)-mers (LSD radix —
+            // `ppa_pregel::radix`) and run-length counting the sorted runs.
+            // This removes the hash table from the hottest loop of the whole
+            // pipeline: the inner window loop now only appends a `u64` to a
+            // warm buffer, and the counting work becomes 2–4 cache-friendly
+            // counting passes per batch. The rolling scanner canonicalises
+            // each window incrementally and reads the segment bytes in
+            // place, so no per-segment `Vec<Base>` or per-window
+            // bit-reversal is needed.
+            KMER_COUNT_BUFS.with(|bufs| {
+                let (kmers, scratch) = &mut *bufs.borrow_mut();
+                kmers.clear();
+                let mut scanner = CanonicalScanner::new(k + 1).expect("k validated above");
+                for read in batch {
+                    for segment in read.acgt_segments() {
+                        if segment.len() < k + 1 {
+                            continue;
+                        }
+                        scanner.reset();
+                        for &c in segment {
+                            let base = Base::from_ascii_checked(c).expect("segment is ACGT-only");
+                            if let Some(canonical) = scanner.push(base) {
+                                kmers.push(canonical.kmer.packed());
+                            }
                         }
                     }
                 }
-            }
-            for (key, count) in local {
-                out.emit(key, count);
-            }
+                ppa_pregel::radix::sort_keys(kmers, scratch);
+                let n = kmers.len();
+                let mut i = 0usize;
+                while i < n {
+                    let key = kmers[i];
+                    let mut j = i + 1;
+                    while j < n && kmers[j] == key {
+                        j += 1;
+                    }
+                    out.emit(key, (j - i).min(u32::MAX as usize) as u32);
+                    i = j;
+                }
+            });
         },
         |key: &u64, counts: &mut [u32], out: &mut Vec<(u64, u32)>| {
             let total: u64 = counts.iter().map(|&c| c as u64).sum();

@@ -11,25 +11,9 @@ use ppa_pregel::Metrics;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
-/// Computes the N50 of a set of contig lengths: the length `L` such that
-/// contigs of length ≥ `L` cover at least half of the total assembled bases.
-/// Returns 0 for an empty input.
-pub fn n50(lengths: &[usize]) -> usize {
-    if lengths.is_empty() {
-        return 0;
-    }
-    let mut sorted: Vec<usize> = lengths.to_vec();
-    sorted.sort_unstable_by(|a, b| b.cmp(a));
-    let total: usize = sorted.iter().sum();
-    let mut acc = 0usize;
-    for len in sorted {
-        acc += len;
-        if acc * 2 >= total {
-            return len;
-        }
-    }
-    0
-}
+/// The N50 of a set of contig lengths — re-exported from [`ppa_quality`],
+/// the workspace's single Nx implementation (see [`ppa_quality::nx`]).
+pub use ppa_quality::n50;
 
 /// Wall-clock timing of one pipeline stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -17,6 +17,7 @@
 use crate::aggregate::NoAggregate;
 use crate::config::PregelConfig;
 use crate::metrics::Metrics;
+use crate::radix::SortKey;
 use crate::runner::run_from_pairs;
 use crate::vertex::{Context, VertexKey, VertexProgram};
 
@@ -47,7 +48,7 @@ enum RankMsg<I> {
 
 struct ListRankingProgram<I>(std::marker::PhantomData<I>);
 
-impl<I: VertexKey> VertexProgram for ListRankingProgram<I> {
+impl<I: VertexKey + SortKey> VertexProgram for ListRankingProgram<I> {
     type Id = I;
     type Value = RankState<I>;
     type Message = RankMsg<I>;
@@ -96,7 +97,7 @@ impl<I: VertexKey> VertexProgram for ListRankingProgram<I> {
 
 /// Runs list ranking over the given elements and returns `(id, sum)` pairs
 /// (in unspecified order) together with the job metrics.
-pub fn list_ranking<I: VertexKey>(
+pub fn list_ranking<I: VertexKey + SortKey>(
     items: Vec<ListItem<I>>,
     config: &PregelConfig,
 ) -> (Vec<(I, u64)>, Metrics) {
@@ -129,7 +130,7 @@ mod tests {
     }
 
     /// Brute-force oracle: follow predecessor pointers to the head.
-    fn oracle<I: VertexKey>(items: &[ListItem<I>]) -> HashMap<I, u64> {
+    fn oracle<I: VertexKey + SortKey>(items: &[ListItem<I>]) -> HashMap<I, u64> {
         let by_id: HashMap<I, &ListItem<I>> = items.iter().map(|i| (i.id, i)).collect();
         items
             .iter()

@@ -27,6 +27,7 @@
 use crate::aggregate::BoolOr;
 use crate::config::PregelConfig;
 use crate::metrics::Metrics;
+use crate::radix::SortKey;
 use crate::runner::run_from_pairs;
 use crate::vertex::{Context, VertexKey, VertexProgram};
 
@@ -51,7 +52,7 @@ enum SvMsg<I> {
 
 struct SvProgram<I>(std::marker::PhantomData<I>);
 
-impl<I: VertexKey> VertexProgram for SvProgram<I> {
+impl<I: VertexKey + SortKey> VertexProgram for SvProgram<I> {
     type Id = I;
     type Value = SvState<I>;
     type Message = SvMsg<I>;
@@ -147,7 +148,7 @@ impl<I: VertexKey> VertexProgram for SvProgram<I> {
 /// not symmetrise the input). Returns `(vertex, component)` pairs where the
 /// component representative is the smallest vertex ID in the component,
 /// together with the job metrics.
-pub fn connected_components<I: VertexKey>(
+pub fn connected_components<I: VertexKey + SortKey>(
     adjacency: Vec<(I, Vec<I>)>,
     config: &PregelConfig,
 ) -> (Vec<(I, I)>, Metrics) {

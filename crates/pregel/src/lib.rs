@@ -45,7 +45,11 @@
 //!   one flat buffer per destination worker and sort each buffer before the
 //!   hand-off; receivers k-way-merge the pre-sorted buffers (linear, ties
 //!   broken by source worker) and hand every destination its records as a
-//!   contiguous **slice** of a flat array. [`VertexProgram::compute`] receives
+//!   contiguous **slice** of a flat array. Every presort runs through
+//!   [`radix`]: a stable LSD radix sort over the packed integer keys
+//!   ([`SortKey`]), ping-ponging through reusable scratch buffers, with a
+//!   stable comparison fallback for keys without a monotone `u64` image.
+//!   [`VertexProgram::compute`] receives
 //!   `&mut [Message]` and the mini-MapReduce reduce UDF receives
 //!   `&mut [Value]` plus an output sink — no owned `Vec` per vertex or key on
 //!   either side.
@@ -96,6 +100,7 @@ pub mod fxhash;
 mod kmerge;
 pub mod mapreduce;
 pub mod metrics;
+pub mod radix;
 pub mod runner;
 pub mod vertex;
 pub mod vertex_set;
@@ -109,6 +114,7 @@ pub use mapreduce::{
     MapReduceMetrics,
 };
 pub use metrics::{Metrics, SuperstepMetrics};
+pub use radix::SortKey;
 pub use runner::{run, run_from_pairs, run_on};
 pub use vertex::{Context, VertexKey, VertexProgram};
 pub use vertex_set::VertexSet;

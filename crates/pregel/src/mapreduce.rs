@@ -15,6 +15,10 @@
 //! value array — there is no per-key `Vec` and no hash map on the reduce path
 //! (this literally is the "sorted and grouped by key" step of the paper's
 //! procedure, and it also makes group order deterministic: ascending by key).
+//! The map-side presort is the stable LSD radix sort of [`crate::radix`]
+//! (packed integer keys take counting passes, everything else a stable
+//! comparison fallback), so equal-key values reach `reduce` in emission
+//! order.
 //!
 //! The partitioned variant [`map_reduce_partitioned`] exposes which worker
 //! produced each output, which contig merging needs in order to mint contig
@@ -27,6 +31,7 @@
 
 use crate::engine::ExecCtx;
 use crate::fxhash::hash_one;
+use crate::radix::SortKey;
 use serde::{Deserialize, Serialize};
 use std::hash::Hash;
 use std::time::{Duration, Instant};
@@ -82,7 +87,7 @@ pub fn map_reduce<I, K, V, O, MF, RF>(
 ) -> Vec<O>
 where
     I: Send,
-    K: Hash + Eq + Ord + Send,
+    K: Hash + Eq + Ord + SortKey + Send,
     V: Send,
     O: Send,
     MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
@@ -100,7 +105,7 @@ pub fn map_reduce_with_metrics<I, K, V, O, MF, RF>(
 ) -> (Vec<O>, MapReduceMetrics)
 where
     I: Send,
-    K: Hash + Eq + Ord + Send,
+    K: Hash + Eq + Ord + SortKey + Send,
     V: Send,
     O: Send,
     MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
@@ -119,7 +124,7 @@ pub fn map_reduce_on<I, K, V, O, MF, RF>(
 ) -> Vec<O>
 where
     I: Send,
-    K: Hash + Eq + Ord + Send,
+    K: Hash + Eq + Ord + SortKey + Send,
     V: Send,
     O: Send,
     MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
@@ -137,7 +142,7 @@ pub fn map_reduce_with_metrics_on<I, K, V, O, MF, RF>(
 ) -> (Vec<O>, MapReduceMetrics)
 where
     I: Send,
-    K: Hash + Eq + Ord + Send,
+    K: Hash + Eq + Ord + SortKey + Send,
     V: Send,
     O: Send,
     MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
@@ -158,7 +163,7 @@ pub fn map_reduce_partitioned<I, K, V, O, MF, RF>(
 ) -> (Vec<Vec<O>>, MapReduceMetrics)
 where
     I: Send,
-    K: Hash + Eq + Ord + Send,
+    K: Hash + Eq + Ord + SortKey + Send,
     V: Send,
     O: Send,
     MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
@@ -178,7 +183,7 @@ pub fn map_reduce_partitioned_on<I, K, V, O, MF, RF>(
 ) -> (Vec<Vec<O>>, MapReduceMetrics)
 where
     I: Send,
-    K: Hash + Eq + Ord + Send,
+    K: Hash + Eq + Ord + SortKey + Send,
     V: Send,
     O: Send,
     MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
@@ -204,10 +209,14 @@ where
             map_fn(item, &mut emitter);
         }
         // Presort per destination so that the reduce side only
-        // k-way-merges: the sort work runs here, parallel across
-        // all map workers.
+        // k-way-merges: the sort work runs here, parallel across all
+        // map workers. One radix scratch serves all of this worker's
+        // destination buffers (it cannot be parked in the ExecCtx:
+        // `(K, V)` may borrow non-'static data, which the TypeId-keyed
+        // scratch cache cannot hold).
+        let mut scratch: Vec<(K, V)> = Vec::new();
         for buf in out.iter_mut() {
-            buf.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            crate::radix::sort_pairs(buf, &mut scratch);
         }
         out
     });
@@ -433,8 +442,8 @@ mod tests {
     }
 
     /// Hash-grouping oracle shared by the property tests below.
-    fn hash_grouped_sums(pairs: &[(u64, u64)]) -> std::collections::HashMap<u64, u64> {
-        let mut grouped: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    fn hash_grouped_sums(pairs: &[(u64, u64)]) -> crate::fxhash::FxHashMap<u64, u64> {
+        let mut grouped: crate::fxhash::FxHashMap<u64, u64> = crate::fxhash::FxHashMap::default();
         for &(k, v) in pairs {
             *grouped.entry(k).or_insert(0) += v;
         }

@@ -1,0 +1,433 @@
+//! Stable LSD radix sort for the message plane's fixed-width keys.
+//!
+//! Every presort in this workspace — the runner's per-destination outbox
+//! presort, the mini-MapReduce shuffle presort, `VertexSet::convert`'s
+//! presort and construct phase (i)'s (k+1)-mer counting — sorts records by a
+//! packed integer key (vertex IDs, shuffle keys, canonical k-mers are all
+//! `u64`). [`sort_pairs`] and [`sort_keys`] replace the comparison sorts on
+//! those sites with a **stable least-significant-digit radix sort**:
+//!
+//! * 8-bit digits, so a full `u64` key costs at most 8 counting passes;
+//! * all eight histograms are built in **one** read pass, and any digit on
+//!   which every key agrees is **skipped** — partition-clustered or
+//!   small-range keys (the common case: k-mer counts, contig labels and
+//!   vertex IDs rarely span all 64 bits) sort in 2–4 passes;
+//! * inputs at or below [`INSERTION_CUTOFF`] use an in-place insertion sort
+//!   instead (the per-destination buffers of a fine-grained shuffle are often
+//!   tiny);
+//! * scatter passes **ping-pong** between the record buffer and one caller
+//!   supplied scratch buffer of the same type, so sorting allocates nothing
+//!   beyond that scratch — the superstep runner keeps the scratch in its
+//!   per-worker `WorkerPlane`, which the engine parks in the
+//!   [`ExecCtx`](crate::engine::ExecCtx) typed scratch cache between jobs,
+//!   making steady-state sorting allocation-free across supersteps *and*
+//!   jobs. (The mini-MapReduce and `convert` shuffles reuse one scratch
+//!   across all of a worker's destination buffers within a pass; their
+//!   records may borrow non-`'static` data, which the `ExecCtx` cache —
+//!   keyed by `TypeId` — cannot hold.)
+//!
+//! # When radix wins
+//!
+//! LSD radix is O(passes · n) with sequential reads and bucketed writes,
+//! versus pdqsort's O(n log n) comparisons with data-dependent branches. On
+//! the message plane's regime — tens of thousands to millions of 16-byte
+//! `(u64, payload)` records per buffer, keys far narrower than 64 bits — the
+//! 2–4 skip-reduced passes beat the ~16–20 comparison levels of a large
+//! pdqsort by 1.5–4× (see `BENCH_radix_sort.json`). Comparison sorting
+//! remains the right tool for tiny buffers (hence the insertion cutoff),
+//! for keys without a cheap monotone integer image (hence the [`SortKey`]
+//! fallback), and for nearly-sorted data where pdqsort's run detection is
+//! hard to beat.
+//!
+//! Keys opt in through [`SortKey`]: types with a monotone, injective `u64`
+//! image (`RADIX = true`) take the radix path; everything else (strings,
+//! wide tuples) falls back to a stable comparison sort, so generic shuffle
+//! code routes through this module unconditionally. The pre-radix
+//! comparison plane stays reachable for benchmarking via
+//! [`force_comparison_plane`] (wrapped by `ppa_bench::legacy`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Inputs of at most this many records are sorted with an in-place insertion
+/// sort instead of counting passes.
+pub const INSERTION_CUTOFF: usize = 64;
+
+/// Bench-only switch forcing every [`sort_pairs`]/[`sort_keys`] call onto the
+/// comparison-sort fallback.
+static FORCE_COMPARISON: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or stops forcing) the comparison-sort fallback globally.
+///
+/// This exists so `ppa_bench` can measure the pre-radix comparison plane
+/// end-to-end inside one binary (`ppa_bench::legacy::with_comparison_plane`);
+/// nothing else should call it. The forced path is the same **stable** sort
+/// contract, just implemented by `slice::sort_by` instead of counting passes.
+pub fn force_comparison_plane(on: bool) {
+    FORCE_COMPARISON.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`force_comparison_plane`] is currently engaged.
+pub fn comparison_plane_forced() -> bool {
+    FORCE_COMPARISON.load(Ordering::Relaxed)
+}
+
+/// A sort key of the message plane.
+///
+/// Implementors either expose a **monotone, injective** `u64` image
+/// (`RADIX = true`: `a < b ⟺ a.radix_key() < b.radix_key()`, and equal
+/// images imply equal keys) and get the LSD radix path, or keep the default
+/// `RADIX = false` and get a stable comparison sort. The invariant matters:
+/// the downstream k-way merges compare keys with `Ord`, so a radix order
+/// that disagrees with `Ord` would silently corrupt grouping.
+pub trait SortKey: Ord {
+    /// Whether [`radix_key`](SortKey::radix_key) provides a monotone,
+    /// injective `u64` image of this type.
+    const RADIX: bool = false;
+
+    /// The `u64` image used by the radix passes. Only called when
+    /// [`RADIX`](SortKey::RADIX) is `true`.
+    fn radix_key(&self) -> u64 {
+        debug_assert!(!Self::RADIX, "RADIX keys must override radix_key()");
+        0
+    }
+}
+
+macro_rules! radix_unsigned {
+    ($($t:ty),*) => {$(
+        impl SortKey for $t {
+            const RADIX: bool = true;
+            #[inline(always)]
+            fn radix_key(&self) -> u64 {
+                *self as u64
+            }
+        }
+    )*};
+}
+
+radix_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! radix_signed {
+    ($($t:ty),*) => {$(
+        impl SortKey for $t {
+            const RADIX: bool = true;
+            #[inline(always)]
+            fn radix_key(&self) -> u64 {
+                // Widen, then flip the sign bit: negative values map below
+                // positive ones, preserving `Ord`.
+                (*self as i64 as u64) ^ (1u64 << 63)
+            }
+        }
+    )*};
+}
+
+radix_signed!(i8, i16, i32, i64, isize);
+
+impl SortKey for bool {
+    const RADIX: bool = true;
+    #[inline(always)]
+    fn radix_key(&self) -> u64 {
+        *self as u64
+    }
+}
+
+impl SortKey for char {
+    const RADIX: bool = true;
+    #[inline(always)]
+    fn radix_key(&self) -> u64 {
+        *self as u64
+    }
+}
+
+// Comparison-sort fallbacks: no cheap monotone u64 image (or none that fits).
+impl SortKey for String {}
+impl SortKey for &'static str {}
+impl<A: Ord, B: Ord> SortKey for (A, B) {}
+impl<A: Ord, B: Ord, C: Ord> SortKey for (A, B, C) {}
+
+/// Stably sorts `(key, payload)` records by key.
+///
+/// Radix keys take the LSD path using `scratch` as the ping-pong buffer;
+/// other keys use a stable comparison sort. Either way the sort is **stable**
+/// — records with equal keys keep their input order, which the fold-by-run
+/// duplicate merging of `VertexSet::convert` and the per-sender delivery
+/// order of the runner rely on. On return `scratch` is empty (capacity
+/// kept); reuse it across calls to keep steady-state sorting allocation-free.
+pub fn sort_pairs<K: SortKey, V>(records: &mut Vec<(K, V)>, scratch: &mut Vec<(K, V)>) {
+    if !K::RADIX || comparison_plane_forced() {
+        records.sort_by(|a, b| a.0.cmp(&b.0));
+        return;
+    }
+    lsd_radix(records, scratch, |r: &(K, V)| r.0.radix_key());
+}
+
+/// Sorts bare keys (no payload). Stability is meaningless here, so the
+/// comparison fallback uses the in-place unstable sort; the radix path is
+/// shared with [`sort_pairs`]. On return `scratch` is empty (capacity kept).
+pub fn sort_keys<K: SortKey>(keys: &mut Vec<K>, scratch: &mut Vec<K>) {
+    if !K::RADIX || comparison_plane_forced() {
+        keys.sort_unstable();
+        return;
+    }
+    lsd_radix(keys, scratch, |k: &K| k.radix_key());
+}
+
+/// Stable insertion sort by a `u64` image (used below the cutoff).
+fn insertion_by_key<T>(v: &mut [T], key: &impl Fn(&T) -> u64) {
+    for i in 1..v.len() {
+        let mut j = i;
+        while j > 0 && key(&v[j - 1]) > key(&v[j]) {
+            v.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// The LSD driver: one histogram pass over all 8 digit positions, then one
+/// stable scatter pass per non-constant digit, ping-ponging between `records`
+/// and `scratch`. Postcondition: `records` sorted, `scratch` empty.
+fn lsd_radix<T>(records: &mut Vec<T>, scratch: &mut Vec<T>, key: impl Fn(&T) -> u64) {
+    let n = records.len();
+    if n <= INSERTION_CUTOFF {
+        insertion_by_key(records, &key);
+        return;
+    }
+    assert!(
+        n <= u32::MAX as usize,
+        "radix buffers are capped at u32::MAX records"
+    );
+    let mut hist = [[0u32; 256]; 8];
+    for r in records.iter() {
+        let k = key(r);
+        for (d, h) in hist.iter_mut().enumerate() {
+            h[((k >> (8 * d)) & 0xFF) as usize] += 1;
+        }
+    }
+    let mut in_records = true;
+    for (d, h) in hist.iter().enumerate() {
+        // A digit on which every key agrees permutes nothing: skip it.
+        if h.iter().any(|&c| c as usize == n) {
+            continue;
+        }
+        if in_records {
+            scatter(records, scratch, (8 * d) as u32, h, &key);
+        } else {
+            scatter(scratch, records, (8 * d) as u32, h, &key);
+        }
+        in_records = !in_records;
+    }
+    if !in_records {
+        std::mem::swap(records, scratch);
+    }
+}
+
+/// One counting-sort pass: moves every record of `src` into `dst` at the
+/// position dictated by its byte at `shift`, preserving input order within
+/// each bucket (what makes LSD stable). `src` is left empty, capacity kept.
+fn scatter<T>(
+    src: &mut Vec<T>,
+    dst: &mut Vec<T>,
+    shift: u32,
+    counts: &[u32; 256],
+    key: &impl Fn(&T) -> u64,
+) {
+    let n = src.len();
+    let mut offsets = [0usize; 256];
+    let mut run = 0usize;
+    for (slot, &c) in offsets.iter_mut().zip(counts.iter()) {
+        *slot = run;
+        run += c as usize;
+    }
+    debug_assert_eq!(run, n, "histogram must cover every record");
+    dst.clear();
+    dst.reserve(n);
+    let dst_ptr = dst.as_mut_ptr();
+    for item in src.drain(..) {
+        let b = ((key(&item) >> shift) & 0xFF) as usize;
+        // SAFETY: `offsets` partitions `0..n` by the per-byte counts of this
+        // exact input, so every record writes to a distinct index < n within
+        // `dst`'s reserved capacity. `dst` has length 0 throughout the loop,
+        // so no initialised element is overwritten; `set_len` below only runs
+        // after all `n` slots are written. If `key` panicked mid-loop the
+        // written items would leak (len is still 0), which is safe.
+        unsafe { std::ptr::write(dst_ptr.add(offsets[b]), item) };
+        offsets[b] += 1;
+    }
+    // SAFETY: exactly `n` distinct slots in `0..n` were initialised above.
+    unsafe { dst.set_len(n) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Serialises the tests that flip or depend on the process-global
+    /// comparison-plane toggle (the test harness runs siblings in parallel).
+    static PLANE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// RAII engagement of the forced comparison plane: resets on drop even
+    /// if the holding test panics, so a failure cannot poison other tests.
+    struct ForcedPlane;
+
+    impl ForcedPlane {
+        fn engage() -> ForcedPlane {
+            force_comparison_plane(true);
+            ForcedPlane
+        }
+    }
+
+    impl Drop for ForcedPlane {
+        fn drop(&mut self) {
+            force_comparison_plane(false);
+        }
+    }
+
+    fn radix_sorted(mut records: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+        let mut scratch = Vec::new();
+        sort_pairs(&mut records, &mut scratch);
+        assert!(scratch.is_empty(), "scratch is drained on return");
+        records
+    }
+
+    #[test]
+    fn empty_single_and_all_equal() {
+        assert_eq!(radix_sorted(vec![]), vec![]);
+        assert_eq!(radix_sorted(vec![(7, 1)]), vec![(7, 1)]);
+        // All-equal keys: stability means payloads keep input order, both
+        // below and above the insertion cutoff.
+        for n in [5u64, 1000] {
+            let records: Vec<(u64, u64)> = (0..n).map(|i| (42, i)).collect();
+            assert_eq!(radix_sorted(records.clone()), records);
+        }
+    }
+
+    #[test]
+    fn keys_differing_only_in_the_top_byte() {
+        // Bytes 0..7 are constant: every pass but the top-byte one is
+        // skipped. 1000 records keeps us above the insertion cutoff.
+        let records: Vec<(u64, u64)> = (0..1000u64)
+            .rev()
+            .map(|i| (((i % 256) << 56) | 0xABCD, i))
+            .collect();
+        let mut expected = records.clone();
+        expected.sort_by_key(|r| r.0);
+        assert_eq!(radix_sorted(records), expected);
+    }
+
+    #[test]
+    fn large_uniform_matches_comparison_sort() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let records: Vec<(u64, u64)> = (0..10_000).map(|i| (next(), i)).collect();
+        let mut expected = records.clone();
+        expected.sort_by_key(|r| r.0);
+        assert_eq!(radix_sorted(records), expected);
+    }
+
+    #[test]
+    fn signed_keys_order_like_ord() {
+        let mut records: Vec<(i64, u64)> = (0..1000u64)
+            .map(|i| ((i as i64 % 7 - 3) * (1 << 40), i))
+            .collect();
+        let mut expected = records.clone();
+        expected.sort_by_key(|r| r.0);
+        let mut scratch = Vec::new();
+        sort_pairs(&mut records, &mut scratch);
+        assert_eq!(records, expected);
+    }
+
+    #[test]
+    fn non_radix_keys_fall_back_to_stable_comparison() {
+        let mut records: Vec<((u64, u64), u64)> =
+            vec![((2, 1), 0), ((1, 9), 1), ((2, 1), 2), ((1, 0), 3)];
+        let mut scratch = Vec::new();
+        sort_pairs(&mut records, &mut scratch);
+        assert_eq!(
+            records,
+            vec![((1, 0), 3), ((1, 9), 1), ((2, 1), 0), ((2, 1), 2)]
+        );
+    }
+
+    #[test]
+    fn sort_keys_sorts_bare_keys() {
+        let mut keys: Vec<u64> = (0..5000u64)
+            .map(|i| (i * 2_654_435_761) % 100_003)
+            .collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        let mut scratch = Vec::new();
+        sort_keys(&mut keys, &mut scratch);
+        assert_eq!(keys, expected);
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn forced_comparison_plane_produces_the_same_order() {
+        let _serial = PLANE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let records: Vec<(u64, u64)> = (0..500u64).map(|i| ((i * 37) % 64, i)).collect();
+        let radix = radix_sorted(records.clone());
+        let forced = {
+            let _plane = ForcedPlane::engage();
+            radix_sorted(records)
+        };
+        assert_eq!(radix, forced, "both paths are stable sorts by key");
+    }
+
+    #[test]
+    fn scratch_capacity_is_reused_across_sorts() {
+        // Asserts radix-path behavior, so it must not overlap the forced-
+        // plane test above.
+        let _serial = PLANE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut scratch: Vec<(u64, u64)> = Vec::new();
+        let mut records: Vec<(u64, u64)> = (0..4096u64).rev().map(|i| (i, i)).collect();
+        sort_pairs(&mut records, &mut scratch);
+        let cap = scratch.capacity();
+        assert!(cap >= 4096, "scratch warmed to input size");
+        for round in 0..3u64 {
+            records.clear();
+            records.extend((0..4096u64).map(|i| ((i * 997 + round) % 4096, i)));
+            sort_pairs(&mut records, &mut scratch);
+            assert_eq!(scratch.capacity(), cap, "no regrowth at steady state");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_radix_matches_sort_unstable_by_key(
+            pairs in proptest::collection::vec((0u64..1u64 << 48, 0u64..1000), 0..400),
+        ) {
+            // Key multisets agree with pdqsort's; sizes straddle the
+            // insertion cutoff so both paths are exercised.
+            let mut expected = pairs.clone();
+            expected.sort_unstable_by_key(|p| p.0);
+            let got = radix_sorted(pairs);
+            prop_assert_eq!(
+                got.iter().map(|p| p.0).collect::<Vec<_>>(),
+                expected.iter().map(|p| p.0).collect::<Vec<_>>()
+            );
+        }
+
+        #[test]
+        fn prop_radix_is_stable(
+            keys in proptest::collection::vec(0u64..32, 0..300),
+        ) {
+            // Payload = input position: within every equal-key run the
+            // positions must stay ascending.
+            let records: Vec<(u64, u64)> =
+                keys.into_iter().enumerate().map(|(i, k)| (k, i as u64)).collect();
+            let sorted = radix_sorted(records);
+            for w in sorted.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+                if w[0].0 == w[1].0 {
+                    prop_assert!(w[0].1 < w[1].1, "equal keys keep input order");
+                }
+            }
+        }
+    }
+}

@@ -11,7 +11,8 @@
 //!    allocates nothing), then scans its partition once for active vertices
 //!    that received no messages. Outgoing messages are appended to one flat
 //!    buffer per destination worker; before the hand-off each buffer is
-//!    **sorted by destination vertex on the sender side** (so the sort work is
+//!    **sorted by destination vertex on the sender side** (a stable LSD radix
+//!    sort over the packed IDs — see [`crate::radix`] — so the sort work is
 //!    spread over all compute threads) and, when the program enables a
 //!    combiner, adjacent duplicates are **combined on the sender side**,
 //!    shrinking shuffle volume exactly like Pregel's sender-side combining
@@ -61,7 +62,8 @@ struct WorkerPlane<I, M> {
     /// Inbound messages; `in_msgs[i]` is addressed to `in_ids[i]`, and the
     /// messages of one vertex form a contiguous run.
     in_msgs: Vec<M>,
-    /// Scratch buffer for sender-side combining.
+    /// Scratch buffer shared by the radix presort (ping-pong plane) and
+    /// sender-side combining; both leave it empty, capacity kept.
     scratch: Vec<(I, M)>,
     /// One outbound buffer per destination worker.
     outbox: Vec<Vec<(I, M)>>,
@@ -263,9 +265,13 @@ pub fn run_on<P: VertexProgram>(
 
                     // Presort every destination buffer (spreading the
                     // shuffle's sort work over the compute threads)
-                    // and fold duplicates if the program combines.
+                    // and fold duplicates if the program combines. The
+                    // radix scratch is the plane's combine scratch: both
+                    // uses leave it empty, and the plane is parked in the
+                    // ExecCtx between jobs, so steady-state sorting
+                    // allocates nothing.
                     for buf in plane.outbox.iter_mut() {
-                        buf.sort_unstable_by_key(|a| a.0);
+                        crate::radix::sort_pairs(buf, &mut plane.scratch);
                     }
                     if P::USE_COMBINER {
                         combine_outbox(program, plane);
@@ -703,6 +709,26 @@ mod tests {
         }
     }
 
+    /// Hash-grouping oracle: the delivered sum per vertex is independent of
+    /// how the shuffle groups messages. (FxHashMap like the engine's own
+    /// partitions — no reason for the test oracle to pay SipHash.)
+    fn oracle_sums(n: u64, plan: &[Vec<(u64, u64)>]) -> Vec<u64> {
+        let mut sums = vec![0u64; n as usize];
+        let mut grouped: crate::fxhash::FxHashMap<u64, Vec<u64>> =
+            crate::fxhash::FxHashMap::default();
+        for sends in plan {
+            for &(target, payload) in sends {
+                grouped.entry(target).or_default().push(payload);
+            }
+        }
+        for (target, payloads) in grouped {
+            if target < n {
+                sums[target as usize] = payloads.into_iter().sum();
+            }
+        }
+        sums
+    }
+
     fn scatter_step(
         plan: &[Vec<(u64, u64)>],
         ctx: &mut Context<'_, impl VertexProgram<Id = u64, Value = u64, Message = u64>>,
@@ -718,25 +744,6 @@ mod tests {
             *value += msgs.iter().sum::<u64>();
         }
         ctx.vote_to_halt();
-    }
-
-    /// Hash-grouping oracle: the delivered sum per vertex is independent of
-    /// how the shuffle groups messages.
-    fn oracle_sums(n: u64, plan: &[Vec<(u64, u64)>]) -> Vec<u64> {
-        let mut sums = vec![0u64; n as usize];
-        let mut grouped: std::collections::HashMap<u64, Vec<u64>> =
-            std::collections::HashMap::new();
-        for sends in plan {
-            for &(target, payload) in sends {
-                grouped.entry(target).or_default().push(payload);
-            }
-        }
-        for (target, payloads) in grouped {
-            if target < n {
-                sums[target as usize] = payloads.into_iter().sum();
-            }
-        }
-        sums
     }
 
     proptest! {

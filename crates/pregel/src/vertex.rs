@@ -21,8 +21,11 @@ impl<T> VertexKey for T where T: Copy + Eq + Hash + Ord + Send + Sync + Debug + 
 /// [`compute`](VertexProgram::compute) for every vertex that is active or has
 /// pending messages.
 pub trait VertexProgram: Sync {
-    /// Vertex identifier type.
-    type Id: VertexKey;
+    /// Vertex identifier type. The [`SortKey`](crate::radix::SortKey) bound
+    /// lets the message plane presort outboxes with the LSD radix sort when
+    /// the ID has a monotone `u64` image (it does for the assembler's packed
+    /// 64-bit IDs), falling back to comparison sorting otherwise.
+    type Id: VertexKey + crate::radix::SortKey;
     /// Per-vertex state (including the adjacency list, following Pregel's
     /// "think like a vertex" model where the vertex owns its edges).
     type Value: Send;

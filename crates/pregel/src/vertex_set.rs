@@ -9,6 +9,7 @@
 
 use crate::engine::ExecCtx;
 use crate::fxhash::{hash_one, FxHashMap};
+use crate::radix::SortKey;
 use crate::vertex::VertexKey;
 
 /// Per-vertex bookkeeping kept by the engine alongside the user value.
@@ -173,7 +174,7 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
     /// [`convert_on`](VertexSet::convert_on) with the shared context.
     pub fn convert<I2, V2, F, M>(self, f: F, merge: M) -> VertexSet<I2, V2>
     where
-        I2: VertexKey,
+        I2: VertexKey + SortKey,
         V2: Send,
         F: Fn(I, V) -> Vec<(I2, V2)> + Sync,
         M: Fn(&mut V2, V2) + Sync,
@@ -195,7 +196,7 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
     /// one hash-map insert per *distinct* ID instead of one lookup per pair.
     pub fn convert_on<I2, V2, F, M>(self, ctx: &ExecCtx, f: F, merge: M) -> VertexSet<I2, V2>
     where
-        I2: VertexKey,
+        I2: VertexKey + SortKey,
         V2: Send,
         F: Fn(I, V) -> Vec<(I2, V2)> + Sync,
         M: Fn(&mut V2, V2) + Sync,
@@ -205,8 +206,10 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
         let workers = self.workers();
         ctx.assert_matches(workers, "VertexSet partitioning");
         // Phase 1: per-worker transformation into per-destination buffers,
-        // each presorted by destination ID (stable keeps same-ID emission
-        // order, so the merge fold order matches the sequential semantics).
+        // each presorted by destination ID with the stable LSD radix sort of
+        // `crate::radix` (stability keeps same-ID emission order, so the
+        // merge fold order matches the sequential semantics). One scratch
+        // serves all of a worker's destination buffers.
         let shuffled: Vec<Vec<Vec<(I2, V2)>>> =
             ctx.pool().run_per_worker(self.parts, |_w, part| {
                 let mut out: Vec<Vec<(I2, V2)>> = (0..workers).map(|_| Vec::new()).collect();
@@ -216,8 +219,9 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
                         out[dst].push((nid, nval));
                     }
                 }
+                let mut scratch: Vec<(I2, V2)> = Vec::new();
                 for buf in out.iter_mut() {
-                    buf.sort_by_key(|pair| pair.0);
+                    crate::radix::sort_pairs(buf, &mut scratch);
                 }
                 out
             });
@@ -404,8 +408,7 @@ mod tests {
     where
         F: Fn(u64, u64) -> Vec<(u64, u64)>,
     {
-        let mut grouped: std::collections::HashMap<u64, Vec<u64>> =
-            std::collections::HashMap::new();
+        let mut grouped: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
         for part in &set.parts {
             for (id, entry) in part {
                 for (nid, nval) in f(*id, entry.value) {
@@ -475,6 +478,29 @@ mod tests {
             let first = build();
             for _ in 0..2 {
                 prop_assert_eq!(build(), first.clone());
+            }
+        }
+
+        #[test]
+        fn prop_convert_is_identical_across_worker_counts(
+            pairs in proptest::collection::vec((0u64..100, 1u64..1_000), 0..120),
+        ) {
+            // With a commutative-associative merge, the radix-backed shuffle
+            // must yield byte-identical contents for any worker count (the
+            // partitioning changes which buffers exist, not what folds).
+            let mut reference: Option<Vec<(u64, u64)>> = None;
+            for workers in [1usize, 2, 5] {
+                let set: VertexSet<u64, u64> = VertexSet::from_pairs(workers, pairs.clone());
+                let out: VertexSet<u64, u64> = set.convert(
+                    |id, v| vec![(id % 11, v), (id % 5, v + 1)],
+                    |acc, v| *acc += v,
+                );
+                let mut out = out.into_pairs();
+                out.sort_unstable();
+                match &reference {
+                    Some(r) => prop_assert_eq!(r, &out),
+                    None => reference = Some(out),
+                }
             }
         }
     }

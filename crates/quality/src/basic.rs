@@ -23,8 +23,12 @@ pub struct BasicStats {
 }
 
 /// The length `L` such that contigs of length ≥ `L` cover at least `fraction`
-/// of the total assembled bases.
-fn nx(lengths: &[usize], fraction: f64) -> usize {
+/// of the total assembled bases (the Nx family: N50 is `fraction = 0.5`, N90
+/// is `0.9`). Returns 0 for an empty input.
+///
+/// This is the single Nx implementation of the workspace;
+/// `ppa_assembler::stats` re-exports [`n50`] for the workflow statistics.
+pub fn nx(lengths: &[usize], fraction: f64) -> usize {
     if lengths.is_empty() {
         return 0;
     }
@@ -40,6 +44,11 @@ fn nx(lengths: &[usize], fraction: f64) -> usize {
         }
     }
     0
+}
+
+/// The N50 of a set of contig lengths: [`nx`] at `fraction = 0.5`.
+pub fn n50(lengths: &[usize]) -> usize {
+    nx(lengths, 0.5)
 }
 
 /// Computes reference-free statistics over contigs of length ≥

@@ -22,5 +22,5 @@ pub mod basic;
 pub mod report;
 
 pub use align::{align_contigs, AlignmentConfig, ReferenceMetrics};
-pub use basic::{basic_stats, BasicStats};
+pub use basic::{basic_stats, n50, nx, BasicStats};
 pub use report::QuastReport;

@@ -1,0 +1,74 @@
+//! Pins the `ppa_pregel::radix` zero-allocation contract: once the record
+//! buffer and the ping-pong scratch are warm, sorting performs **no** heap
+//! allocation — the property that makes the runner's steady-state presort
+//! (scratch parked in the `ExecCtx` via the per-worker planes) free of
+//! per-superstep allocation.
+//!
+//! This file must stay a single-test binary: the counting allocator below is
+//! process-global, and a concurrently running test would pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// `System`, plus a counter of every allocation/reallocation.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Deterministic xorshift refill: same capacity, different permutation each
+/// round, never growing the buffer.
+fn refill(records: &mut Vec<(u64, u64)>, n: u64, seed: u64) {
+    records.clear();
+    let mut state = seed | 1;
+    for i in 0..n {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        records.push((state, i));
+    }
+}
+
+#[test]
+fn steady_state_radix_sort_is_allocation_free() {
+    const N: u64 = 100_000;
+    let mut records: Vec<(u64, u64)> = Vec::new();
+    let mut scratch: Vec<(u64, u64)> = Vec::new();
+
+    // Warm-up: first sort grows the scratch to the record count.
+    refill(&mut records, N, 0x9E37_79B9);
+    ppa_pregel::radix::sort_pairs(&mut records, &mut scratch);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for round in 1..=10u64 {
+        refill(&mut records, N, round.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        ppa_pregel::radix::sort_pairs(&mut records, &mut scratch);
+        assert!(
+            records.windows(2).all(|w| w[0].0 <= w[1].0),
+            "output sorted (round {round})"
+        );
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "steady-state radix sorting must not touch the heap"
+    );
+}
