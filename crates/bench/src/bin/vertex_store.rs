@@ -1,0 +1,451 @@
+//! Regenerates `BENCH_vertex_store.json`: the columnar sorted vertex store
+//! (`ppa_pregel::vertex_set`) against the hash-partitioned store it replaced
+//! (`ppa_bench::legacy::{run_hash_store, HashVertexStore}`).
+//!
+//! Both engine-level baselines run on the **production** worker pool and
+//! radix message plane — the store is the only difference — so the numbers
+//! isolate hash-probe delivery + bucket-array scans vs merge-join delivery +
+//! bitset walks. Four workload shapes:
+//!
+//! * **delivery_heavy** — every vertex receives a fan of messages every
+//!   superstep: pass 1 dominates (one hash probe per run vs one merge-join
+//!   step per run);
+//! * **scan_sparse** — 1M vertices all halted except 64 walking tokens:
+//!   pass 2 dominates (full hash-map scan per superstep vs a bitset walk
+//!   skipping 64 halted vertices per word);
+//! * **removal_churn** — store-API level: batch retains, point
+//!   removes/reinserts, lookups and full iterations (the tip/bubble
+//!   correction shape), plus the resident-bytes comparison;
+//! * **assemble_e2e** — whole `workflow::assemble` wall clock on the
+//!   columnar store. The hash store cannot drive the production operations
+//!   any more (it survives only inside `ppa_bench::legacy`), so this entry
+//!   records the end-to-end figure without an old-side twin.
+//!
+//! Run from the repository root: `cargo run -p ppa_bench --release --bin
+//! vertex_store [--reps N] [--out PATH]`.
+
+use ppa_assembler::workflow::{assemble, AssemblyConfig};
+use ppa_bench::legacy::{run_hash_store, HashStoreCtx, HashStoreProgram, HashVertexStore};
+use ppa_bench::{time_runs as time, SnapshotArgs};
+use ppa_pregel::{
+    run_from_pairs, Context, ExecCtx, NoAggregate, PregelConfig, VertexProgram, VertexSet,
+};
+use ppa_readsim::preset_by_name;
+use std::hint::black_box;
+
+const WORKERS: usize = 4;
+const DELIVERY_N: u64 = 200_000;
+const DELIVERY_ROUNDS: usize = 6;
+const DELIVERY_FAN: u64 = 4;
+const SCAN_N: u64 = 1_000_000;
+const SCAN_TOKENS: u64 = 64;
+const SCAN_STEPS: u64 = 48;
+const CHURN_N: u64 = 400_000;
+
+struct Workload {
+    name: &'static str,
+    description: String,
+    hash: Option<(f64, f64)>,
+    columnar: (f64, f64),
+    notes: Vec<(&'static str, String)>,
+}
+
+impl Workload {
+    fn speedup(&self) -> Option<f64> {
+        self.hash.map(|h| h.0 / self.columnar.0)
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+// ---------------------------------------------------------------------------
+// delivery_heavy: every vertex receives messages every superstep
+// ---------------------------------------------------------------------------
+
+struct ScatterFold {
+    n: u64,
+    rounds: usize,
+    fan: u64,
+}
+
+impl ScatterFold {
+    #[inline]
+    fn target(&self, id: u64, f: u64, superstep: usize) -> u64 {
+        id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(f.wrapping_mul(0x0100_0193) + superstep as u64)
+            % self.n
+    }
+}
+
+impl VertexProgram for ScatterFold {
+    type Id = u64;
+    type Value = u64;
+    type Message = u64;
+    type Aggregate = NoAggregate;
+    fn compute(&self, ctx: &mut Context<'_, Self>, id: u64, value: &mut u64, msgs: &mut [u64]) {
+        *value = value.wrapping_add(msgs.iter().sum::<u64>());
+        if ctx.superstep() < self.rounds {
+            for f in 0..self.fan {
+                ctx.send_message(self.target(id, f, ctx.superstep()), id ^ f);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+impl HashStoreProgram for ScatterFold {
+    type Value = u64;
+    type Message = u64;
+    fn compute(
+        &self,
+        ctx: &mut HashStoreCtx<'_, Self>,
+        id: u64,
+        value: &mut u64,
+        msgs: &mut [u64],
+    ) {
+        *value = value.wrapping_add(msgs.iter().sum::<u64>());
+        if ctx.superstep() < self.rounds {
+            for f in 0..self.fan {
+                ctx.send_message(self.target(id, f, ctx.superstep()), id ^ f);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scan_sparse: a handful of walking tokens over a sea of halted vertices
+// ---------------------------------------------------------------------------
+
+struct TokenWalk {
+    n: u64,
+    stride: u64,
+    steps: u64,
+}
+
+impl TokenWalk {
+    #[inline]
+    fn relay(&self, superstep: usize, id: u64, value: &mut u64, hop: u64) -> Option<(u64, u64)> {
+        if superstep == 0 {
+            if id.is_multiple_of(self.stride) {
+                return Some(((id + 1) % self.n, 1));
+            }
+        } else if hop > 0 {
+            *value = value.wrapping_add(hop);
+            if hop < self.steps {
+                return Some(((id + 1) % self.n, hop + 1));
+            }
+        }
+        None
+    }
+}
+
+impl VertexProgram for TokenWalk {
+    type Id = u64;
+    type Value = u64;
+    type Message = u64;
+    type Aggregate = NoAggregate;
+    fn compute(&self, ctx: &mut Context<'_, Self>, id: u64, value: &mut u64, msgs: &mut [u64]) {
+        let hop = msgs.iter().copied().max().unwrap_or(0);
+        if let Some((to, m)) = self.relay(ctx.superstep(), id, value, hop) {
+            ctx.send_message(to, m);
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+impl HashStoreProgram for TokenWalk {
+    type Value = u64;
+    type Message = u64;
+    fn compute(
+        &self,
+        ctx: &mut HashStoreCtx<'_, Self>,
+        id: u64,
+        value: &mut u64,
+        msgs: &mut [u64],
+    ) {
+        let hop = msgs.iter().copied().max().unwrap_or(0);
+        if let Some((to, m)) = self.relay(ctx.superstep(), id, value, hop) {
+            ctx.send_message(to, m);
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Runs one engine workload on both stores, checks the results agree, and
+/// returns the timed comparison.
+fn engine_workload<P>(
+    name: &'static str,
+    description: String,
+    program: P,
+    n: u64,
+    reps: usize,
+) -> Workload
+where
+    P: VertexProgram<Id = u64, Value = u64, Message = u64>
+        + HashStoreProgram<Value = u64, Message = u64>,
+{
+    eprintln!("{name} ({n} vertices, {WORKERS} workers, {reps} reps)...");
+    let ctx = ExecCtx::new(WORKERS);
+    let config = PregelConfig::with_workers(WORKERS)
+        .track_supersteps(false)
+        .exec_ctx(ctx.clone());
+
+    // Correctness witness: both stores must deliver identical state.
+    let (mut old, _) = run_hash_store(&program, &ctx, (0..n).map(|i| (i, i)), 10_000);
+    let (set, _) = run_from_pairs(&program, &config, (0..n).map(|i| (i, i)));
+    let mut new = set.into_pairs();
+    old.sort_unstable();
+    new.sort_unstable();
+    assert_eq!(old, new, "{name}: stores disagree");
+
+    Workload {
+        name,
+        description,
+        hash: Some(time(reps, || {
+            black_box(run_hash_store(&program, &ctx, (0..n).map(|i| (i, i)), 10_000).1);
+        })),
+        columnar: time(reps, || {
+            black_box(run_from_pairs(&program, &config, (0..n).map(|i| (i, i))).1);
+        }),
+        notes: Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// removal_churn: the tip/bubble correction shape at the store-API level
+// ---------------------------------------------------------------------------
+
+/// The store operations the churn loop needs, implemented by both stores.
+trait ChurnStore {
+    fn c_insert(&mut self, id: u64, v: u64);
+    fn c_remove(&mut self, id: u64) -> Option<u64>;
+    fn c_get(&self, id: u64) -> Option<u64>;
+    fn c_retain(&mut self, keep: &dyn Fn(u64, u64) -> bool);
+    fn c_sum(&self) -> u64;
+}
+
+impl ChurnStore for VertexSet<u64, u64> {
+    fn c_insert(&mut self, id: u64, v: u64) {
+        self.insert(id, v);
+    }
+    fn c_remove(&mut self, id: u64) -> Option<u64> {
+        self.remove(&id)
+    }
+    fn c_get(&self, id: u64) -> Option<u64> {
+        self.get(&id).copied()
+    }
+    fn c_retain(&mut self, keep: &dyn Fn(u64, u64) -> bool) {
+        self.retain(|id, v| keep(*id, *v));
+    }
+    fn c_sum(&self) -> u64 {
+        self.iter().fold(0u64, |acc, (_, v)| acc.wrapping_add(*v))
+    }
+}
+
+impl ChurnStore for HashVertexStore<u64> {
+    fn c_insert(&mut self, id: u64, v: u64) {
+        self.insert(id, v);
+    }
+    fn c_remove(&mut self, id: u64) -> Option<u64> {
+        self.remove(id)
+    }
+    fn c_get(&self, id: u64) -> Option<u64> {
+        self.get(id).copied()
+    }
+    fn c_retain(&mut self, keep: &dyn Fn(u64, u64) -> bool) {
+        self.retain(|id, v| keep(id, *v));
+    }
+    fn c_sum(&self) -> u64 {
+        self.iter().fold(0u64, |acc, (_, v)| acc.wrapping_add(*v))
+    }
+}
+
+/// Batch retains, point removes/reinserts, lookups and full scans; returns a
+/// checksum so both stores can be asserted identical.
+fn churn(store: &mut dyn ChurnStore, n: u64) -> u64 {
+    let mut checksum = 0u64;
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    for round in 0..4u64 {
+        // Batch correction: drop ~1/8 of the survivors (tips/bubbles delete
+        // in batches, not one by one).
+        store.c_retain(&move |id, _| (id.wrapping_mul(0x9E37_79B9) >> 13) & 7 != round);
+        // Point churn: remove and reinsert scattered vertices.
+        for _ in 0..5_000 {
+            let id = xorshift(&mut state) % n;
+            if let Some(v) = store.c_remove(id) {
+                checksum = checksum.wrapping_add(v);
+            }
+            store.c_insert(xorshift(&mut state) % n, round + 1);
+        }
+        // Point lookups.
+        for _ in 0..10_000 {
+            let id = xorshift(&mut state) % n;
+            if let Some(v) = store.c_get(id) {
+                checksum = checksum.wrapping_add(v);
+            }
+        }
+        // Full rebuild scans (survivor collection + adjacency rewiring both
+        // walk the whole store).
+        checksum = checksum.wrapping_add(store.c_sum());
+        checksum = checksum.wrapping_add(store.c_sum());
+    }
+    checksum
+}
+
+fn removal_churn_workload(reps: usize) -> Workload {
+    eprintln!("removal_churn ({CHURN_N} vertices, {reps} reps)...");
+    let build_columnar = || VertexSet::from_pairs(WORKERS, (0..CHURN_N).map(|i| (i, i)));
+    let build_hash = || {
+        let mut s: HashVertexStore<u64> = HashVertexStore::new(WORKERS);
+        for i in 0..CHURN_N {
+            s.insert(i, i);
+        }
+        s
+    };
+
+    // Correctness witness + resident-bytes comparison.
+    let mut columnar = build_columnar();
+    let mut hash = build_hash();
+    let columnar_sum = churn(&mut columnar, CHURN_N);
+    let hash_sum = churn(&mut hash, CHURN_N);
+    assert_eq!(columnar_sum, hash_sum, "removal_churn: stores disagree");
+    let notes = vec![
+        (
+            "columnar_resident_mib",
+            format!("{:.2}", columnar.resident_bytes() as f64 / (1 << 20) as f64),
+        ),
+        (
+            "hash_resident_mib",
+            format!("{:.2}", hash.resident_bytes() as f64 / (1 << 20) as f64),
+        ),
+    ];
+
+    Workload {
+        name: "removal_churn",
+        description: format!(
+            "{CHURN_N} vertices: 4 rounds of batch retain + 5k point remove/reinsert + \
+             10k lookups + full rebuild scans (the tip/bubble correction shape). The hash \
+             store's remaining win: random point ops are O(1) vs the columns' O(log n); \
+             batch retains and scans favour the columns, and nothing on the engine's \
+             steady-state path does random point ops"
+        ),
+        hash: Some(time(reps, || {
+            let mut s = build_hash();
+            black_box(churn(&mut s, CHURN_N));
+        })),
+        columnar: time(reps, || {
+            let mut s = build_columnar();
+            black_box(churn(&mut s, CHURN_N));
+        }),
+        notes,
+    }
+}
+
+fn main() {
+    let SnapshotArgs { reps, out_path } = SnapshotArgs::parse("BENCH_vertex_store.json");
+
+    let mut workloads = vec![
+        engine_workload(
+            "delivery_heavy",
+            format!(
+                "{DELIVERY_N} vertices × {DELIVERY_ROUNDS} supersteps, fan {DELIVERY_FAN}: \
+                 hash-probe delivery vs merge-join over the sorted ID column"
+            ),
+            ScatterFold {
+                n: DELIVERY_N,
+                rounds: DELIVERY_ROUNDS,
+                fan: DELIVERY_FAN,
+            },
+            DELIVERY_N,
+            reps,
+        ),
+        engine_workload(
+            "scan_sparse",
+            format!(
+                "{SCAN_N} halted vertices, {SCAN_TOKENS} tokens walking {SCAN_STEPS} steps: \
+                 full hash-map straggler scan vs halted-bitset walk"
+            ),
+            TokenWalk {
+                n: SCAN_N,
+                stride: SCAN_N / SCAN_TOKENS,
+                steps: SCAN_STEPS,
+            },
+            SCAN_N,
+            reps,
+        ),
+        removal_churn_workload(reps),
+    ];
+
+    let dataset = preset_by_name("sim-hc2")
+        .expect("sim-hc2 preset exists")
+        .scaled(0.5)
+        .generate();
+    let config = AssemblyConfig {
+        k: 25,
+        workers: WORKERS,
+        ..Default::default()
+    };
+    eprintln!(
+        "assemble_e2e ({} reads, k={}, {WORKERS} workers, {reps} reps)...",
+        dataset.reads.len(),
+        config.k
+    );
+    workloads.push(Workload {
+        name: "assemble_e2e",
+        description: "whole workflow::assemble on sim-hc2 ×0.5 on the columnar store \
+                      (the hash store cannot drive the production ops; see ppa_bench::legacy)"
+            .to_string(),
+        hash: None,
+        columnar: time(reps, || {
+            black_box(assemble(&dataset.reads, &config).contigs.len());
+        }),
+        notes: Vec::new(),
+    });
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"vertex_store\",\n");
+    json.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"workloads\": [\n");
+    let last = workloads.len() - 1;
+    for (i, w) in workloads.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+        json.push_str(&format!("      \"description\": \"{}\",\n", w.description));
+        match w.hash {
+            Some((min, mean)) => json.push_str(&format!(
+                "      \"hash_store\": {{\"min_s\": {min:.6}, \"mean_s\": {mean:.6}}},\n"
+            )),
+            None => json.push_str("      \"hash_store\": null,\n"),
+        }
+        json.push_str(&format!(
+            "      \"columnar_store\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}}},\n",
+            w.columnar.0, w.columnar.1
+        ));
+        for (key, value) in &w.notes {
+            json.push_str(&format!("      \"{key}\": {value},\n"));
+        }
+        match w.speedup() {
+            Some(s) => json.push_str(&format!("      \"speedup\": {s:.2}\n")),
+            None => json.push_str("      \"speedup\": null\n"),
+        }
+        json.push_str(if i == last { "    }\n" } else { "    },\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("{json}");
+    for w in &workloads {
+        match w.speedup() {
+            Some(s) => println!("{}: {:.2}x", w.name, s),
+            None => println!("{}: columnar {:.3}s (no hash twin)", w.name, w.columnar.0),
+        }
+    }
+    println!("→ {out_path}");
+}

@@ -1,7 +1,8 @@
 //! The **pre-refactor** execution strategies, preserved verbatim-in-spirit
-//! for the `message_plane` and `worker_pool` benchmarks.
+//! for the `message_plane`, `worker_pool`, `radix_sort` and `vertex_store`
+//! benchmarks.
 //!
-//! Three generations of replaced machinery live here:
+//! Four generations of replaced machinery live here:
 //!
 //! * the hash-grouping **message plane** (PR 1 replaced it with the
 //!   sort-based plane): the runner delivered messages by building a
@@ -19,17 +20,24 @@
 //!   pdqsort/merge sort over the packed keys. [`with_comparison_plane`]
 //!   forces the production shuffles back onto a stable comparison sort, and
 //!   [`comparison_sort_pairs`] exposes the raw pdqsort baseline for the
-//!   `radix_sort` microbench.
+//!   `radix_sort` microbench;
+//! * the **hash-partitioned vertex store** (the columnar-store PR replaced it
+//!   with sorted struct-of-arrays columns in `ppa_pregel::vertex_set`): each
+//!   worker's vertices lived in an `FxHashMap<Id, Entry>`, so delivery paid
+//!   one hash probe per message run and the straggler scan walked the whole
+//!   bucket array every superstep. [`run_hash_store`] preserves that delivery
+//!   loop — on the *production* pool and radix message plane, so the store is
+//!   the only difference — and [`HashVertexStore`] preserves the store-API
+//!   level for the removal-churn workload.
 //!
-//! Keeping them alive — allocation and spawn behaviour intact — lets the
-//! benchmarks and the `BENCH_message_plane.json` / `BENCH_worker_pool.json`
-//! snapshots compare production code against the exact baselines it
-//! replaced, inside one binary.
+//! Keeping them alive — allocation and probe behaviour intact — lets the
+//! benchmarks and the `BENCH_*.json` snapshots compare production code
+//! against the exact baselines it replaced, inside one binary.
 //!
 //! Nothing outside the benchmarks should use this module.
 
 use ppa_pregel::fxhash::{hash_one, FxHashMap};
-use ppa_pregel::VertexKey;
+use ppa_pregel::{ExecCtx, VertexKey};
 use std::hash::Hash;
 
 /// Runs `f` with every `ppa_pregel::radix` presort forced onto the stable
@@ -449,6 +457,322 @@ impl LegacyVertexProgram for LegacyListRanking {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The pre-columnar hash vertex store (replaced by the sorted SoA columns)
+// ---------------------------------------------------------------------------
+
+/// The vertex interface of [`run_hash_store`]: identical delivery contract to
+/// the production `VertexProgram` (sorted slice per vertex), IDs fixed to the
+/// assembler's packed `u64`.
+pub trait HashStoreProgram: Sync {
+    /// Per-vertex state.
+    type Value: Send;
+    /// Message type.
+    type Message: Send;
+
+    /// The per-vertex computation; `messages` is the contiguous sorted run
+    /// addressed to this vertex, as the production engine delivers. One
+    /// caveat inherited from the hash store: straggler vertices (pass 2)
+    /// emit in hash-map order, not ID order, so same-destination messages
+    /// from two stragglers may arrive in either relative order — programs
+    /// used for equivalence checks against the columnar engine should fold
+    /// commutatively.
+    fn compute(
+        &self,
+        ctx: &mut HashStoreCtx<'_, Self>,
+        id: u64,
+        value: &mut Self::Value,
+        messages: &mut [Self::Message],
+    );
+}
+
+/// Execution context handed to [`HashStoreProgram::compute`].
+pub struct HashStoreCtx<'a, P: HashStoreProgram + ?Sized> {
+    superstep: usize,
+    num_workers: usize,
+    outbox: &'a mut [Vec<(u64, P::Message)>],
+    messages_sent: &'a mut u64,
+    halt: bool,
+}
+
+impl<P: HashStoreProgram + ?Sized> HashStoreCtx<'_, P> {
+    /// The current superstep number (0-based).
+    #[inline]
+    pub fn superstep(&self) -> usize {
+        self.superstep
+    }
+
+    /// Sends a message to vertex `to`, delivered next superstep.
+    #[inline]
+    pub fn send_message(&mut self, to: u64, message: P::Message) {
+        let dst = (hash_one(&to) % self.num_workers as u64) as usize;
+        self.outbox[dst].push((to, message));
+        *self.messages_sent += 1;
+    }
+
+    /// Votes to halt until a message arrives.
+    #[inline]
+    pub fn vote_to_halt(&mut self) {
+        self.halt = true;
+    }
+}
+
+/// The hash store's per-vertex entry — value plus inline halt/stamp flags,
+/// exactly the pre-columnar `VertexEntry` layout.
+struct HashEntry<V> {
+    value: V,
+    halted: bool,
+    stamp: usize,
+}
+
+/// Per-worker message-plane buffers of the hash-store runner (mirroring the
+/// production `WorkerPlane`, reused across supersteps).
+struct HashPlane<M> {
+    in_ids: Vec<u64>,
+    in_msgs: Vec<M>,
+    merge_buf: Vec<(u64, M)>,
+    scratch: Vec<(u64, M)>,
+    outbox: Vec<Vec<(u64, M)>>,
+}
+
+/// One buffer per (source, destination) worker pair of the hash-store
+/// runner's shuffle.
+type HashColumns<M> = Vec<Vec<Vec<(u64, M)>>>;
+
+/// The pre-columnar superstep loop, isolated down to the vertex store: the
+/// message plane is the **production** one (per-destination radix presort,
+/// sorted-run slice delivery, buffers reused across supersteps) and phases
+/// dispatch onto the persistent pool of `ctx` — but vertices live in one
+/// `FxHashMap` per worker, so pass 1 pays a hash probe per delivered run and
+/// pass 2 walks the whole bucket array. Benchmarked against the columnar
+/// engine by the `vertex_store` bin.
+pub fn run_hash_store<P: HashStoreProgram>(
+    program: &P,
+    ctx: &ExecCtx,
+    pairs: impl IntoIterator<Item = (u64, P::Value)>,
+    max_supersteps: usize,
+) -> (Vec<(u64, P::Value)>, LegacyMetrics) {
+    let workers = ctx.workers();
+    let mut parts: Vec<FxHashMap<u64, HashEntry<P::Value>>> =
+        (0..workers).map(|_| FxHashMap::default()).collect();
+    for (id, value) in pairs {
+        let w = (hash_one(&id) % workers as u64) as usize;
+        parts[w].insert(
+            id,
+            HashEntry {
+                value,
+                halted: false,
+                stamp: 0,
+            },
+        );
+    }
+    let mut planes: Vec<HashPlane<P::Message>> = (0..workers)
+        .map(|_| HashPlane {
+            in_ids: Vec::new(),
+            in_msgs: Vec::new(),
+            merge_buf: Vec::new(),
+            scratch: Vec::new(),
+            outbox: (0..workers).map(|_| Vec::new()).collect(),
+        })
+        .collect();
+    let mut metrics = LegacyMetrics::default();
+
+    for superstep in 0..max_supersteps {
+        // ---- compute phase ---------------------------------------------------
+        let stamp = superstep + 1;
+        let counts: Vec<(u64, bool)> = {
+            let worker_inputs: Vec<_> = parts.iter_mut().zip(planes.iter_mut()).collect();
+            ctx.pool()
+                .run_per_worker(worker_inputs, |_w, (part, plane)| {
+                    let mut messages_sent = 0u64;
+
+                    // Pass 1: walk the sorted runs; one hash probe per
+                    // receiving vertex.
+                    let n_in = plane.in_ids.len();
+                    let mut i = 0usize;
+                    while i < n_in {
+                        let id = plane.in_ids[i];
+                        let mut j = i + 1;
+                        while j < n_in && plane.in_ids[j] == id {
+                            j += 1;
+                        }
+                        if let Some(entry) = part.get_mut(&id) {
+                            entry.stamp = stamp;
+                            let mut vctx: HashStoreCtx<'_, P> = HashStoreCtx {
+                                superstep,
+                                num_workers: workers,
+                                outbox: &mut plane.outbox,
+                                messages_sent: &mut messages_sent,
+                                halt: false,
+                            };
+                            program.compute(
+                                &mut vctx,
+                                id,
+                                &mut entry.value,
+                                &mut plane.in_msgs[i..j],
+                            );
+                            entry.halted = vctx.halt;
+                        }
+                        i = j;
+                    }
+
+                    // Pass 2: full hash-map scan for active stragglers.
+                    let mut all_halted = true;
+                    for (id, entry) in part.iter_mut() {
+                        if entry.stamp == stamp {
+                            all_halted &= entry.halted;
+                            continue;
+                        }
+                        if entry.halted {
+                            continue;
+                        }
+                        let mut vctx: HashStoreCtx<'_, P> = HashStoreCtx {
+                            superstep,
+                            num_workers: workers,
+                            outbox: &mut plane.outbox,
+                            messages_sent: &mut messages_sent,
+                            halt: false,
+                        };
+                        program.compute(&mut vctx, *id, &mut entry.value, &mut []);
+                        entry.halted = vctx.halt;
+                        all_halted &= entry.halted;
+                    }
+
+                    // Same sender-side radix presort as the production runner.
+                    for buf in plane.outbox.iter_mut() {
+                        ppa_pregel::radix::sort_pairs(buf, &mut plane.scratch);
+                    }
+                    (messages_sent, all_halted)
+                })
+        };
+        let mut messages_this_step = 0u64;
+        let mut all_halted = true;
+        for (sent, halted) in &counts {
+            messages_this_step += sent;
+            all_halted &= halted;
+        }
+
+        // ---- shuffle phase ---------------------------------------------------
+        // Concatenate the pre-sorted source buffers in worker order and
+        // stable-radix-sort the result: the same merged order as the
+        // production k-way merge for any fixed per-sender emission order.
+        // (Pass 2 above emits in hash order, so cross-program equivalence
+        // additionally needs commutative folds; see `HashStoreProgram`.)
+        let mut columns: HashColumns<P::Message> =
+            (0..workers).map(|_| Vec::with_capacity(workers)).collect();
+        for plane in planes.iter_mut() {
+            for (dst, buf) in plane.outbox.iter_mut().enumerate() {
+                columns[dst].push(std::mem::take(buf));
+            }
+        }
+        let shuffle_inputs: Vec<_> = planes.iter_mut().zip(columns).collect();
+        let returned: HashColumns<P::Message> =
+            ctx.pool()
+                .run_per_worker(shuffle_inputs, |_w, (plane, mut bufs)| {
+                    plane.merge_buf.clear();
+                    for buf in bufs.iter_mut() {
+                        plane.merge_buf.append(buf);
+                    }
+                    ppa_pregel::radix::sort_pairs(&mut plane.merge_buf, &mut plane.scratch);
+                    plane.in_ids.clear();
+                    plane.in_msgs.clear();
+                    for (id, msg) in plane.merge_buf.drain(..) {
+                        plane.in_ids.push(id);
+                        plane.in_msgs.push(msg);
+                    }
+                    bufs
+                });
+        for (dst, bufs) in returned.into_iter().enumerate() {
+            for (src, buf) in bufs.into_iter().enumerate() {
+                planes[src].outbox[dst] = buf;
+            }
+        }
+
+        metrics.supersteps += 1;
+        metrics.total_messages += messages_this_step;
+        if messages_this_step == 0 && all_halted {
+            break;
+        }
+    }
+
+    let out = parts
+        .into_iter()
+        .flat_map(|p| p.into_iter().map(|(id, e)| (id, e.value)))
+        .collect();
+    (out, metrics)
+}
+
+/// The pre-columnar vertex store at the store-API level: one `FxHashMap` per
+/// worker partition, O(1) point operations, bucket-array iteration — the
+/// baseline of the `vertex_store` bench's removal-churn workload.
+pub struct HashVertexStore<V> {
+    parts: Vec<FxHashMap<u64, V>>,
+}
+
+impl<V> HashVertexStore<V> {
+    /// An empty store partitioned over `workers` workers.
+    pub fn new(workers: usize) -> HashVertexStore<V> {
+        HashVertexStore {
+            parts: (0..workers.max(1)).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    #[inline]
+    fn worker_of(&self, id: u64) -> usize {
+        (hash_one(&id) % self.parts.len() as u64) as usize
+    }
+
+    /// Inserts or replaces a vertex, returning the previous value.
+    pub fn insert(&mut self, id: u64, value: V) -> Option<V> {
+        let w = self.worker_of(id);
+        self.parts[w].insert(id, value)
+    }
+
+    /// Removes a vertex, returning its value.
+    pub fn remove(&mut self, id: u64) -> Option<V> {
+        let w = self.worker_of(id);
+        self.parts[w].remove(&id)
+    }
+
+    /// Shared access to a vertex value.
+    pub fn get(&self, id: u64) -> Option<&V> {
+        self.parts[self.worker_of(id)].get(&id)
+    }
+
+    /// Total number of vertices.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every vertex for which the predicate returns `false`.
+    pub fn retain(&mut self, mut keep: impl FnMut(u64, &V) -> bool) {
+        for p in &mut self.parts {
+            p.retain(|id, v| keep(*id, v));
+        }
+    }
+
+    /// Iterates over `(id, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.parts
+            .iter()
+            .flat_map(|p| p.iter().map(|(k, v)| (*k, v)))
+    }
+
+    /// Estimated heap bytes of the hash store: allocated buckets × (key +
+    /// value + 1 control byte), the hashbrown layout.
+    pub fn resident_bytes(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| p.capacity() * (std::mem::size_of::<(u64, V)>() + 1))
+            .sum()
+    }
+}
+
 /// Runs legacy list ranking over a chain of `n` elements (each with value 1)
 /// and returns the rank of the tail as a correctness witness.
 pub fn legacy_chain_ranking(n: u64, workers: usize) -> u64 {
@@ -498,6 +822,91 @@ mod tests {
         old.sort_unstable();
         new.sort_unstable();
         assert_eq!(old, new);
+    }
+
+    /// One scatter-and-fold program, defined against both vertex interfaces.
+    struct Relay {
+        n: u64,
+        rounds: usize,
+    }
+
+    impl Relay {
+        fn target(&self, id: u64, superstep: usize) -> u64 {
+            (id.wrapping_mul(31).wrapping_add(superstep as u64 * 7 + 1)) % self.n
+        }
+    }
+
+    impl HashStoreProgram for Relay {
+        type Value = u64;
+        type Message = u64;
+        fn compute(
+            &self,
+            ctx: &mut HashStoreCtx<'_, Self>,
+            id: u64,
+            value: &mut u64,
+            messages: &mut [u64],
+        ) {
+            *value = value.wrapping_add(messages.iter().sum::<u64>());
+            if ctx.superstep() < self.rounds {
+                ctx.send_message(self.target(id, ctx.superstep()), id + 1);
+            }
+            ctx.vote_to_halt();
+        }
+    }
+
+    impl ppa_pregel::VertexProgram for Relay {
+        type Id = u64;
+        type Value = u64;
+        type Message = u64;
+        type Aggregate = ppa_pregel::NoAggregate;
+        fn compute(
+            &self,
+            ctx: &mut ppa_pregel::Context<'_, Self>,
+            id: u64,
+            value: &mut u64,
+            messages: &mut [u64],
+        ) {
+            *value = value.wrapping_add(messages.iter().sum::<u64>());
+            if ctx.superstep() < self.rounds {
+                ctx.send_message(self.target(id, ctx.superstep()), id + 1);
+            }
+            ctx.vote_to_halt();
+        }
+    }
+
+    #[test]
+    fn hash_store_runner_matches_columnar_engine() {
+        let program = Relay { n: 999, rounds: 6 };
+        for workers in [1usize, 3] {
+            let ctx = ExecCtx::new(workers);
+            let (mut old, old_metrics) =
+                run_hash_store(&program, &ctx, (0..999).map(|i| (i, i)), 1_000);
+            let config = ppa_pregel::PregelConfig::with_workers(workers).exec_ctx(ctx);
+            let (set, new_metrics) =
+                ppa_pregel::run_from_pairs(&program, &config, (0..999).map(|i| (i, i)));
+            let mut new = set.into_pairs();
+            old.sort_unstable();
+            new.sort_unstable();
+            assert_eq!(old, new, "workers = {workers}");
+            assert_eq!(old_metrics.supersteps, new_metrics.supersteps);
+            assert_eq!(old_metrics.total_messages, new_metrics.total_messages);
+        }
+    }
+
+    #[test]
+    fn hash_vertex_store_point_ops() {
+        let mut s: HashVertexStore<u64> = HashVertexStore::new(3);
+        assert!(s.is_empty());
+        for i in 0..100 {
+            assert_eq!(s.insert(i, i * 2), None);
+        }
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.get(4), Some(&8));
+        assert_eq!(s.remove(4), Some(8));
+        s.retain(|_, v| *v % 4 == 0);
+        assert_eq!(s.len(), 49, "50 multiples of 4, one already removed");
+        assert!(s.resident_bytes() > 0);
+        assert_eq!(s.iter().map(|(_, v)| *v).sum::<u64>() % 4, 0);
     }
 
     #[test]

@@ -188,6 +188,15 @@ pub enum StageDetails {
     Custom,
 }
 
+/// Formats a byte count as a compact human-readable figure.
+fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.1} MiB", bytes as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.1} KiB", bytes as f64 / (1 << 10) as f64)
+    }
+}
+
 impl StageDetails {
     /// One-line human-readable summary (used by [`StageLogger`]).
     pub fn summary(&self) -> String {
@@ -197,8 +206,14 @@ impl StageDetails {
                 s.vertices, s.kept_kplus1_mers
             ),
             StageDetails::Label(s) => format!(
-                "{} labeled / {} ambiguous in {} supersteps, {} msgs",
-                s.labeled_vertices, s.ambiguous_vertices, s.supersteps, s.messages
+                "{} labeled / {} ambiguous in {} supersteps, {} msgs \
+                 (avg frontier {:.0}%, store {})",
+                s.labeled_vertices,
+                s.ambiguous_vertices,
+                s.supersteps,
+                s.messages,
+                s.avg_frontier_density * 100.0,
+                fmt_bytes(s.peak_store_resident_bytes)
             ),
             StageDetails::Merge {
                 stats, nodes_after, ..
@@ -215,8 +230,11 @@ impl StageDetails {
                 deleted_contigs,
                 metrics,
             } => format!(
-                "{deleted_kmers} k-mers and {deleted_contigs} contigs deleted in {} supersteps",
-                metrics.supersteps
+                "{deleted_kmers} k-mers and {deleted_contigs} contigs deleted in {} supersteps \
+                 (avg frontier {:.0}%, store {})",
+                metrics.supersteps,
+                metrics.avg_frontier_density * 100.0,
+                fmt_bytes(metrics.peak_store_resident_bytes)
             ),
             StageDetails::FilterLength { kept, dropped, n50 } => {
                 format!("{kept} contigs kept ({dropped} too short), N50 {n50}")

@@ -39,6 +39,14 @@ pub struct LabelStats {
     pub labeled_vertices: usize,
     /// Number of ambiguous vertices.
     pub ambiguous_vertices: usize,
+    /// Mean fraction of vertices computing per superstep (active / total);
+    /// near 1.0 is a dense frontier throughout, values near 0 mean the
+    /// engine's bitset walk skipped nearly the whole column on most
+    /// supersteps.
+    pub avg_frontier_density: f64,
+    /// Peak estimated heap footprint of the Pregel vertex store's columns
+    /// during the labeling job (see `VertexSet::resident_bytes`).
+    pub peak_store_resident_bytes: u64,
 }
 
 impl LabelStats {
@@ -56,6 +64,8 @@ impl LabelStats {
             used_cycle_fallback: fallback,
             labeled_vertices: labeled,
             ambiguous_vertices: ambiguous,
+            avg_frontier_density: metrics.avg_frontier_density,
+            peak_store_resident_bytes: metrics.peak_store_resident_bytes,
         }
     }
 }
@@ -185,6 +195,8 @@ mod tests {
             total_messages: 345,
             elapsed: Duration::from_millis(7),
             converged: true,
+            avg_frontier_density: 0.8,
+            peak_store_resident_bytes: 4096,
             ..Default::default()
         };
         let ls = LabelStats::from_metrics(&metrics, 100, 7, true);
@@ -193,5 +205,7 @@ mod tests {
         assert_eq!(ls.labeled_vertices, 100);
         assert_eq!(ls.ambiguous_vertices, 7);
         assert!(ls.used_cycle_fallback);
+        assert_eq!(ls.avg_frontier_density, 0.8);
+        assert_eq!(ls.peak_store_resident_bytes, 4096);
     }
 }

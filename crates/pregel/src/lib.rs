@@ -7,6 +7,8 @@
 //!
 //! * vertices are hash-partitioned over a configurable number of **workers**
 //!   (the stand-in for cluster machines), each driven by its own thread;
+//!   within a partition they live in sorted struct-of-arrays **columns**
+//!   (see [`vertex_set`]), not a hash map;
 //! * computation proceeds in **supersteps**; in each superstep every active
 //!   vertex (or every vertex with incoming messages) executes a user-defined
 //!   [`VertexProgram::compute`] which may mutate its value, send messages to
@@ -53,6 +55,13 @@
 //!   `&mut [Message]` and the mini-MapReduce reduce UDF receives
 //!   `&mut [Value]` plus an output sink — no owned `Vec` per vertex or key on
 //!   either side.
+//! * **merge-join delivery into sorted columns** — each partition of a
+//!   [`VertexSet`] stores its vertices as ID-sorted struct-of-arrays
+//!   columns, so the sorted message runs meet the vertex store in a single
+//!   linear merge-join (a galloping cursor, no hash probe per run), and the
+//!   straggler scan walks a packed halted bitset instead of iterating a
+//!   hash map. The pre-columnar hash store is preserved in
+//!   `ppa_bench::legacy`; `BENCH_vertex_store.json` records the comparison.
 //! * **sender-side combining** — when a program sets
 //!   [`USE_COMBINER`](VertexProgram::USE_COMBINER), duplicate destinations are
 //!   folded in the sorted outbound buffers before the hand-off (and again

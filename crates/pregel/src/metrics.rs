@@ -32,6 +32,15 @@ pub struct SuperstepMetrics {
     /// phases kept every thread busy; low values on short supersteps expose
     /// dispatch overhead and load imbalance.
     pub pool_utilization: f64,
+    /// Fraction of the job's vertices whose `compute` ran this superstep
+    /// (active / total). 1.0 means a dense frontier where the columnar
+    /// store's linear scans dominate; values near 0 mean a sparse frontier
+    /// where the bitset walk skips nearly everything.
+    pub frontier_density: f64,
+    /// Estimated heap bytes held by the vertex store's columns (IDs, values,
+    /// halt bits, stamps) at the end of this superstep. Heap owned by the
+    /// vertex values themselves is not included.
+    pub store_resident_bytes: u64,
 }
 
 /// Metrics of a whole Pregel job.
@@ -49,6 +58,16 @@ pub struct Metrics {
     pub elapsed: Duration,
     /// Whether the job terminated by convergence (vs. hitting the superstep cap).
     pub converged: bool,
+    /// Mean over all supersteps of
+    /// [`frontier_density`](SuperstepMetrics::frontier_density). Recorded
+    /// even when per-superstep tracking is disabled. (The *peak* is always
+    /// 1.0 — every job starts with all vertices active — so the mean is the
+    /// figure that distinguishes sparse-frontier jobs from dense ones.)
+    pub avg_frontier_density: f64,
+    /// Peak over all supersteps of
+    /// [`store_resident_bytes`](SuperstepMetrics::store_resident_bytes).
+    /// Recorded even when per-superstep tracking is disabled.
+    pub peak_store_resident_bytes: u64,
     /// Per-superstep breakdown (empty unless tracking is enabled).
     pub per_superstep: Vec<SuperstepMetrics>,
 }
@@ -64,6 +83,18 @@ impl Metrics {
         self.total_compute_calls += other.total_compute_calls;
         self.elapsed += other.elapsed;
         self.converged &= other.converged;
+        // Supersteps-weighted mean (self.supersteps was already summed
+        // above), so absorbing a long sparse job and a short dense one lands
+        // where it should.
+        if self.supersteps > 0 {
+            let own = (self.supersteps - other.supersteps) as f64;
+            self.avg_frontier_density = (self.avg_frontier_density * own
+                + other.avg_frontier_density * other.supersteps as f64)
+                / self.supersteps as f64;
+        }
+        self.peak_store_resident_bytes = self
+            .peak_store_resident_bytes
+            .max(other.peak_store_resident_bytes);
         self.per_superstep
             .extend(other.per_superstep.iter().cloned());
     }
@@ -104,6 +135,8 @@ mod tests {
             total_compute_calls: 30,
             elapsed: Duration::from_millis(5),
             converged: true,
+            avg_frontier_density: 0.5,
+            peak_store_resident_bytes: 100,
             per_superstep: vec![],
         };
         let b = Metrics {
@@ -113,6 +146,8 @@ mod tests {
             total_compute_calls: 20,
             elapsed: Duration::from_millis(3),
             converged: true,
+            avg_frontier_density: 0.75,
+            peak_store_resident_bytes: 64,
             per_superstep: vec![SuperstepMetrics {
                 superstep: 0,
                 active_vertices: 4,
@@ -122,6 +157,8 @@ mod tests {
                 compute_elapsed: Duration::from_millis(2),
                 shuffle_elapsed: Duration::from_millis(1),
                 pool_utilization: 0.5,
+                frontier_density: 0.75,
+                store_resident_bytes: 64,
             }],
         };
         a.absorb(&b);
@@ -130,6 +167,10 @@ mod tests {
         assert_eq!(a.total_compute_calls, 50);
         assert_eq!(a.per_superstep.len(), 1);
         assert!(a.converged);
+        // Density is a supersteps-weighted mean (3 steps at 0.5, 2 at 0.75);
+        // the footprint peak takes the max across absorbed jobs.
+        assert!((a.avg_frontier_density - 0.6).abs() < 1e-12);
+        assert_eq!(a.peak_store_resident_bytes, 100);
     }
 
     #[test]

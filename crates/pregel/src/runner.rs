@@ -6,10 +6,13 @@
 //! [`should_terminate`](VertexProgram::should_terminate) fires), collecting
 //! [`Metrics`] along the way. Each superstep has two parallel phases:
 //!
-//! 1. **compute** — every worker walks the sorted runs of its inbound buffer
-//!    (one contiguous `&mut [Message]` slice per receiving vertex — delivery
-//!    allocates nothing), then scans its partition once for active vertices
-//!    that received no messages. Outgoing messages are appended to one flat
+//! 1. **compute** — every worker **merge-joins** the sorted runs of its
+//!    inbound buffer against its partition's sorted ID column (one contiguous
+//!    `&mut [Message]` slice per receiving vertex — delivery allocates
+//!    nothing and probes no hash table; a galloping cursor walks both sorted
+//!    sequences once), then sweeps the partition's halted **bitset** for
+//!    active vertices that received no messages, skipping 64 halted vertices
+//!    per word compare. Outgoing messages are appended to one flat
 //!    buffer per destination worker; before the hand-off each buffer is
 //!    **sorted by destination vertex on the sender side** (a stable LSD radix
 //!    sort over the packed IDs — see [`crate::radix`] — so the sort work is
@@ -26,10 +29,12 @@
 //! All buffers — per-destination outboxes, the sorted `ids`/`messages` arrays
 //! and the combine scratch — live in per-worker `WorkerPlane`s reused
 //! across supersteps, so a steady-state superstep performs no per-vertex or
-//! per-superstep container allocation. This replaces the earlier
-//! `FxHashMap<Id, Vec<Message>>` grouping (one heap `Vec` per receiving
-//! vertex per superstep), which dominated the shuffle cost; see the
-//! `message_plane` benchmark for the before/after comparison.
+//! per-superstep container allocation. This replaces the earlier hash-map
+//! grouping (one heap `Vec` per receiving vertex per superstep), which
+//! dominated the shuffle cost, and the earlier hash-partitioned vertex store
+//! (one hash probe per delivered run, a bucket-array walk per straggler
+//! scan); see the `message_plane` and `vertex_store` benchmarks for the
+//! before/after comparisons.
 //!
 //! Both phases are dispatched onto the persistent worker pool of an
 //! [`ExecCtx`] — either the one carried by
@@ -47,7 +52,7 @@ use crate::config::PregelConfig;
 use crate::engine::ExecCtx;
 use crate::metrics::{Metrics, SuperstepMetrics};
 use crate::vertex::{Context, VertexKey, VertexProgram};
-use crate::vertex_set::VertexSet;
+use crate::vertex_set::{lower_bound_from, set_bit, RunColumns, VertexSet};
 use std::time::Instant;
 
 /// One `(destination vertex, message)` buffer per destination worker.
@@ -115,6 +120,58 @@ struct ComputeCounts<A> {
     messages_dropped: u64,
     active: usize,
     all_halted: bool,
+}
+
+/// Per-worker compute-phase state shared by both delivery passes.
+///
+/// [`compute_slot`](WorkerEnv::compute_slot) is the single place where a
+/// vertex's halt/stamp bookkeeping happens — the merge-join pass (vertices
+/// with messages) and the bitset sweep (active vertices without) both call
+/// it, so the two passes cannot drift apart.
+struct WorkerEnv<'a, P: VertexProgram> {
+    program: &'a P,
+    superstep: usize,
+    /// `superstep + 1` (stamp 0 = never computed); marks slots computed in
+    /// this superstep so the bitset sweep skips them.
+    stamp: u32,
+    worker: usize,
+    num_workers: usize,
+    total_vertices: usize,
+    prev_aggregate: &'a P::Aggregate,
+    local_aggregate: P::Aggregate,
+    messages_sent: u64,
+    active: usize,
+}
+
+impl<P: VertexProgram> WorkerEnv<'_, P> {
+    /// Runs `compute` for the vertex in `slot`: stamps the slot, builds the
+    /// per-vertex context, invokes the program with the delivered slice, and
+    /// writes the vertex's new halt bit back into the column.
+    fn compute_slot(
+        &mut self,
+        cols: &mut RunColumns<'_, P::Id, P::Value>,
+        slot: usize,
+        outbox: &mut [Vec<(P::Id, P::Message)>],
+        messages: &mut [P::Message],
+    ) {
+        cols.stamps[slot] = self.stamp;
+        let mut vctx: Context<'_, P> = Context {
+            superstep: self.superstep,
+            worker: self.worker,
+            num_workers: self.num_workers,
+            total_vertices: self.total_vertices,
+            prev_aggregate: self.prev_aggregate,
+            local_aggregate: &mut self.local_aggregate,
+            outbox,
+            messages_sent: &mut self.messages_sent,
+            halt: false,
+        };
+        let value = cols.values[slot].as_mut().expect("live vertex slot");
+        self.program
+            .compute(&mut vctx, cols.ids[slot], value, messages);
+        set_bit(cols.halted, slot, vctx.halt);
+        self.active += 1;
+    }
 }
 
 /// Runs `program` over `vertices` until convergence and returns the metrics.
@@ -187,47 +244,47 @@ pub fn run_on<P: VertexProgram>(
             let worker_inputs: Vec<_> = vertices.parts.iter_mut().zip(planes.iter_mut()).collect();
             ctx.pool()
                 .run_per_worker(worker_inputs, |w, (part, plane)| {
-                    let mut local_aggregate = P::Aggregate::identity();
-                    let mut messages_sent = 0u64;
-                    let mut active = 0usize;
+                    let mut env: WorkerEnv<'_, P> = WorkerEnv {
+                        program,
+                        superstep,
+                        // Stamp 0 = never computed, hence the +1 (a u32
+                        // column; activate_all re-zeroes it per job, so
+                        // wrap-around would need 2^32 supersteps in one job).
+                        stamp: (superstep + 1) as u32,
+                        worker: w,
+                        num_workers: workers,
+                        total_vertices,
+                        prev_aggregate: prev_agg,
+                        local_aggregate: P::Aggregate::identity(),
+                        messages_sent: 0,
+                        active: 0,
+                    };
                     let mut messages_dropped = 0u64;
-                    // The stamp marks vertices computed in this
-                    // superstep (stamp 0 = never, hence the +1).
-                    let stamp = superstep + 1;
+                    let mut cols = part.run_columns();
+                    let slots = cols.ids.len();
 
-                    // Pass 1: walk the sorted message runs; one hash
-                    // lookup per *receiving* vertex, one contiguous
-                    // slice per vertex, nothing allocated.
+                    // Pass 1: merge-join the sorted message runs against the
+                    // sorted ID column. Both sequences ascend, so one
+                    // monotone galloping cursor visits each side at most
+                    // once — no hash probe per run, one contiguous slice per
+                    // vertex, nothing allocated.
                     let n_in = plane.in_ids.len();
                     let mut i = 0usize;
+                    let mut cursor = 0usize;
                     while i < n_in {
                         let id = plane.in_ids[i];
                         let mut j = i + 1;
                         while j < n_in && plane.in_ids[j] == id {
                             j += 1;
                         }
-                        if let Some(entry) = part.get_mut(&id) {
-                            entry.halted = false;
-                            entry.stamp = stamp;
-                            active += 1;
-                            let mut vctx: Context<'_, P> = Context {
-                                superstep,
-                                worker: w,
-                                num_workers: workers,
-                                total_vertices,
-                                prev_aggregate: prev_agg,
-                                local_aggregate: &mut local_aggregate,
-                                outbox: &mut plane.outbox,
-                                messages_sent: &mut messages_sent,
-                                halt: false,
-                            };
-                            program.compute(
-                                &mut vctx,
-                                id,
-                                &mut entry.value,
+                        cursor = lower_bound_from(cols.ids, cursor, &id);
+                        if cursor < slots && cols.ids[cursor] == id {
+                            env.compute_slot(
+                                &mut cols,
+                                cursor,
+                                &mut plane.outbox,
                                 &mut plane.in_msgs[i..j],
                             );
-                            entry.halted = vctx.halt;
                         } else {
                             // Addressed to a vertex this worker does
                             // not host.
@@ -236,32 +293,32 @@ pub fn run_on<P: VertexProgram>(
                         i = j;
                     }
 
-                    // Pass 2: active vertices that received nothing.
-                    let mut all_halted = true;
-                    for (id, entry) in part.iter_mut() {
-                        if entry.stamp == stamp {
-                            all_halted &= entry.halted;
-                            continue;
+                    // Pass 2: active vertices that received nothing — a
+                    // linear walk over the halted bitset (64 halted vertices
+                    // skipped per word compare), with the stamp column
+                    // filtering out slots already computed in pass 1.
+                    let words = cols.halted.len();
+                    for wi in 0..words {
+                        let base = wi << 6;
+                        let mut cand = !cols.halted[wi];
+                        if slots - base < 64 {
+                            cand &= (1u64 << (slots - base)) - 1;
                         }
-                        if entry.halted {
-                            continue;
+                        while cand != 0 {
+                            let slot = base + cand.trailing_zeros() as usize;
+                            cand &= cand - 1;
+                            if cols.stamps[slot] == env.stamp {
+                                continue;
+                            }
+                            env.compute_slot(&mut cols, slot, &mut plane.outbox, &mut []);
                         }
-                        active += 1;
-                        let mut vctx: Context<'_, P> = Context {
-                            superstep,
-                            worker: w,
-                            num_workers: workers,
-                            total_vertices,
-                            prev_aggregate: prev_agg,
-                            local_aggregate: &mut local_aggregate,
-                            outbox: &mut plane.outbox,
-                            messages_sent: &mut messages_sent,
-                            halt: false,
-                        };
-                        program.compute(&mut vctx, *id, &mut entry.value, &mut []);
-                        entry.halted = vctx.halt;
-                        all_halted &= entry.halted;
                     }
+
+                    // Bits beyond the slot count are kept zero, so a masked
+                    // popcount over the halted words decides quiescence.
+                    let halted_count: usize =
+                        cols.halted.iter().map(|w| w.count_ones() as usize).sum();
+                    let all_halted = halted_count == slots;
 
                     // Presort every destination buffer (spreading the
                     // shuffle's sort work over the compute threads)
@@ -277,10 +334,10 @@ pub fn run_on<P: VertexProgram>(
                         combine_outbox(program, plane);
                     }
                     ComputeCounts::<P::Aggregate> {
-                        local_aggregate,
-                        messages_sent,
+                        local_aggregate: env.local_aggregate,
+                        messages_sent: env.messages_sent,
                         messages_dropped,
-                        active,
+                        active: env.active,
                         all_halted,
                     }
                 })
@@ -300,6 +357,19 @@ pub fn run_on<P: VertexProgram>(
             active_this_step += c.active;
             all_halted &= c.all_halted;
         }
+        let frontier_density = if total_vertices == 0 {
+            0.0
+        } else {
+            active_this_step as f64 / total_vertices as f64
+        };
+        let store_resident_bytes = vertices.resident_bytes() as u64;
+        // Running mean: superstep 0 is always dense (activate_all wakes every
+        // vertex), so the peak carries no information — the mean is what
+        // separates sparse-frontier jobs from dense ones.
+        metrics.avg_frontier_density +=
+            (frontier_density - metrics.avg_frontier_density) / (metrics.supersteps + 1) as f64;
+        metrics.peak_store_resident_bytes =
+            metrics.peak_store_resident_bytes.max(store_resident_bytes);
 
         // ---- shuffle phase (dispatched onto the persistent pool) ------------
         // Transpose outbox buffer ownership: worker `src` hands its buffer for
@@ -373,6 +443,8 @@ pub fn run_on<P: VertexProgram>(
                 } else {
                     (busy as f64 / capacity as f64).min(1.0)
                 },
+                frontier_density,
+                store_resident_bytes,
             });
         }
 
@@ -648,6 +720,60 @@ mod tests {
         assert_eq!(metrics.supersteps, 5);
     }
 
+    /// A sparse-frontier program: everything halts at superstep 0 except one
+    /// token walking a short chain, so the mean frontier density must land
+    /// far below the dense superstep 0's 1.0.
+    struct SparseWalk {
+        steps: u64,
+    }
+    impl VertexProgram for SparseWalk {
+        type Id = u64;
+        type Value = u64;
+        type Message = u64;
+        type Aggregate = NoAggregate;
+        fn compute(&self, ctx: &mut Context<'_, Self>, id: u64, value: &mut u64, msgs: &mut [u64]) {
+            if ctx.superstep() == 0 {
+                if id == 0 {
+                    ctx.send_message(1, 1);
+                }
+            } else if let Some(&hop) = msgs.first() {
+                *value = hop;
+                if hop < self.steps {
+                    ctx.send_message(id + 1, hop + 1);
+                }
+            }
+            ctx.vote_to_halt();
+        }
+    }
+
+    #[test]
+    fn frontier_density_reflects_sparse_frontiers() {
+        let config = PregelConfig::with_workers(2);
+        let (_, metrics) = run_from_pairs(
+            &SparseWalk { steps: 10 },
+            &config,
+            (0..1000).map(|i| (i, 0u64)),
+        );
+        assert!(metrics.converged);
+        // Superstep 0 computes all 1000 vertices, every later superstep
+        // computes exactly one: the mean must sit near 1000/n_steps ÷ 1000,
+        // well below a dense job's 1.0.
+        assert!(
+            metrics.avg_frontier_density < 0.2,
+            "sparse walk reported density {}",
+            metrics.avg_frontier_density
+        );
+        assert!(metrics.avg_frontier_density > 0.0);
+        assert!(metrics.peak_store_resident_bytes > 0);
+        // A dense program over the same set reports a dense mean.
+        let (_, dense) = run_from_pairs(
+            &NeverHalts,
+            &config.clone().max_supersteps(3),
+            (0..10).map(|i| (i, ())),
+        );
+        assert!(dense.avg_frontier_density > 0.99);
+    }
+
     #[test]
     fn empty_vertex_set_converges_immediately() {
         let config = PregelConfig::with_workers(2);
@@ -784,6 +910,145 @@ mod tests {
                 prop_assert_eq!(*v, expected[*id as usize]);
             }
             prop_assert_eq!(metrics.total_messages, raw.len() as u64);
+        }
+    }
+
+    // ---- property test: columnar engine vs. sequential BSP oracle -----------
+
+    /// A program with data-dependent halting: every vertex folds its inbound
+    /// sum, conditionally relays, and votes to halt only when its value is
+    /// not divisible by 3 — so the final halt flags (not just the values)
+    /// depend on the whole message history.
+    struct HaltPattern {
+        n: u64,
+        rounds: usize,
+    }
+
+    impl HaltPattern {
+        /// The shared per-vertex step, used by both the engine run and the
+        /// sequential oracle: returns (messages to send, new halt flag).
+        fn step(
+            &self,
+            superstep: usize,
+            id: u64,
+            value: &mut u64,
+            inbound_sum: u64,
+        ) -> (Vec<(u64, u64)>, bool) {
+            *value = value.wrapping_add(inbound_sum);
+            let mut sends = Vec::new();
+            if superstep == 0 {
+                for f in 0..id % 3 {
+                    sends.push(((id * 7 + f * 13) % self.n, id + f));
+                }
+            } else if !(*value).is_multiple_of(5) {
+                sends.push(((id + 1) % self.n, *value % 11));
+            }
+            (sends, !(*value).is_multiple_of(3))
+        }
+    }
+
+    impl VertexProgram for HaltPattern {
+        type Id = u64;
+        type Value = u64;
+        type Message = u64;
+        type Aggregate = NoAggregate;
+
+        fn compute(&self, ctx: &mut Context<'_, Self>, id: u64, value: &mut u64, msgs: &mut [u64]) {
+            let (sends, halt) = self.step(ctx.superstep(), id, value, msgs.iter().sum());
+            for (to, payload) in sends {
+                ctx.send_message(to, payload);
+            }
+            if halt {
+                ctx.vote_to_halt();
+            }
+        }
+
+        fn should_terminate(&self, _agg: &NoAggregate, superstep: usize) -> bool {
+            superstep + 1 >= self.rounds
+        }
+    }
+
+    /// Sequential reference implementation of the BSP semantics over a plain
+    /// hash map (the pre-columnar entry layout), mirroring the runner's
+    /// activation, termination and halt rules step for step.
+    fn oracle_run(program: &HaltPattern) -> (Vec<(u64, u64, bool)>, usize) {
+        struct Entry {
+            value: u64,
+            halted: bool,
+        }
+        let mut state: crate::fxhash::FxHashMap<u64, Entry> = (0..program.n)
+            .map(|i| {
+                (
+                    i,
+                    Entry {
+                        value: i,
+                        halted: false,
+                    },
+                )
+            })
+            .collect();
+        let mut inbox: crate::fxhash::FxHashMap<u64, u64> = crate::fxhash::FxHashMap::default();
+        let mut supersteps = 0usize;
+        let mut superstep = 0usize;
+        loop {
+            let mut outbox: crate::fxhash::FxHashMap<u64, u64> =
+                crate::fxhash::FxHashMap::default();
+            let mut messages = 0u64;
+            let mut all_halted = true;
+            for id in 0..program.n {
+                let entry = state.get_mut(&id).expect("exists");
+                let inbound = inbox.remove(&id);
+                if entry.halted && inbound.is_none() {
+                    continue;
+                }
+                let (sends, halt) =
+                    program.step(superstep, id, &mut entry.value, inbound.unwrap_or(0));
+                for (to, payload) in sends {
+                    if to < program.n {
+                        *outbox.entry(to).or_insert(0) += payload;
+                    }
+                    messages += 1;
+                }
+                entry.halted = halt;
+            }
+            for entry in state.values() {
+                all_halted &= entry.halted;
+            }
+            supersteps += 1;
+            if program.should_terminate(&NoAggregate, superstep) {
+                break;
+            }
+            if messages == 0 && all_halted {
+                break;
+            }
+            inbox = outbox;
+            superstep += 1;
+        }
+        let mut out: Vec<(u64, u64, bool)> = state
+            .into_iter()
+            .map(|(id, e)| (id, e.value, e.halted))
+            .collect();
+        out.sort_unstable();
+        (out, supersteps)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_values_and_halt_flags_match_sequential_oracle(
+            n in 1u64..120,
+            rounds in 1usize..12,
+            workers in 1usize..6,
+        ) {
+            let program = HaltPattern { n, rounds };
+            let (expected, oracle_steps) = oracle_run(&program);
+            let config = PregelConfig::with_workers(workers);
+            let (set, metrics) = run_from_pairs(&program, &config, (0..n).map(|i| (i, i)));
+            prop_assert_eq!(metrics.supersteps, oracle_steps);
+            for (id, value, halted) in expected {
+                prop_assert_eq!(set.get(&id), Some(&value), "value of {}", id);
+                prop_assert_eq!(set.halted_of(&id), Some(halted), "halt flag of {}", id);
+            }
         }
     }
 }

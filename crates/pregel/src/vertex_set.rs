@@ -1,52 +1,431 @@
-//! Hash-partitioned vertex storage shared between consecutive Pregel jobs.
+//! Columnar sorted vertex storage shared between consecutive Pregel jobs.
 //!
 //! Pregel+ distributes vertices to machines by hashing the vertex ID; a
-//! [`VertexSet`] does the same over logical workers. The
-//! [`convert`](VertexSet::convert) method implements the paper's first API
-//! extension (Section II, "Our Extensions to Pregel API"): the output vertices
-//! of one job are transformed in place into the input vertices of the next job
-//! and re-shuffled by the new vertex IDs, without a round-trip through HDFS.
+//! [`VertexSet`] does the same over logical workers. *Within* a partition,
+//! however, vertices are no longer a hash map: each partition is a
+//! struct-of-arrays **columnar store sorted by vertex ID** —
+//!
+//! * `ids` — the sorted, strictly increasing ID column ("slot" order);
+//! * `values` — the parallel value column (`None` marks a tombstoned slot);
+//! * `halted` — one bit per slot, packed 64 slots to a word;
+//! * `stamps` — one `u32` compute stamp per slot.
+//!
+//! The layout is what makes the runner's message delivery a **merge-join**:
+//! the shuffle hands every worker its inbound messages sorted by destination
+//! ID (see `runner.rs`), and sorted messages meeting a sorted ID column is a
+//! single linear pass — no per-run hash probe, no bucket-array walk. The
+//! straggler scan (active vertices that received nothing) becomes a walk over
+//! the `halted` bitset, skipping 64 halted vertices per word compare, and a
+//! full-partition scan touches three dense arrays instead of a hash table's
+//! scattered buckets. The columns also drop the hash map's bucket/control
+//! overhead; [`VertexSet::resident_bytes`] reports the footprint and the
+//! `vertex_store` benchmark (`BENCH_vertex_store.json`) records the
+//! before/after comparison against the hash store preserved in
+//! `ppa_bench::legacy`.
+//!
+//! # Mutation model
+//!
+//! Point reads are a binary search. Point **inserts** go to a small sorted
+//! `pending` side buffer (merged into the columns when it outgrows a
+//! threshold) so they never shift the big columns; point **removes**
+//! tombstone their slot (`values[slot] = None`) and the partition compacts
+//! once tombstones dominate. [`retain`](VertexSet::retain) batch-tombstones
+//! and compacts once. Compaction rebuilds the columns in one linear merge of
+//! the live slots and the pending run; it resets the `halted`/`stamps`
+//! bookkeeping, which is safe because every job begins by
+//! re-activating (and compacting) the set via the crate-internal
+//! `activate_all`.
+//! Bulk construction ([`from_pairs`](VertexSet::from_pairs), the output side
+//! of [`convert`](VertexSet::convert)) never goes through `pending`: pairs
+//! are radix-sorted by ID (narrow key column only — payloads are moved once,
+//! by a gather pass) and the columns are emitted directly.
+//!
+//! The [`convert`](VertexSet::convert) method implements the paper's first
+//! API extension (Section II, "Our Extensions to Pregel API"): the output
+//! vertices of one job are transformed in place into the input vertices of
+//! the next job and re-shuffled by the new vertex IDs, without a round-trip
+//! through HDFS. Its sort-merge shuffle streams in ID order, so the merged
+//! output *is* the new sorted column — no rebuild step.
 
 use crate::engine::ExecCtx;
-use crate::fxhash::{hash_one, FxHashMap};
+use crate::fxhash::hash_one;
 use crate::radix::SortKey;
 use crate::vertex::VertexKey;
 
-/// Per-vertex bookkeeping kept by the engine alongside the user value.
-#[derive(Debug, Clone)]
-pub(crate) struct VertexEntry<V> {
-    pub(crate) value: V,
-    pub(crate) halted: bool,
-    /// Superstep stamp (superstep + 1) of the last `compute` invocation; lets
-    /// the runner's straggler scan skip vertices already computed via the
-    /// sorted message-run walk. Reset by [`VertexSet::activate_all`] so stamps
-    /// never leak between consecutive jobs on the same set.
-    pub(crate) stamp: usize,
+/// Sets or clears bit `slot` in a packed bitset.
+#[inline]
+pub(crate) fn set_bit(words: &mut [u64], slot: usize, on: bool) {
+    let (w, m) = (slot >> 6, 1u64 << (slot & 63));
+    if on {
+        words[w] |= m;
+    } else {
+        words[w] &= !m;
+    }
 }
 
-/// A collection of vertices hash-partitioned over a fixed number of workers.
+/// Reads bit `slot` of a packed bitset (test-only counterpart of
+/// [`set_bit`]: the engine reads halt state word-at-a-time instead).
+#[cfg(test)]
+#[inline]
+pub(crate) fn get_bit(words: &[u64], slot: usize) -> bool {
+    words[slot >> 6] & (1u64 << (slot & 63)) != 0
+}
+
+/// Number of `u64` words needed for `slots` bits.
+#[inline]
+fn words_for(slots: usize) -> usize {
+    slots.div_ceil(64)
+}
+
+/// First index `>= lo` at which `ids[index] >= *target` (i.e. the lower
+/// bound), assuming `ids` is sorted ascending and everything before `lo` is
+/// `< *target`.
+///
+/// Tuned for a monotone cursor walking message runs against the ID column: a
+/// short linear probe wins when the frontier is dense (the next run lands a
+/// few slots ahead); past that it gallops (exponential steps, then a binary
+/// search inside the final window), so sparse frontiers cost
+/// `O(log distance)` per run instead of a full linear walk.
+pub(crate) fn lower_bound_from<I: Ord>(ids: &[I], mut lo: usize, target: &I) -> usize {
+    let n = ids.len();
+    for _ in 0..8 {
+        if lo >= n || ids[lo] >= *target {
+            return lo;
+        }
+        lo += 1;
+    }
+    let mut step = 8usize;
+    let mut hi = lo + step;
+    while hi < n && ids[hi] < *target {
+        lo = hi + 1;
+        step <<= 1;
+        hi = lo + step;
+    }
+    let hi = hi.min(n);
+    lo + ids[lo..hi].partition_point(|x| x < target)
+}
+
+/// One partition of a [`VertexSet`]: parallel columns sorted by vertex ID.
+///
+/// Invariants: `ids` is strictly increasing; `values[slot]` is `Some` unless
+/// the slot is tombstoned (`dead` counts tombstones); `halted` has one bit
+/// and `stamps` one entry per slot, with all bits beyond the slot count zero;
+/// `pending` is sorted, duplicate-free, and ID-disjoint from `ids` (a
+/// re-inserted tombstoned ID revives its slot instead).
+#[derive(Debug, Clone)]
+pub(crate) struct Partition<I, V> {
+    ids: Vec<I>,
+    values: Vec<Option<V>>,
+    halted: Vec<u64>,
+    stamps: Vec<u32>,
+    dead: usize,
+    pending: Vec<(I, V)>,
+}
+
+/// Mutable view of a compacted partition's columns, handed to the runner for
+/// the duration of a compute phase. Field-level borrows let the delivery loop
+/// hold a value `&mut` while flipping halt bits.
+pub(crate) struct RunColumns<'a, I, V> {
+    /// The sorted ID column.
+    pub(crate) ids: &'a [I],
+    /// The value column; every slot is `Some` (no tombstones during a run).
+    pub(crate) values: &'a mut [Option<V>],
+    /// Halt bits, one per slot.
+    pub(crate) halted: &'a mut [u64],
+    /// Compute stamps, one per slot.
+    pub(crate) stamps: &'a mut [u32],
+}
+
+impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
+    fn empty() -> Partition<I, V> {
+        Partition {
+            ids: Vec::new(),
+            values: Vec::new(),
+            halted: Vec::new(),
+            stamps: Vec::new(),
+            dead: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Live vertices stored in the columns (excluding `pending`).
+    #[inline]
+    fn live(&self) -> usize {
+        self.ids.len() - self.dead
+    }
+
+    fn len(&self) -> usize {
+        self.live() + self.pending.len()
+    }
+
+    /// Appends a vertex with an ID greater than every stored one — the bulk
+    /// build path (`from_unsorted`, `convert`'s merge output).
+    fn push_sorted(&mut self, id: I, value: V) {
+        debug_assert!(
+            self.pending.is_empty() && self.ids.last().is_none_or(|last| *last < id),
+            "push_sorted requires strictly ascending IDs into a pending-free partition"
+        );
+        if self.ids.len().is_multiple_of(64) {
+            self.halted.push(0);
+        }
+        self.ids.push(id);
+        self.values.push(Some(value));
+        self.stamps.push(0);
+    }
+
+    /// Builds a partition from arbitrarily ordered pairs; later duplicates
+    /// replace earlier ones. Sorts a narrow `(id, index)` key column with the
+    /// radix plane, then gathers each winning payload once.
+    fn from_unsorted(pairs: Vec<(I, V)>) -> Partition<I, V> {
+        assert!(
+            pairs.len() <= u32::MAX as usize,
+            "a partition is capped at u32::MAX staged pairs"
+        );
+        let mut keys: Vec<(I, u32)> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (*id, i as u32))
+            .collect();
+        let mut scratch: Vec<(I, u32)> = Vec::new();
+        crate::radix::sort_pairs(&mut keys, &mut scratch);
+        let mut values: Vec<Option<V>> = pairs.into_iter().map(|(_, v)| Some(v)).collect();
+        let mut part = Partition::empty();
+        part.ids.reserve(keys.len());
+        part.values.reserve(keys.len());
+        part.stamps.reserve(keys.len());
+        let mut it = keys.into_iter().peekable();
+        while let Some((id, index)) = it.next() {
+            // The sort is stable, so the last entry of an equal-ID run is the
+            // latest insertion — the one that wins.
+            if it.peek().is_some_and(|(next, _)| *next == id) {
+                values[index as usize] = None;
+                continue;
+            }
+            let value = values[index as usize]
+                .take()
+                .expect("each index gathered once");
+            part.push_sorted(id, value);
+        }
+        part
+    }
+
+    /// Merges `pending` into the columns and drops tombstones: one linear
+    /// pass rebuilding the four parallel arrays. Resets `halted`/`stamps`
+    /// (every job re-activates the set before running, so the bookkeeping
+    /// carries no information across mutations).
+    fn compact(&mut self) {
+        if self.dead == 0 && self.pending.is_empty() {
+            return;
+        }
+        let len = self.live() + self.pending.len();
+        let mut ids: Vec<I> = Vec::with_capacity(len);
+        let mut values: Vec<Option<V>> = Vec::with_capacity(len);
+        let old_ids = std::mem::take(&mut self.ids);
+        let old_values = std::mem::take(&mut self.values);
+        let mut pending = std::mem::take(&mut self.pending).into_iter().peekable();
+        for (id, value) in old_ids.into_iter().zip(old_values) {
+            let Some(value) = value else { continue };
+            while pending.peek().is_some_and(|(pid, _)| *pid < id) {
+                let (pid, pv) = pending.next().expect("peeked");
+                ids.push(pid);
+                values.push(Some(pv));
+            }
+            ids.push(id);
+            values.push(Some(value));
+        }
+        for (pid, pv) in pending {
+            ids.push(pid);
+            values.push(Some(pv));
+        }
+        debug_assert_eq!(ids.len(), len);
+        self.ids = ids;
+        self.values = values;
+        self.dead = 0;
+        self.halted.clear();
+        self.halted.resize(words_for(len), 0);
+        self.stamps.clear();
+        self.stamps.resize(len, 0);
+    }
+
+    /// Flushes `pending` once it outgrows its threshold. `√live` balances the
+    /// two point-insert costs — the sorted-insert memmove (∝ pending length,
+    /// paid per insert) against the linear column merge (∝ live, paid per
+    /// flush) — so a burst of n point inserts costs O(n^1.5) instead of the
+    /// O(n²) either extreme would.
+    fn maybe_flush_pending(&mut self) {
+        if self.pending.len() >= 64.max(2 * self.live().isqrt()) {
+            self.compact();
+        }
+    }
+
+    /// Compacts once tombstones dominate the columns.
+    fn maybe_drop_tombstones(&mut self) {
+        if self.dead > 32 && self.dead * 2 > self.ids.len() {
+            self.compact();
+        }
+    }
+
+    fn insert(&mut self, id: I, value: V) -> Option<V> {
+        match self.ids.binary_search(&id) {
+            Ok(slot) => {
+                let prev = self.values[slot].replace(value);
+                if prev.is_none() {
+                    self.dead -= 1; // revived a tombstoned slot
+                }
+                set_bit(&mut self.halted, slot, false);
+                self.stamps[slot] = 0;
+                prev
+            }
+            Err(_) => match self.pending.binary_search_by(|(pid, _)| pid.cmp(&id)) {
+                Ok(p) => Some(std::mem::replace(&mut self.pending[p].1, value)),
+                Err(p) => {
+                    self.pending.insert(p, (id, value));
+                    self.maybe_flush_pending();
+                    None
+                }
+            },
+        }
+    }
+
+    fn remove(&mut self, id: &I) -> Option<V> {
+        match self.ids.binary_search(id) {
+            Ok(slot) => {
+                let prev = self.values[slot].take()?;
+                self.dead += 1;
+                set_bit(&mut self.halted, slot, false);
+                self.maybe_drop_tombstones();
+                Some(prev)
+            }
+            Err(_) => match self.pending.binary_search_by(|(pid, _)| pid.cmp(id)) {
+                Ok(p) => Some(self.pending.remove(p).1),
+                Err(_) => None,
+            },
+        }
+    }
+
+    fn get(&self, id: &I) -> Option<&V> {
+        match self.ids.binary_search(id) {
+            Ok(slot) => self.values[slot].as_ref(),
+            Err(_) => self
+                .pending
+                .binary_search_by(|(pid, _)| pid.cmp(id))
+                .ok()
+                .map(|p| &self.pending[p].1),
+        }
+    }
+
+    fn get_mut(&mut self, id: &I) -> Option<&mut V> {
+        match self.ids.binary_search(id) {
+            Ok(slot) => self.values[slot].as_mut(),
+            Err(_) => match self.pending.binary_search_by(|(pid, _)| pid.cmp(id)) {
+                Ok(p) => Some(&mut self.pending[p].1),
+                Err(_) => None,
+            },
+        }
+    }
+
+    fn retain(&mut self, keep: &mut impl FnMut(&I, &V) -> bool) {
+        for (slot, value) in self.values.iter_mut().enumerate() {
+            if value.as_ref().is_some_and(|v| !keep(&self.ids[slot], v)) {
+                *value = None;
+                self.dead += 1;
+            }
+        }
+        self.pending.retain(|(id, v)| keep(id, v));
+        self.maybe_drop_tombstones();
+    }
+
+    /// Live `(id, value)` references: column slots in ID order, then pending.
+    fn iter(&self) -> impl Iterator<Item = (&I, &V)> {
+        self.ids
+            .iter()
+            .zip(&self.values)
+            .filter_map(|(id, v)| v.as_ref().map(|v| (id, v)))
+            .chain(self.pending.iter().map(|(id, v)| (id, v)))
+    }
+
+    fn iter_mut(&mut self) -> impl Iterator<Item = (&I, &mut V)> {
+        self.ids
+            .iter()
+            .zip(&mut self.values)
+            .filter_map(|(id, v)| v.as_mut().map(|v| (id, v)))
+            .chain(self.pending.iter_mut().map(|(id, v)| (&*id, v)))
+    }
+
+    /// Consumes the partition into its live `(id, value)` pairs.
+    fn into_entries(self) -> impl Iterator<Item = (I, V)> {
+        self.ids
+            .into_iter()
+            .zip(self.values)
+            .filter_map(|(id, v)| v.map(|v| (id, v)))
+            .chain(self.pending)
+    }
+
+    /// Compacts and zeroes the activity bookkeeping — the per-partition half
+    /// of [`VertexSet::activate_all`].
+    fn reset_activity(&mut self) {
+        self.compact();
+        self.halted.iter_mut().for_each(|w| *w = 0);
+        self.stamps.iter_mut().for_each(|s| *s = 0);
+    }
+
+    /// The columns of a compacted partition, for the runner's compute phase.
+    pub(crate) fn run_columns(&mut self) -> RunColumns<'_, I, V> {
+        debug_assert!(
+            self.dead == 0 && self.pending.is_empty(),
+            "run_columns requires a compacted partition (activate_all compacts)"
+        );
+        RunColumns {
+            ids: &self.ids,
+            values: &mut self.values,
+            halted: &mut self.halted,
+            stamps: &mut self.stamps,
+        }
+    }
+
+    /// Estimated heap bytes held by the columns themselves (excluding any
+    /// heap owned by the values).
+    fn resident_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<I>()
+            + self.values.capacity() * std::mem::size_of::<Option<V>>()
+            + self.halted.capacity() * std::mem::size_of::<u64>()
+            + self.stamps.capacity() * std::mem::size_of::<u32>()
+            + self.pending.capacity() * std::mem::size_of::<(I, V)>()
+    }
+}
+
+/// A collection of vertices hash-partitioned over a fixed number of workers,
+/// each partition a sorted columnar store (see the module docs).
 #[derive(Debug, Clone)]
 pub struct VertexSet<I, V> {
-    pub(crate) parts: Vec<FxHashMap<I, VertexEntry<V>>>,
+    pub(crate) parts: Vec<Partition<I, V>>,
 }
 
-impl<I: VertexKey, V: Send> VertexSet<I, V> {
+impl<I: VertexKey + SortKey, V: Send> VertexSet<I, V> {
     /// Creates an empty vertex set partitioned over `workers` workers.
     pub fn new(workers: usize) -> VertexSet<I, V> {
         let workers = workers.max(1);
         VertexSet {
-            parts: (0..workers).map(|_| FxHashMap::default()).collect(),
+            parts: (0..workers).map(|_| Partition::empty()).collect(),
         }
     }
 
     /// Builds a vertex set from `(id, value)` pairs. Later duplicates replace
     /// earlier ones.
+    ///
+    /// This is the bulk path: pairs are staged per partition, the ID column
+    /// is radix-sorted, and the columns are emitted directly — cheaper than a
+    /// loop of point [`insert`](VertexSet::insert)s.
     pub fn from_pairs(workers: usize, pairs: impl IntoIterator<Item = (I, V)>) -> VertexSet<I, V> {
-        let mut set = VertexSet::new(workers);
+        let workers = workers.max(1);
+        let mut staged: Vec<Vec<(I, V)>> = (0..workers).map(|_| Vec::new()).collect();
         for (id, value) in pairs {
-            set.insert(id, value);
+            let w = (hash_one(&id) % workers as u64) as usize;
+            staged[w].push((id, value));
         }
-        set
+        VertexSet {
+            parts: staged.into_iter().map(Partition::from_unsorted).collect(),
+        }
     }
 
     /// The number of workers (partitions).
@@ -63,22 +442,13 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
     /// Inserts or replaces a vertex. Returns the previous value if present.
     pub fn insert(&mut self, id: I, value: V) -> Option<V> {
         let w = self.worker_of(&id);
-        self.parts[w]
-            .insert(
-                id,
-                VertexEntry {
-                    value,
-                    halted: false,
-                    stamp: 0,
-                },
-            )
-            .map(|e| e.value)
+        self.parts[w].insert(id, value)
     }
 
     /// Removes a vertex, returning its value.
     pub fn remove(&mut self, id: &I) -> Option<V> {
         let w = self.worker_of(id);
-        self.parts[w].remove(id).map(|e| e.value)
+        self.parts[w].remove(id)
     }
 
     /// Total number of vertices.
@@ -88,70 +458,92 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
 
     /// Whether there are no vertices.
     pub fn is_empty(&self) -> bool {
-        self.parts.iter().all(|p| p.is_empty())
+        self.len() == 0
     }
 
     /// Whether a vertex with this ID exists.
     pub fn contains(&self, id: &I) -> bool {
-        self.parts[self.worker_of(id)].contains_key(id)
+        self.get(id).is_some()
     }
 
     /// Shared access to a vertex value.
     pub fn get(&self, id: &I) -> Option<&V> {
-        self.parts[self.worker_of(id)].get(id).map(|e| &e.value)
+        self.parts[self.worker_of(id)].get(id)
     }
 
     /// Mutable access to a vertex value.
     pub fn get_mut(&mut self, id: &I) -> Option<&mut V> {
         let w = self.worker_of(id);
-        self.parts[w].get_mut(id).map(|e| &mut e.value)
+        self.parts[w].get_mut(id)
     }
 
-    /// Iterates over `(id, value)` pairs in unspecified order.
+    /// Iterates over `(id, value)` pairs. Within a partition the stored
+    /// columns stream in ID order (pending point inserts trail them); across
+    /// partitions the order is unspecified.
     pub fn iter(&self) -> impl Iterator<Item = (&I, &V)> {
-        self.parts
-            .iter()
-            .flat_map(|p| p.iter().map(|(k, e)| (k, &e.value)))
+        self.parts.iter().flat_map(|p| p.iter())
     }
 
-    /// Iterates mutably over `(id, value)` pairs in unspecified order.
+    /// Iterates mutably over `(id, value)` pairs (same order as
+    /// [`iter`](VertexSet::iter)).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (&I, &mut V)> {
-        self.parts
-            .iter_mut()
-            .flat_map(|p| p.iter_mut().map(|(k, e)| (k, &mut e.value)))
+        self.parts.iter_mut().flat_map(|p| p.iter_mut())
     }
 
-    /// Consumes the set and returns all values (order unspecified).
+    /// Consumes the set and returns all values (order as per
+    /// [`iter`](VertexSet::iter)).
     pub fn into_values(self) -> Vec<V> {
         self.parts
             .into_iter()
-            .flat_map(|p| p.into_values().map(|e| e.value))
+            .flat_map(|p| p.into_entries().map(|(_, v)| v))
             .collect()
     }
 
-    /// Consumes the set and returns all `(id, value)` pairs (order unspecified).
+    /// Consumes the set and returns all `(id, value)` pairs (order as per
+    /// [`iter`](VertexSet::iter)).
     pub fn into_pairs(self) -> Vec<(I, V)> {
         self.parts
             .into_iter()
-            .flat_map(|p| p.into_iter().map(|(k, e)| (k, e.value)))
+            .flat_map(|p| p.into_entries())
             .collect()
     }
 
+    /// Estimated heap bytes held by the store's columns across all
+    /// partitions. Counts the ID/value/halted/stamp arrays and the pending
+    /// buffers; heap owned by the values themselves (e.g. adjacency `Vec`s)
+    /// is not visible from here.
+    pub fn resident_bytes(&self) -> usize {
+        self.parts.iter().map(|p| p.resident_bytes()).sum()
+    }
+
     /// Marks every vertex active and clears compute stamps (called at the
-    /// start of a job).
+    /// start of a job). Also compacts every partition — merging pending
+    /// inserts and dropping tombstones — so the runner sees pure columns.
     pub(crate) fn activate_all(&mut self) {
         for p in &mut self.parts {
-            for e in p.values_mut() {
-                e.halted = false;
-                e.stamp = 0;
-            }
+            p.reset_activity();
+        }
+    }
+
+    /// The halt flag of a vertex, if it exists (testing hook: halt state is
+    /// otherwise engine-internal).
+    #[cfg(test)]
+    pub(crate) fn halted_of(&self, id: &I) -> Option<bool> {
+        let p = &self.parts[self.worker_of(id)];
+        match p.ids.binary_search(id) {
+            Ok(slot) if p.values[slot].is_some() => Some(get_bit(&p.halted, slot)),
+            _ => p
+                .pending
+                .binary_search_by(|(pid, _)| pid.cmp(id))
+                .ok()
+                .map(|_| false),
         }
     }
 
     /// Removes every vertex for which the predicate returns `false`.
     pub fn retain(&mut self, mut keep: impl FnMut(&I, &V) -> bool) {
         for p in &mut self.parts {
-            p.retain(|k, e| keep(k, &e.value));
+            p.retain(&mut keep);
         }
     }
 
@@ -192,8 +584,10 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
     /// **sort-based**: every source worker presorts its per-destination
     /// buffers by the new vertex ID (stable, so same-ID pairs keep their
     /// emission order) and each destination k-way-merges the pre-sorted
-    /// buffers, folding duplicate-ID runs with `merge` as they stream past —
-    /// one hash-map insert per *distinct* ID instead of one lookup per pair.
+    /// buffers, folding duplicate-ID runs with `merge` as they stream past.
+    /// The merged stream arrives in ascending ID order, so it is appended
+    /// **directly onto the new sorted columns** — the destination partition
+    /// is built without any regrouping step.
     pub fn convert_on<I2, V2, F, M>(self, ctx: &ExecCtx, f: F, merge: M) -> VertexSet<I2, V2>
     where
         I2: VertexKey + SortKey,
@@ -213,8 +607,8 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
         let shuffled: Vec<Vec<Vec<(I2, V2)>>> =
             ctx.pool().run_per_worker(self.parts, |_w, part| {
                 let mut out: Vec<Vec<(I2, V2)>> = (0..workers).map(|_| Vec::new()).collect();
-                for (id, entry) in part {
-                    for (nid, nval) in f(id, entry.value) {
+                for (id, value) in part.into_entries() {
+                    for (nid, nval) in f(id, value) {
                         let dst = (hash_one(&nid) % workers as u64) as usize;
                         out[dst].push((nid, nval));
                     }
@@ -225,57 +619,46 @@ impl<I: VertexKey, V: Send> VertexSet<I, V> {
                 }
                 out
             });
-        // Phase 2: transpose, then k-way-merge per destination worker.
+        // Phase 2: transpose, then k-way-merge per destination worker
+        // straight into the new columns.
         let mut incoming: Vec<Vec<Vec<(I2, V2)>>> = (0..workers).map(|_| Vec::new()).collect();
         for src in shuffled {
             for (dst, buf) in src.into_iter().enumerate() {
                 incoming[dst].push(buf);
             }
         }
-        let parts: Vec<FxHashMap<I2, VertexEntry<V2>>> =
-            ctx.pool().run_per_worker(incoming, |_w, mut bufs| {
-                // Duplicate IDs arrive as one contiguous run of the merged
-                // stream (ties prefer the lower source worker), so folding
-                // needs only the previous record, and the map sees each ID
-                // exactly once.
-                let mut map: FxHashMap<I2, VertexEntry<V2>> = FxHashMap::default();
-                let mut open: Option<(I2, VertexEntry<V2>)> = None;
-                crate::kmerge::merge_sorted_buffers(&mut bufs, |id, val| match &mut open {
-                    Some((last, entry)) if *last == id => merge(&mut entry.value, val),
-                    _ => {
-                        if let Some((last, entry)) = open.take() {
-                            map.insert(last, entry);
-                        }
-                        open = Some((
-                            id,
-                            VertexEntry {
-                                value: val,
-                                halted: false,
-                                stamp: 0,
-                            },
-                        ));
+        let parts: Vec<Partition<I2, V2>> = ctx.pool().run_per_worker(incoming, |_w, mut bufs| {
+            // Duplicate IDs arrive as one contiguous run of the merged
+            // stream (ties prefer the lower source worker), so folding
+            // needs only the previous record, and each distinct ID is
+            // appended to the sorted columns exactly once.
+            let mut part: Partition<I2, V2> = Partition::empty();
+            let mut open: Option<(I2, V2)> = None;
+            crate::kmerge::merge_sorted_buffers(&mut bufs, |id, val| match &mut open {
+                Some((last, acc)) if *last == id => merge(acc, val),
+                _ => {
+                    if let Some((last, acc)) = open.take() {
+                        part.push_sorted(last, acc);
                     }
-                });
-                if let Some((last, entry)) = open {
-                    map.insert(last, entry);
+                    open = Some((id, val));
                 }
-                map
             });
+            if let Some((last, acc)) = open {
+                part.push_sorted(last, acc);
+            }
+            part
+        });
         VertexSet { parts }
     }
 
     /// Repartitions the set over a different number of workers.
     pub fn repartition(self, workers: usize) -> VertexSet<I, V> {
         let workers = workers.max(1);
-        let mut out = VertexSet::new(workers);
-        for (id, value) in self.into_pairs() {
-            out.insert(id, value);
-        }
-        out
+        VertexSet::from_pairs(workers, self.into_pairs())
     }
 }
 
-impl<I: VertexKey, V: Send> Default for VertexSet<I, V> {
+impl<I: VertexKey + SortKey, V: Send> Default for VertexSet<I, V> {
     fn default() -> Self {
         VertexSet::new(1)
     }
@@ -284,6 +667,7 @@ impl<I: VertexKey, V: Send> Default for VertexSet<I, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fxhash::FxHashMap;
 
     #[test]
     fn insert_get_remove() {
@@ -308,10 +692,65 @@ mod tests {
         assert_eq!(s.len(), 1000);
         for (id, _) in s.iter() {
             let w = s.worker_of(id);
-            assert!(s.parts[w].contains_key(id));
+            assert!(s.parts[w].get(id).is_some());
         }
         // every partition got something
-        assert!(s.parts.iter().all(|p| !p.is_empty()));
+        assert!(s.parts.iter().all(|p| p.len() > 0));
+    }
+
+    #[test]
+    fn columns_stream_in_sorted_id_order() {
+        let s: VertexSet<u64, u64> =
+            VertexSet::from_pairs(3, (0..500).rev().map(|i| (i * 7 % 501, i)));
+        for p in &s.parts {
+            let ids: Vec<u64> = p.iter().map(|(id, _)| *id).collect();
+            assert!(
+                ids.windows(2).all(|w| w[0] < w[1]),
+                "sorted, duplicate-free"
+            );
+        }
+    }
+
+    #[test]
+    fn tombstoned_slot_revives_on_reinsert() {
+        let mut s: VertexSet<u64, u64> = VertexSet::from_pairs(2, (0..10).map(|i| (i, i)));
+        assert_eq!(s.remove(&4), Some(4));
+        assert!(!s.contains(&4));
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.insert(4, 44), None, "tombstoned slot looks absent");
+        assert_eq!(s.get(&4), Some(&44));
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn pending_inserts_flush_into_the_columns() {
+        let mut s: VertexSet<u64, u64> = VertexSet::new(1);
+        // Enough point inserts to cross the pending threshold several times.
+        for i in 0..1000u64 {
+            s.insert(i * 17 % 1001, i);
+        }
+        assert_eq!(s.len(), 1000);
+        // Every key readable regardless of which side (columns/pending) holds it.
+        for i in 0..1000u64 {
+            assert!(s.contains(&(i * 17 % 1001)), "missing {i}");
+        }
+    }
+
+    #[test]
+    fn removal_heavy_churn_stays_consistent() {
+        let mut s: VertexSet<u64, u64> = VertexSet::from_pairs(2, (0..512).map(|i| (i, i)));
+        // Remove enough to trigger tombstone compaction, then reinsert.
+        for i in (0..512).step_by(2) {
+            assert_eq!(s.remove(&i), Some(i));
+        }
+        assert_eq!(s.len(), 256);
+        for i in (0..512).step_by(4) {
+            assert_eq!(s.insert(i, i + 1000), None);
+        }
+        assert_eq!(s.len(), 256 + 128);
+        assert_eq!(s.get(&4), Some(&1004));
+        assert_eq!(s.get(&2), None);
+        assert_eq!(s.get(&3), Some(&3));
     }
 
     #[test]
@@ -324,6 +763,18 @@ mod tests {
         assert_eq!(vals[0], 0);
         assert_eq!(vals.len(), 50);
         assert!(vals.iter().all(|v| v % 4 == 0));
+    }
+
+    #[test]
+    fn resident_bytes_tracks_the_columns() {
+        let empty: VertexSet<u64, u64> = VertexSet::new(2);
+        assert_eq!(empty.resident_bytes(), 0);
+        let s: VertexSet<u64, u64> = VertexSet::from_pairs(2, (0..1000).map(|i| (i, i)));
+        let bytes = s.resident_bytes();
+        // At least ids + values for 1000 vertices; far less than a hash map
+        // with per-entry overhead would need.
+        assert!(bytes >= 1000 * (8 + 16));
+        assert!(bytes < 1000 * 64);
     }
 
     #[test]
@@ -398,9 +849,89 @@ mod tests {
         let _: VertexSet<u64, u64> = s.convert_on(&ctx, |id, v| vec![(id, v)], |acc, v| *acc += v);
     }
 
-    // ---- property tests: sort-merge convert vs. hash-grouping oracle --------
+    #[test]
+    fn lower_bound_from_galloping_matches_partition_point() {
+        let ids: Vec<u64> = (0..10_000).map(|i| i * 3).collect();
+        for lo in [0usize, 1, 100, 9_999, 10_000] {
+            for target in [0u64, 1, 2, 3, 299, 300, 15_000, 29_997, 29_998, 50_000] {
+                if lo <= ids.partition_point(|x| *x < target) {
+                    assert_eq!(
+                        lower_bound_from(&ids, lo, &target),
+                        ids.partition_point(|x| *x < target),
+                        "lo={lo} target={target}"
+                    );
+                }
+            }
+        }
+        assert_eq!(lower_bound_from::<u64>(&[], 0, &5), 0);
+    }
+
+    #[test]
+    fn bitset_helpers_round_trip() {
+        let mut words = vec![0u64; 3];
+        set_bit(&mut words, 0, true);
+        set_bit(&mut words, 63, true);
+        set_bit(&mut words, 64, true);
+        set_bit(&mut words, 130, true);
+        assert!(get_bit(&words, 0) && get_bit(&words, 63));
+        assert!(get_bit(&words, 64) && get_bit(&words, 130));
+        assert!(!get_bit(&words, 1) && !get_bit(&words, 129));
+        set_bit(&mut words, 63, false);
+        assert!(!get_bit(&words, 63));
+        assert!(get_bit(&words, 0), "clearing one bit leaves the others");
+    }
+
+    // ---- property tests ------------------------------------------------------
 
     use proptest::prelude::*;
+
+    // The columnar store must behave exactly like the hash store it replaced
+    // under arbitrary interleavings of point inserts, removes, lookups and
+    // batch retains — the legacy-equivalence pin for the mutation API (the
+    // delivery path has its own pin in `runner.rs`). Ops are encoded as
+    // `(kind, key, value)` tuples: 0–3 insert, 4–6 remove, 7–8 lookup,
+    // 9 retain-even.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_store_matches_hash_oracle(
+            seed in proptest::collection::vec((0u64..300, 0u64..1_000), 0..200),
+            ops in proptest::collection::vec((0u8..10, 0u64..300, 0u64..1_000), 0..300),
+            workers in 1usize..6,
+        ) {
+            let mut store: VertexSet<u64, u64> = VertexSet::from_pairs(workers, seed.clone());
+            let mut oracle: FxHashMap<u64, u64> = FxHashMap::default();
+            for (k, v) in seed {
+                oracle.insert(k, v);
+            }
+            for (kind, k, v) in ops {
+                match kind {
+                    0..=3 => {
+                        prop_assert_eq!(store.insert(k, v), oracle.insert(k, v));
+                    }
+                    4..=6 => {
+                        prop_assert_eq!(store.remove(&k), oracle.remove(&k));
+                    }
+                    7..=8 => {
+                        prop_assert_eq!(store.get(&k), oracle.get(&k));
+                        prop_assert_eq!(store.contains(&k), oracle.contains_key(&k));
+                    }
+                    _ => {
+                        store.retain(|_, v| *v % 2 == 0);
+                        oracle.retain(|_, v| *v % 2 == 0);
+                    }
+                }
+                prop_assert_eq!(store.len(), oracle.len());
+            }
+            let mut got = store.into_pairs();
+            got.sort_unstable();
+            let mut expected: Vec<(u64, u64)> = oracle.into_iter().collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    // ---- property tests: sort-merge convert vs. hash-grouping oracle --------
 
     /// The pre-migration hash-grouping semantics: fold every emitted pair, in
     /// (source worker, emission order), into a map via entry lookup.
@@ -409,11 +940,9 @@ mod tests {
         F: Fn(u64, u64) -> Vec<(u64, u64)>,
     {
         let mut grouped: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
-        for part in &set.parts {
-            for (id, entry) in part {
-                for (nid, nval) in f(*id, entry.value) {
-                    grouped.entry(nid).or_default().push(nval);
-                }
+        for (id, value) in set.iter() {
+            for (nid, nval) in f(*id, *value) {
+                grouped.entry(nid).or_default().push(nval);
             }
         }
         let mut out: Vec<(u64, Vec<u64>)> = grouped.into_iter().collect();
