@@ -1,0 +1,1437 @@
+//! Stage-boundary checkpointing of a [`GraphState`].
+//!
+//! Pregel's signature production property is recovery: a failed run restarts
+//! from a consistent snapshot instead of losing the whole job. This module
+//! provides that snapshot for the assembly pipeline — the
+//! [`Pipeline`](crate::pipeline::Pipeline) saves the [`GraphState`] after
+//! each completed stage (under a
+//! [`CheckpointPolicy`](crate::pipeline::CheckpointPolicy)), and
+//! [`Pipeline::resume`](crate::pipeline::Pipeline::resume) reloads the latest
+//! snapshot and replays only the remaining stages.
+//!
+//! # On-disk format
+//!
+//! A checkpoint directory holds one subdirectory per retained snapshot,
+//! named `stage-NNNN` after the number of *flattened* pipeline stages
+//! completed (repeat blocks unrolled — the paper workflow ①②③(④⑤②③)×2 has 12
+//! flattened stages). Inside a snapshot:
+//!
+//! | file            | contents                                             |
+//! |-----------------|------------------------------------------------------|
+//! | `nodes.col`     | [`GraphState::nodes`] as flat columns                |
+//! | `labels.col`    | [`GraphState::labels`]: labels, ambiguous IDs, Pregel metrics |
+//! | `contigs.col`   | [`GraphState::contigs`] as flat columns              |
+//! | `ambiguous.col` | [`GraphState::ambiguous_kmers`] as flat columns      |
+//! | `output.col`    | [`GraphState::output`] contigs as flat columns       |
+//! | `MANIFEST`      | magic + version, pipeline position, repeat-loop round counters, config/reads fingerprints, worker count, per-file `(length, striped checksum)` |
+//!
+//! Node sections are **column dumps**, matching the columnar vertex store: an
+//! ID column, a coverage column, a sequence-tag column, the packed k-mer and
+//! 2-bit contig-word columns, an edge-count column, and flattened edge
+//! columns (neighbor / packed direction+polarity / coverage). All integers
+//! are little-endian via the `serde::bin` shim.
+//!
+//! # Crash safety and validation
+//!
+//! The `MANIFEST` is written **last**: a crash mid-save leaves a snapshot
+//! without a manifest, which [`latest`] ignores, so a resumed run never sees
+//! a half-written checkpoint. On load, every section file is validated
+//! against the manifest's recorded length and striped [`checksum64`], and the
+//! decoders themselves never panic on malformed bytes — truncation and
+//! corruption surface as typed [`CheckpointError`]s. A manifest also records
+//! a fingerprint of the pipeline configuration and of the input reads, so
+//! resuming with a different config or a different read set is rejected with
+//! [`CheckpointError::Mismatch`] instead of silently producing garbage.
+//!
+//! After a successful save the pipeline keeps only the newest snapshot:
+//! [`save`] prunes every other `stage-*` subdirectory.
+
+use crate::node::{AsmNode, Edge, NodeSeq};
+use crate::ops::label::LabelOutcome;
+use crate::pipeline::GraphState;
+use crate::polarity::{Direction, Polarity};
+use crate::workflow::Contig;
+use ppa_pregel::{Metrics, SuperstepMetrics};
+use ppa_seq::{DnaString, Kmer, ReadSet};
+use serde::bin::{BinError, Reader, Writer};
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// First 8 bytes of every `MANIFEST`.
+const MAGIC: [u8; 8] = *b"PPACKPT1";
+/// Format version stamped into and checked against every manifest.
+const VERSION: u32 = 1;
+/// The manifest file name inside a snapshot directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// The section files of a snapshot, in write order.
+const SECTIONS: [&str; 5] = [
+    "nodes.col",
+    "labels.col",
+    "contigs.col",
+    "ambiguous.col",
+    "output.col",
+];
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A typed checkpoint failure. Loading never panics: malformed bytes on disk
+/// become [`Truncated`](CheckpointError::Truncated) or
+/// [`Corrupt`](CheckpointError::Corrupt), and a snapshot that does not match
+/// the resuming run becomes [`Mismatch`](CheckpointError::Mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// An I/O operation failed (also produced by injected checkpoint-write
+    /// faults).
+    Io(String),
+    /// A file ended before the data it promised (or is shorter than the
+    /// manifest recorded).
+    Truncated {
+        /// The offending file.
+        file: String,
+        /// What was being read.
+        detail: String,
+    },
+    /// A file's contents are structurally invalid (bad magic, bad tag,
+    /// checksum mismatch, …).
+    Corrupt {
+        /// The offending file.
+        file: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The snapshot is internally valid but belongs to a different run
+    /// (different pipeline config, read set, or worker count).
+    Mismatch {
+        /// Which recorded property disagreed.
+        what: String,
+        /// Value recorded in the manifest.
+        expected: String,
+        /// Value of the resuming run.
+        actual: String,
+    },
+    /// No complete snapshot exists under the checkpoint directory.
+    NotFound(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            CheckpointError::Truncated { file, detail } => {
+                write!(f, "truncated checkpoint file {file}: {detail}")
+            }
+            CheckpointError::Corrupt { file, detail } => {
+                write!(f, "corrupt checkpoint file {file}: {detail}")
+            }
+            CheckpointError::Mismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checkpoint {what} mismatch: snapshot has {expected}, this run has {actual}"
+            ),
+            CheckpointError::NotFound(dir) => {
+                write!(f, "no complete checkpoint found under {dir}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e.to_string())
+    }
+}
+
+/// Maps a binary-decoding error in `file` to a typed checkpoint error.
+fn bin_err(file: &str, e: BinError) -> CheckpointError {
+    match e {
+        BinError::Truncated {
+            offset,
+            needed,
+            remaining,
+        } => CheckpointError::Truncated {
+            file: file.to_string(),
+            detail: format!("offset {offset}: needed {needed} bytes, {remaining} remain"),
+        },
+        BinError::Invalid { offset, what } => CheckpointError::Corrupt {
+            file: file.to_string(),
+            detail: format!("offset {offset}: {what}"),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a hashing (checksums and fingerprints)
+// ---------------------------------------------------------------------------
+
+/// A streaming 64-bit FNV-1a hasher, used for section checksums and for the
+/// pipeline/reads fingerprints recorded in the manifest.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Feeds a `u64` (little-endian) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a length-prefixed string into the hash (unambiguous under
+    /// concatenation).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The hash value so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Fast checksum for bulk data (section files, read sequences): four
+/// independent FNV-style lanes, each consuming one little-endian `u64` word
+/// per multiply, folded into a single value together with the input length.
+///
+/// Byte-wise FNV-1a is a serial one-multiply-per-*byte* dependency chain,
+/// which makes checksumming the dominant cost of saving and validating
+/// multi-megabyte snapshots. Striping across four lanes processes 32 bytes
+/// per round with independent multiplies, roughly an order of magnitude
+/// faster, while a single flipped bit still changes the folded value.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut lanes = [
+        0xcbf2_9ce4_8422_2325u64,
+        0x9ae1_6a3b_2f90_404fu64,
+        0x6c62_272e_07bb_0142u64,
+        0xaf63_bd4c_8601_b7dfu64,
+    ];
+    let mut chunks = bytes.chunks_exact(32);
+    for chunk in &mut chunks {
+        for (lane, word) in lanes.iter_mut().zip(chunk.chunks_exact(8)) {
+            let w = u64::from_le_bytes(word.try_into().expect("8-byte word"));
+            *lane = (*lane ^ w).wrapping_mul(PRIME);
+        }
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut padded = [0u8; 32];
+        padded[..tail.len()].copy_from_slice(tail);
+        for (lane, word) in lanes.iter_mut().zip(padded.chunks_exact(8)) {
+            let w = u64::from_le_bytes(word.try_into().expect("8-byte word"));
+            *lane = (*lane ^ w).wrapping_mul(PRIME);
+        }
+    }
+    // Word-granular FNV-style fold: one multiply per lane (cheap enough to
+    // keep `checksum64` fast on small per-read buffers too).
+    let mut fold = 0xcbf2_9ce4_8422_2325u64;
+    for lane in lanes {
+        fold = (fold ^ lane).wrapping_mul(PRIME);
+    }
+    (fold ^ bytes.len() as u64).wrapping_mul(PRIME)
+}
+
+/// Fingerprint of an input read set: record count plus every record's id,
+/// sequence and quality bytes. A resumed run must present the same reads the
+/// checkpoint was taken from. Sequence and quality buffers are digested with
+/// the striped [`checksum64`] — this runs on every save *and* every load, so
+/// it must not re-hash megabytes of reads byte by byte.
+pub fn reads_fingerprint(reads: &ReadSet) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(reads.records.len() as u64);
+    for r in &reads.records {
+        h.write_str(&r.id);
+        h.write_u64(checksum64(&r.seq));
+        h.write_u64(checksum64(&r.qual));
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// Length + checksum of one section file, as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FileEntry {
+    name: String,
+    len: u64,
+    checksum: u64,
+}
+
+/// The decoded `MANIFEST` of a snapshot: where in the pipeline the snapshot
+/// was taken and what it must match to be resumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Number of flattened pipeline stages completed when the snapshot was
+    /// taken (the resume point: replay starts at this flattened index).
+    pub completed_stages: usize,
+    /// Per-stage-name 1-based round counters at the snapshot (the repeat-loop
+    /// position), so replayed stages continue the numbering — e.g. after
+    /// round 1 of the correction loop, `("label", 2)` records that the next
+    /// `Label` is round 3.
+    pub rounds: Vec<(String, usize)>,
+    /// Fingerprint of the pipeline structure and stage configurations.
+    pub pipeline_fingerprint: u64,
+    /// Fingerprint of the input read set ([`reads_fingerprint`]).
+    pub reads_fingerprint: u64,
+    /// Worker count of the run that wrote the snapshot.
+    pub workers: usize,
+    /// [`GraphState::rewired`] at the snapshot.
+    pub rewired: bool,
+    /// Section files with their recorded lengths and checksums.
+    files: Vec<FileEntry>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(Vec::new());
+        // Writes into a Vec cannot fail.
+        w.raw(&MAGIC).unwrap();
+        w.u32(VERSION).unwrap();
+        w.u64(self.completed_stages as u64).unwrap();
+        w.u64(self.rounds.len() as u64).unwrap();
+        for (name, round) in &self.rounds {
+            w.str(name).unwrap();
+            w.u64(*round as u64).unwrap();
+        }
+        w.u64(self.pipeline_fingerprint).unwrap();
+        w.u64(self.reads_fingerprint).unwrap();
+        w.u64(self.workers as u64).unwrap();
+        w.bool(self.rewired).unwrap();
+        w.u64(self.files.len() as u64).unwrap();
+        for f in &self.files {
+            w.str(&f.name).unwrap();
+            w.u64(f.len).unwrap();
+            w.u64(f.checksum).unwrap();
+        }
+        w.into_inner()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Manifest, CheckpointError> {
+        let file = MANIFEST_FILE;
+        let mut r = Reader::new(bytes);
+        let magic = r.take_magic().map_err(|e| bin_err(file, e))?;
+        if magic != MAGIC {
+            return Err(CheckpointError::Corrupt {
+                file: file.into(),
+                detail: format!("bad magic {magic:02x?}"),
+            });
+        }
+        let version = r.u32().map_err(|e| bin_err(file, e))?;
+        if version != VERSION {
+            return Err(CheckpointError::Mismatch {
+                what: "format version".into(),
+                expected: version.to_string(),
+                actual: VERSION.to_string(),
+            });
+        }
+        let completed_stages = r.u64().map_err(|e| bin_err(file, e))? as usize;
+        let n_rounds = r.u64().map_err(|e| bin_err(file, e))? as usize;
+        let mut rounds = Vec::new();
+        for _ in 0..n_rounds {
+            let name = r.str().map_err(|e| bin_err(file, e))?.to_string();
+            let round = r.u64().map_err(|e| bin_err(file, e))? as usize;
+            rounds.push((name, round));
+        }
+        let pipeline_fingerprint = r.u64().map_err(|e| bin_err(file, e))?;
+        let reads_fp = r.u64().map_err(|e| bin_err(file, e))?;
+        let workers = r.u64().map_err(|e| bin_err(file, e))? as usize;
+        let rewired = r.bool().map_err(|e| bin_err(file, e))?;
+        let n_files = r.u64().map_err(|e| bin_err(file, e))? as usize;
+        let mut files = Vec::new();
+        for _ in 0..n_files {
+            let name = r.str().map_err(|e| bin_err(file, e))?.to_string();
+            let len = r.u64().map_err(|e| bin_err(file, e))?;
+            let checksum = r.u64().map_err(|e| bin_err(file, e))?;
+            files.push(FileEntry {
+                name,
+                len,
+                checksum,
+            });
+        }
+        if !r.is_empty() {
+            return Err(CheckpointError::Corrupt {
+                file: file.into(),
+                detail: format!("{} trailing bytes", r.remaining()),
+            });
+        }
+        Ok(Manifest {
+            completed_stages,
+            rounds,
+            pipeline_fingerprint,
+            reads_fingerprint: reads_fp,
+            workers,
+            rewired,
+            files,
+        })
+    }
+}
+
+/// Reads the fixed 8-byte magic.
+trait TakeMagic<'a> {
+    fn take_magic(&mut self) -> Result<[u8; 8], BinError>;
+}
+
+impl<'a> TakeMagic<'a> for Reader<'a> {
+    fn take_magic(&mut self) -> Result<[u8; 8], BinError> {
+        let mut out = [0u8; 8];
+        for b in &mut out {
+            *b = self.u8()?;
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section encoding: columnar node / label / contig dumps
+// ---------------------------------------------------------------------------
+
+/// Sequence tag column values.
+const TAG_KMER: u8 = 0;
+const TAG_CONTIG: u8 = 1;
+
+fn pack_edge_meta(e: &Edge) -> u8 {
+    let dir = match e.direction {
+        Direction::Out => 0u8,
+        Direction::In => 1u8,
+    };
+    (dir << 2) | e.polarity.index() as u8
+}
+
+fn unpack_edge_meta(
+    file: &str,
+    offset: usize,
+    byte: u8,
+) -> Result<(Direction, Polarity), CheckpointError> {
+    if byte > 0b111 {
+        return Err(CheckpointError::Corrupt {
+            file: file.into(),
+            detail: format!("offset {offset}: edge meta byte {byte:#04x} out of range"),
+        });
+    }
+    let direction = if byte >> 2 == 0 {
+        Direction::Out
+    } else {
+        Direction::In
+    };
+    Ok((direction, Polarity::from_index(byte as usize & 0b11)))
+}
+
+/// Encodes a node slice as flat columns: ids, coverages, sequence tags,
+/// packed k-mers (+k), contig lengths + 2-bit words, edge counts, and
+/// flattened edge columns.
+fn encode_nodes(nodes: &[AsmNode]) -> Vec<u8> {
+    let mut w = Writer::new(Vec::new());
+    w.u64(nodes.len() as u64).unwrap();
+    for n in nodes {
+        w.u64(n.id).unwrap();
+    }
+    for n in nodes {
+        w.u32(n.coverage).unwrap();
+    }
+    for n in nodes {
+        let tag = match &n.seq {
+            NodeSeq::Kmer(_) => TAG_KMER,
+            NodeSeq::Contig(_) => TAG_CONTIG,
+        };
+        w.u8(tag).unwrap();
+    }
+    // K-mer columns (packed bits, then k values), in node order.
+    for n in nodes {
+        if let NodeSeq::Kmer(k) = &n.seq {
+            w.u64(k.packed()).unwrap();
+        }
+    }
+    for n in nodes {
+        if let NodeSeq::Kmer(k) = &n.seq {
+            w.u8(k.k() as u8).unwrap();
+        }
+    }
+    // Contig columns: base lengths, then all 2-bit words concatenated.
+    for n in nodes {
+        if let NodeSeq::Contig(s) = &n.seq {
+            w.u64(s.len() as u64).unwrap();
+        }
+    }
+    for n in nodes {
+        if let NodeSeq::Contig(s) = &n.seq {
+            for &word in s.words() {
+                w.u64(word).unwrap();
+            }
+        }
+    }
+    // Edge columns.
+    for n in nodes {
+        w.u32(n.edges.len() as u32).unwrap();
+    }
+    for n in nodes {
+        for e in &n.edges {
+            w.u64(e.neighbor).unwrap();
+        }
+    }
+    for n in nodes {
+        for e in &n.edges {
+            w.u8(pack_edge_meta(e)).unwrap();
+        }
+    }
+    for n in nodes {
+        for e in &n.edges {
+            w.u32(e.coverage).unwrap();
+        }
+    }
+    w.into_inner()
+}
+
+fn decode_nodes(file: &str, bytes: &[u8]) -> Result<Vec<AsmNode>, CheckpointError> {
+    let mut r = Reader::new(bytes);
+    let e = |r: BinError| bin_err(file, r);
+    let n = r.u64().map_err(e)? as usize;
+    if n > bytes.len() {
+        // A node occupies far more than one byte; a count beyond the file
+        // size is certainly a corrupt header, not a plausible allocation.
+        return Err(CheckpointError::Corrupt {
+            file: file.into(),
+            detail: format!("node count {n} exceeds file size {}", bytes.len()),
+        });
+    }
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(r.u64().map_err(e)?);
+    }
+    let mut coverages = Vec::with_capacity(n);
+    for _ in 0..n {
+        coverages.push(r.u32().map_err(e)?);
+    }
+    let mut tags = Vec::with_capacity(n);
+    for _ in 0..n {
+        let at = r.position();
+        let tag = r.u8().map_err(e)?;
+        if tag != TAG_KMER && tag != TAG_CONTIG {
+            return Err(CheckpointError::Corrupt {
+                file: file.into(),
+                detail: format!("offset {at}: unknown sequence tag {tag}"),
+            });
+        }
+        tags.push(tag);
+    }
+    let kmer_count = tags.iter().filter(|&&t| t == TAG_KMER).count();
+    let mut kmer_packed = Vec::with_capacity(kmer_count);
+    for _ in 0..kmer_count {
+        kmer_packed.push(r.u64().map_err(e)?);
+    }
+    let mut kmer_k = Vec::with_capacity(kmer_count);
+    for _ in 0..kmer_count {
+        kmer_k.push(r.u8().map_err(e)?);
+    }
+    let contig_count = n - kmer_count;
+    let mut contig_lens = Vec::with_capacity(contig_count);
+    for _ in 0..contig_count {
+        contig_lens.push(r.u64().map_err(e)? as usize);
+    }
+    let mut contig_words: Vec<Vec<u64>> = Vec::with_capacity(contig_count);
+    for &len in &contig_lens {
+        let words = len.div_ceil(32);
+        let mut v = Vec::with_capacity(words);
+        for _ in 0..words {
+            v.push(r.u64().map_err(e)?);
+        }
+        contig_words.push(v);
+    }
+    let mut edge_counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        edge_counts.push(r.u32().map_err(e)? as usize);
+    }
+    let total_edges: usize = edge_counts.iter().sum();
+    let mut edge_neighbors = Vec::with_capacity(total_edges);
+    for _ in 0..total_edges {
+        edge_neighbors.push(r.u64().map_err(e)?);
+    }
+    let mut edge_meta = Vec::with_capacity(total_edges);
+    for _ in 0..total_edges {
+        let at = r.position();
+        edge_meta.push(unpack_edge_meta(file, at, r.u8().map_err(e)?)?);
+    }
+    let mut edge_coverages = Vec::with_capacity(total_edges);
+    for _ in 0..total_edges {
+        edge_coverages.push(r.u32().map_err(e)?);
+    }
+    if !r.is_empty() {
+        return Err(CheckpointError::Corrupt {
+            file: file.into(),
+            detail: format!("{} trailing bytes", r.remaining()),
+        });
+    }
+
+    // Reassemble rows from the columns.
+    let mut nodes = Vec::with_capacity(n);
+    let (mut ki, mut ci, mut ei) = (0usize, 0usize, 0usize);
+    for i in 0..n {
+        let seq = if tags[i] == TAG_KMER {
+            let kmer = Kmer::from_packed(kmer_packed[ki], kmer_k[ki] as usize).map_err(|err| {
+                CheckpointError::Corrupt {
+                    file: file.into(),
+                    detail: format!("k-mer column entry {ki}: {err}"),
+                }
+            })?;
+            ki += 1;
+            NodeSeq::Kmer(kmer)
+        } else {
+            let s =
+                DnaString::from_raw_parts(std::mem::take(&mut contig_words[ci]), contig_lens[ci])
+                    .map_err(|err| CheckpointError::Corrupt {
+                    file: file.into(),
+                    detail: format!("contig column entry {ci}: {err}"),
+                })?;
+            ci += 1;
+            NodeSeq::Contig(s)
+        };
+        let mut edges = Vec::with_capacity(edge_counts[i]);
+        for _ in 0..edge_counts[i] {
+            let (direction, polarity) = edge_meta[ei];
+            edges.push(Edge {
+                neighbor: edge_neighbors[ei],
+                direction,
+                polarity,
+                coverage: edge_coverages[ei],
+            });
+            ei += 1;
+        }
+        nodes.push(AsmNode {
+            id: ids[i],
+            seq,
+            coverage: coverages[i],
+            edges,
+        });
+    }
+    Ok(nodes)
+}
+
+fn encode_metrics(w: &mut Writer<Vec<u8>>, m: &Metrics) {
+    w.u64(m.supersteps as u64).unwrap();
+    w.u64(m.total_messages).unwrap();
+    w.u64(m.total_dropped).unwrap();
+    w.u64(m.total_compute_calls).unwrap();
+    w.u64(m.elapsed.as_nanos() as u64).unwrap();
+    w.bool(m.converged).unwrap();
+    w.f64(m.avg_frontier_density).unwrap();
+    w.u64(m.peak_store_resident_bytes).unwrap();
+    w.u64(m.per_superstep.len() as u64).unwrap();
+    for s in &m.per_superstep {
+        w.u64(s.superstep as u64).unwrap();
+        w.u64(s.active_vertices as u64).unwrap();
+        w.u64(s.messages_sent).unwrap();
+        w.u64(s.messages_dropped).unwrap();
+        w.u64(s.elapsed.as_nanos() as u64).unwrap();
+        w.u64(s.compute_elapsed.as_nanos() as u64).unwrap();
+        w.u64(s.shuffle_elapsed.as_nanos() as u64).unwrap();
+        w.f64(s.pool_utilization).unwrap();
+        w.f64(s.frontier_density).unwrap();
+        w.u64(s.store_resident_bytes).unwrap();
+    }
+}
+
+fn decode_metrics(file: &str, r: &mut Reader<'_>) -> Result<Metrics, CheckpointError> {
+    let e = |err: BinError| bin_err(file, err);
+    let supersteps = r.u64().map_err(e)? as usize;
+    let total_messages = r.u64().map_err(e)?;
+    let total_dropped = r.u64().map_err(e)?;
+    let total_compute_calls = r.u64().map_err(e)?;
+    let elapsed = Duration::from_nanos(r.u64().map_err(e)?);
+    let converged = r.bool().map_err(e)?;
+    let avg_frontier_density = r.f64().map_err(e)?;
+    let peak_store_resident_bytes = r.u64().map_err(e)?;
+    let n = r.u64().map_err(e)? as usize;
+    let mut per_superstep = Vec::new();
+    for _ in 0..n {
+        per_superstep.push(SuperstepMetrics {
+            superstep: r.u64().map_err(e)? as usize,
+            active_vertices: r.u64().map_err(e)? as usize,
+            messages_sent: r.u64().map_err(e)?,
+            messages_dropped: r.u64().map_err(e)?,
+            elapsed: Duration::from_nanos(r.u64().map_err(e)?),
+            compute_elapsed: Duration::from_nanos(r.u64().map_err(e)?),
+            shuffle_elapsed: Duration::from_nanos(r.u64().map_err(e)?),
+            pool_utilization: r.f64().map_err(e)?,
+            frontier_density: r.f64().map_err(e)?,
+            store_resident_bytes: r.u64().map_err(e)?,
+        });
+    }
+    Ok(Metrics {
+        supersteps,
+        total_messages,
+        total_dropped,
+        total_compute_calls,
+        elapsed,
+        converged,
+        avg_frontier_density,
+        peak_store_resident_bytes,
+        per_superstep,
+    })
+}
+
+fn encode_labels(labels: Option<&LabelOutcome>) -> Vec<u8> {
+    let mut w = Writer::new(Vec::new());
+    match labels {
+        None => w.bool(false).unwrap(),
+        Some(outcome) => {
+            w.bool(true).unwrap();
+            w.u64(outcome.labels.len() as u64).unwrap();
+            for (id, _) in &outcome.labels {
+                w.u64(*id).unwrap();
+            }
+            for (_, label) in &outcome.labels {
+                w.u64(*label).unwrap();
+            }
+            w.u64(outcome.ambiguous.len() as u64).unwrap();
+            for id in &outcome.ambiguous {
+                w.u64(*id).unwrap();
+            }
+            w.bool(outcome.used_cycle_fallback).unwrap();
+            encode_metrics(&mut w, &outcome.metrics);
+        }
+    }
+    w.into_inner()
+}
+
+fn decode_labels(file: &str, bytes: &[u8]) -> Result<Option<LabelOutcome>, CheckpointError> {
+    let mut r = Reader::new(bytes);
+    let e = |err: BinError| bin_err(file, err);
+    if !r.bool().map_err(e)? {
+        if !r.is_empty() {
+            return Err(CheckpointError::Corrupt {
+                file: file.into(),
+                detail: format!("{} trailing bytes", r.remaining()),
+            });
+        }
+        return Ok(None);
+    }
+    let n = r.u64().map_err(e)? as usize;
+    if n > bytes.len() {
+        return Err(CheckpointError::Corrupt {
+            file: file.into(),
+            detail: format!("label count {n} exceeds file size {}", bytes.len()),
+        });
+    }
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(r.u64().map_err(e)?);
+    }
+    let mut labels = Vec::with_capacity(n);
+    for id in ids {
+        labels.push((id, r.u64().map_err(e)?));
+    }
+    let n_amb = r.u64().map_err(e)? as usize;
+    let mut ambiguous = Vec::with_capacity(n_amb.min(bytes.len()));
+    for _ in 0..n_amb {
+        ambiguous.push(r.u64().map_err(e)?);
+    }
+    let used_cycle_fallback = r.bool().map_err(e)?;
+    let metrics = decode_metrics(file, &mut r)?;
+    if !r.is_empty() {
+        return Err(CheckpointError::Corrupt {
+            file: file.into(),
+            detail: format!("{} trailing bytes", r.remaining()),
+        });
+    }
+    Ok(Some(LabelOutcome {
+        labels,
+        ambiguous,
+        metrics,
+        used_cycle_fallback,
+    }))
+}
+
+fn encode_output(output: &[Contig]) -> Vec<u8> {
+    let mut w = Writer::new(Vec::new());
+    w.u64(output.len() as u64).unwrap();
+    for c in output {
+        w.u64(c.id).unwrap();
+    }
+    for c in output {
+        w.u32(c.coverage).unwrap();
+    }
+    for c in output {
+        w.u64(c.sequence.len() as u64).unwrap();
+    }
+    for c in output {
+        for &word in c.sequence.words() {
+            w.u64(word).unwrap();
+        }
+    }
+    w.into_inner()
+}
+
+fn decode_output(file: &str, bytes: &[u8]) -> Result<Vec<Contig>, CheckpointError> {
+    let mut r = Reader::new(bytes);
+    let e = |err: BinError| bin_err(file, err);
+    let n = r.u64().map_err(e)? as usize;
+    if n > bytes.len() {
+        return Err(CheckpointError::Corrupt {
+            file: file.into(),
+            detail: format!("contig count {n} exceeds file size {}", bytes.len()),
+        });
+    }
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(r.u64().map_err(e)?);
+    }
+    let mut coverages = Vec::with_capacity(n);
+    for _ in 0..n {
+        coverages.push(r.u32().map_err(e)?);
+    }
+    let mut lens = Vec::with_capacity(n);
+    for _ in 0..n {
+        lens.push(r.u64().map_err(e)? as usize);
+    }
+    let mut contigs = Vec::with_capacity(n);
+    for i in 0..n {
+        let words = lens[i].div_ceil(32);
+        let mut v = Vec::with_capacity(words);
+        for _ in 0..words {
+            v.push(r.u64().map_err(e)?);
+        }
+        let sequence =
+            DnaString::from_raw_parts(v, lens[i]).map_err(|err| CheckpointError::Corrupt {
+                file: file.into(),
+                detail: format!("contig {i}: {err}"),
+            })?;
+        contigs.push(Contig {
+            id: ids[i],
+            sequence,
+            coverage: coverages[i],
+        });
+    }
+    if !r.is_empty() {
+        return Err(CheckpointError::Corrupt {
+            file: file.into(),
+            detail: format!("{} trailing bytes", r.remaining()),
+        });
+    }
+    Ok(contigs)
+}
+
+// ---------------------------------------------------------------------------
+// Save / load
+// ---------------------------------------------------------------------------
+
+/// Pipeline-side inputs to [`save`]: the resume point and the identity of the
+/// run taking the snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Number of flattened stages completed (names the snapshot directory).
+    pub completed_stages: usize,
+    /// Per-stage-name round counters at the snapshot.
+    pub rounds: Vec<(String, usize)>,
+    /// Fingerprint of the pipeline structure + stage configurations.
+    pub pipeline_fingerprint: u64,
+    /// Worker count of the writing run.
+    pub workers: usize,
+}
+
+/// Saves `state` as snapshot `stage-<completed_stages>` under `dir`, creating
+/// the directory as needed. Section files are written first and the
+/// `MANIFEST` last, so a crash mid-save never leaves a loadable half-written
+/// snapshot; on success every older (or staler) `stage-*` sibling is pruned.
+/// Returns the snapshot directory.
+pub fn save(
+    dir: &Path,
+    state: &GraphState<'_>,
+    meta: &CheckpointMeta,
+) -> Result<PathBuf, CheckpointError> {
+    save_with_reads_fingerprint(dir, state, meta, reads_fingerprint(state.reads))
+}
+
+/// [`save`] with a precomputed [`reads_fingerprint`] of `state.reads`. The
+/// reads are immutable for the lifetime of a pipeline execution, so a caller
+/// saving many snapshots of the same run (e.g. `CheckpointPolicy::EveryStage`)
+/// fingerprints them once instead of re-hashing megabytes per stage.
+pub fn save_with_reads_fingerprint(
+    dir: &Path,
+    state: &GraphState<'_>,
+    meta: &CheckpointMeta,
+    reads_fingerprint: u64,
+) -> Result<PathBuf, CheckpointError> {
+    let name = format!("stage-{:04}", meta.completed_stages);
+    let ckpt = dir.join(&name);
+    fs::create_dir_all(&ckpt)?;
+    let sections: [(&str, Vec<u8>); 5] = [
+        (SECTIONS[0], encode_nodes(&state.nodes)),
+        (SECTIONS[1], encode_labels(state.labels.as_ref())),
+        (SECTIONS[2], encode_nodes(&state.contigs)),
+        (SECTIONS[3], encode_nodes(&state.ambiguous_kmers)),
+        (SECTIONS[4], encode_output(&state.output)),
+    ];
+    let mut files = Vec::with_capacity(sections.len());
+    for (file, bytes) in &sections {
+        fs::write(ckpt.join(file), bytes)?;
+        files.push(FileEntry {
+            name: (*file).to_string(),
+            len: bytes.len() as u64,
+            checksum: checksum64(bytes),
+        });
+    }
+    let manifest = Manifest {
+        completed_stages: meta.completed_stages,
+        rounds: meta.rounds.clone(),
+        pipeline_fingerprint: meta.pipeline_fingerprint,
+        reads_fingerprint,
+        workers: meta.workers,
+        rewired: state.rewired,
+        files,
+    };
+    fs::write(ckpt.join(MANIFEST_FILE), manifest.encode())?;
+    // Keep only this snapshot: prune every other stage-* sibling.
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let entry_name = entry.file_name();
+        let entry_name = entry_name.to_string_lossy();
+        if entry_name.starts_with("stage-") && entry_name != name.as_str() {
+            let _ = fs::remove_dir_all(entry.path());
+        }
+    }
+    Ok(ckpt)
+}
+
+/// The most advanced complete snapshot under `dir`: the highest-numbered
+/// `stage-*` subdirectory that contains a `MANIFEST`. Returns `Ok(None)` if
+/// the directory does not exist or holds no complete snapshot.
+pub fn latest(dir: &Path) -> Result<Option<PathBuf>, CheckpointError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(number) = name.strip_prefix("stage-") else {
+            continue;
+        };
+        let Ok(number) = number.parse::<u64>() else {
+            continue;
+        };
+        if !entry.path().join(MANIFEST_FILE).is_file() {
+            continue; // half-written snapshot (crash mid-save): ignore
+        }
+        if best.as_ref().is_none_or(|(b, _)| number > *b) {
+            best = Some((number, entry.path()));
+        }
+    }
+    Ok(best.map(|(_, path)| path))
+}
+
+/// Loads the snapshot in `ckpt` (a `stage-*` directory), validating every
+/// section against the manifest and the snapshot against `reads`. Returns
+/// the restored state plus the manifest describing the resume point.
+pub fn load<'r>(
+    ckpt: &Path,
+    reads: &'r ReadSet,
+) -> Result<(GraphState<'r>, Manifest), CheckpointError> {
+    let manifest_bytes = fs::read(ckpt.join(MANIFEST_FILE)).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            CheckpointError::NotFound(ckpt.display().to_string())
+        } else {
+            e.into()
+        }
+    })?;
+    let manifest = Manifest::decode(&manifest_bytes)?;
+    let actual_reads_fp = reads_fingerprint(reads);
+    if manifest.reads_fingerprint != actual_reads_fp {
+        return Err(CheckpointError::Mismatch {
+            what: "input reads".into(),
+            expected: format!("{:#018x}", manifest.reads_fingerprint),
+            actual: format!("{actual_reads_fp:#018x}"),
+        });
+    }
+    let mut sections: Vec<Vec<u8>> = Vec::with_capacity(manifest.files.len());
+    for entry in &manifest.files {
+        let path = ckpt.join(&entry.name);
+        let bytes = fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                CheckpointError::Corrupt {
+                    file: entry.name.clone(),
+                    detail: "section file missing".into(),
+                }
+            } else {
+                e.into()
+            }
+        })?;
+        if bytes.len() as u64 != entry.len {
+            return Err(CheckpointError::Truncated {
+                file: entry.name.clone(),
+                detail: format!(
+                    "manifest records {} bytes, file has {}",
+                    entry.len,
+                    bytes.len()
+                ),
+            });
+        }
+        let checksum = checksum64(&bytes);
+        if checksum != entry.checksum {
+            return Err(CheckpointError::Corrupt {
+                file: entry.name.clone(),
+                detail: format!(
+                    "checksum {:#018x} != recorded {:#018x}",
+                    checksum, entry.checksum
+                ),
+            });
+        }
+        sections.push(bytes);
+    }
+    let expected: Vec<&str> = manifest.files.iter().map(|f| f.name.as_str()).collect();
+    if expected != SECTIONS {
+        return Err(CheckpointError::Corrupt {
+            file: MANIFEST_FILE.into(),
+            detail: format!("unexpected section list {expected:?}"),
+        });
+    }
+    let nodes = decode_nodes(SECTIONS[0], &sections[0])?;
+    let labels = decode_labels(SECTIONS[1], &sections[1])?;
+    let contigs = decode_nodes(SECTIONS[2], &sections[2])?;
+    let ambiguous_kmers = decode_nodes(SECTIONS[3], &sections[3])?;
+    let output = decode_output(SECTIONS[4], &sections[4])?;
+    let state = GraphState {
+        reads,
+        nodes,
+        labels,
+        contigs,
+        ambiguous_kmers,
+        rewired: manifest.rewired,
+        output,
+    };
+    Ok((state, manifest))
+}
+
+/// Loads the most advanced complete snapshot under `dir`
+/// ([`latest`] + [`load`]); [`CheckpointError::NotFound`] if there is none.
+pub fn load_latest<'r>(
+    dir: &Path,
+    reads: &'r ReadSet,
+) -> Result<(GraphState<'r>, Manifest), CheckpointError> {
+    let ckpt = latest(dir)?.ok_or_else(|| CheckpointError::NotFound(dir.display().to_string()))?;
+    load(&ckpt, reads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_seq::FastxRecord;
+    use proptest::prelude::*;
+
+    /// A deterministic SplitMix64 for building arbitrary states from a seed.
+    struct Mix(u64);
+
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+    }
+
+    fn arb_dna(mix: &mut Mix, max_len: u64) -> DnaString {
+        let len = mix.below(max_len + 1) as usize;
+        DnaString::from_bases_iter((0..len).map(|_| ppa_seq::Base::from_code((mix.below(4)) as u8)))
+    }
+
+    fn arb_node(mix: &mut Mix) -> AsmNode {
+        let seq = if mix.below(2) == 0 {
+            let k = 1 + mix.below(31) as usize;
+            let bases: Vec<ppa_seq::Base> = (0..k)
+                .map(|_| ppa_seq::Base::from_code(mix.below(4) as u8))
+                .collect();
+            NodeSeq::Kmer(Kmer::from_bases(&bases).unwrap())
+        } else {
+            NodeSeq::Contig(arb_dna(mix, 100))
+        };
+        let edges = (0..mix.below(5))
+            .map(|_| Edge {
+                neighbor: mix.next(),
+                direction: if mix.below(2) == 0 {
+                    Direction::Out
+                } else {
+                    Direction::In
+                },
+                polarity: Polarity::from_index(mix.below(4) as usize),
+                coverage: mix.below(1000) as u32,
+            })
+            .collect();
+        AsmNode {
+            id: mix.next(),
+            seq,
+            coverage: mix.below(1000) as u32,
+            edges,
+        }
+    }
+
+    fn arb_metrics(mix: &mut Mix) -> Metrics {
+        Metrics {
+            supersteps: mix.below(50) as usize,
+            total_messages: mix.next(),
+            total_dropped: mix.below(100),
+            total_compute_calls: mix.next(),
+            elapsed: Duration::from_nanos(mix.below(1 << 40)),
+            converged: mix.below(2) == 0,
+            avg_frontier_density: (mix.below(1000) as f64) / 1000.0,
+            peak_store_resident_bytes: mix.next(),
+            per_superstep: (0..mix.below(4))
+                .map(|s| SuperstepMetrics {
+                    superstep: s as usize,
+                    active_vertices: mix.below(10_000) as usize,
+                    messages_sent: mix.next(),
+                    messages_dropped: mix.below(10),
+                    elapsed: Duration::from_nanos(mix.below(1 << 40)),
+                    compute_elapsed: Duration::from_nanos(mix.below(1 << 40)),
+                    shuffle_elapsed: Duration::from_nanos(mix.below(1 << 40)),
+                    pool_utilization: (mix.below(1000) as f64) / 1000.0,
+                    frontier_density: (mix.below(1000) as f64) / 1000.0,
+                    store_resident_bytes: mix.next(),
+                })
+                .collect(),
+        }
+    }
+
+    fn arb_state(mix: &mut Mix, reads: &'static ReadSet) -> GraphState<'static> {
+        GraphState {
+            reads,
+            nodes: (0..mix.below(20)).map(|_| arb_node(mix)).collect(),
+            labels: if mix.below(2) == 0 {
+                Some(LabelOutcome {
+                    labels: (0..mix.below(20))
+                        .map(|_| (mix.next(), mix.next()))
+                        .collect(),
+                    ambiguous: (0..mix.below(10)).map(|_| mix.next()).collect(),
+                    metrics: arb_metrics(mix),
+                    used_cycle_fallback: mix.below(2) == 0,
+                })
+            } else {
+                None
+            },
+            contigs: (0..mix.below(10)).map(|_| arb_node(mix)).collect(),
+            ambiguous_kmers: (0..mix.below(10)).map(|_| arb_node(mix)).collect(),
+            rewired: mix.below(2) == 0,
+            output: (0..mix.below(10))
+                .map(|_| Contig {
+                    id: mix.next(),
+                    sequence: arb_dna(mix, 200),
+                    coverage: mix.below(1000) as u32,
+                })
+                .collect(),
+        }
+    }
+
+    fn test_reads() -> &'static ReadSet {
+        use std::sync::OnceLock;
+        static READS: OnceLock<ReadSet> = OnceLock::new();
+        READS.get_or_init(|| {
+            ReadSet::from_records(vec![
+                FastxRecord::new_fastq("r1", b"ACGTACGT".to_vec(), b"IIIIIIII".to_vec()),
+                FastxRecord::new_fastq("r2", b"TTGCATGC".to_vec(), b"IIIIIIII".to_vec()),
+            ])
+        })
+    }
+
+    fn meta(completed: usize) -> CheckpointMeta {
+        CheckpointMeta {
+            completed_stages: completed,
+            rounds: vec![("construct".into(), 1), ("label".into(), 2)],
+            pipeline_fingerprint: 0xfeed_beef,
+            workers: 2,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ppa-ckpt-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trips_an_arbitrary_state() {
+        let reads = test_reads();
+        let mut mix = Mix(42);
+        let state = arb_state(&mut mix, reads);
+        let dir = tmp_dir("roundtrip");
+        let ckpt = save(&dir, &state, &meta(3)).unwrap();
+        assert!(ckpt.ends_with("stage-0003"));
+        let (restored, manifest) = load_latest(&dir, reads).unwrap();
+        assert_eq!(restored, state);
+        assert_eq!(manifest.completed_stages, 3);
+        assert_eq!(manifest.rounds, meta(3).rounds);
+        assert_eq!(manifest.pipeline_fingerprint, 0xfeed_beef);
+        assert_eq!(manifest.workers, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newer_save_prunes_older_snapshots() {
+        let reads = test_reads();
+        let mut mix = Mix(7);
+        let state = arb_state(&mut mix, reads);
+        let dir = tmp_dir("prune");
+        save(&dir, &state, &meta(1)).unwrap();
+        save(&dir, &state, &meta(2)).unwrap();
+        let kept: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(kept, vec!["stage-0002".to_string()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_without_manifest_is_invisible() {
+        let reads = test_reads();
+        let mut mix = Mix(8);
+        let state = arb_state(&mut mix, reads);
+        let dir = tmp_dir("no-manifest");
+        let ckpt = save(&dir, &state, &meta(1)).unwrap();
+        // Simulate a crash between the section writes and the manifest write.
+        fs::remove_file(ckpt.join(MANIFEST_FILE)).unwrap();
+        assert_eq!(latest(&dir).unwrap(), None);
+        assert!(matches!(
+            load_latest(&dir, reads),
+            Err(CheckpointError::NotFound(_))
+        ));
+        // A directory that never existed behaves the same.
+        assert_eq!(latest(&dir.join("nope")).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_section_is_a_typed_error() {
+        let reads = test_reads();
+        let mut mix = Mix(9);
+        let mut state = arb_state(&mut mix, reads);
+        // Ensure there is something to truncate.
+        state.nodes.push(arb_node(&mut mix));
+        let dir = tmp_dir("truncate");
+        let ckpt = save(&dir, &state, &meta(1)).unwrap();
+        let path = ckpt.join("nodes.col");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_latest(&dir, reads).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Truncated { ref file, .. } if file == "nodes.col"),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_section_is_a_typed_error() {
+        let reads = test_reads();
+        let mut mix = Mix(10);
+        let mut state = arb_state(&mut mix, reads);
+        state.contigs.push(arb_node(&mut mix));
+        let dir = tmp_dir("corrupt");
+        let ckpt = save(&dir, &state, &meta(1)).unwrap();
+        let path = ckpt.join("contigs.col");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF; // flip bits, keep the length
+        fs::write(&path, &bytes).unwrap();
+        let err = load_latest(&dir, reads).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Corrupt { ref file, .. } if file == "contigs.col"),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_reads_are_rejected() {
+        let reads = test_reads();
+        let mut mix = Mix(11);
+        let state = arb_state(&mut mix, reads);
+        let dir = tmp_dir("reads-mismatch");
+        save(&dir, &state, &meta(1)).unwrap();
+        let other = ReadSet::from_records(vec![FastxRecord::new_fastq(
+            "other",
+            b"GGGG".to_vec(),
+            b"IIII".to_vec(),
+        )]);
+        let err = load_latest(&dir, &other).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Mismatch { ref what, .. } if what == "input reads"),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_manifest_is_a_typed_error() {
+        let reads = test_reads();
+        let mut mix = Mix(12);
+        let state = arb_state(&mut mix, reads);
+        let dir = tmp_dir("bad-manifest");
+        let ckpt = save(&dir, &state, &meta(1)).unwrap();
+        let path = ckpt.join(MANIFEST_FILE);
+        // Bad magic.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_latest(&dir, reads),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        // Truncated manifest.
+        bytes[0] ^= 0xFF; // restore magic
+        fs::write(&path, &bytes[..10]).unwrap();
+        assert!(matches!(
+            load_latest(&dir, reads),
+            Err(CheckpointError::Truncated { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let errs = [
+            CheckpointError::Io("disk full".into()).to_string(),
+            CheckpointError::Truncated {
+                file: "nodes.col".into(),
+                detail: "short".into(),
+            }
+            .to_string(),
+            CheckpointError::Corrupt {
+                file: "labels.col".into(),
+                detail: "bad tag".into(),
+            }
+            .to_string(),
+            CheckpointError::Mismatch {
+                what: "pipeline config".into(),
+                expected: "a".into(),
+                actual: "b".into(),
+            }
+            .to_string(),
+            CheckpointError::NotFound("/tmp/x".into()).to_string(),
+        ];
+        assert!(errs[0].contains("disk full"));
+        assert!(errs[1].contains("nodes.col"));
+        assert!(errs[2].contains("labels.col") && errs[2].contains("bad tag"));
+        assert!(errs[3].contains("pipeline config"));
+        assert!(errs[4].contains("/tmp/x"));
+    }
+
+    #[test]
+    fn fnv_is_stable_and_order_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+        let mut h = Fnv64::new();
+        h.write_str("a");
+        let ha = h.finish();
+        let mut h = Fnv64::new();
+        h.write_str("b");
+        assert_ne!(ha, h.finish());
+    }
+
+    #[test]
+    fn striped_checksum_detects_flips_padding_and_length() {
+        // Deterministic, length-sensitive, and sensitive to a single bit flip
+        // in every position — including the zero-padded tail, where padding
+        // must not collide with genuine trailing zero bytes.
+        let mut mix = Mix(7);
+        for len in [0usize, 1, 7, 8, 31, 32, 33, 64, 100] {
+            let data: Vec<u8> = (0..len).map(|_| mix.next() as u8).collect();
+            assert_eq!(checksum64(&data), checksum64(&data.clone()));
+            for i in 0..len {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1;
+                assert_ne!(checksum64(&data), checksum64(&flipped), "flip at {i}/{len}");
+            }
+            let mut extended = data.clone();
+            extended.push(0);
+            assert_ne!(checksum64(&data), checksum64(&extended), "len {len}+1 zero");
+        }
+    }
+
+    /// Body of the round-trip property (kept out of the `proptest!` macro to
+    /// bound its token-munching expansion depth): arbitrary `GraphState` →
+    /// bytes → `GraphState` is the identity, and truncating the node section
+    /// at any prefix yields a typed error, never a panic.
+    fn check_roundtrip_for_seed(seed: u64) -> Result<(), String> {
+        let reads = test_reads();
+        let mut mix = Mix(seed);
+        let state = arb_state(&mut mix, reads);
+
+        // In-memory round-trip of every section codec.
+        let nodes =
+            decode_nodes("nodes.col", &encode_nodes(&state.nodes)).map_err(|e| e.to_string())?;
+        if nodes != state.nodes {
+            return Err(format!("node round-trip diverged for seed {seed}"));
+        }
+        let labels = decode_labels("labels.col", &encode_labels(state.labels.as_ref()))
+            .map_err(|e| e.to_string())?;
+        if labels != state.labels {
+            return Err(format!("label round-trip diverged for seed {seed}"));
+        }
+        let output = decode_output("output.col", &encode_output(&state.output))
+            .map_err(|e| e.to_string())?;
+        if output != state.output {
+            return Err(format!("output round-trip diverged for seed {seed}"));
+        }
+
+        // Any truncation of the node bytes is rejected with a typed error
+        // (decoders must never panic on malformed input).
+        let bytes = encode_nodes(&state.nodes);
+        let cut = (seed as usize) % bytes.len().max(1);
+        if cut < bytes.len() && decode_nodes("nodes.col", &bytes[..cut]).is_ok() {
+            return Err(format!("truncation at {cut} not rejected for seed {seed}"));
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn prop_state_roundtrip_and_truncation_safety(seed in 0u64..1_000_000) {
+            let outcome = check_roundtrip_for_seed(seed);
+            prop_assert_eq!(outcome, Ok(()));
+        }
+    }
+}

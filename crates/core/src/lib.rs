@@ -59,6 +59,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adj;
+pub mod checkpoint;
 pub mod ids;
 pub mod node;
 pub mod ops;
@@ -68,8 +69,15 @@ pub mod stats;
 pub mod workflow;
 
 pub use adj::{edge_contributions, CompactNeighbor, EdgeSlot, PackedAdj};
+pub use checkpoint::{CheckpointError, CheckpointMeta, Manifest};
 pub use ids::NULL_ID;
 pub use node::{AsmNode, Edge, KmerVertex, NodeSeq, VertexType};
-pub use pipeline::{GraphState, Pipeline, PipelineObserver, Stage, StageDetails, StageReport};
+pub use pipeline::{
+    CheckpointPolicy, GraphState, Pipeline, PipelineError, PipelineObserver, Stage, StageDetails,
+    StageReport,
+};
 pub use polarity::{Direction, Polarity, Side};
-pub use workflow::{assemble, Assembly, AssemblyConfig, Contig, LabelingAlgorithm};
+pub use workflow::{
+    assemble, assemble_with_checkpoints, read_input, read_input_path, resume_assembly,
+    try_assemble, Assembly, AssemblyConfig, Contig, LabelingAlgorithm,
+};

@@ -35,7 +35,7 @@ use ppa_pregel::{Context, ExecCtx, Metrics, PregelConfig, VertexProgram, VertexS
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Result of a contig-labeling run (either algorithm).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabelOutcome {
     /// `(vertex id, label)` for every unambiguous vertex. Vertices sharing a
     /// label belong to the same maximal unambiguous path (or cycle).

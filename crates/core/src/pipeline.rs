@@ -74,6 +74,7 @@
 //! assert!(stats.total_elapsed.as_nanos() > 0);
 //! ```
 
+use crate::checkpoint::{self, CheckpointError, CheckpointMeta, Fnv64};
 use crate::node::AsmNode;
 use crate::ops::bubble::{filter_bubbles_on, remove_pruned, BubbleConfig};
 use crate::ops::construct::{build_dbg_on, ConstructConfig, ConstructStats};
@@ -83,9 +84,12 @@ use crate::ops::merge::{merge_contigs_on, MergeConfig};
 use crate::ops::tip::{remove_tips_on, TipConfig};
 use crate::stats::{n50, CorrectionStats, LabelStats, MergeStats, WorkflowStats};
 use crate::workflow::{AssemblyConfig, Contig, LabelingAlgorithm};
+use ppa_pregel::engine::panic_message;
 use ppa_pregel::{ExecCtx, Metrics};
-use ppa_seq::ReadSet;
+use ppa_seq::{ReadSet, SeqError};
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -97,7 +101,7 @@ use std::time::{Duration, Instant};
 ///
 /// All fields are public so custom [`Stage`]s can transform the state freely;
 /// the invariants the built-in stages maintain are documented per field.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphState<'r> {
     /// The input read set ([`Construct`] consumes it).
     pub reads: &'r ReadSet,
@@ -135,6 +139,104 @@ impl<'r> GraphState<'r> {
             ambiguous_kmers: Vec::new(),
             rewired: false,
             output: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline errors and the checkpoint policy
+// ---------------------------------------------------------------------------
+
+/// A recoverable pipeline failure, as returned by [`Pipeline::try_run`],
+/// [`Pipeline::resume`] and [`Pipeline::try_run_with_retries`].
+///
+/// [`Pipeline::run`] keeps the historical panicking contract; the `try_*`
+/// entry points catch stage panics at the stage boundary (worker panics
+/// already unwind cleanly to the dispatching thread, leaving the pool
+/// reusable) and convert them — together with checkpoint I/O failures and
+/// malformed input — into this type so a driver can retry from the last
+/// snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The input reads could not be parsed (malformed FASTA/FASTQ).
+    Input(SeqError),
+    /// A stage panicked: a worker panic surfaced at the superstep barrier, an
+    /// injected fault, or a stage-invariant violation. The state may be
+    /// partially mutated; reload it from a checkpoint (or rebuild it fresh)
+    /// before retrying.
+    Stage {
+        /// Name of the failing stage.
+        stage: String,
+        /// 1-based per-stage-name round the failing execution would have been.
+        round: usize,
+        /// The panic message.
+        message: String,
+    },
+    /// Saving or loading a checkpoint failed.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Input(e) => write!(f, "input error: {e}"),
+            PipelineError::Stage {
+                stage,
+                round,
+                message,
+            } => write!(f, "stage {stage} (round {round}) failed: {message}"),
+            PipelineError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Input(e) => Some(e),
+            PipelineError::Stage { .. } => None,
+            PipelineError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<SeqError> for PipelineError {
+    fn from(e: SeqError) -> Self {
+        PipelineError::Input(e)
+    }
+}
+
+impl From<CheckpointError> for PipelineError {
+    fn from(e: CheckpointError) -> Self {
+        PipelineError::Checkpoint(e)
+    }
+}
+
+/// When a [`Pipeline`] configured with [`Pipeline::checkpoint_to`] snapshots
+/// its [`GraphState`].
+///
+/// Stages are counted in *flattened* execution order ([`Pipeline::repeat`]
+/// blocks unrolled), matching [`Pipeline::stage_count`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointPolicy {
+    /// Never checkpoint (the default; `run` stays byte-identical to a
+    /// pipeline without a checkpoint directory).
+    #[default]
+    Off,
+    /// Snapshot after every completed stage.
+    EveryStage,
+    /// Snapshot after every Nth completed stage (`EveryN(0)` never saves).
+    EveryN(usize),
+}
+
+impl CheckpointPolicy {
+    /// Whether a snapshot should be written once `completed` flattened stages
+    /// have finished.
+    fn should_save(&self, completed: usize) -> bool {
+        match self {
+            CheckpointPolicy::Off => false,
+            CheckpointPolicy::EveryStage => true,
+            CheckpointPolicy::EveryN(n) => *n > 0 && completed.is_multiple_of(*n),
         }
     }
 }
@@ -435,6 +537,14 @@ pub trait Stage {
     /// Executes the stage. Timing and round numbering are handled by the
     /// pipeline runner; the returned report only needs name + details.
     fn run(&self, state: &mut GraphState<'_>, ctx: &ExecCtx) -> StageReport;
+    /// A stable hash of the stage's configuration, folded (together with
+    /// [`name`](Stage::name)) into [`Pipeline::fingerprint`] so
+    /// [`Pipeline::resume`] rejects a snapshot written under different
+    /// parameters. The built-in stages hash their configs; the default (`0`)
+    /// means only the stage's name and position are checked.
+    fn config_fingerprint(&self) -> u64 {
+        0
+    }
 }
 
 /// Operation ① — DBG construction: `state.reads` → `state.nodes`.
@@ -466,6 +576,14 @@ impl Stage for Construct {
         state.rewired = false;
         state.output.clear();
         StageReport::new(self.name(), StageDetails::Construct(stats))
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.config.k as u64);
+        h.write_u64(self.config.min_coverage as u64);
+        h.write_u64(self.config.batch_size as u64);
+        h.finish()
     }
 }
 
@@ -529,6 +647,15 @@ impl Stage for Label {
         state.labels = Some(outcome);
         StageReport::new(self.name(), StageDetails::Label(stats))
     }
+
+    fn config_fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(match self.algorithm {
+            LabelingAlgorithm::ListRanking => 0,
+            LabelingAlgorithm::SimplifiedSV => 1,
+        });
+        h.finish()
+    }
 }
 
 /// Operation ③ — contig merging: drains `state.nodes` + the pending labels
@@ -583,6 +710,13 @@ impl Stage for Merge {
             },
         )
     }
+
+    fn config_fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.config.k as u64);
+        h.write_u64(self.config.tip_length_threshold as u64);
+        h.finish()
+    }
 }
 
 /// Operation ④ — bubble filtering: prunes low-coverage parallel contigs from
@@ -615,6 +749,12 @@ impl Stage for FilterBubbles {
                 candidate_groups: outcome.candidate_groups,
             },
         )
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.config.max_edit_distance as u64);
+        h.finish()
     }
 }
 
@@ -655,6 +795,13 @@ impl Stage for RemoveTips {
                 metrics: tips.metrics,
             },
         )
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.config.k as u64);
+        h.write_u64(self.config.tip_length_threshold as u64);
+        h.finish()
     }
 }
 
@@ -703,6 +850,12 @@ impl Stage for FilterLength {
             },
         )
     }
+
+    fn config_fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.min_length as u64);
+        h.finish()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -717,14 +870,44 @@ enum PipelineItem {
     },
 }
 
+/// Flattens the item list into execution order (repeat blocks unrolled).
+fn flattened(items: &[PipelineItem]) -> Vec<&dyn Stage> {
+    let mut flat: Vec<&dyn Stage> = Vec::new();
+    for item in items {
+        match item {
+            PipelineItem::Stage(stage) => flat.push(stage.as_ref()),
+            PipelineItem::Repeat { times, stages } => {
+                for _ in 0..*times {
+                    for stage in stages {
+                        flat.push(stage.as_ref());
+                    }
+                }
+            }
+        }
+    }
+    flat
+}
+
 /// A composed sequence of [`Stage`]s with attached [`PipelineObserver`]s.
 ///
 /// Built with [`then`](Pipeline::then) / [`repeat`](Pipeline::repeat) /
 /// [`observe`](Pipeline::observe); executed with [`run`](Pipeline::run). The
 /// lifetime parameter is the borrow of the attached observers.
+///
+/// # Fault tolerance
+///
+/// [`checkpoint_to`](Pipeline::checkpoint_to) makes the pipeline snapshot its
+/// [`GraphState`] at stage boundaries (see [`crate::checkpoint`]);
+/// [`try_run`](Pipeline::try_run) converts stage panics and checkpoint
+/// failures into typed [`PipelineError`]s instead of unwinding;
+/// [`resume`](Pipeline::resume) fast-forwards past the stages a snapshot
+/// already completed; and
+/// [`try_run_with_retries`](Pipeline::try_run_with_retries) is the
+/// self-healing driver loop combining all three.
 pub struct Pipeline<'o> {
     items: Vec<PipelineItem>,
     observers: Vec<&'o mut dyn PipelineObserver>,
+    checkpoint: Option<(PathBuf, CheckpointPolicy)>,
 }
 
 impl Default for Pipeline<'_> {
@@ -739,6 +922,7 @@ impl<'o> Pipeline<'o> {
         Pipeline {
             items: Vec::new(),
             observers: Vec::new(),
+            checkpoint: None,
         }
     }
 
@@ -759,6 +943,20 @@ impl<'o> Pipeline<'o> {
     /// boundary of [`run`](Pipeline::run).
     pub fn observe(mut self, observer: &'o mut dyn PipelineObserver) -> Pipeline<'o> {
         self.observers.push(observer);
+        self
+    }
+
+    /// Enables stage-boundary checkpointing: snapshots of the [`GraphState`]
+    /// are written under `dir` according to `policy` (see
+    /// [`crate::checkpoint`] for the on-disk format). Only the most recent
+    /// snapshot is kept. With [`CheckpointPolicy::Off`] nothing is written
+    /// and execution is byte-identical to an unconfigured pipeline.
+    pub fn checkpoint_to(
+        mut self,
+        dir: impl Into<PathBuf>,
+        policy: CheckpointPolicy,
+    ) -> Pipeline<'o> {
+        self.checkpoint = Some((dir.into(), policy));
         self
     }
 
@@ -808,58 +1006,332 @@ impl<'o> Pipeline<'o> {
             .then(FilterLength::new(config.min_contig_length))
     }
 
-    /// Executes every stage in order on the given state and execution
-    /// context, returning the per-stage reports (also delivered to the
-    /// attached observers).
-    pub fn run(&mut self, state: &mut GraphState<'_>, ctx: &ExecCtx) -> Vec<StageReport> {
-        let total = Instant::now();
-        let items = &self.items;
-        let observers = &mut self.observers;
-        for obs in observers.iter_mut() {
-            obs.on_pipeline_start();
+    /// A stable fingerprint of the pipeline's structure: the flattened
+    /// sequence of stage names and per-stage
+    /// [`config_fingerprint`](Stage::config_fingerprint)s. Recorded in every
+    /// checkpoint manifest; [`resume`](Pipeline::resume) refuses a snapshot
+    /// whose fingerprint disagrees, so a pipeline rebuilt with a different
+    /// `k`, threshold, repeat count or stage order cannot silently continue
+    /// from incompatible data.
+    pub fn fingerprint(&self) -> u64 {
+        let flat = flattened(&self.items);
+        let mut h = Fnv64::new();
+        h.write_u64(flat.len() as u64);
+        for stage in &flat {
+            h.write_str(stage.name());
+            h.write_u64(stage.config_fingerprint());
         }
+        h.finish()
+    }
 
-        let mut rounds: HashMap<String, usize> = HashMap::new();
-        let mut reports: Vec<StageReport> = Vec::new();
-        let mut run_stage = |stage: &dyn Stage,
-                             state: &mut GraphState<'_>,
-                             rounds: &mut HashMap<String, usize>,
-                             reports: &mut Vec<StageReport>| {
+    /// The shared execution core: runs the flattened stages from `start_at`,
+    /// threading the per-stage-name round counters and appending one report
+    /// per completed stage. With `catch` set, a stage panic is caught at the
+    /// stage boundary and returned as [`PipelineError::Stage`]; without it,
+    /// panics propagate unchanged (the historical [`run`](Pipeline::run)
+    /// contract). Checkpoints are written per the configured policy; injected
+    /// checkpoint-write faults ([`ppa_pregel::FaultPlan`]) surface as
+    /// [`CheckpointError::Io`].
+    fn execute(
+        &mut self,
+        state: &mut GraphState<'_>,
+        ctx: &ExecCtx,
+        start_at: usize,
+        rounds: &mut HashMap<String, usize>,
+        catch: bool,
+        reports: &mut Vec<StageReport>,
+    ) -> Result<(), PipelineError> {
+        let fingerprint = self.fingerprint();
+        let Pipeline {
+            items,
+            observers,
+            checkpoint,
+        } = self;
+        let flat = flattened(items);
+        // Grab the armed fault plan once per run: un-instrumented executions
+        // pay one Option check per stage.
+        let faults = ctx.faults();
+        // Reads are immutable for the whole execution: fingerprint them once
+        // for all snapshots instead of re-hashing megabytes per stage.
+        let reads_fp = checkpoint
+            .as_ref()
+            .map(|_| checkpoint::reads_fingerprint(state.reads));
+        for (idx, stage) in flat.iter().enumerate().skip(start_at) {
+            let stage: &dyn Stage = *stage;
+            let name = stage.name().to_string();
+            let round = rounds.get(&name).copied().unwrap_or(0) + 1;
             for obs in observers.iter_mut() {
-                obs.on_stage_start(stage.name());
+                obs.on_stage_start(&name);
             }
             let start = Instant::now();
-            let mut report = stage.run(state, ctx);
+            if let Some(f) = &faults {
+                f.enter_stage(idx);
+            }
+            // The state is only conditionally unwind-safe: a caught panic may
+            // leave it partially mutated. All `catch` callers either discard
+            // it or reload it from a checkpoint before retrying.
+            let outcome = if catch {
+                catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(f) = &faults {
+                        f.probe_stage_entry();
+                    }
+                    stage.run(state, ctx)
+                }))
+            } else {
+                if let Some(f) = &faults {
+                    f.probe_stage_entry();
+                }
+                Ok(stage.run(state, ctx))
+            };
+            let mut report = match outcome {
+                Ok(report) => report,
+                Err(payload) => {
+                    return Err(PipelineError::Stage {
+                        stage: name,
+                        round,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            };
             report.elapsed = start.elapsed();
-            let round = rounds.entry(report.stage.clone()).or_insert(0);
-            *round += 1;
-            report.round = *round;
+            report.round = round;
+            rounds.insert(name, round);
             for obs in observers.iter_mut() {
                 obs.on_stage_end(&report);
             }
             reports.push(report);
-        };
 
-        for item in items {
-            match item {
-                PipelineItem::Stage(stage) => {
-                    run_stage(stage.as_ref(), state, &mut rounds, &mut reports)
-                }
-                PipelineItem::Repeat { times, stages } => {
-                    for _ in 0..*times {
-                        for stage in stages {
-                            run_stage(stage.as_ref(), state, &mut rounds, &mut reports);
-                        }
+            if let Some((dir, policy)) = checkpoint {
+                let completed = idx + 1;
+                if policy.should_save(completed) {
+                    if faults.as_ref().is_some_and(|f| f.probe_checkpoint_write()) {
+                        return Err(PipelineError::Checkpoint(CheckpointError::Io(format!(
+                            "injected fault: checkpoint write after stage {completed}"
+                        ))));
                     }
+                    let mut round_list: Vec<(String, usize)> =
+                        rounds.iter().map(|(n, r)| (n.clone(), *r)).collect();
+                    round_list.sort();
+                    let meta = CheckpointMeta {
+                        completed_stages: completed,
+                        rounds: round_list,
+                        pipeline_fingerprint: fingerprint,
+                        workers: ctx.workers(),
+                    };
+                    let reads_fp = reads_fp.expect("fingerprinted when checkpointing is on");
+                    checkpoint::save_with_reads_fingerprint(dir, state, &meta, reads_fp)?;
                 }
             }
         }
+        Ok(())
+    }
 
+    /// Executes every stage in order on the given state and execution
+    /// context, returning the per-stage reports (also delivered to the
+    /// attached observers).
+    ///
+    /// Keeps the historical contract: stage panics propagate unchanged, and a
+    /// checkpoint failure (only possible with
+    /// [`checkpoint_to`](Pipeline::checkpoint_to) enabled) panics too. Use
+    /// [`try_run`](Pipeline::try_run) for typed errors.
+    pub fn run(&mut self, state: &mut GraphState<'_>, ctx: &ExecCtx) -> Vec<StageReport> {
+        let total = Instant::now();
+        for obs in self.observers.iter_mut() {
+            obs.on_pipeline_start();
+        }
+        let mut rounds: HashMap<String, usize> = HashMap::new();
+        let mut reports: Vec<StageReport> = Vec::new();
+        if let Err(e) = self.execute(state, ctx, 0, &mut rounds, false, &mut reports) {
+            panic!("{e}");
+        }
         let total = total.elapsed();
         for obs in self.observers.iter_mut() {
             obs.on_pipeline_end(total);
         }
         reports
+    }
+
+    /// Like [`run`](Pipeline::run), but recoverable: a stage panic (including
+    /// a worker panic propagated through the superstep barrier and injected
+    /// faults) or a checkpoint failure is returned as a [`PipelineError`]
+    /// instead of unwinding, leaving the [`ExecCtx`] worker pool reusable.
+    ///
+    /// On a [`PipelineError::Stage`], the state may be partially mutated —
+    /// reload it from the last checkpoint ([`resume`](Pipeline::resume)) or
+    /// rebuild it with [`GraphState::new`] before retrying;
+    /// [`try_run_with_retries`](Pipeline::try_run_with_retries) automates
+    /// exactly that loop.
+    pub fn try_run(
+        &mut self,
+        state: &mut GraphState<'_>,
+        ctx: &ExecCtx,
+    ) -> Result<Vec<StageReport>, PipelineError> {
+        let total = Instant::now();
+        for obs in self.observers.iter_mut() {
+            obs.on_pipeline_start();
+        }
+        let mut rounds: HashMap<String, usize> = HashMap::new();
+        let mut reports: Vec<StageReport> = Vec::new();
+        let result = self.execute(state, ctx, 0, &mut rounds, true, &mut reports);
+        let total = total.elapsed();
+        for obs in self.observers.iter_mut() {
+            obs.on_pipeline_end(total);
+        }
+        result.map(|()| reports)
+    }
+
+    /// Resumes from the latest snapshot under `dir`: validates that the
+    /// snapshot was written by a pipeline with the same
+    /// [`fingerprint`](Pipeline::fingerprint), the same worker count and the
+    /// same read set, restores the [`GraphState`], fast-forwards to the
+    /// recorded position (seeding the round counters so stage numbering
+    /// continues seamlessly) and replays the remaining stages with
+    /// [`try_run`](Pipeline::try_run) semantics.
+    ///
+    /// Returns the restored-and-completed state plus the reports of the
+    /// *replayed* stages only. Checkpointing stays active during the replay
+    /// when configured via [`checkpoint_to`](Pipeline::checkpoint_to).
+    pub fn resume<'r>(
+        &mut self,
+        dir: impl AsRef<Path>,
+        reads: &'r ReadSet,
+        ctx: &ExecCtx,
+    ) -> Result<(GraphState<'r>, Vec<StageReport>), PipelineError> {
+        let (mut state, manifest) = checkpoint::load_latest(dir.as_ref(), reads)?;
+        self.validate_manifest(&manifest, ctx)?;
+
+        let total = Instant::now();
+        for obs in self.observers.iter_mut() {
+            obs.on_pipeline_start();
+        }
+        let mut rounds: HashMap<String, usize> = manifest.rounds.iter().cloned().collect();
+        let mut reports: Vec<StageReport> = Vec::new();
+        let result = self.execute(
+            &mut state,
+            ctx,
+            manifest.completed_stages,
+            &mut rounds,
+            true,
+            &mut reports,
+        );
+        let total = total.elapsed();
+        for obs in self.observers.iter_mut() {
+            obs.on_pipeline_end(total);
+        }
+        result.map(|()| (state, reports))
+    }
+
+    /// Rejects a snapshot manifest that disagrees with this pipeline or the
+    /// execution context it is about to run on.
+    fn validate_manifest(
+        &self,
+        manifest: &checkpoint::Manifest,
+        ctx: &ExecCtx,
+    ) -> Result<(), PipelineError> {
+        let fingerprint = self.fingerprint();
+        if manifest.pipeline_fingerprint != fingerprint {
+            return Err(PipelineError::Checkpoint(CheckpointError::Mismatch {
+                what: "pipeline fingerprint".into(),
+                expected: format!("{:#018x}", manifest.pipeline_fingerprint),
+                actual: format!("{fingerprint:#018x}"),
+            }));
+        }
+        if manifest.workers != ctx.workers() {
+            return Err(PipelineError::Checkpoint(CheckpointError::Mismatch {
+                what: "worker count".into(),
+                expected: manifest.workers.to_string(),
+                actual: ctx.workers().to_string(),
+            }));
+        }
+        if manifest.completed_stages > self.stage_count() {
+            return Err(PipelineError::Checkpoint(CheckpointError::Mismatch {
+                what: "completed stage count".into(),
+                expected: format!("at most {}", self.stage_count()),
+                actual: manifest.completed_stages.to_string(),
+            }));
+        }
+        Ok(())
+    }
+
+    /// The self-healing driver loop: runs the pipeline, and on a failed
+    /// attempt rewinds to the latest checkpoint (or to a fresh
+    /// [`GraphState`] when none was saved) and retries the failed stage,
+    /// up to `max_attempts` total attempts. The error of the final attempt is
+    /// returned when every attempt fails.
+    ///
+    /// On success the returned reports cover every flattened stage exactly
+    /// once — reports from work a failed attempt lost are replaced by the
+    /// retry's. Observers, however, see each boundary as it executes,
+    /// including re-executions.
+    pub fn try_run_with_retries<'r>(
+        &mut self,
+        state: &mut GraphState<'r>,
+        ctx: &ExecCtx,
+        max_attempts: usize,
+    ) -> Result<Vec<StageReport>, PipelineError> {
+        assert!(max_attempts >= 1, "max_attempts must be at least 1");
+        let reads = state.reads;
+        let total = Instant::now();
+        for obs in self.observers.iter_mut() {
+            obs.on_pipeline_start();
+        }
+        let mut rounds: HashMap<String, usize> = HashMap::new();
+        let mut reports: Vec<StageReport> = Vec::new();
+        let mut start_at = 0;
+        let mut result = Ok(());
+        for attempt in 1..=max_attempts {
+            if attempt > 1 {
+                // Rewind: the failed attempt may have left the state partially
+                // mutated. Reports are truncated to the snapshot position so a
+                // successful run still yields exactly one report per stage. A
+                // failure while reloading (corrupt snapshot, foreign manifest)
+                // aborts the retry loop — retrying cannot cure it.
+                let rewind =
+                    || -> Result<Option<(GraphState<'r>, checkpoint::Manifest)>, PipelineError> {
+                        match &self.checkpoint {
+                            Some((dir, _)) => match checkpoint::latest(dir)? {
+                                Some(ckpt) => Ok(Some(checkpoint::load(&ckpt, reads)?)),
+                                None => Ok(None),
+                            },
+                            None => Ok(None),
+                        }
+                    };
+                let resumed = match rewind() {
+                    Ok(resumed) => resumed,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                };
+                match resumed {
+                    Some((loaded, manifest)) => {
+                        if let Err(e) = self.validate_manifest(&manifest, ctx) {
+                            result = Err(e);
+                            break;
+                        }
+                        *state = loaded;
+                        start_at = manifest.completed_stages;
+                        rounds = manifest.rounds.into_iter().collect();
+                        reports.truncate(manifest.completed_stages);
+                    }
+                    None => {
+                        *state = GraphState::new(reads);
+                        start_at = 0;
+                        rounds.clear();
+                        reports.clear();
+                    }
+                }
+            }
+            result = self.execute(state, ctx, start_at, &mut rounds, true, &mut reports);
+            if result.is_ok() {
+                break;
+            }
+        }
+        let total = total.elapsed();
+        for obs in self.observers.iter_mut() {
+            obs.on_pipeline_end(total);
+        }
+        result.map(|()| reports)
     }
 }
 
@@ -883,6 +1355,7 @@ impl std::fmt::Debug for Pipeline<'_> {
         f.debug_struct("Pipeline")
             .field("stages", &stages)
             .field("observers", &self.observers.len())
+            .field("checkpoint", &self.checkpoint)
             .finish()
     }
 }
@@ -1066,5 +1539,230 @@ mod tests {
         assert_eq!(reports[3].stage, "halve");
         assert!(matches!(reports[3].details, StageDetails::Custom));
         assert!(stats.timings.iter().any(|t| t.stage == "halve"));
+    }
+
+    /// A unique, cleaned-on-drop temp directory for checkpoint tests.
+    struct TmpDir(PathBuf);
+
+    impl TmpDir {
+        fn new(tag: &str) -> TmpDir {
+            let dir =
+                std::env::temp_dir().join(format!("ppa-pipeline-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TmpDir(dir)
+        }
+    }
+
+    impl Drop for TmpDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn try_run_matches_run() {
+        let reads = reads(2_000, 0.0, 71);
+        let config = small_config();
+        let ctx = ExecCtx::new(2);
+        let mut baseline = GraphState::new(&reads);
+        let baseline_reports = Pipeline::paper_workflow(&config).run(&mut baseline, &ctx);
+        let mut state = GraphState::new(&reads);
+        let reports = Pipeline::paper_workflow(&config)
+            .try_run(&mut state, &ctx)
+            .expect("fault-free try_run succeeds");
+        assert_eq!(state, baseline);
+        assert_eq!(reports.len(), baseline_reports.len());
+        for (a, b) in reports.iter().zip(&baseline_reports) {
+            assert_eq!((a.stage.as_str(), a.round), (b.stage.as_str(), b.round));
+        }
+    }
+
+    #[test]
+    fn checkpoint_policy_off_writes_nothing() {
+        let reads = reads(1_500, 0.0, 73);
+        let config = small_config();
+        let tmp = TmpDir::new("policy-off");
+        let mut state = GraphState::new(&reads);
+        Pipeline::paper_workflow(&config)
+            .checkpoint_to(&tmp.0, CheckpointPolicy::Off)
+            .run(&mut state, &ExecCtx::new(2));
+        assert!(!state.output.is_empty());
+        assert!(!tmp.0.exists(), "Off policy must not touch the directory");
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_and_config() {
+        let config = small_config();
+        let base = Pipeline::<'static>::paper_workflow(&config).fingerprint();
+        assert_eq!(
+            base,
+            Pipeline::<'static>::paper_workflow(&config).fingerprint(),
+            "fingerprint is deterministic"
+        );
+        let different_k = AssemblyConfig {
+            k: 19,
+            ..small_config()
+        };
+        assert_ne!(
+            base,
+            Pipeline::<'static>::paper_workflow(&different_k).fingerprint()
+        );
+        let more_rounds = AssemblyConfig {
+            error_correction_rounds: 2,
+            ..small_config()
+        };
+        assert_ne!(
+            base,
+            Pipeline::<'static>::paper_workflow(&more_rounds).fingerprint()
+        );
+    }
+
+    #[test]
+    fn try_run_surfaces_stage_panics_and_leaves_the_pool_reusable() {
+        let empty = ReadSet::new();
+        let ctx = ExecCtx::new(2);
+        let mut state = GraphState::new(&empty);
+        let err = Pipeline::new()
+            .then(Merge::new(MergeConfig::default()))
+            .try_run(&mut state, &ctx)
+            .unwrap_err();
+        match &err {
+            PipelineError::Stage {
+                stage,
+                round,
+                message,
+            } => {
+                assert_eq!(stage, "merge");
+                assert_eq!(*round, 1);
+                assert!(message.contains("requires a preceding Label stage"));
+            }
+            other => panic!("expected a Stage error, got {other:?}"),
+        }
+        // The same context still drives a full workflow afterwards.
+        let reads = reads(1_500, 0.0, 79);
+        let mut state = GraphState::new(&reads);
+        Pipeline::paper_workflow(&small_config()).run(&mut state, &ctx);
+        assert!(!state.output.is_empty());
+    }
+
+    #[test]
+    fn completed_checkpoint_resumes_to_identical_state() {
+        let reads = reads(2_000, 0.0, 83);
+        let config = small_config();
+        let ctx = ExecCtx::new(2);
+        let tmp = TmpDir::new("resume-complete");
+        let mut baseline = GraphState::new(&reads);
+        Pipeline::paper_workflow(&config)
+            .checkpoint_to(&tmp.0, CheckpointPolicy::EveryStage)
+            .run(&mut baseline, &ctx);
+        let (resumed, reports) = Pipeline::paper_workflow(&config)
+            .resume(&tmp.0, &reads, &ctx)
+            .expect("resume from a completed run");
+        assert!(reports.is_empty(), "nothing left to replay");
+        assert_eq!(resumed, baseline);
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_pipeline_or_context() {
+        let reads = reads(1_500, 0.0, 89);
+        let config = small_config();
+        let ctx = ExecCtx::new(2);
+        let tmp = TmpDir::new("resume-mismatch");
+        let mut state = GraphState::new(&reads);
+        Pipeline::paper_workflow(&config)
+            .checkpoint_to(&tmp.0, CheckpointPolicy::EveryStage)
+            .run(&mut state, &ctx);
+        let other_config = AssemblyConfig {
+            k: 19,
+            ..small_config()
+        };
+        let err = Pipeline::paper_workflow(&other_config)
+            .resume(&tmp.0, &reads, &ctx)
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                PipelineError::Checkpoint(CheckpointError::Mismatch { what, .. })
+                    if what == "pipeline fingerprint"
+            ),
+            "got {err:?}"
+        );
+        let err = Pipeline::paper_workflow(&config)
+            .resume(&tmp.0, &reads, &ExecCtx::new(3))
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                PipelineError::Checkpoint(CheckpointError::Mismatch { what, .. })
+                    if what == "worker count"
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn retries_recover_from_an_injected_stage_fault() {
+        let reads = reads(2_000, 0.0, 97);
+        let config = small_config();
+        let ctx = ExecCtx::new(2);
+        let mut baseline = GraphState::new(&reads);
+        Pipeline::paper_workflow(&config).run(&mut baseline, &ctx);
+
+        let tmp = TmpDir::new("retry-stage-fault");
+        let armed = ctx.inject_faults(ppa_pregel::FaultPlan::single(
+            ppa_pregel::Fault::StageEntry { stage: 5 },
+        ));
+        let mut state = GraphState::new(&reads);
+        let reports = Pipeline::paper_workflow(&config)
+            .checkpoint_to(&tmp.0, CheckpointPolicy::EveryStage)
+            .try_run_with_retries(&mut state, &ctx, 2)
+            .expect("the retry after the injected crash succeeds");
+        ctx.clear_faults();
+        assert!(armed.all_fired(), "the injected fault fired");
+        assert_eq!(reports.len(), 8, "one report per flattened stage");
+        assert_eq!(state.output, baseline.output, "resumed output is identical");
+    }
+
+    #[test]
+    fn retries_without_checkpoints_restart_from_scratch() {
+        let reads = reads(1_500, 0.0, 101);
+        let config = small_config();
+        let ctx = ExecCtx::new(2);
+        let mut baseline = GraphState::new(&reads);
+        Pipeline::paper_workflow(&config).run(&mut baseline, &ctx);
+
+        let armed = ctx.inject_faults(ppa_pregel::FaultPlan::single(
+            ppa_pregel::Fault::StageEntry { stage: 3 },
+        ));
+        let mut state = GraphState::new(&reads);
+        let reports = Pipeline::paper_workflow(&config)
+            .try_run_with_retries(&mut state, &ctx, 2)
+            .expect("the full restart succeeds");
+        ctx.clear_faults();
+        assert!(armed.all_fired());
+        assert_eq!(reports.len(), 8);
+        assert_eq!(state.output, baseline.output);
+    }
+
+    #[test]
+    fn bounded_retries_return_the_last_error() {
+        let reads = reads(1_500, 0.0, 103);
+        let config = small_config();
+        let ctx = ExecCtx::new(2);
+        // Two faults, one attempt: the first fault is fatal.
+        let _armed = ctx.inject_faults(
+            ppa_pregel::FaultPlan::new()
+                .with(ppa_pregel::Fault::StageEntry { stage: 2 })
+                .with(ppa_pregel::Fault::StageEntry { stage: 2 }),
+        );
+        let mut state = GraphState::new(&reads);
+        let err = Pipeline::paper_workflow(&config)
+            .try_run_with_retries(&mut state, &ctx, 1)
+            .unwrap_err();
+        ctx.clear_faults();
+        assert!(
+            matches!(&err, PipelineError::Stage { stage, .. } if stage == "merge"),
+            "got {err:?}"
+        );
     }
 }

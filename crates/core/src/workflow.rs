@@ -12,11 +12,13 @@
 //! compose their own [`crate::pipeline::Pipeline`] (or call the operations in
 //! [`crate::ops`] directly).
 
-use crate::pipeline::{GraphState, Pipeline};
+use crate::pipeline::{CheckpointPolicy, GraphState, Pipeline, PipelineError};
 use crate::stats::{n50, WorkflowStats};
 use ppa_pregel::ExecCtx;
-use ppa_seq::{DnaString, FastxRecord, ReadSet};
+use ppa_seq::{DnaString, FastxRecord, ReadSet, SeqError};
 use serde::{Deserialize, Serialize};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
 
 /// Which algorithm performs contig labeling (operation ②).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -167,12 +169,7 @@ impl Assembly {
 /// ([`AssemblyConfig::exec`], or a pool built here when unset): threads are
 /// spawned once per run, not once per superstep/phase.
 pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
-    let ctx = config
-        .exec
-        .clone()
-        .unwrap_or_else(|| ExecCtx::new(config.workers));
-    ctx.assert_matches(config.workers, "AssemblyConfig.workers");
-
+    let ctx = exec_ctx(config);
     let mut stats = WorkflowStats::default();
     let mut state = GraphState::new(reads);
     Pipeline::paper_workflow(config)
@@ -183,6 +180,113 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
         contigs: state.output,
         stats,
     }
+}
+
+/// The execution context an assembly entry point runs on: the configured one
+/// when supplied, or a private pool sized to `config.workers`.
+fn exec_ctx(config: &AssemblyConfig) -> ExecCtx {
+    let ctx = config
+        .exec
+        .clone()
+        .unwrap_or_else(|| ExecCtx::new(config.workers));
+    ctx.assert_matches(config.workers, "AssemblyConfig.workers");
+    ctx
+}
+
+/// Reads FASTA or FASTQ input, auto-detecting the format from the first byte,
+/// and surfaces malformed records as a recoverable [`PipelineError::Input`]
+/// (carrying the 1-based line number of the offending record) instead of a
+/// panic. Empty input yields an empty [`ReadSet`].
+pub fn read_input<R: BufRead>(mut reader: R) -> Result<ReadSet, PipelineError> {
+    let first = {
+        let buf = reader.fill_buf().map_err(SeqError::from)?;
+        buf.first().copied()
+    };
+    match first {
+        None => Ok(ReadSet::new()),
+        Some(b'>') => ReadSet::read_fasta(reader).map_err(PipelineError::Input),
+        Some(b'@') => ReadSet::read_fastq(reader).map_err(PipelineError::Input),
+        Some(c) => Err(PipelineError::Input(SeqError::Parse {
+            line: 1,
+            msg: format!(
+                "unrecognized input format: expected '>' (FASTA) or '@' (FASTQ), found {:?}",
+                c as char
+            ),
+        })),
+    }
+}
+
+/// [`read_input`] over a file path; open errors become
+/// [`PipelineError::Input`] too.
+pub fn read_input_path(path: impl AsRef<Path>) -> Result<ReadSet, PipelineError> {
+    let file = std::fs::File::open(path).map_err(SeqError::from)?;
+    read_input(std::io::BufReader::new(file))
+}
+
+/// Fallible [`assemble`]: a stage panic (including worker panics surfaced at
+/// the superstep barrier) is returned as a typed [`PipelineError`] instead of
+/// unwinding, leaving the worker pool reusable.
+pub fn try_assemble(reads: &ReadSet, config: &AssemblyConfig) -> Result<Assembly, PipelineError> {
+    let ctx = exec_ctx(config);
+    let mut stats = WorkflowStats::default();
+    let mut state = GraphState::new(reads);
+    Pipeline::paper_workflow(config)
+        .observe(&mut stats)
+        .try_run(&mut state, &ctx)?;
+    Ok(Assembly {
+        contigs: state.output,
+        stats,
+    })
+}
+
+/// [`assemble`] with stage-boundary checkpointing and bounded retries: the
+/// paper workflow snapshots its [`GraphState`] under `dir` per `policy`, and
+/// a failed stage is retried from the latest snapshot (or from scratch when
+/// none was saved yet), up to `max_attempts` total attempts.
+pub fn assemble_with_checkpoints(
+    reads: &ReadSet,
+    config: &AssemblyConfig,
+    dir: impl Into<PathBuf>,
+    policy: CheckpointPolicy,
+    max_attempts: usize,
+) -> Result<Assembly, PipelineError> {
+    let ctx = exec_ctx(config);
+    let mut stats = WorkflowStats::default();
+    let mut state = GraphState::new(reads);
+    Pipeline::paper_workflow(config)
+        .checkpoint_to(dir, policy)
+        .observe(&mut stats)
+        .try_run_with_retries(&mut state, &ctx, max_attempts)?;
+    Ok(Assembly {
+        contigs: state.output,
+        stats,
+    })
+}
+
+/// Resumes an interrupted [`assemble_with_checkpoints`] run from the latest
+/// snapshot under `dir`, replaying only the remaining stages (and continuing
+/// to snapshot per `policy`). The snapshot must have been written by the same
+/// workflow: same configuration fingerprint, worker count and read set.
+///
+/// The returned [`Assembly::stats`] cover the replayed stages only — an
+/// assembly resumed at the final stage reports timings for that stage alone.
+pub fn resume_assembly(
+    reads: &ReadSet,
+    config: &AssemblyConfig,
+    dir: impl Into<PathBuf>,
+    policy: CheckpointPolicy,
+) -> Result<Assembly, PipelineError> {
+    let ctx = exec_ctx(config);
+    let dir = dir.into();
+    let mut stats = WorkflowStats::default();
+    let (state, _reports) = Pipeline::paper_workflow(config)
+        .checkpoint_to(dir.clone(), policy)
+        .observe(&mut stats)
+        .resume(&dir, reads, &ctx)?;
+    Ok(Assembly {
+        contigs: state.output,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -413,6 +517,66 @@ mod tests {
             assembly.contigs[0].len(),
             "sequences survive the FASTA round-trip"
         );
+    }
+
+    #[test]
+    fn read_input_detects_format_and_surfaces_parse_errors() {
+        let fasta = read_input(std::io::Cursor::new(b">r1\nACGT\n".to_vec())).unwrap();
+        assert_eq!(fasta.len(), 1);
+        let fastq = read_input(std::io::Cursor::new(b"@r1\nACGT\n+\nIIII\n".to_vec())).unwrap();
+        assert_eq!(fastq.len(), 1);
+        assert_eq!(
+            read_input(std::io::Cursor::new(Vec::new())).unwrap().len(),
+            0
+        );
+
+        // A malformed record comes back as a typed, recoverable input error
+        // carrying the offending line, not a panic.
+        let err = read_input(std::io::Cursor::new(b"@r1\nACGT\n+\nII\n".to_vec())).unwrap_err();
+        match err {
+            crate::pipeline::PipelineError::Input(ppa_seq::SeqError::Parse { line, .. }) => {
+                assert_eq!(line, 4)
+            }
+            other => panic!("expected a parse error with line context, got {other:?}"),
+        }
+        let err = read_input(std::io::Cursor::new(b"#junk\n".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("unrecognized input format"));
+    }
+
+    #[test]
+    fn try_assemble_matches_assemble() {
+        let (_, reads) = simulate(2_000, 20.0, 0.0, 67);
+        let config = small_config(21);
+        let baseline = assemble(&reads, &config);
+        let assembly = try_assemble(&reads, &config).expect("fault-free run succeeds");
+        assert_eq!(assembly.contigs, baseline.contigs);
+    }
+
+    #[test]
+    fn checkpointed_assembly_survives_an_injected_crash() {
+        let (_, reads) = simulate(2_000, 20.0, 0.0, 71);
+        let mut config = small_config(21);
+        let ctx = ExecCtx::new(config.workers);
+        config.exec = Some(ctx.clone());
+        let baseline = assemble(&reads, &config);
+
+        let dir = std::env::temp_dir().join(format!("ppa-workflow-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let armed = ctx.inject_faults(ppa_pregel::FaultPlan::single(
+            ppa_pregel::Fault::StageEntry { stage: 6 },
+        ));
+        let assembly =
+            assemble_with_checkpoints(&reads, &config, &dir, CheckpointPolicy::EveryStage, 2)
+                .expect("the retry recovers the assembly");
+        ctx.clear_faults();
+        assert!(armed.all_fired());
+        assert_eq!(assembly.contigs, baseline.contigs);
+
+        // The completed run leaves a resumable snapshot behind.
+        let resumed = resume_assembly(&reads, &config, &dir, CheckpointPolicy::Off)
+            .expect("resume from the final snapshot");
+        assert_eq!(resumed.contigs, baseline.contigs);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

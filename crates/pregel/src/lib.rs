@@ -105,6 +105,7 @@ pub mod algorithms;
 pub mod chain;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod fxhash;
 mod kmerge;
 pub mod mapreduce;
@@ -117,7 +118,8 @@ pub mod vertex_set;
 pub use aggregate::{Aggregate, BoolOr, Count, MaxU64, MinU64, NoAggregate, SumU64};
 pub use chain::{ChainMode, SpillCodec};
 pub use config::PregelConfig;
-pub use engine::{ExecCtx, WorkerPool};
+pub use engine::{EngineError, ExecCtx, WorkerPool};
+pub use fault::{ArmedFaults, Fault, FaultPlan};
 pub use mapreduce::{
     map_reduce, map_reduce_on, map_reduce_with_metrics, map_reduce_with_metrics_on,
     MapReduceMetrics,

@@ -222,6 +222,9 @@ pub fn run_on<P: VertexProgram>(
     let job_start = Instant::now();
 
     vertices.activate_all();
+    // Fault-injection probe (testing hook): grabbed once per job so the
+    // superstep loop pays one Option check per worker when no plan is armed.
+    let faults = ctx.faults();
     let mut planes: Vec<WorkerPlane<P::Id, P::Message>> = planes_from_ctx(ctx, workers);
     let mut prev_aggregate = P::Aggregate::identity();
     let mut metrics = Metrics {
@@ -244,6 +247,9 @@ pub fn run_on<P: VertexProgram>(
             let worker_inputs: Vec<_> = vertices.parts.iter_mut().zip(planes.iter_mut()).collect();
             ctx.pool()
                 .run_per_worker(worker_inputs, |w, (part, plane)| {
+                    if let Some(f) = &faults {
+                        f.probe_superstep(superstep, w);
+                    }
                     let mut env: WorkerEnv<'_, P> = WorkerEnv {
                         program,
                         superstep,

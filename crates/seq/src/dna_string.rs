@@ -196,6 +196,39 @@ impl DnaString {
         }
         counts
     }
+
+    /// The packed 2-bit words backing the sequence, 32 bases per word from the
+    /// high end. Exposed for serialization (checkpointing).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a sequence from packed words and a base count, validating the
+    /// invariants [`DnaString::words`] guarantees: exactly
+    /// `len.div_ceil(32)` words, and every bit past the last base zero (so
+    /// that `Eq`/`Hash` remain structural). Malformed input — e.g. a
+    /// truncated or corrupted checkpoint — is rejected with
+    /// [`SeqError::MalformedRecord`], never a panic.
+    pub fn from_raw_parts(words: Vec<u64>, len: usize) -> Result<DnaString, SeqError> {
+        if words.len() != len.div_ceil(BASES_PER_WORD) {
+            return Err(SeqError::MalformedRecord(format!(
+                "DnaString of {len} bases needs {} words, got {}",
+                len.div_ceil(BASES_PER_WORD),
+                words.len()
+            )));
+        }
+        let tail = len % BASES_PER_WORD;
+        if tail != 0 {
+            let mask = u64::MAX >> (2 * tail);
+            if words[words.len() - 1] & mask != 0 {
+                return Err(SeqError::MalformedRecord(
+                    "DnaString trailing bits past the last base are not zero".into(),
+                ));
+            }
+        }
+        Ok(DnaString { words, len })
+    }
 }
 
 impl fmt::Display for DnaString {
@@ -328,6 +361,21 @@ mod tests {
         assert!(format!("{s:?}").contains("len=4"));
         let long = DnaString::from_ascii(&"ACGT".repeat(50)).unwrap();
         assert!(format!("{long:?}").contains("len=200"));
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_and_validation() {
+        for src in ["", "A", "ACGTTGCA", &"ACGT".repeat(20)] {
+            let s = DnaString::from_ascii(src).unwrap();
+            let rebuilt = DnaString::from_raw_parts(s.words().to_vec(), s.len()).unwrap();
+            assert_eq!(rebuilt, s);
+        }
+        // Word-count mismatch.
+        assert!(DnaString::from_raw_parts(vec![0], 0).is_err());
+        assert!(DnaString::from_raw_parts(vec![], 1).is_err());
+        // Non-zero bits past the last base would break structural Eq.
+        assert!(DnaString::from_raw_parts(vec![1], 1).is_err());
+        assert!(DnaString::from_raw_parts(vec![0b11 << 62], 1).is_ok());
     }
 
     #[test]

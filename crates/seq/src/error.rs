@@ -19,6 +19,14 @@ pub enum SeqError {
     },
     /// A FASTA/FASTQ record was malformed.
     MalformedRecord(String),
+    /// A FASTA/FASTQ record was malformed, with the 1-based line number at
+    /// which the problem was detected.
+    Parse {
+        /// 1-based line number in the input stream.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
     /// An I/O error occurred while reading or writing sequence files.
     Io(String),
 }
@@ -32,6 +40,9 @@ impl fmt::Display for SeqError {
                 write!(f, "sequence too short: required {required}, got {actual}")
             }
             SeqError::MalformedRecord(msg) => write!(f, "malformed FASTA/FASTQ record: {msg}"),
+            SeqError::Parse { line, msg } => {
+                write!(f, "malformed FASTA/FASTQ record at line {line}: {msg}")
+            }
             SeqError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
@@ -61,12 +72,18 @@ mod tests {
             .to_string(),
             SeqError::MalformedRecord("bad".into()).to_string(),
             SeqError::Io("disk".into()).to_string(),
+            SeqError::Parse {
+                line: 17,
+                msg: "odd".into(),
+            }
+            .to_string(),
         ];
         assert!(msgs[0].contains('x'));
         assert!(msgs[1].contains("40"));
         assert!(msgs[2].contains("32") && msgs[2].contains('5'));
         assert!(msgs[3].contains("bad"));
         assert!(msgs[4].contains("disk"));
+        assert!(msgs[5].contains("17") && msgs[5].contains("odd"));
     }
 
     #[test]

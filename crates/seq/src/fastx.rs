@@ -117,39 +117,61 @@ impl ReadSet {
     }
 
     /// Parses FASTQ from a buffered reader.
+    ///
+    /// Malformed input — a truncated record, a `+` separator or quality line
+    /// that does not match, or a sequence character outside `ACGTN`
+    /// (case-insensitive) — is reported as [`SeqError::Parse`] with the
+    /// 1-based line number at which the problem was detected, never a panic.
     pub fn read_fastq<R: BufRead>(reader: R) -> Result<ReadSet, SeqError> {
         let mut records = Vec::new();
         let mut lines = reader.lines();
-        while let Some(header) = lines.next() {
-            let header = header?;
+        let mut line_no: usize = 0;
+        let next_line = |lines: &mut std::io::Lines<R>,
+                         line_no: &mut usize,
+                         what: &str|
+         -> Result<String, SeqError> {
+            match lines.next() {
+                Some(line) => {
+                    *line_no += 1;
+                    Ok(line?)
+                }
+                None => Err(SeqError::Parse {
+                    line: *line_no,
+                    msg: format!("truncated record: missing {what}"),
+                }),
+            }
+        };
+        while let Some(line) = lines.next() {
+            line_no += 1;
+            let header = line?;
             if header.trim().is_empty() {
                 continue;
             }
             if !header.starts_with('@') {
-                return Err(SeqError::MalformedRecord(format!(
-                    "expected '@' header, got {header:?}"
-                )));
+                return Err(SeqError::Parse {
+                    line: line_no,
+                    msg: format!("expected '@' header, got {header:?}"),
+                });
             }
-            let seq = lines
-                .next()
-                .ok_or_else(|| SeqError::MalformedRecord("missing sequence line".into()))??;
-            let plus = lines
-                .next()
-                .ok_or_else(|| SeqError::MalformedRecord("missing '+' line".into()))??;
+            let seq = next_line(&mut lines, &mut line_no, "sequence line")?;
+            validate_sequence_line(seq.as_bytes(), line_no)?;
+            let plus = next_line(&mut lines, &mut line_no, "'+' separator line")?;
             if !plus.starts_with('+') {
-                return Err(SeqError::MalformedRecord(format!(
-                    "expected '+', got {plus:?}"
-                )));
+                return Err(SeqError::Parse {
+                    line: line_no,
+                    msg: format!("expected '+' separator, got {plus:?}"),
+                });
             }
-            let qual = lines
-                .next()
-                .ok_or_else(|| SeqError::MalformedRecord("missing quality line".into()))??;
+            let qual = next_line(&mut lines, &mut line_no, "quality line")?;
             if qual.len() != seq.len() {
-                return Err(SeqError::MalformedRecord(format!(
-                    "quality length {} != sequence length {} for {header:?}",
-                    qual.len(),
-                    seq.len()
-                )));
+                return Err(SeqError::Parse {
+                    line: line_no,
+                    msg: format!(
+                        "quality length {} != sequence length {} for {header:?}",
+                        qual.len(),
+                        seq.len()
+                    ),
+                });
             }
             records.push(FastxRecord::new_fastq(
                 header[1..]
@@ -165,9 +187,14 @@ impl ReadSet {
     }
 
     /// Parses FASTA from a buffered reader (multi-line sequences supported).
+    ///
+    /// Malformed input — sequence data before the first header, or a sequence
+    /// character outside `ACGTN` (case-insensitive) — is reported as
+    /// [`SeqError::Parse`] with the 1-based line number, never a panic.
     pub fn read_fasta<R: BufRead>(reader: R) -> Result<ReadSet, SeqError> {
         let mut records: Vec<FastxRecord> = Vec::new();
-        for line in reader.lines() {
+        for (i, line) in reader.lines().enumerate() {
+            let line_no = i + 1;
             let line = line?;
             let trimmed = line.trim_end();
             if trimmed.is_empty() {
@@ -179,9 +206,11 @@ impl ReadSet {
                     Vec::new(),
                 ));
             } else {
-                let rec = records.last_mut().ok_or_else(|| {
-                    SeqError::MalformedRecord("sequence data before first '>' header".into())
+                let rec = records.last_mut().ok_or_else(|| SeqError::Parse {
+                    line: line_no,
+                    msg: "sequence data before first '>' header".into(),
                 })?;
+                validate_sequence_line(trimmed.as_bytes(), line_no)?;
                 rec.seq.extend_from_slice(trimmed.as_bytes());
             }
         }
@@ -222,6 +251,24 @@ impl ReadSet {
     }
 }
 
+/// Rejects sequence characters outside `ACGTN` (case-insensitive). `N`s are
+/// legal input — the DBG construction treats them as break points — but
+/// anything else (e.g. a stray `-`, digit, or shifted-column garbage from a
+/// corrupt file) is a parse error, reported with the offending character and
+/// its 1-based line number.
+fn validate_sequence_line(seq: &[u8], line_no: usize) -> Result<(), SeqError> {
+    for &c in seq {
+        let ok = crate::Base::from_ascii_checked(c).is_some() || c == b'N' || c == b'n';
+        if !ok {
+            return Err(SeqError::Parse {
+                line: line_no,
+                msg: format!("invalid sequence character {:?}", c as char),
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +296,46 @@ mod tests {
         assert!(ReadSet::read_fastq(Cursor::new("@r\nACGT\nX\nIIII\n")).is_err());
         assert!(ReadSet::read_fastq(Cursor::new("@r\nACGT\n+\nII\n")).is_err());
         assert!(ReadSet::read_fastq(Cursor::new("")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fastq_errors_carry_line_context() {
+        // Truncated record: the header on line 5 has no sequence line.
+        let e = ReadSet::read_fastq(Cursor::new("@r1\nACGT\n+\nIIII\n@r2\n")).unwrap_err();
+        assert!(
+            matches!(e, SeqError::Parse { line: 5, ref msg } if msg.contains("sequence line")),
+            "{e}"
+        );
+        // Quality line on line 4 shorter than the sequence.
+        let e = ReadSet::read_fastq(Cursor::new("@r\nACGT\n+\nII\n")).unwrap_err();
+        assert!(matches!(e, SeqError::Parse { line: 4, .. }), "{e}");
+        // Non-ACGTN character on the sequence line (line 2).
+        let e = ReadSet::read_fastq(Cursor::new("@r\nAC-T\n+\nIIII\n")).unwrap_err();
+        assert!(
+            matches!(e, SeqError::Parse { line: 2, ref msg } if msg.contains('-')),
+            "{e}"
+        );
+        // Missing '+' separator on line 3.
+        let e = ReadSet::read_fastq(Cursor::new("@r\nACGT\nIIII\n")).unwrap_err();
+        assert!(matches!(e, SeqError::Parse { line: 3, .. }), "{e}");
+    }
+
+    #[test]
+    fn fastq_accepts_n_and_lowercase() {
+        let rs = ReadSet::read_fastq(Cursor::new("@r\nacgtN\n+\nIIIII\n")).unwrap();
+        assert_eq!(rs.records[0].seq, b"acgtN");
+    }
+
+    #[test]
+    fn fasta_errors_carry_line_context() {
+        let e = ReadSet::read_fasta(Cursor::new("ACGT\n")).unwrap_err();
+        assert!(matches!(e, SeqError::Parse { line: 1, .. }), "{e}");
+        // Second sequence line of the record (line 3) has a bad character.
+        let e = ReadSet::read_fasta(Cursor::new(">c\nACGT\nAC!T\n")).unwrap_err();
+        assert!(
+            matches!(e, SeqError::Parse { line: 3, ref msg } if msg.contains('!')),
+            "{e}"
+        );
     }
 
     #[test]

@@ -1,3 +1,3 @@
 //! Shared crate root for the runnable examples (see the `[[bin]]` targets in
-//! `Cargo.toml`): `quickstart`, `error_correction`, `custom_workflow` and
-//! `pregel_toolkit`.
+//! `Cargo.toml`): `quickstart`, `error_correction`, `custom_workflow`,
+//! `pregel_toolkit` and `checkpoint_resume`.

@@ -1,5 +1,313 @@
 //! Offline serde shim: re-exports the no-op derive macros so that
 //! `use serde::{Deserialize, Serialize};` + `#[derive(Serialize, Deserialize)]`
-//! compile without the real crate. See `shims/README.md`.
+//! compile without the real crate, plus a small hand-rolled binary
+//! reader/writer ([`bin`]) used by the checkpoint subsystem. See
+//! `shims/README.md`.
 
 pub use serde_derive::{Deserialize, Serialize};
+
+pub mod bin {
+    //! Minimal little-endian binary encoding.
+    //!
+    //! The checkpoint on-disk format (see `ppa_assembler::checkpoint`) needs a
+    //! deterministic, dependency-free byte encoding. [`Writer`] appends
+    //! fixed-width little-endian integers and length-prefixed byte strings to
+    //! any [`std::io::Write`]; [`Reader`] decodes them from a byte slice and
+    //! reports truncation or corruption as a typed [`BinError`] — it never
+    //! panics on malformed input.
+
+    use std::fmt;
+    use std::io::{self, Write};
+
+    /// Decoding error: the input bytes do not contain what was asked for.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum BinError {
+        /// Fewer bytes remained than the requested value needs.
+        Truncated {
+            /// Byte offset at which the read was attempted.
+            offset: usize,
+            /// Bytes the value needed.
+            needed: usize,
+            /// Bytes that remained.
+            remaining: usize,
+        },
+        /// A decoded value was structurally invalid (bad tag, non-UTF-8
+        /// string, implausible length prefix, …).
+        Invalid {
+            /// Byte offset at which the bad value started.
+            offset: usize,
+            /// What was wrong.
+            what: String,
+        },
+    }
+
+    impl fmt::Display for BinError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                BinError::Truncated {
+                    offset,
+                    needed,
+                    remaining,
+                } => write!(
+                    f,
+                    "truncated input at offset {offset}: needed {needed} bytes, {remaining} remain"
+                ),
+                BinError::Invalid { offset, what } => {
+                    write!(f, "invalid value at offset {offset}: {what}")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for BinError {}
+
+    /// Appends little-endian primitives to an [`io::Write`].
+    pub struct Writer<W: Write> {
+        out: W,
+        written: usize,
+    }
+
+    impl<W: Write> Writer<W> {
+        /// Wraps a sink.
+        pub fn new(out: W) -> Writer<W> {
+            Writer { out, written: 0 }
+        }
+
+        /// Total bytes written so far.
+        pub fn bytes_written(&self) -> usize {
+            self.written
+        }
+
+        /// Unwraps the sink.
+        pub fn into_inner(self) -> W {
+            self.out
+        }
+
+        /// Writes raw bytes without a length prefix.
+        pub fn raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+            self.out.write_all(bytes)?;
+            self.written += bytes.len();
+            Ok(())
+        }
+
+        /// Writes one byte.
+        pub fn u8(&mut self, v: u8) -> io::Result<()> {
+            self.raw(&[v])
+        }
+
+        /// Writes a `bool` as one byte (0 or 1).
+        pub fn bool(&mut self, v: bool) -> io::Result<()> {
+            self.u8(v as u8)
+        }
+
+        /// Writes a little-endian `u32`.
+        pub fn u32(&mut self, v: u32) -> io::Result<()> {
+            self.raw(&v.to_le_bytes())
+        }
+
+        /// Writes a little-endian `u64`.
+        pub fn u64(&mut self, v: u64) -> io::Result<()> {
+            self.raw(&v.to_le_bytes())
+        }
+
+        /// Writes an `f64` via its IEEE-754 bit pattern (exact round-trip).
+        pub fn f64(&mut self, v: f64) -> io::Result<()> {
+            self.u64(v.to_bits())
+        }
+
+        /// Writes a `u64` length prefix followed by the bytes.
+        pub fn bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+            self.u64(bytes.len() as u64)?;
+            self.raw(bytes)
+        }
+
+        /// Writes a UTF-8 string as a length-prefixed byte string.
+        pub fn str(&mut self, s: &str) -> io::Result<()> {
+            self.bytes(s.as_bytes())
+        }
+    }
+
+    /// Decodes little-endian primitives from a byte slice.
+    pub struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        /// Wraps a byte slice.
+        pub fn new(buf: &'a [u8]) -> Reader<'a> {
+            Reader { buf, pos: 0 }
+        }
+
+        /// Current byte offset.
+        pub fn position(&self) -> usize {
+            self.pos
+        }
+
+        /// Bytes not yet consumed.
+        pub fn remaining(&self) -> usize {
+            self.buf.len() - self.pos
+        }
+
+        /// Whether the whole buffer has been consumed.
+        pub fn is_empty(&self) -> bool {
+            self.remaining() == 0
+        }
+
+        /// Reports an [`BinError::Invalid`] at the current offset.
+        pub fn invalid(&self, what: impl Into<String>) -> BinError {
+            BinError::Invalid {
+                offset: self.pos,
+                what: what.into(),
+            }
+        }
+
+        fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+            if self.remaining() < n {
+                return Err(BinError::Truncated {
+                    offset: self.pos,
+                    needed: n,
+                    remaining: self.remaining(),
+                });
+            }
+            let slice = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(slice)
+        }
+
+        /// Reads one byte.
+        pub fn u8(&mut self) -> Result<u8, BinError> {
+            Ok(self.take(1)?[0])
+        }
+
+        /// Reads a `bool` byte; anything other than 0/1 is invalid.
+        pub fn bool(&mut self) -> Result<bool, BinError> {
+            let at = self.pos;
+            match self.u8()? {
+                0 => Ok(false),
+                1 => Ok(true),
+                other => Err(BinError::Invalid {
+                    offset: at,
+                    what: format!("bool byte must be 0 or 1, got {other}"),
+                }),
+            }
+        }
+
+        /// Reads a little-endian `u32`.
+        pub fn u32(&mut self) -> Result<u32, BinError> {
+            let b = self.take(4)?;
+            Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        }
+
+        /// Reads a little-endian `u64`.
+        pub fn u64(&mut self) -> Result<u64, BinError> {
+            let b = self.take(8)?;
+            Ok(u64::from_le_bytes([
+                b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+            ]))
+        }
+
+        /// Reads an `f64` from its bit pattern.
+        pub fn f64(&mut self) -> Result<f64, BinError> {
+            Ok(f64::from_bits(self.u64()?))
+        }
+
+        /// Reads a `u64`-length-prefixed byte string. The length prefix is
+        /// validated against the remaining input before any allocation.
+        pub fn bytes(&mut self) -> Result<&'a [u8], BinError> {
+            let at = self.pos;
+            let len = self.u64()?;
+            if len > self.remaining() as u64 {
+                return Err(BinError::Truncated {
+                    offset: at,
+                    needed: len as usize,
+                    remaining: self.remaining(),
+                });
+            }
+            self.take(len as usize)
+        }
+
+        /// Reads a length-prefixed UTF-8 string.
+        pub fn str(&mut self) -> Result<&'a str, BinError> {
+            let at = self.pos;
+            let bytes = self.bytes()?;
+            std::str::from_utf8(bytes).map_err(|_| BinError::Invalid {
+                offset: at,
+                what: "length-prefixed string is not valid UTF-8".into(),
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn primitives_round_trip() {
+            let mut w = Writer::new(Vec::new());
+            w.u8(7).unwrap();
+            w.bool(true).unwrap();
+            w.u32(0xDEAD_BEEF).unwrap();
+            w.u64(u64::MAX - 1).unwrap();
+            w.f64(-0.125).unwrap();
+            w.bytes(b"abc").unwrap();
+            w.str("héllo").unwrap();
+            let buf = w.into_inner();
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.u8().unwrap(), 7);
+            assert!(r.bool().unwrap());
+            assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+            assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+            assert_eq!(r.f64().unwrap(), -0.125);
+            assert_eq!(r.bytes().unwrap(), b"abc");
+            assert_eq!(r.str().unwrap(), "héllo");
+            assert!(r.is_empty());
+        }
+
+        #[test]
+        fn truncated_reads_are_typed_errors() {
+            let mut w = Writer::new(Vec::new());
+            w.u64(42).unwrap();
+            let buf = w.into_inner();
+            for cut in 0..buf.len() {
+                let mut r = Reader::new(&buf[..cut]);
+                assert!(matches!(r.u64(), Err(BinError::Truncated { .. })));
+            }
+        }
+
+        #[test]
+        fn oversized_length_prefix_is_truncation_not_allocation() {
+            let mut w = Writer::new(Vec::new());
+            w.u64(u64::MAX).unwrap(); // bogus length prefix
+            let buf = w.into_inner();
+            let mut r = Reader::new(&buf);
+            assert!(matches!(r.bytes(), Err(BinError::Truncated { .. })));
+        }
+
+        #[test]
+        fn invalid_bool_and_utf8_rejected() {
+            let mut r = Reader::new(&[9]);
+            assert!(matches!(r.bool(), Err(BinError::Invalid { .. })));
+            let mut w = Writer::new(Vec::new());
+            w.bytes(&[0xFF, 0xFE]).unwrap();
+            let buf = w.into_inner();
+            let mut r = Reader::new(&buf);
+            assert!(matches!(r.str(), Err(BinError::Invalid { .. })));
+        }
+
+        #[test]
+        fn errors_display_offsets() {
+            let e = BinError::Truncated {
+                offset: 3,
+                needed: 8,
+                remaining: 1,
+            };
+            assert!(e.to_string().contains('3'));
+            let e = BinError::Invalid {
+                offset: 5,
+                what: "bad tag".into(),
+            };
+            assert!(e.to_string().contains("bad tag"));
+        }
+    }
+}
