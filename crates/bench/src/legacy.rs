@@ -50,6 +50,32 @@ pub fn with_comparison_plane<R>(f: impl FnOnce() -> R) -> R {
     result
 }
 
+/// Runs `f` with every SIMD/word-parallel kernel in the workspace forced
+/// onto its portable scalar twin — `ppa_pregel::kernels` (histograms, merge
+/// joins, bitset scans, bit-packing) *and* `ppa_seq::kernels` (packed
+/// `DnaString` comparison, reverse complement, splicing) together, since the
+/// two crates share only the toggle convention, not code. Not reentrant and
+/// process-global: bench use only.
+pub fn with_scalar_kernels<R>(f: impl FnOnce() -> R) -> R {
+    ppa_pregel::kernels::force_scalar_kernels(true);
+    ppa_seq::kernels::force_scalar_kernels(true);
+    let result = f();
+    ppa_seq::kernels::force_scalar_kernels(false);
+    ppa_pregel::kernels::force_scalar_kernels(false);
+    result
+}
+
+/// Runs `f` with `ppa_pregel`'s sorted-ID columns forced to stay **plain**
+/// (`Vec<Id>`) instead of delta + bit-packed frames. Construction-time: only
+/// vertex sets *built inside* `f` are affected. Not reentrant and
+/// process-global: bench use only.
+pub fn with_plain_id_columns<R>(f: impl FnOnce() -> R) -> R {
+    ppa_pregel::kernels::force_plain_id_columns(true);
+    let result = f();
+    ppa_pregel::kernels::force_plain_id_columns(false);
+    result
+}
+
 /// The raw pdqsort baseline the radix presort replaced: an unstable
 /// comparison sort by key, as `runner.rs`/`mapreduce.rs` ran before the
 /// radix plane.

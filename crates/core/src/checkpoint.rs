@@ -62,7 +62,7 @@ use std::time::Duration;
 /// First 8 bytes of every `MANIFEST`.
 const MAGIC: [u8; 8] = *b"PPACKPT1";
 /// Format version stamped into and checked against every manifest.
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 /// The manifest file name inside a snapshot directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
@@ -662,6 +662,7 @@ fn encode_metrics(w: &mut Writer<Vec<u8>>, m: &Metrics) {
         w.f64(s.pool_utilization).unwrap();
         w.f64(s.frontier_density).unwrap();
         w.u64(s.store_resident_bytes).unwrap();
+        w.f64(s.id_column_compression).unwrap();
     }
 }
 
@@ -689,6 +690,7 @@ fn decode_metrics(file: &str, r: &mut Reader<'_>) -> Result<Metrics, CheckpointE
             pool_utilization: r.f64().map_err(e)?,
             frontier_density: r.f64().map_err(e)?,
             store_resident_bytes: r.u64().map_err(e)?,
+            id_column_compression: r.f64().map_err(e)?,
         });
     }
     Ok(Metrics {
@@ -1129,6 +1131,7 @@ mod tests {
                     pool_utilization: (mix.below(1000) as f64) / 1000.0,
                     frontier_density: (mix.below(1000) as f64) / 1000.0,
                     store_resident_bytes: mix.next(),
+                    id_column_compression: (mix.below(1000) as f64) / 1000.0,
                 })
                 .collect(),
         }

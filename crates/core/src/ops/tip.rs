@@ -471,7 +471,7 @@ pub fn remove_tips_on(
             TipState::Contig { deleted, .. } => !*deleted,
         };
         if alive {
-            surviving_ids.insert(*id);
+            surviving_ids.insert(id);
         }
     }
 

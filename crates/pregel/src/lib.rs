@@ -107,6 +107,7 @@ pub mod config;
 pub mod engine;
 pub mod fault;
 pub mod fxhash;
+pub mod kernels;
 mod kmerge;
 pub mod mapreduce;
 pub mod metrics;

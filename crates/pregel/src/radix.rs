@@ -7,11 +7,18 @@
 //! `u64`). [`sort_pairs`] and [`sort_keys`] replace the comparison sorts on
 //! those sites with a **stable least-significant-digit radix sort**:
 //!
-//! * 8-bit digits, so a full `u64` key costs at most 8 counting passes;
-//! * all eight histograms are built in **one** read pass, and any digit on
-//!   which every key agrees is **skipped** — partition-clustered or
-//!   small-range keys (the common case: k-mer counts, contig labels and
-//!   vertex IDs rarely span all 64 bits) sort in 2–4 passes;
+//! * an **adaptive digit schedule**: a cheap envelope pass folds the bitwise
+//!   OR and AND of every key, which proves exactly which bits differ
+//!   ([`kernels::key_envelope`] is the
+//!   vectorized form). Digits on which every key agrees are **skipped** —
+//!   partition-clustered or small-range keys (the common case: k-mer counts,
+//!   contig labels and vertex IDs rarely span all 64 bits) sort in 2–4
+//!   byte-digit passes;
+//! * when six or more bytes are active (uniform full-width keys — the shape
+//!   that used to lose 0.85× to pdqsort), large inputs switch to six
+//!   **11-bit digits** with 2048-bucket stack histograms, two fewer scatter
+//!   passes over the data;
+//! * histograms for all scheduled digits are built in **one** read pass;
 //! * inputs at or below [`INSERTION_CUTOFF`] use an in-place insertion sort
 //!   instead (the per-destination buffers of a fine-grained shuffle are often
 //!   tiny);
@@ -46,11 +53,17 @@
 //! comparison plane stays reachable for benchmarking via
 //! [`force_comparison_plane`] (wrapped by `ppa_bench::legacy`).
 
+use crate::kernels;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Inputs of at most this many records are sorted with an in-place insertion
 /// sort instead of counting passes.
 pub const INSERTION_CUTOFF: usize = 64;
+
+/// Inputs below this size never take the wide (11-bit) digit schedule: its
+/// 48 KiB of histograms and 16 KiB of scatter offsets would dominate the
+/// sort itself.
+pub const WIDE_CUTOFF: usize = 1 << 15;
 
 /// Bench-only switch forcing every [`sort_pairs`]/[`sort_keys`] call onto the
 /// comparison-sort fallback.
@@ -90,6 +103,19 @@ pub trait SortKey: Ord {
         debug_assert!(!Self::RADIX, "RADIX keys must override radix_key()");
         0
     }
+
+    /// Inverse of [`radix_key`](SortKey::radix_key): reconstructs the key
+    /// from its `u64` image. Only called on images actually produced by
+    /// `radix_key` and only when [`RADIX`](SortKey::RADIX) is `true` — the
+    /// compressed sorted-ID columns of `VertexSet` store the image and
+    /// decode on access.
+    fn from_radix_key(image: u64) -> Self
+    where
+        Self: Sized,
+    {
+        let _ = image;
+        unreachable!("from_radix_key is only defined for RADIX keys")
+    }
 }
 
 macro_rules! radix_unsigned {
@@ -99,6 +125,10 @@ macro_rules! radix_unsigned {
             #[inline(always)]
             fn radix_key(&self) -> u64 {
                 *self as u64
+            }
+            #[inline(always)]
+            fn from_radix_key(image: u64) -> Self {
+                image as $t
             }
         }
     )*};
@@ -116,6 +146,10 @@ macro_rules! radix_signed {
                 // positive ones, preserving `Ord`.
                 (*self as i64 as u64) ^ (1u64 << 63)
             }
+            #[inline(always)]
+            fn from_radix_key(image: u64) -> Self {
+                (image ^ (1u64 << 63)) as i64 as $t
+            }
         }
     )*};
 }
@@ -128,6 +162,10 @@ impl SortKey for bool {
     fn radix_key(&self) -> u64 {
         *self as u64
     }
+    #[inline(always)]
+    fn from_radix_key(image: u64) -> Self {
+        image != 0
+    }
 }
 
 impl SortKey for char {
@@ -135,6 +173,12 @@ impl SortKey for char {
     #[inline(always)]
     fn radix_key(&self) -> u64 {
         *self as u64
+    }
+    #[inline(always)]
+    fn from_radix_key(image: u64) -> Self {
+        // The image is always a value previously produced by `radix_key`,
+        // i.e. a valid scalar.
+        char::from_u32(image as u32).expect("radix image of a char")
     }
 }
 
@@ -182,9 +226,12 @@ fn insertion_by_key<T>(v: &mut [T], key: &impl Fn(&T) -> u64) {
     }
 }
 
-/// The LSD driver: one histogram pass over all 8 digit positions, then one
-/// stable scatter pass per non-constant digit, ping-ponging between `records`
-/// and `scratch`. Postcondition: `records` sorted, `scratch` empty.
+/// The LSD driver: an exact OR/AND key-envelope pass picks the digit
+/// schedule ([`kernels::digit_plan`]), one histogram pass counts the
+/// scheduled digits, then one stable scatter pass per digit ping-pongs
+/// between `records` and `scratch`. Postcondition: `records` sorted,
+/// `scratch` empty. Everything transient lives on the stack, preserving the
+/// zero-allocation steady state pinned by `ppa_tests/radix_alloc`.
 fn lsd_radix<T>(records: &mut Vec<T>, scratch: &mut Vec<T>, key: impl Fn(&T) -> u64) {
     let n = records.len();
     if n <= INSERTION_CUTOFF {
@@ -195,23 +242,68 @@ fn lsd_radix<T>(records: &mut Vec<T>, scratch: &mut Vec<T>, key: impl Fn(&T) -> 
         n <= u32::MAX as usize,
         "radix buffers are capped at u32::MAX records"
     );
-    let mut hist = [[0u32; 256]; 8];
+    let (mut or_acc, mut and_acc) = (0u64, u64::MAX);
     for r in records.iter() {
         let k = key(r);
-        for (d, h) in hist.iter_mut().enumerate() {
-            h[((k >> (8 * d)) & 0xFF) as usize] += 1;
+        or_acc |= k;
+        and_acc &= k;
+    }
+    if or_acc == and_acc {
+        // Every key is identical; stability makes this a provable no-op.
+        return;
+    }
+    let plan = kernels::digit_plan(or_acc, and_acc, n >= WIDE_CUTOFF);
+    if plan.wide {
+        wide_lsd(records, scratch, &key, &plan);
+        return;
+    }
+    // Narrow schedule: byte digits, histograms indexed by plan position.
+    let mut hist = [[0u32; 256]; kernels::MAX_DIGITS];
+    for r in records.iter() {
+        let k = key(r);
+        for d in 0..plan.len {
+            hist[d][((k >> plan.shifts[d]) & 0xFF) as usize] += 1;
         }
     }
     let mut in_records = true;
-    for (d, h) in hist.iter().enumerate() {
-        // A digit on which every key agrees permutes nothing: skip it.
-        if h.iter().any(|&c| c as usize == n) {
-            continue;
-        }
+    for (h, &shift) in hist.iter().zip(&plan.shifts).take(plan.len) {
         if in_records {
-            scatter(records, scratch, (8 * d) as u32, h, &key);
+            scatter(records, scratch, shift, h, &key);
         } else {
-            scatter(scratch, records, (8 * d) as u32, h, &key);
+            scatter(scratch, records, shift, h, &key);
+        }
+        in_records = !in_records;
+    }
+    if !in_records {
+        std::mem::swap(records, scratch);
+    }
+}
+
+/// The wide-digit driver for uniform full-width keys: six 11-bit digits
+/// instead of eight bytes, two fewer scatter passes. The 48 KiB histogram
+/// block stays on the stack (zero-allocation contract); `inline(never)`
+/// keeps that frame off the narrow path.
+#[inline(never)]
+fn wide_lsd<T>(
+    records: &mut Vec<T>,
+    scratch: &mut Vec<T>,
+    key: &impl Fn(&T) -> u64,
+    plan: &kernels::DigitPlan,
+) {
+    let mut hist = [[0u32; kernels::WIDE_BUCKETS]; 6];
+    debug_assert!(plan.len <= 6, "11-bit digits cover u64 in six passes");
+    for r in records.iter() {
+        let k = key(r);
+        for d in 0..plan.len {
+            hist[d][((k >> plan.shifts[d]) as usize) & (kernels::WIDE_BUCKETS - 1)] += 1;
+        }
+    }
+    let mut in_records = true;
+    for (h, &shift) in hist.iter().zip(&plan.shifts).take(plan.len) {
+        if in_records {
+            scatter(records, scratch, shift, h, key);
+        } else {
+            scatter(scratch, records, shift, h, key);
         }
         in_records = !in_records;
     }
@@ -221,17 +313,18 @@ fn lsd_radix<T>(records: &mut Vec<T>, scratch: &mut Vec<T>, key: impl Fn(&T) -> 
 }
 
 /// One counting-sort pass: moves every record of `src` into `dst` at the
-/// position dictated by its byte at `shift`, preserving input order within
-/// each bucket (what makes LSD stable). `src` is left empty, capacity kept.
-fn scatter<T>(
+/// position dictated by its digit at `shift` (bucket count `B`, a power of
+/// two), preserving input order within each bucket (what makes LSD stable).
+/// `src` is left empty, capacity kept.
+fn scatter<T, const B: usize>(
     src: &mut Vec<T>,
     dst: &mut Vec<T>,
     shift: u32,
-    counts: &[u32; 256],
+    counts: &[u32; B],
     key: &impl Fn(&T) -> u64,
 ) {
     let n = src.len();
-    let mut offsets = [0usize; 256];
+    let mut offsets = [0usize; B];
     let mut run = 0usize;
     for (slot, &c) in offsets.iter_mut().zip(counts.iter()) {
         *slot = run;
@@ -242,7 +335,7 @@ fn scatter<T>(
     dst.reserve(n);
     let dst_ptr = dst.as_mut_ptr();
     for item in src.drain(..) {
-        let b = ((key(&item) >> shift) & 0xFF) as usize;
+        let b = ((key(&item) >> shift) as usize) & (B - 1);
         // SAFETY: `offsets` partitions `0..n` by the per-byte counts of this
         // exact input, so every record writes to a distinct index < n within
         // `dst`'s reserved capacity. `dst` has length 0 throughout the loop,
@@ -327,6 +420,47 @@ mod tests {
         let mut expected = records.clone();
         expected.sort_by_key(|r| r.0);
         assert_eq!(radix_sorted(records), expected);
+    }
+
+    #[test]
+    fn wide_schedule_sorts_uniform_full_width_keys() {
+        // Above WIDE_CUTOFF with all 8 bytes active: takes the 11-bit digit
+        // schedule. Stability is still required on the (rare) duplicates.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let records: Vec<(u64, u64)> = (0..(WIDE_CUTOFF as u64 + 1000))
+            .map(|i| (next(), i))
+            .collect();
+        let mut expected = records.clone();
+        expected.sort_by_key(|r| r.0);
+        assert_eq!(radix_sorted(records), expected);
+    }
+
+    #[test]
+    fn from_radix_key_inverts_radix_key() {
+        for v in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(u64::from_radix_key(v.radix_key()), v);
+        }
+        for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert_eq!(i64::from_radix_key(v.radix_key()), v);
+        }
+        for v in [i32::MIN, -7, 0, i32::MAX] {
+            assert_eq!(i32::from_radix_key(v.radix_key()), v);
+        }
+        for v in [u8::MIN, 7, u8::MAX] {
+            assert_eq!(u8::from_radix_key(v.radix_key()), v);
+        }
+        for v in [false, true] {
+            assert_eq!(bool::from_radix_key(v.radix_key()), v);
+        }
+        for v in ['a', '\u{10FFFF}', '中'] {
+            assert_eq!(char::from_radix_key(v.radix_key()), v);
+        }
     }
 
     #[test]

@@ -50,9 +50,10 @@
 use crate::aggregate::Aggregate;
 use crate::config::PregelConfig;
 use crate::engine::ExecCtx;
+use crate::kernels;
 use crate::metrics::{Metrics, SuperstepMetrics};
 use crate::vertex::{Context, VertexKey, VertexProgram};
-use crate::vertex_set::{lower_bound_from, set_bit, RunColumns, VertexSet};
+use crate::vertex_set::{set_bit, RunColumns, VertexSet};
 use std::time::Instant;
 
 /// One `(destination vertex, message)` buffer per destination worker.
@@ -151,6 +152,7 @@ impl<P: VertexProgram> WorkerEnv<'_, P> {
         &mut self,
         cols: &mut RunColumns<'_, P::Id, P::Value>,
         slot: usize,
+        id: P::Id,
         outbox: &mut [Vec<(P::Id, P::Message)>],
         messages: &mut [P::Message],
     ) {
@@ -167,8 +169,7 @@ impl<P: VertexProgram> WorkerEnv<'_, P> {
             halt: false,
         };
         let value = cols.values[slot].as_mut().expect("live vertex slot");
-        self.program
-            .compute(&mut vctx, cols.ids[slot], value, messages);
+        self.program.compute(&mut vctx, id, value, messages);
         set_bit(cols.halted, slot, vctx.halt);
         self.active += 1;
     }
@@ -267,13 +268,19 @@ pub fn run_on<P: VertexProgram>(
                     };
                     let mut messages_dropped = 0u64;
                     let mut cols = part.run_columns();
-                    let slots = cols.ids.len();
+                    // Copy the shared column reference out of `cols` so the
+                    // decoding cursor's borrow is independent of the `&mut
+                    // cols` that `compute_slot` takes.
+                    let ids = cols.ids;
+                    let mut cur = ids.cursor();
+                    let slots = ids.len();
 
                     // Pass 1: merge-join the sorted message runs against the
                     // sorted ID column. Both sequences ascend, so one
                     // monotone galloping cursor visits each side at most
                     // once — no hash probe per run, one contiguous slice per
-                    // vertex, nothing allocated.
+                    // vertex, nothing allocated; packed columns decode each
+                    // 128-ID frame at most once per pass.
                     let n_in = plane.in_ids.len();
                     let mut i = 0usize;
                     let mut cursor = 0usize;
@@ -283,11 +290,12 @@ pub fn run_on<P: VertexProgram>(
                         while j < n_in && plane.in_ids[j] == id {
                             j += 1;
                         }
-                        cursor = lower_bound_from(cols.ids, cursor, &id);
-                        if cursor < slots && cols.ids[cursor] == id {
+                        cursor = cur.lower_bound_from(cursor, &id);
+                        if cursor < slots && cur.get(cursor) == id {
                             env.compute_slot(
                                 &mut cols,
                                 cursor,
+                                id,
                                 &mut plane.outbox,
                                 &mut plane.in_msgs[i..j],
                             );
@@ -300,13 +308,16 @@ pub fn run_on<P: VertexProgram>(
                     }
 
                     // Pass 2: active vertices that received nothing — a
-                    // linear walk over the halted bitset (64 halted vertices
-                    // skipped per word compare), with the stamp column
-                    // filtering out slots already computed in pass 1.
-                    let words = cols.halted.len();
-                    for wi in 0..words {
-                        let base = wi << 6;
-                        let mut cand = !cols.halted[wi];
+                    // vectorized scan for halted words with a zero bit (64+
+                    // halted vertices skipped per compare), with the stamp
+                    // column filtering out slots already computed in pass 1.
+                    // `compute_slot` only ever touches the current word's
+                    // bits, so the forward scan never misses a regained
+                    // zero.
+                    let mut wi = 0usize;
+                    while let Some(w) = kernels::next_word_with_zero(cols.halted, wi) {
+                        let base = w << 6;
+                        let mut cand = !cols.halted[w];
                         if slots - base < 64 {
                             cand &= (1u64 << (slots - base)) - 1;
                         }
@@ -316,15 +327,15 @@ pub fn run_on<P: VertexProgram>(
                             if cols.stamps[slot] == env.stamp {
                                 continue;
                             }
-                            env.compute_slot(&mut cols, slot, &mut plane.outbox, &mut []);
+                            let id = cur.get(slot);
+                            env.compute_slot(&mut cols, slot, id, &mut plane.outbox, &mut []);
                         }
+                        wi = w + 1;
                     }
 
                     // Bits beyond the slot count are kept zero, so a masked
                     // popcount over the halted words decides quiescence.
-                    let halted_count: usize =
-                        cols.halted.iter().map(|w| w.count_ones() as usize).sum();
-                    let all_halted = halted_count == slots;
+                    let all_halted = kernels::popcount(cols.halted) as usize == slots;
 
                     // Presort every destination buffer (spreading the
                     // shuffle's sort work over the compute threads)
@@ -369,6 +380,12 @@ pub fn run_on<P: VertexProgram>(
             active_this_step as f64 / total_vertices as f64
         };
         let store_resident_bytes = vertices.resident_bytes() as u64;
+        let (id_packed, id_plain) = vertices.id_column_bytes();
+        let id_column_compression = if id_plain == 0 {
+            1.0
+        } else {
+            id_packed as f64 / id_plain as f64
+        };
         // Running mean: superstep 0 is always dense (activate_all wakes every
         // vertex), so the peak carries no information — the mean is what
         // separates sparse-frontier jobs from dense ones.
@@ -451,6 +468,7 @@ pub fn run_on<P: VertexProgram>(
                 },
                 frontier_density,
                 store_resident_bytes,
+                id_column_compression,
             });
         }
 
@@ -903,7 +921,7 @@ mod tests {
             let (set, metrics) =
                 run_from_pairs(&program, &config, (0..n).map(|i| (i, 0u64)));
             for (id, v) in set.iter() {
-                prop_assert_eq!(*v, expected[*id as usize]);
+                prop_assert_eq!(*v, expected[id as usize]);
             }
             prop_assert_eq!(metrics.total_dropped, dropped_expected);
             prop_assert_eq!(metrics.total_messages, raw.len() as u64);
@@ -913,7 +931,7 @@ mod tests {
             let (set, metrics) =
                 run_from_pairs(&program, &config, (0..n).map(|i| (i, 0u64)));
             for (id, v) in set.iter() {
-                prop_assert_eq!(*v, expected[*id as usize]);
+                prop_assert_eq!(*v, expected[id as usize]);
             }
             prop_assert_eq!(metrics.total_messages, raw.len() as u64);
         }

@@ -5,7 +5,12 @@
 //! however, vertices are no longer a hash map: each partition is a
 //! struct-of-arrays **columnar store sorted by vertex ID** —
 //!
-//! * `ids` — the sorted, strictly increasing ID column ("slot" order);
+//! * `ids` — the sorted, strictly increasing ID column ("slot" order). For
+//!   radix-capable key types this is an `IdColumn` of **delta/bit-packed
+//!   128-ID frames** over the keys' `u64` radix images, each frame carrying
+//!   its minimum (a skip index for `lower_bound`) and a fixed delta width —
+//!   typically 2–3 bytes per ID instead of 8 (see
+//!   [`VertexSet::id_column_bytes`]);
 //! * `values` — the parallel value column (`None` marks a tombstoned slot);
 //! * `halted` — one bit per slot, packed 64 slots to a word;
 //! * `stamps` — one `u32` compute stamp per slot.
@@ -40,6 +45,16 @@
 //! are radix-sorted by ID (narrow key column only — payloads are moved once,
 //! by a gather pass) and the columns are emitted directly.
 //!
+//! A sustained burst of point operations on a large partition — the
+//! removal-churn shape where binary searches and pending memmoves used to
+//! lose 0.56× to the old hash store — flips the partition into **sidecar
+//! mode**: the columns drain wholesale into an `FxHashMap<I, V>` and every
+//! point op, retain and scan runs on the map, so a churn-heavy phase pays
+//! exactly what the old hash store paid (one probe, value inline). The
+//! sidecar drains back at the next `compact`: its
+//! pairs are radix-sorted and re-emitted as fresh columns (all-active, like
+//! any compaction), so the steady-state delivery plane never sees it.
+//!
 //! The [`convert`](VertexSet::convert) method implements the paper's first
 //! API extension (Section II, "Our Extensions to Pregel API"): the output
 //! vertices of one job are transformed in place into the input vertices of
@@ -48,7 +63,9 @@
 //! output *is* the new sorted column — no rebuild step.
 
 use crate::engine::ExecCtx;
-use crate::fxhash::hash_one;
+use crate::fxhash::{hash_one, FxHashMap};
+use crate::kernels;
+use crate::kernels::FRAME;
 use crate::radix::SortKey;
 use crate::vertex::VertexKey;
 
@@ -105,6 +122,427 @@ pub(crate) fn lower_bound_from<I: Ord>(ids: &[I], mut lo: usize, target: &I) -> 
     lo + ids[lo..hi].partition_point(|x| x < target)
 }
 
+/// Delta/bit-packed sorted-ID storage: the strictly increasing `u64` radix
+/// images are sealed into [`FRAME`]-ID frames, each stored as fixed-width
+/// deltas from the frame's first ID (its *base*). `bases` doubles as a
+/// block-min skip index for [`lower_bound`](PackedIds::lower_bound); the
+/// trailing `< FRAME` images wait un-packed in `tail`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PackedIds {
+    /// Bit-packed delta stream; each sealed frame starts at a word boundary.
+    words: Vec<u64>,
+    /// First ID image of each sealed frame (ascending — the skip index).
+    bases: Vec<u64>,
+    /// Word offset of each sealed frame within `words`.
+    offsets: Vec<u32>,
+    /// Delta bit width of each sealed frame.
+    widths: Vec<u8>,
+    /// Unsealed trailing images, `< FRAME` of them.
+    tail: Vec<u64>,
+}
+
+impl PackedIds {
+    #[inline]
+    fn sealed(&self) -> usize {
+        self.bases.len()
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.sealed() * FRAME + self.tail.len()
+    }
+
+    /// Appends an image strictly greater than every stored one.
+    fn push(&mut self, image: u64) {
+        debug_assert!(
+            self.last().is_none_or(|l| l < image),
+            "PackedIds requires strictly ascending images"
+        );
+        self.tail.push(image);
+        if self.tail.len() == FRAME {
+            let base = self.tail[0];
+            let width = match self.tail[FRAME - 1] - base {
+                0 => 0,
+                d => 64 - d.leading_zeros(),
+            };
+            self.offsets.push(self.words.len() as u32);
+            self.widths.push(width as u8);
+            self.bases.push(base);
+            kernels::pack_frame(&self.tail, base, width, &mut self.words);
+            self.tail.clear();
+        }
+    }
+
+    fn last(&self) -> Option<u64> {
+        if let Some(&t) = self.tail.last() {
+            return Some(t);
+        }
+        let f = self.sealed().checked_sub(1)?;
+        Some(self.get_in_frame(f, FRAME - 1))
+    }
+
+    /// Image at `idx % FRAME` within sealed frame `f`.
+    #[inline]
+    fn get_in_frame(&self, f: usize, idx: usize) -> u64 {
+        kernels::unpack_one(
+            &self.words[self.offsets[f] as usize..],
+            self.bases[f],
+            self.widths[f] as u32,
+            idx,
+        )
+    }
+
+    /// Image at global position `i`.
+    fn get(&self, i: usize) -> u64 {
+        let f = i / FRAME;
+        if f < self.sealed() {
+            self.get_in_frame(f, i % FRAME)
+        } else {
+            self.tail[i - self.sealed() * FRAME]
+        }
+    }
+
+    /// Decodes sealed frame `f` into `out`.
+    fn decode_frame(&self, f: usize, out: &mut [u64; FRAME]) {
+        let start = self.offsets[f] as usize;
+        let width = self.widths[f] as u32;
+        let end = start + kernels::frame_words(FRAME, width);
+        kernels::unpack_frame(&self.words[start..end], self.bases[f], width, &mut out[..]);
+    }
+
+    /// First position whose image is `>= image` (the global lower bound):
+    /// binary search over the frame bases, then within one frame.
+    fn lower_bound(&self, image: u64) -> usize {
+        let sealed = self.sealed();
+        let f = self.bases.partition_point(|&b| b <= image);
+        if f == 0 {
+            // No sealed frame starts at or below `image`: either the very
+            // first sealed ID already exceeds it, or only the tail exists.
+            if sealed > 0 {
+                return 0;
+            }
+            return self.tail.partition_point(|&v| v < image);
+        }
+        let tf = f - 1;
+        let (mut lo, mut hi) = (0usize, FRAME);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.get_in_frame(tf, mid) < image {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < FRAME {
+            return tf * FRAME + lo;
+        }
+        if tf + 1 < sealed {
+            // Frame `tf` is exhausted and frame `tf + 1` starts above
+            // `image` (by choice of `tf`): its first slot is the bound.
+            return (tf + 1) * FRAME;
+        }
+        sealed * FRAME + self.tail.partition_point(|&v| v < image)
+    }
+
+    /// Heap bytes of the packed representation.
+    fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+            + self.bases.capacity() * 8
+            + self.offsets.capacity() * 4
+            + self.widths.capacity()
+            + self.tail.capacity() * 8
+    }
+}
+
+/// The sorted ID column of one partition: plain element storage for key
+/// types without a radix image (or when
+/// [`kernels::force_plain_id_columns`] is engaged at construction time),
+/// delta/bit-packed [`PackedIds`] frames otherwise.
+#[derive(Debug, Clone)]
+pub(crate) enum IdColumn<I> {
+    /// One element per slot.
+    Plain(Vec<I>),
+    /// Packed radix-key images, decoded on access.
+    Packed(PackedIds),
+}
+
+impl<I: VertexKey + SortKey> IdColumn<I> {
+    fn new() -> IdColumn<I> {
+        if I::RADIX && !kernels::plain_id_columns_forced() {
+            IdColumn::Packed(PackedIds::default())
+        } else {
+            IdColumn::Plain(Vec::new())
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            IdColumn::Plain(v) => v.len(),
+            IdColumn::Packed(p) => p.len(),
+        }
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        match self {
+            IdColumn::Plain(v) => v.reserve(additional),
+            IdColumn::Packed(p) => {
+                // Only the frame metadata is cheap to pre-size; the delta
+                // stream's width is unknown until the IDs arrive.
+                let frames = additional / FRAME;
+                p.bases.reserve(frames);
+                p.offsets.reserve(frames);
+                p.widths.reserve(frames);
+            }
+        }
+    }
+
+    /// Appends an ID strictly greater than every stored one.
+    fn push(&mut self, id: I) {
+        match self {
+            IdColumn::Plain(v) => v.push(id),
+            IdColumn::Packed(p) => p.push(id.radix_key()),
+        }
+    }
+
+    fn last(&self) -> Option<I> {
+        match self {
+            IdColumn::Plain(v) => v.last().copied(),
+            IdColumn::Packed(p) => p.last().map(I::from_radix_key),
+        }
+    }
+
+    /// `slice::binary_search` over the column.
+    fn binary_search(&self, id: &I) -> Result<usize, usize> {
+        match self {
+            IdColumn::Plain(v) => v.binary_search(id),
+            IdColumn::Packed(p) => {
+                let image = id.radix_key();
+                let lb = p.lower_bound(image);
+                if lb < p.len() && p.get(lb) == image {
+                    Ok(lb)
+                } else {
+                    Err(lb)
+                }
+            }
+        }
+    }
+
+    /// Iterates the IDs in slot order, decoding packed frames once each.
+    pub(crate) fn iter(&self) -> IdColumnIter<'_, I> {
+        IdColumnIter {
+            col: self,
+            pos: 0,
+            len: self.len(),
+            frame: usize::MAX,
+            buf: [0; FRAME],
+        }
+    }
+
+    /// A decoding cursor for the runner's monotone merge-join walk.
+    pub(crate) fn cursor(&self) -> IdCursor<'_, I> {
+        IdCursor {
+            col: self,
+            frame: usize::MAX,
+            buf: [0; FRAME],
+        }
+    }
+
+    /// Consumes the column into a plain `Vec` (one transient decode for
+    /// packed columns — the `into_entries` path).
+    fn into_vec(self) -> Vec<I> {
+        match self {
+            IdColumn::Plain(v) => v,
+            IdColumn::Packed(_) => {
+                let mut out = Vec::with_capacity(self.len());
+                out.extend(self.iter());
+                out
+            }
+        }
+    }
+
+    /// Heap bytes actually held by the column.
+    fn heap_bytes(&self) -> usize {
+        match self {
+            IdColumn::Plain(v) => v.capacity() * std::mem::size_of::<I>(),
+            IdColumn::Packed(p) => p.heap_bytes(),
+        }
+    }
+
+    /// `(actual heap bytes, plain-equivalent bytes)` — the compression
+    /// numerator and denominator surfaced in `SuperstepMetrics`.
+    fn footprint(&self) -> (usize, usize) {
+        (self.heap_bytes(), self.len() * std::mem::size_of::<I>())
+    }
+}
+
+/// Iterator over an [`IdColumn`]'s IDs in slot order, caching one decoded
+/// frame at a time.
+pub(crate) struct IdColumnIter<'a, I> {
+    col: &'a IdColumn<I>,
+    pos: usize,
+    len: usize,
+    frame: usize,
+    buf: [u64; FRAME],
+}
+
+impl<I: VertexKey + SortKey> Iterator for IdColumnIter<'_, I> {
+    type Item = I;
+
+    fn next(&mut self) -> Option<I> {
+        if self.pos >= self.len {
+            return None;
+        }
+        let i = self.pos;
+        self.pos += 1;
+        Some(match self.col {
+            IdColumn::Plain(v) => v[i],
+            IdColumn::Packed(p) => {
+                let f = i / FRAME;
+                if f < p.sealed() {
+                    if self.frame != f {
+                        p.decode_frame(f, &mut self.buf);
+                        self.frame = f;
+                    }
+                    I::from_radix_key(self.buf[i % FRAME])
+                } else {
+                    I::from_radix_key(p.tail[i - p.sealed() * FRAME])
+                }
+            }
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.len - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl<I: VertexKey + SortKey> ExactSizeIterator for IdColumnIter<'_, I> {}
+
+/// A monotone read cursor over an [`IdColumn`]: the runner's merge-join and
+/// straggler sweep walk slots in ascending order, so each packed frame is
+/// decoded at most once per pass.
+pub(crate) struct IdCursor<'a, I> {
+    col: &'a IdColumn<I>,
+    frame: usize,
+    buf: [u64; FRAME],
+}
+
+impl<I: VertexKey + SortKey> IdCursor<'_, I> {
+    /// [`lower_bound_from`] over the column.
+    pub(crate) fn lower_bound_from(&mut self, lo: usize, target: &I) -> usize {
+        match self.col {
+            IdColumn::Plain(v) => lower_bound_from(v, lo, target),
+            IdColumn::Packed(p) => {
+                packed_lower_bound_from(p, &mut self.frame, &mut self.buf, lo, target.radix_key())
+            }
+        }
+    }
+
+    /// The ID at `slot`.
+    pub(crate) fn get(&mut self, slot: usize) -> I {
+        match self.col {
+            IdColumn::Plain(v) => v[slot],
+            IdColumn::Packed(p) => {
+                let f = slot / FRAME;
+                if f < p.sealed() {
+                    if self.frame != f {
+                        p.decode_frame(f, &mut self.buf);
+                        self.frame = f;
+                    }
+                    I::from_radix_key(self.buf[slot % FRAME])
+                } else {
+                    I::from_radix_key(p.tail[slot - p.sealed() * FRAME])
+                }
+            }
+        }
+    }
+}
+
+/// [`lower_bound_from`] on a packed column, reusing the cursor's decoded
+/// frame: probe the cached/current frame first (the merge-join common case),
+/// then skip whole frames via the base index.
+fn packed_lower_bound_from(
+    p: &PackedIds,
+    frame: &mut usize,
+    buf: &mut [u64; FRAME],
+    lo: usize,
+    image: u64,
+) -> usize {
+    let n = p.len();
+    if lo >= n {
+        return n;
+    }
+    let sealed = p.sealed();
+    let lf = lo / FRAME;
+    if lf < sealed {
+        // Last frame at or after `lf` whose base is `<= image`; by the
+        // contract everything before `lo` is `< image`, so frames before
+        // `lf` cannot hold the bound. A monotone cursor almost always finds
+        // it in the current or next frame, so probe those two before binary
+        // searching the rest of the skip index.
+        let rel = if lf + 1 >= sealed || p.bases[lf + 1] > image {
+            usize::from(p.bases[lf] <= image)
+        } else if lf + 2 >= sealed || p.bases[lf + 2] > image {
+            2
+        } else {
+            2 + p.bases[lf + 2..].partition_point(|&b| b <= image)
+        };
+        if rel == 0 {
+            // Even frame `lf` starts above `image`: the bound is `lo`.
+            return lo;
+        }
+        let tf = lf + rel - 1;
+        if *frame != tf {
+            p.decode_frame(tf, buf);
+            *frame = tf;
+        }
+        let start = if tf == lf { lo - lf * FRAME } else { 0 };
+        let pos = kernels::lower_bound_u64(&buf[..], start, image);
+        if pos < FRAME {
+            return tf * FRAME + pos;
+        }
+        if tf + 1 < sealed {
+            // Frame `tf + 1` starts above `image` by choice of `tf`.
+            return (tf + 1) * FRAME;
+        }
+        // Fall through to the tail.
+    }
+    let tail_off = sealed * FRAME;
+    tail_off + kernels::lower_bound_u64(&p.tail, lo.saturating_sub(tail_off), image)
+}
+
+/// Either-style iterator over a partition's two storage modes.
+enum ModeIter<C, S> {
+    Columns(C),
+    Sidecar(S),
+}
+
+impl<T, C: Iterator<Item = T>, S: Iterator<Item = T>> Iterator for ModeIter<C, S> {
+    type Item = T;
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        match self {
+            ModeIter::Columns(c) => c.next(),
+            ModeIter::Sidecar(s) => s.next(),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            ModeIter::Columns(c) => c.size_hint(),
+            ModeIter::Sidecar(s) => s.size_hint(),
+        }
+    }
+}
+
+/// Point operations on the sorted path before a partition enters sidecar
+/// mode.
+const SIDECAR_AFTER_OPS: u32 = 64;
+
+/// Minimum partition size for the sidecar: below this the binary searches
+/// are cheap enough that the map would cost more than it saves.
+const SIDECAR_MIN_LEN: usize = 4096;
+
 /// One partition of a [`VertexSet`]: parallel columns sorted by vertex ID.
 ///
 /// Invariants: `ids` is strictly increasing; `values[slot]` is `Some` unless
@@ -114,20 +552,26 @@ pub(crate) fn lower_bound_from<I: Ord>(ids: &[I], mut lo: usize, target: &I) -> 
 /// re-inserted tombstoned ID revives its slot instead).
 #[derive(Debug, Clone)]
 pub(crate) struct Partition<I, V> {
-    ids: Vec<I>,
+    ids: IdColumn<I>,
     values: Vec<Option<V>>,
     halted: Vec<u64>,
     stamps: Vec<u32>,
     dead: usize,
     pending: Vec<(I, V)>,
+    /// Hash sidecar (`Some` only in sidecar mode — see the module docs).
+    /// While present it holds *every* entry and the columns are empty.
+    sidecar: Option<FxHashMap<I, V>>,
+    /// Point operations on the sorted path since the last compaction; the
+    /// sidecar trigger counter.
+    point_ops: u32,
 }
 
 /// Mutable view of a compacted partition's columns, handed to the runner for
 /// the duration of a compute phase. Field-level borrows let the delivery loop
 /// hold a value `&mut` while flipping halt bits.
 pub(crate) struct RunColumns<'a, I, V> {
-    /// The sorted ID column.
-    pub(crate) ids: &'a [I],
+    /// The sorted ID column (decode through [`IdColumn::cursor`]).
+    pub(crate) ids: &'a IdColumn<I>,
     /// The value column; every slot is `Some` (no tombstones during a run).
     pub(crate) values: &'a mut [Option<V>],
     /// Halt bits, one per slot.
@@ -139,12 +583,14 @@ pub(crate) struct RunColumns<'a, I, V> {
 impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
     fn empty() -> Partition<I, V> {
         Partition {
-            ids: Vec::new(),
+            ids: IdColumn::new(),
             values: Vec::new(),
             halted: Vec::new(),
             stamps: Vec::new(),
             dead: 0,
             pending: Vec::new(),
+            sidecar: None,
+            point_ops: 0,
         }
     }
 
@@ -155,14 +601,17 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
     }
 
     fn len(&self) -> usize {
-        self.live() + self.pending.len()
+        match &self.sidecar {
+            Some(map) => map.len(),
+            None => self.live() + self.pending.len(),
+        }
     }
 
     /// Appends a vertex with an ID greater than every stored one — the bulk
     /// build path (`from_unsorted`, `convert`'s merge output).
     fn push_sorted(&mut self, id: I, value: V) {
         debug_assert!(
-            self.pending.is_empty() && self.ids.last().is_none_or(|last| *last < id),
+            self.pending.is_empty() && self.ids.last().is_none_or(|last| last < id),
             "push_sorted requires strictly ascending IDs into a pending-free partition"
         );
         if self.ids.len().is_multiple_of(64) {
@@ -181,6 +630,19 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
             pairs.len() <= u32::MAX as usize,
             "a partition is capped at u32::MAX staged pairs"
         );
+        // Point inserts into an ascending key space arrive pre-sorted (e.g.
+        // sequential vertex IDs staged in input order); skip the sort and the
+        // duplicate merge outright.
+        if pairs.windows(2).all(|w| w[0].0 < w[1].0) {
+            let mut part = Partition::empty();
+            part.ids.reserve(pairs.len());
+            part.values.reserve(pairs.len());
+            part.stamps.reserve(pairs.len());
+            for (id, value) in pairs {
+                part.push_sorted(id, value);
+            }
+            return part;
+        }
         let mut keys: Vec<(I, u32)> = pairs
             .iter()
             .enumerate()
@@ -214,16 +676,18 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
     /// (every job re-activates the set before running, so the bookkeeping
     /// carries no information across mutations).
     fn compact(&mut self) {
+        self.drop_sidecar();
         if self.dead == 0 && self.pending.is_empty() {
             return;
         }
         let len = self.live() + self.pending.len();
-        let mut ids: Vec<I> = Vec::with_capacity(len);
+        let mut ids: IdColumn<I> = IdColumn::new();
+        ids.reserve(len);
         let mut values: Vec<Option<V>> = Vec::with_capacity(len);
-        let old_ids = std::mem::take(&mut self.ids);
+        let old_ids = std::mem::replace(&mut self.ids, IdColumn::new());
         let old_values = std::mem::take(&mut self.values);
         let mut pending = std::mem::take(&mut self.pending).into_iter().peekable();
-        for (id, value) in old_ids.into_iter().zip(old_values) {
+        for (id, value) in old_ids.iter().zip(old_values) {
             let Some(value) = value else { continue };
             while pending.peek().is_some_and(|(pid, _)| *pid < id) {
                 let (pid, pv) = pending.next().expect("peeked");
@@ -265,7 +729,80 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
         }
     }
 
+    /// Leaves sidecar mode: radix-sorts the map's pairs and re-emits them as
+    /// fresh columns (all slots active, stamps zero — the same reset every
+    /// compaction performs), then resets the trigger counter.
+    fn drop_sidecar(&mut self) {
+        if let Some(map) = self.sidecar.take() {
+            debug_assert!(
+                self.ids.len() == 0 && self.pending.is_empty() && self.dead == 0,
+                "sidecar mode keeps the columns empty"
+            );
+            let mut pairs: Vec<(I, V)> = map.into_iter().collect();
+            let mut scratch: Vec<(I, V)> = Vec::new();
+            crate::radix::sort_pairs(&mut pairs, &mut scratch);
+            self.ids.reserve(pairs.len());
+            self.values.reserve(pairs.len());
+            self.stamps.reserve(pairs.len());
+            for (id, value) in pairs {
+                self.push_sorted(id, value);
+            }
+        }
+        self.point_ops = 0;
+    }
+
+    /// Counts a point operation on the sorted path and flips the partition
+    /// into sidecar mode once a sustained burst meets the size floor: the
+    /// columns (live slots + pending) drain wholesale into the map, so every
+    /// subsequent op costs exactly one hash probe with the value inline —
+    /// the old hash store's price.
+    #[inline]
+    fn maybe_enter_sidecar(&mut self) {
+        if self.sidecar.is_some() {
+            return;
+        }
+        self.point_ops += 1;
+        if self.point_ops < SIDECAR_AFTER_OPS || self.len() < SIDECAR_MIN_LEN {
+            return;
+        }
+        self.enter_sidecar();
+    }
+
+    /// The cold half of [`Self::maybe_enter_sidecar`]: drains the columns
+    /// into the overlay map.
+    fn enter_sidecar(&mut self) {
+        let mut map: FxHashMap<I, V> = FxHashMap::default();
+        map.reserve(self.len());
+        let ids = std::mem::replace(&mut self.ids, IdColumn::new());
+        let values = std::mem::take(&mut self.values);
+        for (id, value) in ids.iter().zip(values) {
+            if let Some(value) = value {
+                map.insert(id, value);
+            }
+        }
+        for (id, value) in std::mem::take(&mut self.pending) {
+            map.insert(id, value);
+        }
+        self.halted.clear();
+        self.stamps.clear();
+        self.dead = 0;
+        self.sidecar = Some(map);
+    }
+
+    // The point ops keep the one-probe sidecar path inline (matching what
+    // the dense hash store's calls compiled to) and push the sorted-column
+    // fallback into outlined `*_sorted` twins.
+
+    #[inline]
     fn insert(&mut self, id: I, value: V) -> Option<V> {
+        self.maybe_enter_sidecar();
+        if let Some(map) = &mut self.sidecar {
+            return map.insert(id, value);
+        }
+        self.insert_sorted(id, value)
+    }
+
+    fn insert_sorted(&mut self, id: I, value: V) -> Option<V> {
         match self.ids.binary_search(&id) {
             Ok(slot) => {
                 let prev = self.values[slot].replace(value);
@@ -287,7 +824,16 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
         }
     }
 
+    #[inline]
     fn remove(&mut self, id: &I) -> Option<V> {
+        self.maybe_enter_sidecar();
+        if let Some(map) = &mut self.sidecar {
+            return map.remove(id);
+        }
+        self.remove_sorted(id)
+    }
+
+    fn remove_sorted(&mut self, id: &I) -> Option<V> {
         match self.ids.binary_search(id) {
             Ok(slot) => {
                 let prev = self.values[slot].take()?;
@@ -303,7 +849,15 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
         }
     }
 
+    #[inline]
     fn get(&self, id: &I) -> Option<&V> {
+        if let Some(map) = &self.sidecar {
+            return map.get(id);
+        }
+        self.get_sorted(id)
+    }
+
+    fn get_sorted(&self, id: &I) -> Option<&V> {
         match self.ids.binary_search(id) {
             Ok(slot) => self.values[slot].as_ref(),
             Err(_) => self
@@ -314,7 +868,16 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
         }
     }
 
+    #[inline]
     fn get_mut(&mut self, id: &I) -> Option<&mut V> {
+        self.maybe_enter_sidecar();
+        if self.sidecar.is_some() {
+            return self.sidecar.as_mut().and_then(|map| map.get_mut(id));
+        }
+        self.get_mut_sorted(id)
+    }
+
+    fn get_mut_sorted(&mut self, id: &I) -> Option<&mut V> {
         match self.ids.binary_search(id) {
             Ok(slot) => self.values[slot].as_mut(),
             Err(_) => match self.pending.binary_search_by(|(pid, _)| pid.cmp(id)) {
@@ -325,8 +888,14 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
     }
 
     fn retain(&mut self, keep: &mut impl FnMut(&I, &V) -> bool) {
-        for (slot, value) in self.values.iter_mut().enumerate() {
-            if value.as_ref().is_some_and(|v| !keep(&self.ids[slot], v)) {
+        // A churn-heavy phase mixes batch sweeps with point ops; keeping the
+        // sidecar engaged across the sweep avoids rebuilding it per round.
+        if let Some(map) = &mut self.sidecar {
+            map.retain(|id, v| keep(id, v));
+            return;
+        }
+        for (id, value) in self.ids.iter().zip(self.values.iter_mut()) {
+            if value.as_ref().is_some_and(|v| !keep(&id, v)) {
                 *value = None;
                 self.dead += 1;
             }
@@ -335,26 +904,40 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
         self.maybe_drop_tombstones();
     }
 
-    /// Live `(id, value)` references: column slots in ID order, then pending.
-    fn iter(&self) -> impl Iterator<Item = (&I, &V)> {
-        self.ids
-            .iter()
-            .zip(&self.values)
-            .filter_map(|(id, v)| v.as_ref().map(|v| (id, v)))
-            .chain(self.pending.iter().map(|(id, v)| (id, v)))
+    /// Live `(id, value)` entries: column slots in ID order, then pending
+    /// (IDs decode by value — [`VertexKey`] is `Copy`). In sidecar mode the
+    /// map streams in hash order instead.
+    fn iter(&self) -> impl Iterator<Item = (I, &V)> {
+        match &self.sidecar {
+            Some(map) => ModeIter::Sidecar(map.iter().map(|(id, v)| (*id, v))),
+            None => ModeIter::Columns(
+                self.ids
+                    .iter()
+                    .zip(&self.values)
+                    .filter_map(|(id, v)| v.as_ref().map(|v| (id, v)))
+                    .chain(self.pending.iter().map(|(id, v)| (*id, v))),
+            ),
+        }
     }
 
-    fn iter_mut(&mut self) -> impl Iterator<Item = (&I, &mut V)> {
-        self.ids
-            .iter()
-            .zip(&mut self.values)
-            .filter_map(|(id, v)| v.as_mut().map(|v| (id, v)))
-            .chain(self.pending.iter_mut().map(|(id, v)| (&*id, v)))
+    fn iter_mut(&mut self) -> impl Iterator<Item = (I, &mut V)> {
+        match &mut self.sidecar {
+            Some(map) => ModeIter::Sidecar(map.iter_mut().map(|(id, v)| (*id, v))),
+            None => ModeIter::Columns(
+                self.ids
+                    .iter()
+                    .zip(&mut self.values)
+                    .filter_map(|(id, v)| v.as_mut().map(|v| (id, v)))
+                    .chain(self.pending.iter_mut().map(|(id, v)| (*id, v))),
+            ),
+        }
     }
 
     /// Consumes the partition into its live `(id, value)` pairs.
-    fn into_entries(self) -> impl Iterator<Item = (I, V)> {
+    fn into_entries(mut self) -> impl Iterator<Item = (I, V)> {
+        self.drop_sidecar(); // fold the map back into sorted columns
         self.ids
+            .into_vec()
             .into_iter()
             .zip(self.values)
             .filter_map(|(id, v)| v.map(|v| (id, v)))
@@ -372,7 +955,7 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
     /// The columns of a compacted partition, for the runner's compute phase.
     pub(crate) fn run_columns(&mut self) -> RunColumns<'_, I, V> {
         debug_assert!(
-            self.dead == 0 && self.pending.is_empty(),
+            self.dead == 0 && self.pending.is_empty() && self.sidecar.is_none(),
             "run_columns requires a compacted partition (activate_all compacts)"
         );
         RunColumns {
@@ -386,11 +969,20 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
     /// Estimated heap bytes held by the columns themselves (excluding any
     /// heap owned by the values).
     fn resident_bytes(&self) -> usize {
-        self.ids.capacity() * std::mem::size_of::<I>()
+        self.ids.heap_bytes()
             + self.values.capacity() * std::mem::size_of::<Option<V>>()
             + self.halted.capacity() * std::mem::size_of::<u64>()
             + self.stamps.capacity() * std::mem::size_of::<u32>()
             + self.pending.capacity() * std::mem::size_of::<(I, V)>()
+            + self.sidecar.as_ref().map_or(0, |map| {
+                map.capacity() * (std::mem::size_of::<(I, V)>() + 1)
+            })
+    }
+
+    /// `(actual, plain-equivalent)` heap bytes of the ID column — the
+    /// compression ratio surfaced in `SuperstepMetrics`.
+    fn id_column_footprint(&self) -> (usize, usize) {
+        self.ids.footprint()
     }
 }
 
@@ -440,12 +1032,14 @@ impl<I: VertexKey + SortKey, V: Send> VertexSet<I, V> {
     }
 
     /// Inserts or replaces a vertex. Returns the previous value if present.
+    #[inline]
     pub fn insert(&mut self, id: I, value: V) -> Option<V> {
         let w = self.worker_of(&id);
         self.parts[w].insert(id, value)
     }
 
     /// Removes a vertex, returning its value.
+    #[inline]
     pub fn remove(&mut self, id: &I) -> Option<V> {
         let w = self.worker_of(id);
         self.parts[w].remove(id)
@@ -467,11 +1061,13 @@ impl<I: VertexKey + SortKey, V: Send> VertexSet<I, V> {
     }
 
     /// Shared access to a vertex value.
+    #[inline]
     pub fn get(&self, id: &I) -> Option<&V> {
         self.parts[self.worker_of(id)].get(id)
     }
 
     /// Mutable access to a vertex value.
+    #[inline]
     pub fn get_mut(&mut self, id: &I) -> Option<&mut V> {
         let w = self.worker_of(id);
         self.parts[w].get_mut(id)
@@ -479,14 +1075,15 @@ impl<I: VertexKey + SortKey, V: Send> VertexSet<I, V> {
 
     /// Iterates over `(id, value)` pairs. Within a partition the stored
     /// columns stream in ID order (pending point inserts trail them); across
-    /// partitions the order is unspecified.
-    pub fn iter(&self) -> impl Iterator<Item = (&I, &V)> {
+    /// partitions the order is unspecified. IDs are yielded by value —
+    /// packed columns decode them on the fly ([`VertexKey`] is `Copy`).
+    pub fn iter(&self) -> impl Iterator<Item = (I, &V)> {
         self.parts.iter().flat_map(|p| p.iter())
     }
 
     /// Iterates mutably over `(id, value)` pairs (same order as
     /// [`iter`](VertexSet::iter)).
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&I, &mut V)> {
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (I, &mut V)> {
         self.parts.iter_mut().flat_map(|p| p.iter_mut())
     }
 
@@ -516,6 +1113,16 @@ impl<I: VertexKey + SortKey, V: Send> VertexSet<I, V> {
         self.parts.iter().map(|p| p.resident_bytes()).sum()
     }
 
+    /// `(actual, plain-equivalent)` heap bytes of the sorted ID columns
+    /// across all partitions. With bit-packed columns the first number is
+    /// the delta/bit-packed footprint; with plain columns the two are equal.
+    pub fn id_column_bytes(&self) -> (usize, usize) {
+        self.parts.iter().fold((0, 0), |(a, b), p| {
+            let (pa, pb) = p.id_column_footprint();
+            (a + pa, b + pb)
+        })
+    }
+
     /// Marks every vertex active and clears compute stamps (called at the
     /// start of a job). Also compacts every partition — merging pending
     /// inserts and dropping tombstones — so the runner sees pure columns.
@@ -530,13 +1137,14 @@ impl<I: VertexKey + SortKey, V: Send> VertexSet<I, V> {
     #[cfg(test)]
     pub(crate) fn halted_of(&self, id: &I) -> Option<bool> {
         let p = &self.parts[self.worker_of(id)];
+        if let Some(map) = &p.sidecar {
+            // Sidecar mode follows a mutation burst, which (like compaction)
+            // resets every vertex to active.
+            return map.contains_key(id).then_some(false);
+        }
         match p.ids.binary_search(id) {
             Ok(slot) if p.values[slot].is_some() => Some(get_bit(&p.halted, slot)),
-            _ => p
-                .pending
-                .binary_search_by(|(pid, _)| pid.cmp(id))
-                .ok()
-                .map(|_| false),
+            _ => p.pending.iter().any(|(pid, _)| pid == id).then_some(false),
         }
     }
 
@@ -691,8 +1299,8 @@ mod tests {
         let s: VertexSet<u64, ()> = VertexSet::from_pairs(8, (0..1000).map(|i| (i, ())));
         assert_eq!(s.len(), 1000);
         for (id, _) in s.iter() {
-            let w = s.worker_of(id);
-            assert!(s.parts[w].get(id).is_some());
+            let w = s.worker_of(&id);
+            assert!(s.parts[w].get(&id).is_some());
         }
         // every partition got something
         assert!(s.parts.iter().all(|p| p.len() > 0));
@@ -703,7 +1311,7 @@ mod tests {
         let s: VertexSet<u64, u64> =
             VertexSet::from_pairs(3, (0..500).rev().map(|i| (i * 7 % 501, i)));
         for p in &s.parts {
-            let ids: Vec<u64> = p.iter().map(|(id, _)| *id).collect();
+            let ids: Vec<u64> = p.iter().map(|(id, _)| id).collect();
             assert!(
                 ids.windows(2).all(|w| w[0] < w[1]),
                 "sorted, duplicate-free"
@@ -769,12 +1377,20 @@ mod tests {
     fn resident_bytes_tracks_the_columns() {
         let empty: VertexSet<u64, u64> = VertexSet::new(2);
         assert_eq!(empty.resident_bytes(), 0);
+        let _guard = COLUMN_MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let s: VertexSet<u64, u64> = VertexSet::from_pairs(2, (0..1000).map(|i| (i, i)));
         let bytes = s.resident_bytes();
-        // At least ids + values for 1000 vertices; far less than a hash map
-        // with per-entry overhead would need.
-        assert!(bytes >= 1000 * (8 + 16));
+        // At least the value column for 1000 vertices (the bit-packed ID
+        // column shrinks well below 8 B/ID); far less than a hash map with
+        // per-entry overhead would need.
+        assert!(bytes >= 1000 * 16);
         assert!(bytes < 1000 * 64);
+        let (packed, plain) = s.id_column_bytes();
+        assert_eq!(plain, 1000 * 8);
+        assert!(
+            packed < plain,
+            "dense u64 IDs must compress: {packed} vs {plain}"
+        );
     }
 
     #[test]
@@ -941,7 +1557,7 @@ mod tests {
     {
         let mut grouped: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
         for (id, value) in set.iter() {
-            for (nid, nval) in f(*id, *value) {
+            for (nid, nval) in f(id, *value) {
                 grouped.entry(nid).or_default().push(nval);
             }
         }
@@ -1032,5 +1648,200 @@ mod tests {
                 }
             }
         }
+    }
+
+    // ---- packed ID column vs. plain oracle ----------------------------------
+
+    /// Builds a packed column and its plain oracle from a sorted,
+    /// deduplicated list of IDs.
+    fn packed_and_plain(ids: &[u64]) -> (PackedIds, Vec<u64>) {
+        let mut packed = PackedIds::default();
+        for &id in ids {
+            packed.push(id);
+        }
+        (packed, ids.to_vec())
+    }
+
+    /// Sorted, deduplicated IDs from arbitrary seeds (spread across the full
+    /// `u64` range so frames see both tiny and huge delta widths).
+    fn spread_ids(seeds: &[(u64, u64)]) -> Vec<u64> {
+        let mut ids: Vec<u64> = seeds.iter().map(|&(hi, lo)| (hi << 32) ^ lo).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    #[test]
+    fn packed_ids_tiny_and_frame_boundaries() {
+        for n in [0usize, 1, 2, FRAME - 1, FRAME, FRAME + 1, 3 * FRAME] {
+            let ids: Vec<u64> = (0..n as u64).map(|i| i * 5).collect();
+            let (packed, plain) = packed_and_plain(&ids);
+            assert_eq!(packed.len(), plain.len());
+            for (i, &id) in plain.iter().enumerate() {
+                assert_eq!(packed.get(i), id, "n={n} i={i}");
+            }
+            assert_eq!(packed.last(), plain.last().copied());
+            for probe in [0u64, 1, 4, 5, 6, (n as u64 * 5).saturating_sub(1), u64::MAX] {
+                assert_eq!(
+                    packed.lower_bound(probe),
+                    plain.partition_point(|&v| v < probe),
+                    "n={n} probe={probe}"
+                );
+            }
+        }
+    }
+
+    /// Serializes tests that flip [`kernels::force_plain_id_columns`] against
+    /// tests that assert on the packed representation.
+    static COLUMN_MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn id_column_picks_packed_only_for_radix_keys() {
+        let _guard = COLUMN_MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let col: IdColumn<u64> = IdColumn::new();
+        assert!(matches!(col, IdColumn::Packed(_)));
+        // Keys without a radix image must stay plain.
+        let col: IdColumn<(u64, u64)> = IdColumn::new();
+        assert!(matches!(col, IdColumn::Plain(_)));
+        // The escape hatch forces plain storage even for radix keys.
+        kernels::force_plain_id_columns(true);
+        let col: IdColumn<u64> = IdColumn::new();
+        kernels::force_plain_id_columns(false);
+        assert!(matches!(col, IdColumn::Plain(_)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_packed_column_matches_plain_oracle(
+            seeds in proptest::collection::vec((0u64..=u64::MAX, 0u64..=u64::MAX), 0..700),
+            probes in proptest::collection::vec((0u64..=u64::MAX, 0u64..=u64::MAX), 0..40),
+        ) {
+            let ids = spread_ids(&seeds);
+            let (packed, plain) = packed_and_plain(&ids);
+            prop_assert_eq!(packed.len(), plain.len());
+            // Random access and full iteration agree with the oracle.
+            let mut col = IdColumn::Packed(packed.clone());
+            let decoded: Vec<u64> = col.iter().collect();
+            prop_assert_eq!(&decoded, &plain);
+            for (i, &id) in plain.iter().enumerate() {
+                prop_assert_eq!(packed.get(i), id);
+            }
+            // Stateless lower_bound and binary_search agree with the oracle.
+            for &(hi, lo) in &probes {
+                let probe = (hi << 32) ^ lo;
+                prop_assert_eq!(
+                    packed.lower_bound(probe),
+                    plain.partition_point(|&v| v < probe)
+                );
+                prop_assert_eq!(col.binary_search(&probe), plain.binary_search(&probe));
+            }
+            // push after cloning keeps the two in sync (tail re-packing).
+            if let Some(&last) = plain.last() {
+                if last < u64::MAX {
+                    col.push(last + 1);
+                    prop_assert_eq!(col.len(), plain.len() + 1);
+                    prop_assert_eq!(col.last(), Some(last + 1));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_cursor_lower_bound_matches_plain_oracle(
+            seeds in proptest::collection::vec((0u64..=u64::MAX, 0u64..=u64::MAX), 0..700),
+            probes in proptest::collection::vec((0u64..=u64::MAX, 0u64..=u64::MAX), 1..40),
+        ) {
+            let ids = spread_ids(&seeds);
+            let (packed, plain) = packed_and_plain(&ids);
+            let col = IdColumn::<u64>::Packed(packed);
+            let mut cur = col.cursor();
+            // The cursor contract is monotone: sort the probes and walk the
+            // lower bounds forward, exactly as the merge-join does.
+            let mut probes: Vec<u64> = probes.iter().map(|&(hi, lo)| (hi << 32) ^ lo).collect();
+            probes.sort_unstable();
+            let mut lo = 0usize;
+            for probe in probes {
+                let expect = plain.partition_point(|&v| v < probe);
+                if lo > expect {
+                    continue; // contract requires everything before lo < probe
+                }
+                lo = cur.lower_bound_from(lo, &probe);
+                prop_assert_eq!(lo, expect);
+                if lo < plain.len() {
+                    prop_assert_eq!(cur.get(lo), plain[lo]);
+                }
+            }
+        }
+    }
+
+    // ---- hash sidecar -------------------------------------------------------
+
+    #[test]
+    fn hash_sidecar_builds_and_drains() {
+        // One partition, enough vertices to clear SIDECAR_MIN_LEN.
+        let n = 6000u64;
+        let mut s: VertexSet<u64, u64> = VertexSet::from_pairs(1, (0..n).map(|i| (i, i)));
+        let mut oracle: FxHashMap<u64, u64> = (0..n).map(|i| (i, i)).collect();
+        assert!(s.parts[0].sidecar.is_none());
+        // A churn burst of point ops: removes, re-inserts (including
+        // tombstoned twins), fresh inserts past the end, updates.
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for step in 0..2000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % (n + 500);
+            match step % 4 {
+                0 => assert_eq!(s.remove(&k), oracle.remove(&k), "remove {k}"),
+                1 => assert_eq!(s.insert(k, step), oracle.insert(k, step), "insert {k}"),
+                2 => assert_eq!(s.get(&k), oracle.get(&k), "get {k}"),
+                _ => assert_eq!(s.get_mut(&k), oracle.get_mut(&k), "get_mut {k}"),
+            }
+            assert_eq!(s.len(), oracle.len());
+        }
+        assert!(
+            s.parts[0].sidecar.is_some(),
+            "a sustained point-op burst on a large partition must enter sidecar mode"
+        );
+        // Compaction (job start) drains the sidecar back into sorted columns.
+        s.activate_all();
+        assert!(s.parts[0].sidecar.is_none());
+        assert!(s.parts[0].pending.is_empty() && s.parts[0].dead == 0);
+        let mut got = s.iter().map(|(id, v)| (id, *v)).collect::<Vec<_>>();
+        got.sort_unstable();
+        let mut expected: Vec<(u64, u64)> = oracle.into_iter().collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        let ids: Vec<u64> = s.parts[0].ids.iter().collect();
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "columns sorted after drain"
+        );
+    }
+
+    #[test]
+    fn sidecar_retain_and_iter_stay_consistent() {
+        let n = 5000u64;
+        let mut s: VertexSet<u64, u64> = VertexSet::from_pairs(1, (0..n).map(|i| (i, i)));
+        for k in 0..200u64 {
+            s.remove(&(k * 7 % n));
+            s.insert(n + k, k);
+        }
+        assert!(s.parts[0].sidecar.is_some());
+        // retain() runs on the map without leaving sidecar mode; the next
+        // compaction (activate_all) folds everything back into columns.
+        s.retain(|_, v| *v % 2 == 0);
+        assert!(s.parts[0].sidecar.is_some());
+        assert!(s.iter().all(|(_, v)| *v % 2 == 0));
+        let survivors = s.len();
+        s.activate_all();
+        assert!(s.parts[0].sidecar.is_none());
+        assert_eq!(s.len(), survivors);
+        assert!(s.iter().all(|(_, v)| *v % 2 == 0));
+        let ids: Vec<u64> = s.parts[0].ids.iter().collect();
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "columns sorted after drain"
+        );
     }
 }

@@ -8,12 +8,25 @@
 //! the paper.
 
 use crate::base::Base;
+use crate::kernels;
 use crate::kmer::{Kmer, MAX_K};
 use crate::SeqError;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::fmt;
 
 const BASES_PER_WORD: usize = 32;
+
+/// Reverses the 32 two-bit base slots of a word and complements each base
+/// (complement is bitwise NOT under the 2-bit code) — the whole-word building
+/// block of the word-parallel [`DnaString::reverse_complement`].
+#[inline]
+fn rc_word(w: u64) -> u64 {
+    let mut x = !w;
+    x = ((x & 0x3333_3333_3333_3333) << 2) | ((x >> 2) & 0x3333_3333_3333_3333);
+    x = ((x & 0x0F0F_0F0F_0F0F_0F0F) << 4) | ((x >> 4) & 0x0F0F_0F0F_0F0F_0F0F);
+    x.swap_bytes()
+}
 
 /// A 2-bit packed DNA sequence of arbitrary length.
 #[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -101,10 +114,47 @@ impl DnaString {
     }
 
     /// Appends every base of `other`.
+    ///
+    /// Word-parallel: the incoming packed words are spliced onto the partial
+    /// last word with two shifts each (32 bases per step) instead of a
+    /// base-by-base push loop — contig concatenation is a hot path of the
+    /// merging phase. The scalar twin runs when
+    /// [`kernels::scalar_kernels_forced`] is engaged.
     pub fn extend_from(&mut self, other: &DnaString) {
-        for b in other.iter() {
-            self.push(b);
+        if kernels::scalar_kernels_forced() {
+            for b in other.iter() {
+                self.push(b);
+            }
+            return;
         }
+        if other.len == 0 {
+            return;
+        }
+        let m2 = (self.len % BASES_PER_WORD) * 2;
+        if m2 == 0 {
+            // Word-aligned append: a straight copy.
+            self.words.extend_from_slice(&other.words);
+        } else {
+            for &w in &other.words {
+                let last = self.words.last_mut().expect("partial last word");
+                *last |= w >> m2;
+                self.words.push(w << (64 - m2));
+            }
+        }
+        self.len += other.len;
+        // The splice pushes one word per incoming word, which can overshoot
+        // the needed count by one; the dropped word only ever holds spill
+        // from the incoming zero tail, so truncation keeps the trailing-
+        // bits-zero invariant.
+        self.words.truncate(self.len.div_ceil(BASES_PER_WORD));
+        debug_assert!(self.tail_bits_zero());
+    }
+
+    /// Whether every bit past the last base is zero (the structural-`Eq`
+    /// invariant; debug checks only).
+    fn tail_bits_zero(&self) -> bool {
+        let tail = self.len % BASES_PER_WORD;
+        tail == 0 || self.words[self.words.len() - 1] & (u64::MAX >> (2 * tail)) == 0
     }
 
     /// Appends bases from a slice.
@@ -121,15 +171,44 @@ impl DnaString {
     }
 
     /// The reverse complement of the whole sequence.
+    ///
+    /// Word-parallel: each word reverses and complements all 32 of its base
+    /// slots at once (`rc_word`, the same SWAR network as
+    /// [`Kmer::reverse_complement`]); the mapped words stream in reverse
+    /// order and one whole-stream shift drops the pad that the partial last
+    /// word contributes at the front. The scalar twin runs when
+    /// [`kernels::scalar_kernels_forced`] is engaged.
     pub fn reverse_complement(&self) -> DnaString {
-        DnaString::from_bases_iter((0..self.len).rev().map(|i| self.get(i).complement()))
+        if kernels::scalar_kernels_forced() {
+            return DnaString::from_bases_iter(
+                (0..self.len).rev().map(|i| self.get(i).complement()),
+            );
+        }
+        let mut words: Vec<u64> = self.words.iter().rev().map(|&w| rc_word(w)).collect();
+        // A partial last word's zero pad is complemented and reversed to the
+        // front of the new stream; shift the whole stream left to drop it
+        // (zeros fill from the right, preserving the tail invariant).
+        let pad = (BASES_PER_WORD - self.len % BASES_PER_WORD) % BASES_PER_WORD * 2;
+        if pad > 0 {
+            let m = words.len();
+            for i in 0..m - 1 {
+                words[i] = (words[i] << pad) | (words[i + 1] >> (64 - pad));
+            }
+            words[m - 1] <<= pad;
+        }
+        let out = DnaString {
+            words,
+            len: self.len,
+        };
+        debug_assert!(out.tail_bits_zero());
+        out
     }
 
     /// The lexicographically smaller of this sequence and its reverse
-    /// complement.
+    /// complement (one word-parallel [`Ord`] comparison, no decoding).
     pub fn canonical(&self) -> DnaString {
         let rc = self.reverse_complement();
-        if self.to_bases() <= rc.to_bases() {
+        if *self <= rc {
             self.clone()
         } else {
             rc
@@ -228,6 +307,35 @@ impl DnaString {
             }
         }
         Ok(DnaString { words, len })
+    }
+}
+
+impl Ord for DnaString {
+    /// Lexicographic base order, compared **word-parallel**: bases pack from
+    /// the high end of each word with every bit past the last base zero, so
+    /// lexicographic comparison of the word vectors *is* lexicographic
+    /// comparison of the sequences — 32 bases per compare. Two sequences
+    /// with equal word vectors can still differ in length (the shorter one's
+    /// missing bases read as the zero pad, i.e. `A`s), in which case the
+    /// shorter — a strict prefix — sorts first. The scalar twin runs when
+    /// [`kernels::scalar_kernels_forced`] is engaged.
+    fn cmp(&self, other: &DnaString) -> Ordering {
+        if kernels::scalar_kernels_forced() {
+            for (a, b) in self.iter().zip(other.iter()) {
+                match a.code().cmp(&b.code()) {
+                    Ordering::Equal => {}
+                    o => return o,
+                }
+            }
+            return self.len.cmp(&other.len);
+        }
+        self.words.cmp(&other.words).then(self.len.cmp(&other.len))
+    }
+}
+
+impl PartialOrd for DnaString {
+    fn partial_cmp(&self, other: &DnaString) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -385,7 +493,86 @@ mod tests {
         assert_eq!(s.to_ascii(), "TGCCG");
     }
 
+    /// Runs `f` with the scalar twins forced; serialized so concurrent
+    /// pinning tests cannot release the switch under each other.
+    fn with_forced_scalar<T>(f: impl FnOnce() -> T) -> T {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        struct Release;
+        impl Drop for Release {
+            fn drop(&mut self) {
+                kernels::force_scalar_kernels(false);
+            }
+        }
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _release = Release;
+        kernels::force_scalar_kernels(true);
+        f()
+    }
+
+    #[test]
+    fn word_kernels_match_scalar_at_boundaries() {
+        // Lengths straddling every word-boundary shape: empty, sub-word,
+        // exact words, one base over/under.
+        for n in [0usize, 1, 31, 32, 33, 63, 64, 65, 96] {
+            let s = DnaString::from_bases_iter((0..n).map(|i| Base::from_code((i % 4) as u8)));
+            let t = DnaString::from_bases_iter((0..n).map(|i| Base::from_code((i % 3) as u8)));
+            let (rc, canon, cmp, ext) = with_forced_scalar(|| {
+                let mut e = s.clone();
+                e.extend_from(&t);
+                (s.reverse_complement(), s.canonical(), s.cmp(&t), e)
+            });
+            assert_eq!(s.reverse_complement(), rc, "rc len {n}");
+            assert_eq!(s.canonical(), canon, "canonical len {n}");
+            assert_eq!(s.cmp(&t), cmp, "cmp len {n}");
+            let mut e = s.clone();
+            e.extend_from(&t);
+            assert_eq!(e, ext, "extend len {n}");
+        }
+    }
+
+    #[test]
+    fn ord_is_lexicographic_over_bases() {
+        // Prefix, mid-word difference, cross-word difference, zero-pad-as-A
+        // tie broken by length.
+        let pairs = [
+            ("A", "AA"),
+            ("AC", "C"),
+            ("CA", "CAA"),
+            ("CAAC", "CAT"),
+            (&"ACGT".repeat(16)[..], &("ACGT".repeat(16) + "A")[..]),
+        ];
+        for (a, b) in pairs {
+            let s = DnaString::from_ascii(a).unwrap();
+            let t = DnaString::from_ascii(b).unwrap();
+            assert_eq!(s.cmp(&t), a.cmp(b), "{a} vs {b}");
+            assert_eq!(t.cmp(&s), b.cmp(a), "{b} vs {a}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_word_kernels_match_scalar(
+            a in proptest::collection::vec(0u8..4, 0..220),
+            b in proptest::collection::vec(0u8..4, 0..220),
+        ) {
+            let s = DnaString::from_bases_iter(a.iter().map(|c| Base::from_code(*c)));
+            let t = DnaString::from_bases_iter(b.iter().map(|c| Base::from_code(*c)));
+            let (rc, canon, cmp, ext) = with_forced_scalar(|| {
+                let mut e = s.clone();
+                e.extend_from(&t);
+                (s.reverse_complement(), s.canonical(), s.cmp(&t), e)
+            });
+            prop_assert_eq!(s.reverse_complement(), rc);
+            prop_assert_eq!(s.canonical(), canon);
+            prop_assert_eq!(s.cmp(&t), cmp);
+            let mut e = s.clone();
+            e.extend_from(&t);
+            prop_assert_eq!(e, ext);
+            // Independent oracle: with A<C<G<T mapping to ASCII order,
+            // sequence order must equal string order.
+            prop_assert_eq!(s.cmp(&t), s.to_ascii().cmp(&t.to_ascii()));
+        }
+
         #[test]
         fn prop_ascii_roundtrip(v in proptest::collection::vec(0u8..4, 0..300)) {
             let bases: Vec<Base> = v.iter().map(|c| Base::from_code(*c)).collect();

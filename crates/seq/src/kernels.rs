@@ -1,0 +1,63 @@
+//! Scalar-fallback toggle for the sequence plane's word-parallel kernels.
+//!
+//! The hot comparisons of the sequence layer — [`DnaString`] ordering, the
+//! canonical-strand pick, reverse complement and contig splicing
+//! ([`DnaString::extend_from`]) — all run **word-parallel** over the 2-bit
+//! packed representation: 32 bases per `u64` step instead of a decoded
+//! base-by-base loop. Every such kernel keeps its portable scalar twin, and
+//! this module provides the process-global switch that forces the twins —
+//! the sequence-plane mirror of `ppa_pregel::kernels::force_scalar_kernels`
+//! (the two crates share no code, only the `PPA_SCALAR_KERNELS` convention,
+//! because `ppa_seq` sits below the Pregel layer in the crate graph).
+//!
+//! Benches flip the switch to measure word-parallel vs. scalar; the CI
+//! forced-scalar job sets the `PPA_SCALAR_KERNELS` environment variable
+//! (any value but `"0"`) to run the whole test suite on the scalar twins.
+//!
+//! [`DnaString`]: crate::DnaString
+//! [`DnaString::extend_from`]: crate::DnaString::extend_from
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// When `true`, every sequence kernel runs its portable scalar twin.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+fn env_scalar() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| std::env::var_os("PPA_SCALAR_KERNELS").is_some_and(|v| v != "0"))
+}
+
+/// Forces (or releases) the scalar twin of every sequence-plane kernel.
+///
+/// Process-global; benches and the CI fallback job use it to measure and
+/// exercise the scalar paths. The `PPA_SCALAR_KERNELS` environment variable
+/// forces scalar independently of this switch.
+pub fn force_scalar_kernels(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// Whether the scalar twins are currently forced (switch or environment).
+pub fn scalar_kernels_forced() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed) || env_scalar()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_round_trips() {
+        // The env var is absent in the normal test run, so the switch is the
+        // only input.
+        if std::env::var_os("PPA_SCALAR_KERNELS").is_some() {
+            assert!(scalar_kernels_forced());
+            return;
+        }
+        assert!(!scalar_kernels_forced());
+        force_scalar_kernels(true);
+        assert!(scalar_kernels_forced());
+        force_scalar_kernels(false);
+        assert!(!scalar_kernels_forced());
+    }
+}

@@ -24,6 +24,7 @@ pub mod dna_string;
 pub mod edit;
 pub mod error;
 pub mod fastx;
+pub mod kernels;
 pub mod kmer;
 
 pub use base::Base;
