@@ -240,20 +240,29 @@ pub fn checksum64(bytes: &[u8]) -> u64 {
         0x6c62_272e_07bb_0142u64,
         0xaf63_bd4c_8601_b7dfu64,
     ];
+    // Panic-free word load: `chunks_exact(8)` guarantees 8 bytes, but the
+    // codec rules ban `expect`, so assemble the word with a bounded copy.
+    fn lane_word(word: &[u8]) -> u64 {
+        let mut w = [0u8; 8];
+        for (dst, &src) in w.iter_mut().zip(word) {
+            *dst = src;
+        }
+        u64::from_le_bytes(w)
+    }
     let mut chunks = bytes.chunks_exact(32);
     for chunk in &mut chunks {
         for (lane, word) in lanes.iter_mut().zip(chunk.chunks_exact(8)) {
-            let w = u64::from_le_bytes(word.try_into().expect("8-byte word"));
-            *lane = (*lane ^ w).wrapping_mul(PRIME);
+            *lane = (*lane ^ lane_word(word)).wrapping_mul(PRIME);
         }
     }
     let tail = chunks.remainder();
     if !tail.is_empty() {
         let mut padded = [0u8; 32];
-        padded[..tail.len()].copy_from_slice(tail);
+        for (dst, &src) in padded.iter_mut().zip(tail) {
+            *dst = src;
+        }
         for (lane, word) in lanes.iter_mut().zip(padded.chunks_exact(8)) {
-            let w = u64::from_le_bytes(word.try_into().expect("8-byte word"));
-            *lane = (*lane ^ w).wrapping_mul(PRIME);
+            *lane = (*lane ^ lane_word(word)).wrapping_mul(PRIME);
         }
     }
     // Word-granular FNV-style fold: one multiply per lane (cheap enough to
@@ -318,28 +327,29 @@ pub struct Manifest {
 }
 
 impl Manifest {
-    fn encode(&self) -> Vec<u8> {
+    fn encode(&self) -> Result<Vec<u8>, CheckpointError> {
+        // Writes into a Vec cannot fail in practice, but the codec rules ban
+        // `unwrap`, so the infallibility flows through `?` as an io error.
         let mut w = Writer::new(Vec::new());
-        // Writes into a Vec cannot fail.
-        w.raw(&MAGIC).unwrap();
-        w.u32(VERSION).unwrap();
-        w.u64(self.completed_stages as u64).unwrap();
-        w.u64(self.rounds.len() as u64).unwrap();
+        w.raw(&MAGIC)?;
+        w.u32(VERSION)?;
+        w.u64(self.completed_stages as u64)?;
+        w.u64(self.rounds.len() as u64)?;
         for (name, round) in &self.rounds {
-            w.str(name).unwrap();
-            w.u64(*round as u64).unwrap();
+            w.str(name)?;
+            w.u64(*round as u64)?;
         }
-        w.u64(self.pipeline_fingerprint).unwrap();
-        w.u64(self.reads_fingerprint).unwrap();
-        w.u64(self.workers as u64).unwrap();
-        w.bool(self.rewired).unwrap();
-        w.u64(self.files.len() as u64).unwrap();
+        w.u64(self.pipeline_fingerprint)?;
+        w.u64(self.reads_fingerprint)?;
+        w.u64(self.workers as u64)?;
+        w.bool(self.rewired)?;
+        w.u64(self.files.len() as u64)?;
         for f in &self.files {
-            w.str(&f.name).unwrap();
-            w.u64(f.len).unwrap();
-            w.u64(f.checksum).unwrap();
+            w.str(&f.name)?;
+            w.u64(f.len)?;
+            w.u64(f.checksum)?;
         }
-        w.into_inner()
+        Ok(w.into_inner())
     }
 
     fn decode(bytes: &[u8]) -> Result<Manifest, CheckpointError> {
@@ -455,66 +465,66 @@ fn unpack_edge_meta(
 /// Encodes a node slice as flat columns: ids, coverages, sequence tags,
 /// packed k-mers (+k), contig lengths + 2-bit words, edge counts, and
 /// flattened edge columns.
-fn encode_nodes(nodes: &[AsmNode]) -> Vec<u8> {
+fn encode_nodes(nodes: &[AsmNode]) -> Result<Vec<u8>, CheckpointError> {
     let mut w = Writer::new(Vec::new());
-    w.u64(nodes.len() as u64).unwrap();
+    w.u64(nodes.len() as u64)?;
     for n in nodes {
-        w.u64(n.id).unwrap();
+        w.u64(n.id)?;
     }
     for n in nodes {
-        w.u32(n.coverage).unwrap();
+        w.u32(n.coverage)?;
     }
     for n in nodes {
         let tag = match &n.seq {
             NodeSeq::Kmer(_) => TAG_KMER,
             NodeSeq::Contig(_) => TAG_CONTIG,
         };
-        w.u8(tag).unwrap();
+        w.u8(tag)?;
     }
     // K-mer columns (packed bits, then k values), in node order.
     for n in nodes {
         if let NodeSeq::Kmer(k) = &n.seq {
-            w.u64(k.packed()).unwrap();
+            w.u64(k.packed())?;
         }
     }
     for n in nodes {
         if let NodeSeq::Kmer(k) = &n.seq {
-            w.u8(k.k() as u8).unwrap();
+            w.u8(k.k() as u8)?;
         }
     }
     // Contig columns: base lengths, then all 2-bit words concatenated.
     for n in nodes {
         if let NodeSeq::Contig(s) = &n.seq {
-            w.u64(s.len() as u64).unwrap();
+            w.u64(s.len() as u64)?;
         }
     }
     for n in nodes {
         if let NodeSeq::Contig(s) = &n.seq {
             for &word in s.words() {
-                w.u64(word).unwrap();
+                w.u64(word)?;
             }
         }
     }
     // Edge columns.
     for n in nodes {
-        w.u32(n.edges.len() as u32).unwrap();
+        w.u32(n.edges.len() as u32)?;
     }
     for n in nodes {
         for e in &n.edges {
-            w.u64(e.neighbor).unwrap();
+            w.u64(e.neighbor)?;
         }
     }
     for n in nodes {
         for e in &n.edges {
-            w.u8(pack_edge_meta(e)).unwrap();
+            w.u8(pack_edge_meta(e))?;
         }
     }
     for n in nodes {
         for e in &n.edges {
-            w.u32(e.coverage).unwrap();
+            w.u32(e.coverage)?;
         }
     }
-    w.into_inner()
+    Ok(w.into_inner())
 }
 
 fn decode_nodes(file: &str, bytes: &[u8]) -> Result<Vec<AsmNode>, CheckpointError> {
@@ -597,73 +607,85 @@ fn decode_nodes(file: &str, bytes: &[u8]) -> Result<Vec<AsmNode>, CheckpointErro
         });
     }
 
-    // Reassemble rows from the columns.
+    // Reassemble rows from the columns. Every column was filled with its
+    // exact counted length above, so consuming iterators (instead of
+    // indexing, which the codec rules ban) can only underrun if the counts
+    // themselves are inconsistent — which is reported as corruption.
+    let underrun = |what: &str| CheckpointError::Corrupt {
+        file: file.into(),
+        detail: format!("{what} column shorter than its counted entries"),
+    };
     let mut nodes = Vec::with_capacity(n);
-    let (mut ki, mut ci, mut ei) = (0usize, 0usize, 0usize);
-    for i in 0..n {
-        let seq = if tags[i] == TAG_KMER {
-            let kmer = Kmer::from_packed(kmer_packed[ki], kmer_k[ki] as usize).map_err(|err| {
-                CheckpointError::Corrupt {
+    let mut kmers = kmer_packed.into_iter().zip(kmer_k);
+    let mut contigs = contig_lens.into_iter().zip(contig_words);
+    let mut edge_cols = edge_neighbors
+        .into_iter()
+        .zip(edge_meta)
+        .zip(edge_coverages);
+    let rows = ids.into_iter().zip(coverages).zip(tags).zip(edge_counts);
+    for (i, (((id, coverage), tag), edge_count)) in rows.enumerate() {
+        let seq = if tag == TAG_KMER {
+            let (packed, k) = kmers.next().ok_or_else(|| underrun("k-mer"))?;
+            let kmer =
+                Kmer::from_packed(packed, k as usize).map_err(|err| CheckpointError::Corrupt {
                     file: file.into(),
-                    detail: format!("k-mer column entry {ki}: {err}"),
-                }
-            })?;
-            ki += 1;
+                    detail: format!("k-mer column entry for node {i}: {err}"),
+                })?;
             NodeSeq::Kmer(kmer)
         } else {
+            let (len, words) = contigs.next().ok_or_else(|| underrun("contig"))?;
             let s =
-                DnaString::from_raw_parts(std::mem::take(&mut contig_words[ci]), contig_lens[ci])
-                    .map_err(|err| CheckpointError::Corrupt {
+                DnaString::from_raw_parts(words, len).map_err(|err| CheckpointError::Corrupt {
                     file: file.into(),
-                    detail: format!("contig column entry {ci}: {err}"),
+                    detail: format!("contig column entry for node {i}: {err}"),
                 })?;
-            ci += 1;
             NodeSeq::Contig(s)
         };
-        let mut edges = Vec::with_capacity(edge_counts[i]);
-        for _ in 0..edge_counts[i] {
-            let (direction, polarity) = edge_meta[ei];
+        let mut edges = Vec::with_capacity(edge_count);
+        for _ in 0..edge_count {
+            let ((neighbor, (direction, polarity)), coverage) =
+                edge_cols.next().ok_or_else(|| underrun("edge"))?;
             edges.push(Edge {
-                neighbor: edge_neighbors[ei],
+                neighbor,
                 direction,
                 polarity,
-                coverage: edge_coverages[ei],
+                coverage,
             });
-            ei += 1;
         }
         nodes.push(AsmNode {
-            id: ids[i],
+            id,
             seq,
-            coverage: coverages[i],
+            coverage,
             edges,
         });
     }
     Ok(nodes)
 }
 
-fn encode_metrics(w: &mut Writer<Vec<u8>>, m: &Metrics) {
-    w.u64(m.supersteps as u64).unwrap();
-    w.u64(m.total_messages).unwrap();
-    w.u64(m.total_dropped).unwrap();
-    w.u64(m.total_compute_calls).unwrap();
-    w.u64(m.elapsed.as_nanos() as u64).unwrap();
-    w.bool(m.converged).unwrap();
-    w.f64(m.avg_frontier_density).unwrap();
-    w.u64(m.peak_store_resident_bytes).unwrap();
-    w.u64(m.per_superstep.len() as u64).unwrap();
+fn encode_metrics(w: &mut Writer<Vec<u8>>, m: &Metrics) -> Result<(), CheckpointError> {
+    w.u64(m.supersteps as u64)?;
+    w.u64(m.total_messages)?;
+    w.u64(m.total_dropped)?;
+    w.u64(m.total_compute_calls)?;
+    w.u64(m.elapsed.as_nanos() as u64)?;
+    w.bool(m.converged)?;
+    w.f64(m.avg_frontier_density)?;
+    w.u64(m.peak_store_resident_bytes)?;
+    w.u64(m.per_superstep.len() as u64)?;
     for s in &m.per_superstep {
-        w.u64(s.superstep as u64).unwrap();
-        w.u64(s.active_vertices as u64).unwrap();
-        w.u64(s.messages_sent).unwrap();
-        w.u64(s.messages_dropped).unwrap();
-        w.u64(s.elapsed.as_nanos() as u64).unwrap();
-        w.u64(s.compute_elapsed.as_nanos() as u64).unwrap();
-        w.u64(s.shuffle_elapsed.as_nanos() as u64).unwrap();
-        w.f64(s.pool_utilization).unwrap();
-        w.f64(s.frontier_density).unwrap();
-        w.u64(s.store_resident_bytes).unwrap();
-        w.f64(s.id_column_compression).unwrap();
+        w.u64(s.superstep as u64)?;
+        w.u64(s.active_vertices as u64)?;
+        w.u64(s.messages_sent)?;
+        w.u64(s.messages_dropped)?;
+        w.u64(s.elapsed.as_nanos() as u64)?;
+        w.u64(s.compute_elapsed.as_nanos() as u64)?;
+        w.u64(s.shuffle_elapsed.as_nanos() as u64)?;
+        w.f64(s.pool_utilization)?;
+        w.f64(s.frontier_density)?;
+        w.u64(s.store_resident_bytes)?;
+        w.f64(s.id_column_compression)?;
     }
+    Ok(())
 }
 
 fn decode_metrics(file: &str, r: &mut Reader<'_>) -> Result<Metrics, CheckpointError> {
@@ -706,28 +728,28 @@ fn decode_metrics(file: &str, r: &mut Reader<'_>) -> Result<Metrics, CheckpointE
     })
 }
 
-fn encode_labels(labels: Option<&LabelOutcome>) -> Vec<u8> {
+fn encode_labels(labels: Option<&LabelOutcome>) -> Result<Vec<u8>, CheckpointError> {
     let mut w = Writer::new(Vec::new());
     match labels {
-        None => w.bool(false).unwrap(),
+        None => w.bool(false)?,
         Some(outcome) => {
-            w.bool(true).unwrap();
-            w.u64(outcome.labels.len() as u64).unwrap();
+            w.bool(true)?;
+            w.u64(outcome.labels.len() as u64)?;
             for (id, _) in &outcome.labels {
-                w.u64(*id).unwrap();
+                w.u64(*id)?;
             }
             for (_, label) in &outcome.labels {
-                w.u64(*label).unwrap();
+                w.u64(*label)?;
             }
-            w.u64(outcome.ambiguous.len() as u64).unwrap();
+            w.u64(outcome.ambiguous.len() as u64)?;
             for id in &outcome.ambiguous {
-                w.u64(*id).unwrap();
+                w.u64(*id)?;
             }
-            w.bool(outcome.used_cycle_fallback).unwrap();
-            encode_metrics(&mut w, &outcome.metrics);
+            w.bool(outcome.used_cycle_fallback)?;
+            encode_metrics(&mut w, &outcome.metrics)?;
         }
     }
-    w.into_inner()
+    Ok(w.into_inner())
 }
 
 fn decode_labels(file: &str, bytes: &[u8]) -> Result<Option<LabelOutcome>, CheckpointError> {
@@ -778,24 +800,24 @@ fn decode_labels(file: &str, bytes: &[u8]) -> Result<Option<LabelOutcome>, Check
     }))
 }
 
-fn encode_output(output: &[Contig]) -> Vec<u8> {
+fn encode_output(output: &[Contig]) -> Result<Vec<u8>, CheckpointError> {
     let mut w = Writer::new(Vec::new());
-    w.u64(output.len() as u64).unwrap();
+    w.u64(output.len() as u64)?;
     for c in output {
-        w.u64(c.id).unwrap();
+        w.u64(c.id)?;
     }
     for c in output {
-        w.u32(c.coverage).unwrap();
+        w.u32(c.coverage)?;
     }
     for c in output {
-        w.u64(c.sequence.len() as u64).unwrap();
+        w.u64(c.sequence.len() as u64)?;
     }
     for c in output {
         for &word in c.sequence.words() {
-            w.u64(word).unwrap();
+            w.u64(word)?;
         }
     }
-    w.into_inner()
+    Ok(w.into_inner())
 }
 
 fn decode_output(file: &str, bytes: &[u8]) -> Result<Vec<Contig>, CheckpointError> {
@@ -820,22 +842,24 @@ fn decode_output(file: &str, bytes: &[u8]) -> Result<Vec<Contig>, CheckpointErro
     for _ in 0..n {
         lens.push(r.u64().map_err(e)? as usize);
     }
+    // Row reassembly without indexing: all three columns were filled with
+    // exactly `n` entries, so the zip below visits every row.
     let mut contigs = Vec::with_capacity(n);
-    for i in 0..n {
-        let words = lens[i].div_ceil(32);
+    for (i, ((id, coverage), len)) in ids.into_iter().zip(coverages).zip(lens).enumerate() {
+        let words = len.div_ceil(32);
         let mut v = Vec::with_capacity(words);
         for _ in 0..words {
             v.push(r.u64().map_err(e)?);
         }
         let sequence =
-            DnaString::from_raw_parts(v, lens[i]).map_err(|err| CheckpointError::Corrupt {
+            DnaString::from_raw_parts(v, len).map_err(|err| CheckpointError::Corrupt {
                 file: file.into(),
                 detail: format!("contig {i}: {err}"),
             })?;
         contigs.push(Contig {
-            id: ids[i],
+            id,
             sequence,
-            coverage: coverages[i],
+            coverage,
         });
     }
     if !r.is_empty() {
@@ -891,12 +915,13 @@ pub fn save_with_reads_fingerprint(
     let name = format!("stage-{:04}", meta.completed_stages);
     let ckpt = dir.join(&name);
     fs::create_dir_all(&ckpt)?;
+    let [s_nodes, s_labels, s_contigs, s_ambiguous, s_output] = SECTIONS;
     let sections: [(&str, Vec<u8>); 5] = [
-        (SECTIONS[0], encode_nodes(&state.nodes)),
-        (SECTIONS[1], encode_labels(state.labels.as_ref())),
-        (SECTIONS[2], encode_nodes(&state.contigs)),
-        (SECTIONS[3], encode_nodes(&state.ambiguous_kmers)),
-        (SECTIONS[4], encode_output(&state.output)),
+        (s_nodes, encode_nodes(&state.nodes)?),
+        (s_labels, encode_labels(state.labels.as_ref())?),
+        (s_contigs, encode_nodes(&state.contigs)?),
+        (s_ambiguous, encode_nodes(&state.ambiguous_kmers)?),
+        (s_output, encode_output(&state.output)?),
     ];
     let mut files = Vec::with_capacity(sections.len());
     for (file, bytes) in &sections {
@@ -916,7 +941,7 @@ pub fn save_with_reads_fingerprint(
         rewired: state.rewired,
         files,
     };
-    fs::write(ckpt.join(MANIFEST_FILE), manifest.encode())?;
+    fs::write(ckpt.join(MANIFEST_FILE), manifest.encode()?)?;
     // Keep only this snapshot: prune every other stage-* sibling.
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
@@ -1024,11 +1049,22 @@ pub fn load<'r>(
             detail: format!("unexpected section list {expected:?}"),
         });
     }
-    let nodes = decode_nodes(SECTIONS[0], &sections[0])?;
-    let labels = decode_labels(SECTIONS[1], &sections[1])?;
-    let contigs = decode_nodes(SECTIONS[2], &sections[2])?;
-    let ambiguous_kmers = decode_nodes(SECTIONS[3], &sections[3])?;
-    let output = decode_output(SECTIONS[4], &sections[4])?;
+    // The section list was just validated against SECTIONS, so the array
+    // destructure (index-free, per the codec rules) cannot fail.
+    let Ok([b_nodes, b_labels, b_contigs, b_ambiguous, b_output]) =
+        <[Vec<u8>; 5]>::try_from(sections)
+    else {
+        return Err(CheckpointError::Corrupt {
+            file: MANIFEST_FILE.into(),
+            detail: "section count mismatch".into(),
+        });
+    };
+    let [s_nodes, s_labels, s_contigs, s_ambiguous, s_output] = SECTIONS;
+    let nodes = decode_nodes(s_nodes, &b_nodes)?;
+    let labels = decode_labels(s_labels, &b_labels)?;
+    let contigs = decode_nodes(s_contigs, &b_contigs)?;
+    let ambiguous_kmers = decode_nodes(s_ambiguous, &b_ambiguous)?;
+    let output = decode_output(s_output, &b_output)?;
     let state = GraphState {
         reads,
         nodes,
@@ -1402,17 +1438,17 @@ mod tests {
         let state = arb_state(&mut mix, reads);
 
         // In-memory round-trip of every section codec.
-        let nodes =
-            decode_nodes("nodes.col", &encode_nodes(&state.nodes)).map_err(|e| e.to_string())?;
+        let nodes = decode_nodes("nodes.col", &encode_nodes(&state.nodes).unwrap())
+            .map_err(|e| e.to_string())?;
         if nodes != state.nodes {
             return Err(format!("node round-trip diverged for seed {seed}"));
         }
-        let labels = decode_labels("labels.col", &encode_labels(state.labels.as_ref()))
+        let labels = decode_labels("labels.col", &encode_labels(state.labels.as_ref()).unwrap())
             .map_err(|e| e.to_string())?;
         if labels != state.labels {
             return Err(format!("label round-trip diverged for seed {seed}"));
         }
-        let output = decode_output("output.col", &encode_output(&state.output))
+        let output = decode_output("output.col", &encode_output(&state.output).unwrap())
             .map_err(|e| e.to_string())?;
         if output != state.output {
             return Err(format!("output round-trip diverged for seed {seed}"));
@@ -1420,7 +1456,7 @@ mod tests {
 
         // Any truncation of the node bytes is rejected with a typed error
         // (decoders must never panic on malformed input).
-        let bytes = encode_nodes(&state.nodes);
+        let bytes = encode_nodes(&state.nodes).unwrap();
         let cut = (seed as usize) % bytes.len().max(1);
         if cut < bytes.len() && decode_nodes("nodes.col", &bytes[..cut]).is_ok() {
             return Err(format!("truncation at {cut} not rejected for seed {seed}"));

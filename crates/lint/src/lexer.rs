@@ -1,0 +1,504 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The linter needs to reason about identifiers and punctuation while being
+//! immune to the classic grep failure modes: the word `unsafe` inside a
+//! string literal, `thread::spawn` inside a comment, nested `/* */` blocks,
+//! raw strings, byte strings, and `'a'` char literals vs `'a` lifetimes.
+//! This module produces a flat token stream plus per-line metadata (comment
+//! text, whether the line carries code) and marks every token that lives in
+//! test-only code (`#[cfg(test)]` items, `#[test]` fns, `mod tests { .. }`).
+//!
+//! It is *not* a full Rust lexer — it does not classify keywords, parse
+//! float literals precisely, or validate escapes — but it never mistakes
+//! literal/comment content for code, which is the property the rules need.
+
+/// What kind of token was scanned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unsafe`, `thread`, `HashMap`, ...).
+    Ident(String),
+    /// A raw identifier, `r#type` — stored without the `r#` prefix.
+    RawIdent(String),
+    /// A single punctuation character (`#`, `[`, `:`, `!`, ...).
+    Punct(char),
+    /// A string, byte-string, raw-string, or char/byte literal.
+    Literal,
+    /// A numeric literal (including suffixed forms like `0u64`).
+    Num,
+    /// A lifetime, `'a` (also `'_`).
+    Lifetime,
+}
+
+/// One scanned token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token payload.
+    pub tok: Tok,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+    /// 1-based column of the token's first character.
+    pub col: usize,
+    /// True when the token is inside test-only code (see module docs).
+    pub in_test: bool,
+}
+
+impl Token {
+    /// Returns the identifier text when this token is a (raw) identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) | Tok::RawIdent(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// Per-line metadata gathered while scanning.
+#[derive(Debug, Clone, Default)]
+pub struct LineInfo {
+    /// Text of every comment that overlaps this line (block comments are
+    /// recorded on each line they span, so adjacency checks see them).
+    pub comments: Vec<String>,
+    /// True when at least one code token starts on (or spans) this line.
+    pub has_code: bool,
+    /// True when the first code token on the line is `#` (attribute line).
+    pub starts_with_hash: bool,
+}
+
+/// The result of scanning one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Per-line metadata, index 0 == line 1.
+    pub lines: Vec<LineInfo>,
+}
+
+impl Lexed {
+    /// Line metadata for 1-based line `line`, if the file has that line.
+    pub fn line(&self, line: usize) -> Option<&LineInfo> {
+        self.lines.get(line.wrapping_sub(1))
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: Lexed,
+}
+
+/// Scans `src` into tokens plus line metadata and marks test regions.
+pub fn lex(src: &str) -> Lexed {
+    let line_count = src.lines().count().max(1);
+    let mut s = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Lexed {
+            tokens: Vec::new(),
+            lines: vec![LineInfo::default(); line_count],
+        },
+    };
+    s.run();
+    let mut lexed = s.out;
+    mark_test_regions(&mut lexed.tokens);
+    lexed
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn mark_code(&mut self, line: usize, is_hash: bool) {
+        if let Some(info) = self.out.lines.get_mut(line - 1) {
+            if !info.has_code {
+                info.starts_with_hash = is_hash;
+            }
+            info.has_code = true;
+        }
+    }
+
+    fn push_token(&mut self, tok: Tok, line: usize, col: usize) {
+        let is_hash = tok == Tok::Punct('#');
+        self.mark_code(line, is_hash);
+        self.out.tokens.push(Token {
+            tok,
+            line,
+            col,
+            in_test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(b) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'"' => {
+                    self.bump();
+                    self.string_body(line);
+                    self.push_token(Tok::Literal, line, col);
+                }
+                b'\'' => self.char_or_lifetime(line, col),
+                b'r' | b'b' if self.try_prefixed_literal(line, col) => {}
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                    let text = self.take_ident();
+                    self.push_token(Tok::Ident(text), line, col);
+                }
+                b'0'..=b'9' => {
+                    // Consume the alphanumeric tail so `0x1f`, `1_000u64`
+                    // etc. stay one token; `.` in floats is left as punct,
+                    // which is harmless for the rules.
+                    self.take_ident();
+                    self.push_token(Tok::Num, line, col);
+                }
+                _ => {
+                    self.bump();
+                    // Multi-byte UTF-8 continuation bytes are consumed
+                    // without emitting tokens.
+                    if b.is_ascii() {
+                        self.push_token(Tok::Punct(b as char), line, col);
+                    }
+                }
+            }
+        }
+    }
+
+    fn take_ident(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        if let Some(info) = self.out.lines.get_mut(line - 1) {
+            info.comments.push(text);
+        }
+    }
+
+    fn block_comment(&mut self, start_line: usize) {
+        let start = self.pos;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let end_line = self.line;
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // Record the comment on every line it spans so adjacency walks and
+        // suppression lookups work for multi-line `/* SAFETY: ... */`.
+        for l in start_line..=end_line {
+            if let Some(info) = self.out.lines.get_mut(l - 1) {
+                info.comments.push(text.clone());
+            }
+        }
+    }
+
+    /// Consumes a string body after the opening quote, handling escapes and
+    /// embedded newlines; marks every spanned line as carrying code.
+    fn string_body(&mut self, start_line: usize) {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        for l in start_line..=self.line {
+            self.mark_code(l, false);
+        }
+    }
+
+    /// Consumes a raw string after `r`/`br` once the `#` count is known.
+    fn raw_string_body(&mut self, hashes: usize, start_line: usize) {
+        // Skip the hashes and the opening quote.
+        for _ in 0..hashes + 1 {
+            self.bump();
+        }
+        loop {
+            match self.peek(0) {
+                Some(b'"') => {
+                    self.bump();
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => break,
+            }
+        }
+        for l in start_line..=self.line {
+            self.mark_code(l, false);
+        }
+    }
+
+    /// Tries to scan `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`, or
+    /// a raw identifier `r#name`. Returns false when the `r`/`b` at the
+    /// cursor is just the start of a plain identifier.
+    fn try_prefixed_literal(&mut self, line: usize, col: usize) -> bool {
+        let b0 = self.peek(0).unwrap_or(0);
+        let (prefix_len, rest) = match (b0, self.peek(1)) {
+            (b'b', Some(b'r')) => (2, self.peek(2)),
+            _ => (1, self.peek(1)),
+        };
+        match rest {
+            Some(b'"') => {
+                for _ in 0..prefix_len {
+                    self.bump();
+                }
+                if b0 == b'r' || prefix_len == 2 {
+                    self.raw_string_body(0, line);
+                } else {
+                    self.bump();
+                    self.string_body(line);
+                }
+                self.push_token(Tok::Literal, line, col);
+                true
+            }
+            Some(b'#') => {
+                // Count hashes; a quote after them means raw string, an
+                // identifier char after `r#` means raw identifier.
+                let mut hashes = 0usize;
+                while self.peek(prefix_len + hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                match self.peek(prefix_len + hashes) {
+                    Some(b'"') => {
+                        for _ in 0..prefix_len {
+                            self.bump();
+                        }
+                        self.raw_string_body(hashes, line);
+                        self.push_token(Tok::Literal, line, col);
+                        true
+                    }
+                    Some(c)
+                        if b0 == b'r' && hashes == 1 && (c == b'_' || c.is_ascii_alphabetic()) =>
+                    {
+                        self.bump();
+                        self.bump();
+                        let text = self.take_ident();
+                        self.push_token(Tok::RawIdent(text), line, col);
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            Some(b'\'') if b0 == b'b' => {
+                self.bump();
+                self.char_literal_body();
+                self.push_token(Tok::Literal, line, col);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes `'...'` starting at the opening quote.
+    fn char_literal_body(&mut self) {
+        self.bump(); // opening '
+        if self.peek(0) == Some(b'\\') {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.bump();
+        }
+    }
+
+    /// Disambiguates `'a'` (char literal) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self, line: usize, col: usize) {
+        let next = self.peek(1);
+        let is_char = match next {
+            Some(b'\\') => true,
+            Some(_) => self.peek(2) == Some(b'\''),
+            None => false,
+        };
+        if is_char {
+            self.char_literal_body();
+            self.push_token(Tok::Literal, line, col);
+        } else {
+            self.bump();
+            self.take_ident();
+            self.push_token(Tok::Lifetime, line, col);
+        }
+    }
+}
+
+/// Marks tokens that live inside test-only code.
+///
+/// A test region opens at the `{` of an item annotated `#[cfg(test)]` /
+/// `#[test]` (including `cfg(all(test, ...))` — any `test` predicate not
+/// wrapped in `not(...)`) or of a `mod tests` declaration, and closes at the
+/// matching `}`. Regions nest; a pending attribute is cancelled by a `;` at
+/// the same depth (e.g. `#[cfg(test)] mod tests;`).
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut depth = 0usize;
+    let mut regions: Vec<usize> = Vec::new();
+    let mut pending = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        let in_test = !regions.is_empty();
+        tokens[i].in_test = in_test || pending;
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Scan the attribute's token tree to its matching `]`.
+            let mut j = i + 2;
+            let mut bracket = 1usize;
+            while j < tokens.len() && bracket > 0 {
+                if tokens[j].is_punct('[') {
+                    bracket += 1;
+                } else if tokens[j].is_punct(']') {
+                    bracket -= 1;
+                }
+                j += 1;
+            }
+            if attr_is_test(&tokens[i + 2..j.saturating_sub(1)]) {
+                pending = true;
+            }
+            for t in tokens[i..j].iter_mut() {
+                t.in_test = in_test || pending;
+            }
+            i = j;
+            continue;
+        }
+        match &tokens[i].tok {
+            Tok::Ident(s)
+                if s == "mod" && tokens.get(i + 1).is_some_and(|t| t.is_ident("tests")) =>
+            {
+                pending = true;
+                tokens[i].in_test = true;
+            }
+            Tok::Punct(';') => pending = false,
+            Tok::Punct('{') => {
+                if pending {
+                    regions.push(depth);
+                    pending = false;
+                    tokens[i].in_test = true;
+                }
+                depth += 1;
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if regions.last() == Some(&depth) {
+                    regions.pop();
+                    // The closing brace itself still belongs to the region.
+                    tokens[i].in_test = true;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// True when an attribute body (`cfg(test)`, `test`, `cfg(all(test, ..))`)
+/// gates the annotated item to test builds. `cfg(not(test))` does not.
+fn attr_is_test(body: &[Token]) -> bool {
+    let first = match body.first() {
+        Some(t) => t,
+        None => return false,
+    };
+    if first.is_ident("test") && body.len() == 1 {
+        return true;
+    }
+    if !first.is_ident("cfg") {
+        return false;
+    }
+    // Walk the predicate, tracking paren depth and the depths at which a
+    // `not(` group opened; a bare `test` outside every `not` wins.
+    let mut paren = 0usize;
+    let mut not_depths: Vec<usize> = Vec::new();
+    let mut k = 1;
+    while k < body.len() {
+        let t = &body[k];
+        if t.is_ident("not") && body.get(k + 1).is_some_and(|n| n.is_punct('(')) {
+            not_depths.push(paren);
+        } else if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren = paren.saturating_sub(1);
+            while not_depths.last().is_some_and(|d| *d >= paren) {
+                not_depths.pop();
+            }
+        } else if t.is_ident("test") && not_depths.is_empty() {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}

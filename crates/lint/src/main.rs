@@ -1,0 +1,137 @@
+//! Driver binary: walk the workspace, run every rule, report findings.
+//!
+//! ```text
+//! ppa_lint [--root PATH] [--format text|json] [--rule NAME]...
+//!          [--deny-all] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 = clean (or findings without `--deny-all`), 1 = findings
+//! with `--deny-all`, 2 = usage or I/O error.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ppa_lint::{analyze_sources, render_json, render_text, Rule, SourceSpec, ALL_RULES};
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    deny_all: bool,
+    list_rules: bool,
+    rules: Vec<Rule>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        json: false,
+        deny_all: false,
+        list_rules: false,
+        rules: Vec::new(),
+    };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root requires a path")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--rule" => {
+                let v = args.next().ok_or("--rule requires a rule name")?;
+                let rule = Rule::from_name(&v).ok_or(format!("unknown rule `{v}`"))?;
+                opts.rules.push(rule);
+            }
+            "--deny-all" => opts.deny_all = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage: ppa_lint [--root PATH] [--format text|json] [--rule NAME]... \
+         [--deny-all] [--list-rules]\n\nrules:\n",
+    );
+    for rule in ALL_RULES {
+        out.push_str(&format!("  {:<26} {}\n", rule.name(), rule.description()));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("ppa_lint: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root.or_else(|| {
+        env::current_dir()
+            .ok()
+            .and_then(|d| ppa_lint::walk::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("ppa_lint: no workspace root found (pass --root PATH)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = match ppa_lint::walk::collect_rust_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ppa_lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut sources = Vec::with_capacity(files.len());
+    for (abs, rel) in &files {
+        match fs::read_to_string(abs) {
+            Ok(text) => sources.push((rel.clone(), text)),
+            Err(e) => {
+                eprintln!("ppa_lint: reading {}: {e}", abs.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let specs: Vec<SourceSpec<'_>> = sources
+        .iter()
+        .map(|(path, text)| SourceSpec { path, text })
+        .collect();
+    let mut diags = analyze_sources(&specs);
+    if !opts.rules.is_empty() {
+        diags.retain(|d| opts.rules.contains(&d.rule));
+    }
+
+    if opts.json {
+        print!("{}", render_json(&diags));
+    } else {
+        print!("{}", render_text(&diags));
+    }
+    if opts.deny_all && !diags.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

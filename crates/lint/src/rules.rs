@@ -1,0 +1,419 @@
+//! The rule implementations.
+//!
+//! Every rule operates on the token stream from [`crate::lexer`], so string
+//! and comment content can never trigger a finding, and anything inside a
+//! `#[cfg(test)]` / `mod tests` region (or an integration-test/bench file)
+//! is exempt unless noted otherwise.
+
+use crate::lexer::{lex, Lexed, Tok, Token};
+use crate::report::{Diagnostic, Rule};
+use std::collections::HashMap;
+
+/// Files where `unsafe` is architecturally permitted (the SIMD kernel
+/// layer, the worker pool's lifetime erasure, the radix scatter).
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/pregel/src/kernels.rs",
+    "crates/pregel/src/engine.rs",
+    "crates/pregel/src/radix.rs",
+];
+
+/// The codec files that must never panic on malformed bytes.
+const CODEC_FILES: &[&str] = &["crates/core/src/checkpoint.rs", "shims/serde/src/lib.rs"];
+
+/// Files allowed to spawn OS threads: the persistent worker pool and the
+/// pre-pool legacy baseline kept for benchmarking.
+const THREAD_ALLOWLIST: &[&str] = &["crates/pregel/src/engine.rs", "crates/bench/src/legacy.rs"];
+
+/// Path prefixes where SipHash `HashMap` is banned in favor of `FxHashMap`.
+const SIPHASH_SCOPES: &[&str] = &["crates/pregel/", "crates/core/"];
+
+/// Identifiers that legitimately precede a `[` without being an indexable
+/// expression (`let [a, b] = ..`, `for x in [..]`, `return [..]`, ...).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "as", "box", "move", "while",
+    "for", "loop", "break", "continue", "where", "unsafe", "dyn", "impl", "pub", "fn", "use",
+    "const", "static", "enum", "struct", "trait", "type", "mod", "crate", "super", "await",
+    "async", "yield",
+];
+
+/// One file handed to the analyzer: a workspace-relative path (forward
+/// slashes) and its source text.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceSpec<'a> {
+    /// Workspace-relative path, e.g. `crates/pregel/src/engine.rs`.
+    pub path: &'a str,
+    /// The file's full source text.
+    pub text: &'a str,
+}
+
+struct AnalyzedFile {
+    path: String,
+    lexed: Lexed,
+    /// Integration-test or bench file: every rule skips it entirely.
+    is_test_file: bool,
+    /// line -> rule names allowed by a `ppa_lint: allow(..)` comment
+    /// overlapping that line.
+    allows: HashMap<usize, Vec<String>>,
+}
+
+/// Runs every rule over `files` and returns the unsuppressed findings,
+/// sorted by (file, line, col).
+pub fn analyze_sources(files: &[SourceSpec<'_>]) -> Vec<Diagnostic> {
+    let analyzed: Vec<AnalyzedFile> = files
+        .iter()
+        .map(|spec| {
+            let lexed = lex(spec.text);
+            let allows = collect_allows(&lexed);
+            AnalyzedFile {
+                path: spec.path.to_string(),
+                lexed,
+                is_test_file: is_test_path(spec.path),
+                allows,
+            }
+        })
+        .collect();
+
+    let intrinsics = collect_intrinsics(&analyzed);
+
+    let mut diags = Vec::new();
+    for file in &analyzed {
+        if file.is_test_file {
+            continue;
+        }
+        check_unsafe_audit(file, &mut diags);
+        check_panic_free_codecs(file, &mut diags);
+        check_engine_only_threading(file, &mut diags);
+        check_no_siphash(file, &mut diags);
+        check_dispatch_only_intrinsics(file, &intrinsics, &mut diags);
+    }
+
+    diags.retain(|d| {
+        let file = analyzed.iter().find(|f| f.path == d.file);
+        match file {
+            Some(f) => !is_suppressed(f, d),
+            None => true,
+        }
+    });
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    diags
+}
+
+/// Integration-test crates (`tests/`), per-crate `tests/` dirs, and bench
+/// harnesses are test code by construction.
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/") || path.contains("/tests/") || path.contains("/benches/")
+}
+
+/// Extracts `ppa_lint: allow(rule-a, rule-b)` directives from comments.
+fn collect_allows(lexed: &Lexed) -> HashMap<usize, Vec<String>> {
+    let mut allows: HashMap<usize, Vec<String>> = HashMap::new();
+    for (idx, info) in lexed.lines.iter().enumerate() {
+        for comment in &info.comments {
+            let Some(at) = comment.find("ppa_lint:") else {
+                continue;
+            };
+            let rest = &comment[at + "ppa_lint:".len()..];
+            let Some(open) = rest.find("allow(") else {
+                continue;
+            };
+            let args = &rest[open + "allow(".len()..];
+            let Some(close) = args.find(')') else {
+                continue;
+            };
+            let names = args[..close]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty());
+            allows.entry(idx + 1).or_default().extend(names);
+        }
+    }
+    allows
+}
+
+/// A finding is suppressed by an allow directive on its own line or on the
+/// line directly above it.
+fn is_suppressed(file: &AnalyzedFile, d: &Diagnostic) -> bool {
+    [d.line, d.line.saturating_sub(1)]
+        .iter()
+        .any(|l| match file.allows.get(l) {
+            Some(names) => names.iter().any(|n| n == d.rule.name()),
+            None => false,
+        })
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-audit
+// ---------------------------------------------------------------------------
+
+fn check_unsafe_audit(file: &AnalyzedFile, diags: &mut Vec<Diagnostic>) {
+    let allowlisted = UNSAFE_ALLOWLIST.contains(&file.path.as_str());
+    for tok in &file.lexed.tokens {
+        if tok.in_test || !tok.is_ident("unsafe") {
+            continue;
+        }
+        if !allowlisted {
+            diags.push(Diagnostic {
+                rule: Rule::UnsafeAudit,
+                file: file.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "`unsafe` outside the allowlisted modules ({})",
+                    UNSAFE_ALLOWLIST.join(", ")
+                ),
+            });
+        } else if !has_adjacent_safety_comment(&file.lexed, tok.line) {
+            diags.push(Diagnostic {
+                rule: Rule::UnsafeAudit,
+                file: file.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+            });
+        }
+    }
+}
+
+/// Looks for a comment containing `SAFETY:` on the `unsafe` token's own
+/// line, or on the contiguous run of comment-only / attribute lines
+/// directly above it. A blank line or a code line ends the search.
+fn has_adjacent_safety_comment(lexed: &Lexed, line: usize) -> bool {
+    let mentions_safety =
+        |info: &crate::lexer::LineInfo| info.comments.iter().any(|c| c.contains("SAFETY:"));
+    if lexed.line(line).is_some_and(mentions_safety) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let Some(info) = lexed.line(l) else { break };
+        let comment_only = !info.has_code && !info.comments.is_empty();
+        let attr_line = info.has_code && info.starts_with_hash;
+        if !(comment_only || attr_line) {
+            break;
+        }
+        if mentions_safety(info) {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// panic-free-codecs
+// ---------------------------------------------------------------------------
+
+fn check_panic_free_codecs(file: &AnalyzedFile, diags: &mut Vec<Diagnostic>) {
+    if !CODEC_FILES.contains(&file.path.as_str()) {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    let mut push = |tok: &Token, message: String| {
+        diags.push(Diagnostic {
+            rule: Rule::PanicFreeCodecs,
+            file: file.path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
+    };
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.in_test {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+        let next = toks.get(i + 1);
+        match &tok.tok {
+            Tok::Ident(s) if (s == "unwrap" || s == "expect") => {
+                let is_method_call =
+                    prev.is_some_and(|p| p.is_punct('.')) && next.is_some_and(|n| n.is_punct('('));
+                if is_method_call {
+                    push(
+                        tok,
+                        format!("`.{s}()` in codec code; return a typed error instead"),
+                    );
+                }
+            }
+            Tok::Ident(s) if s == "panic" && next.is_some_and(|n| n.is_punct('!')) => {
+                push(
+                    tok,
+                    "`panic!` in codec code; return a typed error instead".into(),
+                );
+            }
+            Tok::Punct('[') => {
+                let indexable = prev.is_some_and(|p| match &p.tok {
+                    Tok::Ident(s) => !NON_INDEX_KEYWORDS.contains(&s.as_str()),
+                    Tok::RawIdent(_) => true,
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('?') => true,
+                    _ => false,
+                });
+                if indexable {
+                    push(
+                        tok,
+                        "slice/array indexing in codec code can panic; use `get`/iterators".into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// engine-only-threading
+// ---------------------------------------------------------------------------
+
+fn check_engine_only_threading(file: &AnalyzedFile, diags: &mut Vec<Diagnostic>) {
+    if THREAD_ALLOWLIST.contains(&file.path.as_str()) {
+        return;
+    }
+    for (i, tok) in file.lexed.tokens.iter().enumerate() {
+        if tok.in_test || !tok.is_ident("thread") {
+            continue;
+        }
+        let toks = &file.lexed.tokens;
+        let path_sep = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'));
+        let target = toks
+            .get(i + 3)
+            .and_then(|t| t.ident())
+            .filter(|n| *n == "spawn" || *n == "scope");
+        if let (true, Some(name)) = (path_sep, target) {
+            diags.push(Diagnostic {
+                rule: Rule::EngineOnlyThreading,
+                file: file.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "`thread::{name}` outside the engine worker pool ({})",
+                    THREAD_ALLOWLIST.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-siphash-hot-path
+// ---------------------------------------------------------------------------
+
+fn check_no_siphash(file: &AnalyzedFile, diags: &mut Vec<Diagnostic>) {
+    if !SIPHASH_SCOPES.iter().any(|p| file.path.starts_with(p)) {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.in_test || !tok.is_ident("collections") {
+            continue;
+        }
+        let path_sep = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'));
+        let is_hashmap = toks.get(i + 3).is_some_and(|t| t.is_ident("HashMap"));
+        if path_sep && is_hashmap {
+            let t = toks.get(i + 3).unwrap_or(tok);
+            diags.push(Diagnostic {
+                rule: Rule::NoSiphashHotPath,
+                file: file.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: "SipHash `HashMap` on a hot path; use `crate::fxhash::FxHashMap`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dispatch-only-intrinsics
+// ---------------------------------------------------------------------------
+
+/// Pass 1: map every `#[target_feature]` fn name to the file defining it.
+fn collect_intrinsics(files: &[AnalyzedFile]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    for file in files {
+        let toks = &file.lexed.tokens;
+        let mut i = 0;
+        while i < toks.len() {
+            if !(toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+                i += 1;
+                continue;
+            }
+            // Scan the attribute token tree to its matching `]`.
+            let mut j = i + 2;
+            let mut bracket = 1usize;
+            let mut has_target_feature = false;
+            while j < toks.len() && bracket > 0 {
+                if toks[j].is_punct('[') {
+                    bracket += 1;
+                } else if toks[j].is_punct(']') {
+                    bracket -= 1;
+                } else if toks[j].is_ident("target_feature") {
+                    has_target_feature = true;
+                }
+                j += 1;
+            }
+            if has_target_feature {
+                // Skip any further attributes / qualifiers up to the `fn`.
+                let mut k = j;
+                let limit = (j + 64).min(toks.len());
+                while k < limit {
+                    if toks[k].is_ident("fn") {
+                        if let Some(name) = toks.get(k + 1).and_then(|t| t.ident()) {
+                            map.insert(name.to_string(), file.path.clone());
+                        }
+                        break;
+                    }
+                    if toks[k].is_punct('{') || toks[k].is_punct(';') {
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+            i = j;
+        }
+    }
+    map
+}
+
+/// Pass 2: flag calls to a `#[target_feature]` fn from any other file.
+fn check_dispatch_only_intrinsics(
+    file: &AnalyzedFile,
+    intrinsics: &HashMap<String, String>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if intrinsics.is_empty() {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.in_test {
+            continue;
+        }
+        let Some(name) = tok.ident() else { continue };
+        let Some(def_file) = intrinsics.get(name) else {
+            continue;
+        };
+        if *def_file == file.path {
+            continue;
+        }
+        let is_call = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        let is_def = i
+            .checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .is_some_and(|p| p.is_ident("fn"));
+        if is_call && !is_def {
+            diags.push(Diagnostic {
+                rule: Rule::DispatchOnlyIntrinsics,
+                file: file.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "call to `#[target_feature]` fn `{name}` outside its dispatch layer \
+                     ({def_file})"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Fixture tests: embedded source snippets → expected diagnostics.
+//!
+//! Each launch rule gets at least one fixture proving it fires on a
+//! violating snippet and stays quiet on a suppressed or allowlisted one,
+//! plus lexer-robustness fixtures (strings containing keywords, nested
+//! block comments, raw strings, `cfg(test)` nesting).
+
+use ppa_lint::{analyze_pairs, Diagnostic, Rule};
+
+fn diags_for(path: &str, src: &str) -> Vec<Diagnostic> {
+    analyze_pairs(&[(path, src)])
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<Rule> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-audit
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unsafe_outside_allowlist_fires() {
+    let src = r#"
+pub fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+"#;
+    let diags = diags_for("crates/core/src/adj.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::UnsafeAudit]);
+    assert_eq!(diags[0].line, 3);
+    assert!(diags[0].message.contains("allowlisted"));
+}
+
+#[test]
+fn unsafe_in_allowlisted_file_without_safety_comment_fires() {
+    let src = r#"
+pub fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+"#;
+    let diags = diags_for("crates/pregel/src/kernels.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::UnsafeAudit]);
+    assert!(diags[0].message.contains("SAFETY"));
+}
+
+#[test]
+fn unsafe_with_adjacent_safety_comment_is_quiet() {
+    let src = r#"
+pub fn f(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid.
+    unsafe { *p }
+}
+
+pub fn trailing(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: caller guarantees `p` is valid.
+}
+
+/* SAFETY: a block comment
+   spanning lines also counts. */
+pub unsafe fn g() {}
+"#;
+    assert!(diags_for("crates/pregel/src/kernels.rs", src).is_empty());
+}
+
+#[test]
+fn safety_comment_above_attributes_is_adjacent() {
+    let src = r#"
+// SAFETY: caller must ensure AVX2; dispatch-gated.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub unsafe fn g() {}
+"#;
+    assert!(diags_for("crates/pregel/src/kernels.rs", src).is_empty());
+}
+
+#[test]
+fn safety_comment_separated_by_blank_line_is_not_adjacent() {
+    let src = r#"
+// SAFETY: too far away.
+
+pub unsafe fn g() {}
+"#;
+    let diags = diags_for("crates/pregel/src/kernels.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::UnsafeAudit]);
+}
+
+#[test]
+fn unsafe_suppressed_with_allow_is_quiet() {
+    let src = r#"
+pub fn f(p: *const u8) -> u8 {
+    // ppa_lint: allow(unsafe-audit)
+    unsafe { *p }
+}
+"#;
+    assert!(diags_for("crates/core/src/adj.rs", src).is_empty());
+}
+
+#[test]
+fn unsafe_in_test_module_is_exempt() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn probe() {
+        let x = 1u8;
+        let got = unsafe { *(&x as *const u8) };
+        assert_eq!(got, 1);
+    }
+}
+"#;
+    assert!(diags_for("crates/core/src/adj.rs", src).is_empty());
+}
+
+#[test]
+fn unsafe_in_integration_test_or_bench_file_is_exempt() {
+    let src = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    assert!(diags_for("tests/tests/radix_alloc.rs", src).is_empty());
+    assert!(diags_for("crates/bench/benches/kernels.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// panic-free-codecs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unwrap_expect_panic_and_indexing_fire_in_codec_files() {
+    let src = r#"
+pub fn decode(bytes: &[u8]) -> u8 {
+    let first = bytes.first().unwrap();
+    let second = bytes.get(1).expect("second byte");
+    if *first == 0 {
+        panic!("zero");
+    }
+    bytes[2] + second
+}
+"#;
+    let diags = diags_for("crates/core/src/checkpoint.rs", src);
+    assert_eq!(
+        rules_of(&diags),
+        vec![
+            Rule::PanicFreeCodecs,
+            Rule::PanicFreeCodecs,
+            Rule::PanicFreeCodecs,
+            Rule::PanicFreeCodecs
+        ]
+    );
+    // One each: unwrap, expect, panic!, slice-index.
+    assert!(diags[0].message.contains("unwrap"));
+    assert!(diags[1].message.contains("expect"));
+    assert!(diags[2].message.contains("panic!"));
+    assert!(diags[3].message.contains("indexing"));
+}
+
+#[test]
+fn question_mark_indexing_fires() {
+    let src = "fn f(b: &[u8]) -> Option<u8> { Some(b.first()?[0]) }\n";
+    let diags = diags_for("shims/serde/src/lib.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::PanicFreeCodecs]);
+}
+
+#[test]
+fn non_indexing_brackets_are_quiet() {
+    let src = r#"
+#[derive(Debug)]
+pub struct S {
+    words: [u64; 4],
+}
+pub fn f() -> Vec<u8> {
+    let [a, b] = [1u8, 2u8];
+    let v = vec![a, b];
+    let _: &[u8] = &v;
+    v
+}
+"#;
+    assert!(diags_for("crates/core/src/checkpoint.rs", src).is_empty());
+}
+
+#[test]
+fn codec_rule_only_applies_to_codec_files() {
+    let src = "pub fn f(b: &[u8]) -> u8 { b[0] }\n";
+    assert!(diags_for("crates/core/src/ops/construct.rs", src).is_empty());
+    assert!(diags_for("crates/quality/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn codec_violations_in_test_module_are_exempt() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() {
+        let v = vec![1u8];
+        assert_eq!(v.first().unwrap(), &v[0]);
+    }
+}
+"#;
+    assert!(diags_for("crates/core/src/checkpoint.rs", src).is_empty());
+}
+
+#[test]
+fn codec_violation_suppressed_with_allow_is_quiet() {
+    let src = r#"
+pub fn f(b: &[u8]) -> u8 {
+    b[0] // ppa_lint: allow(panic-free-codecs)
+}
+"#;
+    assert!(diags_for("crates/core/src/checkpoint.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// engine-only-threading
+// ---------------------------------------------------------------------------
+
+#[test]
+fn thread_spawn_outside_engine_fires() {
+    let src = r#"
+pub fn run() {
+    let h = std::thread::spawn(|| 1 + 1);
+    h.join().ok();
+}
+"#;
+    let diags = diags_for("crates/pregel/src/runner.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::EngineOnlyThreading]);
+    assert!(diags[0].message.contains("thread::spawn"));
+}
+
+#[test]
+fn thread_scope_outside_engine_fires() {
+    let src = "pub fn run() { std::thread::scope(|_| ()); }\n";
+    let diags = diags_for("crates/core/src/ops/construct.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::EngineOnlyThreading]);
+}
+
+#[test]
+fn thread_spawn_in_allowlisted_files_is_quiet() {
+    let src = "pub fn run() { std::thread::spawn(|| ()).join().ok(); }\n";
+    assert!(diags_for("crates/pregel/src/engine.rs", src).is_empty());
+    assert!(diags_for("crates/bench/src/legacy.rs", src).is_empty());
+}
+
+#[test]
+fn thread_spawn_in_comment_or_string_is_quiet() {
+    let src = r##"
+//! The engine owns all threads; never call thread::spawn elsewhere.
+pub fn doc() -> &'static str {
+    "thread::spawn is banned here"
+}
+pub fn raw() -> &'static str {
+    r#"thread::scope too"#
+}
+"##;
+    assert!(diags_for("crates/pregel/src/runner.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// no-siphash-hot-path
+// ---------------------------------------------------------------------------
+
+#[test]
+fn std_hashmap_in_pregel_and_core_fires() {
+    let src = "use std::collections::HashMap;\npub type M = HashMap<u64, u64>;\n";
+    let diags = diags_for("crates/pregel/src/mapreduce.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::NoSiphashHotPath]);
+    let diags = diags_for("crates/core/src/adj.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::NoSiphashHotPath]);
+}
+
+#[test]
+fn std_hashmap_outside_hot_crates_is_quiet() {
+    let src = "use std::collections::HashMap;\npub type M = HashMap<u64, u64>;\n";
+    assert!(diags_for("crates/quality/src/lib.rs", src).is_empty());
+    assert!(diags_for("crates/bench/src/legacy.rs", src).is_empty());
+}
+
+#[test]
+fn fxhashmap_alias_definition_suppression_is_quiet() {
+    let src = r#"
+/// The replacement the rule points at.
+// ppa_lint: allow(no-siphash-hot-path)
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, ()>;
+"#;
+    assert!(diags_for("crates/pregel/src/fxhash.rs", src).is_empty());
+}
+
+#[test]
+fn std_hashmap_in_test_module_is_quiet() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn probe() {
+        let m: HashMap<u64, u64> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}
+"#;
+    assert!(diags_for("crates/pregel/src/mapreduce.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// dispatch-only-intrinsics
+// ---------------------------------------------------------------------------
+
+const DISPATCH_DEF: &str = r#"
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure AVX2 (dispatcher-gated).
+unsafe fn envelope_avx2(keys: &[u64]) -> u64 {
+    keys.len() as u64
+}
+
+pub fn envelope(keys: &[u64]) -> u64 {
+    // SAFETY: AVX2 verified by the dispatcher.
+    unsafe { envelope_avx2(keys) }
+}
+"#;
+
+#[test]
+fn target_feature_call_outside_dispatch_layer_fires() {
+    let caller = r#"
+pub fn fast_path(keys: &[u64]) -> u64 {
+    // SAFETY: (not enough — this bypasses the dispatcher)
+    unsafe { envelope_avx2(keys) }
+}
+"#;
+    let diags = analyze_pairs(&[
+        ("crates/pregel/src/kernels.rs", DISPATCH_DEF),
+        ("crates/pregel/src/engine.rs", caller),
+    ]);
+    assert_eq!(rules_of(&diags), vec![Rule::DispatchOnlyIntrinsics]);
+    assert!(diags[0].message.contains("envelope_avx2"));
+    assert!(diags[0].message.contains("kernels.rs"));
+}
+
+#[test]
+fn target_feature_call_inside_defining_file_is_quiet() {
+    let diags = analyze_pairs(&[("crates/pregel/src/kernels.rs", DISPATCH_DEF)]);
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}
+
+#[test]
+fn target_feature_call_in_test_code_is_quiet() {
+    let caller = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn parity() {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let _ = unsafe { envelope_avx2(&[1, 2]) };
+        }
+    }
+}
+"#;
+    let diags = analyze_pairs(&[
+        ("crates/pregel/src/kernels.rs", DISPATCH_DEF),
+        ("crates/pregel/src/radix.rs", caller),
+    ]);
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Lexer robustness
+// ---------------------------------------------------------------------------
+
+#[test]
+fn keywords_inside_strings_do_not_fire() {
+    let src = r####"
+pub fn docs() -> Vec<&'static str> {
+    vec![
+        "unsafe { *p }",
+        "thread::spawn(|| ())",
+        "std::collections::HashMap",
+        r#"raw: unsafe fn g() { thread::scope }"#,
+        r##"nested raw # unsafe"##,
+        "escaped \" unsafe \" quote",
+    ]
+}
+"####;
+    assert!(diags_for("crates/pregel/src/runner.rs", src).is_empty());
+}
+
+#[test]
+fn nested_block_comments_are_skipped() {
+    let src = r#"
+/* outer /* nested: unsafe { thread::spawn } */ still comment:
+   std::collections::HashMap */
+pub fn f() -> u8 {
+    0
+}
+"#;
+    assert!(diags_for("crates/pregel/src/runner.rs", src).is_empty());
+}
+
+#[test]
+fn char_literals_and_lifetimes_do_not_confuse_the_lexer() {
+    // A naive scanner treats `'a` as an unterminated char literal and
+    // swallows the `unsafe` that follows the next quote.
+    let src = r#"
+pub fn f<'a>(x: &'a [u8]) -> u8 {
+    let q = '"';
+    let esc = '\'';
+    let _ = (q, esc);
+    unsafe { *x.as_ptr() }
+}
+"#;
+    let diags = diags_for("crates/core/src/adj.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::UnsafeAudit]);
+    assert_eq!(diags[0].line, 6);
+}
+
+#[test]
+fn cfg_test_nesting_tracks_region_ends() {
+    // Code after the nested test regions close is linted again.
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    mod inner {
+        pub fn helper(p: *const u8) -> u8 {
+            unsafe { *p }
+        }
+    }
+}
+
+pub fn after(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+"#;
+    let diags = diags_for("crates/core/src/adj.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::UnsafeAudit]);
+    assert_eq!(diags[0].line, 12, "only the post-region unsafe fires");
+}
+
+#[test]
+fn cfg_not_test_is_still_linted() {
+    let src = r#"
+#[cfg(not(test))]
+pub fn prod(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+"#;
+    let diags = diags_for("crates/core/src/adj.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::UnsafeAudit]);
+}
+
+#[test]
+fn cfg_test_gated_single_item_is_exempt_but_next_item_is_not() {
+    let src = r#"
+#[cfg(test)]
+pub fn probe(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn prod(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+"#;
+    let diags = diags_for("crates/core/src/adj.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::UnsafeAudit]);
+    assert_eq!(diags[0].line, 8);
+}
+
+#[test]
+fn suppression_line_above_and_multi_rule_lists_work() {
+    let src = r#"
+pub fn f(b: &[u8]) -> u8 {
+    // ppa_lint: allow(panic-free-codecs, unsafe-audit)
+    b[0]
+}
+"#;
+    assert!(diags_for("crates/core/src/checkpoint.rs", src).is_empty());
+    // The same directive does not silence an unrelated rule.
+    let src2 = r#"
+pub fn run() {
+    // ppa_lint: allow(panic-free-codecs)
+    std::thread::spawn(|| ()).join().ok();
+}
+"#;
+    let diags = diags_for("crates/pregel/src/runner.rs", src2);
+    assert_eq!(rules_of(&diags), vec![Rule::EngineOnlyThreading]);
+}

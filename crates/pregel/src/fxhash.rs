@@ -71,6 +71,10 @@ impl Hasher for FxHasher {
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A `HashMap` keyed with the Fx hasher.
+///
+/// The alias definition is the one place the std map is allowed to appear:
+/// it *is* the replacement the rule points everyone at.
+// ppa_lint: allow(no-siphash-hot-path)
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
 /// A `HashSet` keyed with the Fx hasher.

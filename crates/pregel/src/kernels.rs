@@ -179,6 +179,8 @@ fn key_envelope_scalar(keys: &[u64]) -> (u64, u64) {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: callers must ensure AVX2 is available; the dispatcher gates every
+// call site behind `use_avx2()`.
 unsafe fn key_envelope_avx2(keys: &[u64]) -> (u64, u64) {
     use core::arch::x86_64::*;
     let mut or_v = _mm256_setzero_si256();
@@ -358,6 +360,8 @@ fn lower_bound_u64_scalar(ids: &[u64], lo: usize, target: u64) -> usize {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: callers must ensure AVX2 is available; the dispatcher gates every
+// call site behind `use_avx2()`.
 unsafe fn lower_bound_u64_avx2(ids: &[u64], lo: usize, target: u64) -> usize {
     use core::arch::x86_64::*;
     let n = ids.len();
@@ -427,6 +431,9 @@ fn popcount_scalar(words: &[u64]) -> u64 {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "popcnt")]
+// SAFETY: callers must ensure POPCNT is available; the dispatcher gates
+// every call site behind `use_popcnt()`. The body itself has no unsafe
+// operations — the attribute alone makes the fn unsafe to call.
 unsafe fn popcount_hw(words: &[u64]) -> u64 {
     // Four accumulators so the popcnts pipeline instead of serializing on
     // one register.
@@ -464,6 +471,8 @@ fn next_word_with_zero_scalar(words: &[u64], from: usize) -> Option<usize> {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: callers must ensure AVX2 is available; the dispatcher gates every
+// call site behind `use_avx2()`.
 unsafe fn next_word_with_zero_avx2(words: &[u64], from: usize) -> Option<usize> {
     use core::arch::x86_64::*;
     let n = words.len();

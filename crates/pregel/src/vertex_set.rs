@@ -252,6 +252,62 @@ impl PackedIds {
             + self.widths.capacity()
             + self.tail.capacity() * 8
     }
+
+    /// Checks the sealed-frame invariants (debug builds only): equal-length
+    /// frame tables, strictly increasing images within and across frames
+    /// (which implies ascending bases), per-frame deltas that fit the
+    /// recorded width, and an unsealed tail shorter than one frame.
+    #[cfg(debug_assertions)]
+    fn debug_validate(&self) {
+        assert_eq!(
+            self.bases.len(),
+            self.offsets.len(),
+            "frame table lengths diverge (bases vs offsets)"
+        );
+        assert_eq!(
+            self.bases.len(),
+            self.widths.len(),
+            "frame table lengths diverge (bases vs widths)"
+        );
+        assert!(
+            self.tail.len() < FRAME,
+            "unsealed tail must stay below one frame"
+        );
+        let mut prev: Option<u64> = None;
+        let mut frame = [0u64; FRAME];
+        for f in 0..self.sealed() {
+            self.decode_frame(f, &mut frame);
+            assert_eq!(
+                frame[0], self.bases[f],
+                "frame {f} base must equal its first image"
+            );
+            let width = self.widths[f] as u32;
+            for (k, &image) in frame.iter().enumerate() {
+                assert!(
+                    prev.is_none_or(|p| p < image),
+                    "images must be strictly increasing (frame {f}, slot {k})"
+                );
+                let delta = image - self.bases[f];
+                let fits = match width {
+                    0 => delta == 0,
+                    64 => true,
+                    w => delta < (1u64 << w),
+                };
+                assert!(
+                    fits,
+                    "frame {f} slot {k}: delta {delta} exceeds width {width}"
+                );
+                prev = Some(image);
+            }
+        }
+        for (k, &image) in self.tail.iter().enumerate() {
+            assert!(
+                prev.is_none_or(|p| p < image),
+                "tail images must continue strictly increasing (slot {k})"
+            );
+            prev = Some(image);
+        }
+    }
 }
 
 /// The sorted ID column of one partition: plain element storage for key
@@ -372,6 +428,17 @@ impl<I: VertexKey + SortKey> IdColumn<I> {
     /// numerator and denominator surfaced in `SuperstepMetrics`.
     fn footprint(&self) -> (usize, usize) {
         (self.heap_bytes(), self.len() * std::mem::size_of::<I>())
+    }
+
+    /// Checks the representation-specific invariants (debug builds only):
+    /// packed columns validate their sealed-frame structure. The generic
+    /// strict-ordering invariant is checked by the partition, which sees
+    /// the decoded IDs for both representations.
+    #[cfg(debug_assertions)]
+    fn debug_validate(&self) {
+        if let IdColumn::Packed(p) = self {
+            p.debug_validate();
+        }
     }
 }
 
@@ -641,6 +708,7 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
             for (id, value) in pairs {
                 part.push_sorted(id, value);
             }
+            part.debug_validate();
             return part;
         }
         let mut keys: Vec<(I, u32)> = pairs
@@ -668,6 +736,7 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
                 .expect("each index gathered once");
             part.push_sorted(id, value);
         }
+        part.debug_validate();
         part
     }
 
@@ -678,6 +747,7 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
     fn compact(&mut self) {
         self.drop_sidecar();
         if self.dead == 0 && self.pending.is_empty() {
+            self.debug_validate();
             return;
         }
         let len = self.live() + self.pending.len();
@@ -709,6 +779,7 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
         self.halted.resize(words_for(len), 0);
         self.stamps.clear();
         self.stamps.resize(len, 0);
+        self.debug_validate();
     }
 
     /// Flushes `pending` once it outgrows its threshold. `√live` balances the
@@ -984,6 +1055,72 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
     fn id_column_footprint(&self) -> (usize, usize) {
         self.ids.footprint()
     }
+
+    /// Checks the documented partition invariants (debug builds only) — see
+    /// the struct docs. Called at the compaction boundaries so every job
+    /// starts from a provably consistent store.
+    #[cfg(debug_assertions)]
+    fn debug_validate(&self) {
+        if let Some(_map) = &self.sidecar {
+            assert!(
+                self.ids.len() == 0
+                    && self.values.is_empty()
+                    && self.pending.is_empty()
+                    && self.dead == 0,
+                "sidecar mode keeps the columns empty"
+            );
+            return;
+        }
+        let len = self.ids.len();
+        assert_eq!(self.values.len(), len, "values column length != id count");
+        assert_eq!(self.stamps.len(), len, "stamps column length != id count");
+        assert_eq!(
+            self.halted.len(),
+            words_for(len),
+            "halted bitset sized for the slot count"
+        );
+        let used = len % 64;
+        if used != 0 {
+            if let Some(&last) = self.halted.last() {
+                assert_eq!(
+                    last & !((1u64 << used) - 1),
+                    0,
+                    "halt bits beyond the slot count must be zero"
+                );
+            }
+        }
+        let mut prev: Option<I> = None;
+        for id in self.ids.iter() {
+            assert!(
+                prev.is_none_or(|p| p < id),
+                "ids must be strictly increasing"
+            );
+            prev = Some(id);
+        }
+        self.ids.debug_validate();
+        assert_eq!(
+            self.dead,
+            self.values.iter().filter(|v| v.is_none()).count(),
+            "dead must count exactly the tombstoned slots"
+        );
+        let mut prev_pending: Option<I> = None;
+        for (id, _) in &self.pending {
+            assert!(
+                prev_pending.is_none_or(|p| p < *id),
+                "pending must be sorted and duplicate-free"
+            );
+            assert!(
+                self.ids.binary_search(id).is_err(),
+                "pending IDs must be disjoint from the columns"
+            );
+            prev_pending = Some(*id);
+        }
+    }
+
+    /// Release builds: invariant checking compiles to nothing.
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    fn debug_validate(&self) {}
 }
 
 /// A collection of vertices hash-partitioned over a fixed number of workers,
@@ -1129,6 +1266,21 @@ impl<I: VertexKey + SortKey, V: Send> VertexSet<I, V> {
     pub(crate) fn activate_all(&mut self) {
         for p in &mut self.parts {
             p.reset_activity();
+        }
+        self.debug_validate();
+    }
+
+    /// Checks the documented column invariants of every partition in debug
+    /// builds — strictly increasing sorted IDs, bitset/stamps column
+    /// lengths, tombstone accounting, and sealed-frame delta monotonicity
+    /// in packed ID columns — panicking on the first violation. Runs at
+    /// every compaction boundary (e.g. `activate_all` at job start);
+    /// release builds compile it to nothing. Tests may call it directly
+    /// after a mutation burst.
+    #[inline]
+    pub fn debug_validate(&self) {
+        for p in &self.parts {
+            p.debug_validate();
         }
     }
 
@@ -1843,5 +1995,43 @@ mod tests {
             ids.windows(2).all(|w| w[0] < w[1]),
             "columns sorted after drain"
         );
+    }
+
+    /// `debug_validate` holds through every lifecycle phase a partition can
+    /// reach: bulk build (sealed packed frames + tail), point inserts into
+    /// `pending`, tombstones, sidecar mode, and the compaction that folds
+    /// it all back into columns.
+    #[test]
+    fn debug_validate_accepts_every_lifecycle_phase() {
+        // Bulk build large enough to seal several 128-ID frames, sparse
+        // enough (stride 3) to exercise non-trivial delta widths.
+        let mut s: VertexSet<u64, u64> = VertexSet::from_pairs(2, (0..2000u64).map(|i| (i * 3, i)));
+        s.debug_validate();
+
+        // Point mutations: pending inserts + tombstones on both partitions.
+        for k in 0..40u64 {
+            s.insert(k * 3 + 1, k);
+            s.remove(&(k * 9));
+        }
+        s.debug_validate();
+
+        // Compaction boundary merges pending and drops tombstones.
+        s.activate_all();
+        s.debug_validate();
+        assert!(s
+            .iter()
+            .all(|(id, _)| id % 3 != 0 || id % 9 != 0 || id >= 40 * 9));
+
+        // A sustained point-op burst flips a partition into sidecar mode;
+        // the validator accepts it and the next boundary folds it back.
+        let mut s: VertexSet<u64, u64> = VertexSet::from_pairs(1, (0..5000u64).map(|i| (i, i)));
+        for k in 0..200u64 {
+            s.insert(5000 + k, k);
+        }
+        assert!(s.parts[0].sidecar.is_some());
+        s.debug_validate();
+        s.activate_all();
+        s.debug_validate();
+        assert_eq!(s.len(), 5200);
     }
 }

@@ -163,21 +163,31 @@ pub mod bin {
         }
 
         fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
-            if self.remaining() < n {
-                return Err(BinError::Truncated {
-                    offset: self.pos,
-                    needed: n,
-                    remaining: self.remaining(),
-                });
-            }
-            let slice = &self.buf[self.pos..self.pos + n];
+            // `get` (not slicing) keeps this panic-free even if the
+            // `pos <= len` invariant were ever broken.
+            let slice =
+                self.buf
+                    .get(self.pos..self.pos.saturating_add(n))
+                    .ok_or(BinError::Truncated {
+                        offset: self.pos,
+                        needed: n,
+                        remaining: self.buf.len().saturating_sub(self.pos),
+                    })?;
             self.pos += n;
             Ok(slice)
         }
 
         /// Reads one byte.
         pub fn u8(&mut self) -> Result<u8, BinError> {
-            Ok(self.take(1)?[0])
+            let at = self.pos;
+            match *self.take(1)? {
+                [b] => Ok(b),
+                // Unreachable: take(1) always returns exactly one byte.
+                _ => Err(BinError::Invalid {
+                    offset: at,
+                    what: "internal: take(1) length".into(),
+                }),
+            }
         }
 
         /// Reads a `bool` byte; anything other than 0/1 is invalid.
@@ -195,16 +205,24 @@ pub mod bin {
 
         /// Reads a little-endian `u32`.
         pub fn u32(&mut self) -> Result<u32, BinError> {
-            let b = self.take(4)?;
-            Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            let at = self.pos;
+            let arr: [u8; 4] = self.take(4)?.try_into().map_err(|_| BinError::Invalid {
+                offset: at,
+                // Unreachable: take(4) always returns exactly four bytes.
+                what: "internal: take(4) length".into(),
+            })?;
+            Ok(u32::from_le_bytes(arr))
         }
 
         /// Reads a little-endian `u64`.
         pub fn u64(&mut self) -> Result<u64, BinError> {
-            let b = self.take(8)?;
-            Ok(u64::from_le_bytes([
-                b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-            ]))
+            let at = self.pos;
+            let arr: [u8; 8] = self.take(8)?.try_into().map_err(|_| BinError::Invalid {
+                offset: at,
+                // Unreachable: take(8) always returns exactly eight bytes.
+                what: "internal: take(8) length".into(),
+            })?;
+            Ok(u64::from_le_bytes(arr))
         }
 
         /// Reads an `f64` from its bit pattern.
