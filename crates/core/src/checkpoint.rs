@@ -62,7 +62,8 @@ use std::time::Duration;
 /// First 8 bytes of every `MANIFEST`.
 const MAGIC: [u8; 8] = *b"PPACKPT1";
 /// Format version stamped into and checked against every manifest.
-const VERSION: u32 = 2;
+/// v3 added the cancellation-check counters to the metrics codec.
+const VERSION: u32 = 3;
 /// The manifest file name inside a snapshot directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
@@ -671,6 +672,7 @@ fn encode_metrics(w: &mut Writer<Vec<u8>>, m: &Metrics) -> Result<(), Checkpoint
     w.bool(m.converged)?;
     w.f64(m.avg_frontier_density)?;
     w.u64(m.peak_store_resident_bytes)?;
+    w.u64(m.total_cancellation_checks)?;
     w.u64(m.per_superstep.len() as u64)?;
     for s in &m.per_superstep {
         w.u64(s.superstep as u64)?;
@@ -684,6 +686,7 @@ fn encode_metrics(w: &mut Writer<Vec<u8>>, m: &Metrics) -> Result<(), Checkpoint
         w.f64(s.frontier_density)?;
         w.u64(s.store_resident_bytes)?;
         w.f64(s.id_column_compression)?;
+        w.u64(s.cancellation_checks)?;
     }
     Ok(())
 }
@@ -698,6 +701,7 @@ fn decode_metrics(file: &str, r: &mut Reader<'_>) -> Result<Metrics, CheckpointE
     let converged = r.bool().map_err(e)?;
     let avg_frontier_density = r.f64().map_err(e)?;
     let peak_store_resident_bytes = r.u64().map_err(e)?;
+    let total_cancellation_checks = r.u64().map_err(e)?;
     let n = r.u64().map_err(e)? as usize;
     let mut per_superstep = Vec::new();
     for _ in 0..n {
@@ -713,6 +717,7 @@ fn decode_metrics(file: &str, r: &mut Reader<'_>) -> Result<Metrics, CheckpointE
             frontier_density: r.f64().map_err(e)?,
             store_resident_bytes: r.u64().map_err(e)?,
             id_column_compression: r.f64().map_err(e)?,
+            cancellation_checks: r.u64().map_err(e)?,
         });
     }
     Ok(Metrics {
@@ -724,6 +729,7 @@ fn decode_metrics(file: &str, r: &mut Reader<'_>) -> Result<Metrics, CheckpointE
         converged,
         avg_frontier_density,
         peak_store_resident_bytes,
+        total_cancellation_checks,
         per_superstep,
     })
 }
@@ -1155,6 +1161,7 @@ mod tests {
             converged: mix.below(2) == 0,
             avg_frontier_density: (mix.below(1000) as f64) / 1000.0,
             peak_store_resident_bytes: mix.next(),
+            total_cancellation_checks: mix.below(100),
             per_superstep: (0..mix.below(4))
                 .map(|s| SuperstepMetrics {
                     superstep: s as usize,
@@ -1168,6 +1175,7 @@ mod tests {
                     frontier_density: (mix.below(1000) as f64) / 1000.0,
                     store_resident_bytes: mix.next(),
                     id_column_compression: (mix.below(1000) as f64) / 1000.0,
+                    cancellation_checks: mix.below(2),
                 })
                 .collect(),
         }

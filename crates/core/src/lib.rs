@@ -77,7 +77,8 @@ pub use pipeline::{
     StageReport,
 };
 pub use polarity::{Direction, Polarity, Side};
+pub use ppa_pregel::{CancelReason, JobControl};
 pub use workflow::{
-    assemble, assemble_with_checkpoints, read_input, read_input_path, resume_assembly,
-    try_assemble, Assembly, AssemblyConfig, Contig, LabelingAlgorithm,
+    assemble, assemble_with_checkpoints, assemble_with_control, read_input, read_input_path,
+    resume_assembly, try_assemble, Assembly, AssemblyConfig, Contig, LabelingAlgorithm,
 };

@@ -85,7 +85,7 @@ use crate::ops::tip::{remove_tips_on, TipConfig};
 use crate::stats::{n50, CorrectionStats, LabelStats, MergeStats, WorkflowStats};
 use crate::workflow::{AssemblyConfig, Contig, LabelingAlgorithm};
 use ppa_pregel::engine::panic_message;
-use ppa_pregel::{ExecCtx, Metrics};
+use ppa_pregel::{CancelReason, EngineError, ExecCtx, Metrics};
 use ppa_seq::{ReadSet, SeqError};
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -174,6 +174,35 @@ pub enum PipelineError {
     },
     /// Saving or loading a checkpoint failed.
     Checkpoint(CheckpointError),
+    /// The job's [`JobControl`](ppa_pregel::JobControl) tripped at a
+    /// cooperative poll: an explicit cancel request, an expired deadline, or
+    /// a memory budget overrun. Never retried by
+    /// [`Pipeline::try_run_with_retries`] — the stop is deliberate. When the
+    /// trip happened at a stage boundary with checkpointing armed, an
+    /// emergency snapshot was written first, so
+    /// [`Pipeline::resume`] continues exactly from the cut point.
+    Cancelled {
+        /// Why the control plane stopped the run.
+        reason: CancelReason,
+        /// The stage that was running (or about to run) when the poll fired.
+        stage: String,
+        /// The superstep boundary of a mid-stage trip; `None` when the trip
+        /// fired at the pipeline's own stage boundary.
+        superstep: Option<usize>,
+    },
+}
+
+impl PipelineError {
+    /// Whether a retry can plausibly cure this failure. Stage panics and
+    /// checkpoint I/O errors are transient (a crash can be re-run, a full
+    /// disk can recover); malformed input and cancellations are not —
+    /// [`Pipeline::try_run_with_retries`] fails fast on them.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            PipelineError::Stage { .. } | PipelineError::Checkpoint(_) => true,
+            PipelineError::Input(_) | PipelineError::Cancelled { .. } => false,
+        }
+    }
 }
 
 impl std::fmt::Display for PipelineError {
@@ -186,6 +215,20 @@ impl std::fmt::Display for PipelineError {
                 message,
             } => write!(f, "stage {stage} (round {round}) failed: {message}"),
             PipelineError::Checkpoint(e) => write!(f, "{e}"),
+            PipelineError::Cancelled {
+                reason,
+                stage,
+                superstep,
+            } => match superstep {
+                Some(s) => write!(
+                    f,
+                    "cancelled during stage {stage} at superstep {s}: {reason}"
+                ),
+                None => write!(
+                    f,
+                    "cancelled at the boundary before stage {stage}: {reason}"
+                ),
+            },
         }
     }
 }
@@ -194,7 +237,7 @@ impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PipelineError::Input(e) => Some(e),
-            PipelineError::Stage { .. } => None,
+            PipelineError::Stage { .. } | PipelineError::Cancelled { .. } => None,
             PipelineError::Checkpoint(e) => Some(e),
         }
     }
@@ -307,16 +350,23 @@ impl StageDetails {
                 "{} k-mer vertices from {} kept (k+1)-mers",
                 s.vertices, s.kept_kplus1_mers
             ),
-            StageDetails::Label(s) => format!(
-                "{} labeled / {} ambiguous in {} supersteps, {} msgs \
-                 (avg frontier {:.0}%, store {})",
-                s.labeled_vertices,
-                s.ambiguous_vertices,
-                s.supersteps,
-                s.messages,
-                s.avg_frontier_density * 100.0,
-                fmt_bytes(s.peak_store_resident_bytes)
-            ),
+            StageDetails::Label(s) => {
+                let polls = if s.cancellation_checks > 0 {
+                    format!(", {} cancel polls", s.cancellation_checks)
+                } else {
+                    String::new()
+                };
+                format!(
+                    "{} labeled / {} ambiguous in {} supersteps, {} msgs \
+                     (avg frontier {:.0}%, store {}{polls})",
+                    s.labeled_vertices,
+                    s.ambiguous_vertices,
+                    s.supersteps,
+                    s.messages,
+                    s.avg_frontier_density * 100.0,
+                    fmt_bytes(s.peak_store_resident_bytes)
+                )
+            }
             StageDetails::Merge {
                 stats, nodes_after, ..
             } => format!(
@@ -394,6 +444,12 @@ pub trait PipelineObserver {
     /// A stage finished; `report` carries its name, round, timing, payload.
     fn on_stage_end(&mut self, report: &StageReport) {
         let _ = report;
+    }
+    /// The run is stopping because its [`JobControl`](ppa_pregel::JobControl)
+    /// tripped; `stage` is the stage that was running (or about to run).
+    /// Fired before the run's final `on_pipeline_end`.
+    fn on_cancelled(&mut self, reason: CancelReason, stage: &str) {
+        let _ = (reason, stage);
     }
     /// The pipeline finished all stages after `total` wall-clock time.
     fn on_pipeline_end(&mut self, total: Duration) {
@@ -479,6 +535,10 @@ impl PipelineObserver for WorkflowStats {
                 self.record_stage(report.stage.clone(), report.elapsed);
             }
         }
+    }
+
+    fn on_cancelled(&mut self, reason: CancelReason, stage: &str) {
+        self.cancelled = Some(format!("{reason} (at stage {stage})"));
     }
 
     fn on_pipeline_end(&mut self, total: Duration) {
@@ -1048,9 +1108,10 @@ impl<'o> Pipeline<'o> {
             checkpoint,
         } = self;
         let flat = flattened(items);
-        // Grab the armed fault plan once per run: un-instrumented executions
-        // pay one Option check per stage.
+        // Grab the armed fault plan and the control handle once per run:
+        // un-instrumented executions pay one Option check per stage.
         let faults = ctx.faults();
+        let control = ctx.control();
         // Reads are immutable for the whole execution: fingerprint them once
         // for all snapshots instead of re-hashing megabytes per stage.
         let reads_fp = checkpoint
@@ -1060,6 +1121,39 @@ impl<'o> Pipeline<'o> {
             let stage: &dyn Stage = *stage;
             let name = stage.name().to_string();
             let round = rounds.get(&name).copied().unwrap_or(0) + 1;
+            // ---- cooperative control poll (stage boundary) ----------------
+            // The GraphState is consistent here (stage `idx` has not started),
+            // so with checkpointing armed a trip writes one emergency
+            // snapshot pinning exactly `idx` completed stages before
+            // unwinding — `resume` then continues from the cut point.
+            if let Some(control) = &control {
+                if let Some(reason) = control.poll(0) {
+                    for obs in observers.iter_mut() {
+                        obs.on_cancelled(reason, &name);
+                    }
+                    if let Some((dir, policy)) = checkpoint {
+                        if !matches!(policy, CheckpointPolicy::Off) {
+                            let mut round_list: Vec<(String, usize)> =
+                                rounds.iter().map(|(n, r)| (n.clone(), *r)).collect();
+                            round_list.sort();
+                            let meta = CheckpointMeta {
+                                completed_stages: idx,
+                                rounds: round_list,
+                                pipeline_fingerprint: fingerprint,
+                                workers: ctx.workers(),
+                            };
+                            let reads_fp =
+                                reads_fp.expect("fingerprinted when checkpointing is on");
+                            checkpoint::save_with_reads_fingerprint(dir, state, &meta, reads_fp)?;
+                        }
+                    }
+                    return Err(PipelineError::Cancelled {
+                        reason,
+                        stage: name,
+                        superstep: None,
+                    });
+                }
+            }
             for obs in observers.iter_mut() {
                 obs.on_stage_start(&name);
             }
@@ -1086,6 +1180,24 @@ impl<'o> Pipeline<'o> {
             let mut report = match outcome {
                 Ok(report) => report,
                 Err(payload) => {
+                    // A mid-stage control trip unwinds as a typed payload
+                    // raised at a superstep/shuffle barrier (see
+                    // `ppa_pregel::control`); everything else is a genuine
+                    // stage panic. The state is mid-stage and possibly
+                    // inconsistent either way, so no emergency snapshot here:
+                    // resume continues from the last policy snapshot.
+                    if let Some(&EngineError::Cancelled { reason, superstep }) =
+                        payload.downcast_ref::<EngineError>()
+                    {
+                        for obs in observers.iter_mut() {
+                            obs.on_cancelled(reason, &name);
+                        }
+                        return Err(PipelineError::Cancelled {
+                            reason,
+                            stage: name,
+                            superstep: Some(superstep),
+                        });
+                    }
                     return Err(PipelineError::Stage {
                         stage: name,
                         round,
@@ -1259,6 +1371,11 @@ impl<'o> Pipeline<'o> {
     /// up to `max_attempts` total attempts. The error of the final attempt is
     /// returned when every attempt fails.
     ///
+    /// Only transient failures are retried (see
+    /// [`PipelineError::is_transient`]): stage panics and checkpoint I/O
+    /// errors re-run after a short deterministic backoff, while malformed
+    /// input and control-plane cancellations return immediately.
+    ///
     /// On success the returned reports cover every flattened stage exactly
     /// once — reports from work a failed attempt lost are replaced by the
     /// retry's. Observers, however, see each boundary as it executes,
@@ -1281,6 +1398,10 @@ impl<'o> Pipeline<'o> {
         let mut result = Ok(());
         for attempt in 1..=max_attempts {
             if attempt > 1 {
+                // Deterministic bounded backoff before retrying a transient
+                // failure: 5 ms doubling per attempt, capped at 80 ms. No
+                // randomness, so retry schedules replay identically.
+                std::thread::sleep(Duration::from_millis(5u64 << (attempt - 2).min(4)));
                 // Rewind: the failed attempt may have left the state partially
                 // mutated. Reports are truncated to the snapshot position so a
                 // successful run still yields exactly one report per stage. A
@@ -1323,8 +1444,13 @@ impl<'o> Pipeline<'o> {
                 }
             }
             result = self.execute(state, ctx, start_at, &mut rounds, true, &mut reports);
-            if result.is_ok() {
-                break;
+            match &result {
+                Ok(()) => break,
+                // Fail fast on non-transient failures: malformed input cannot
+                // be cured by re-running it, and a cancellation is a
+                // deliberate stop that a retry loop must honour.
+                Err(e) if !e.is_transient() => break,
+                Err(_) => {}
             }
         }
         let total = total.elapsed();

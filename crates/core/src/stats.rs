@@ -47,6 +47,9 @@ pub struct LabelStats {
     /// Peak estimated heap footprint of the Pregel vertex store's columns
     /// during the labeling job (see `VertexSet::resident_bytes`).
     pub peak_store_resident_bytes: u64,
+    /// Cooperative job-control polls performed at the labeling job's
+    /// superstep boundaries (0 when no control handle was installed).
+    pub cancellation_checks: u64,
 }
 
 impl LabelStats {
@@ -66,6 +69,7 @@ impl LabelStats {
             ambiguous_vertices: ambiguous,
             avg_frontier_density: metrics.avg_frontier_density,
             peak_store_resident_bytes: metrics.peak_store_resident_bytes,
+            cancellation_checks: metrics.total_cancellation_checks,
         }
     }
 }
@@ -135,6 +139,11 @@ pub struct WorkflowStats {
     pub timings: Vec<StageTiming>,
     /// End-to-end wall-clock time.
     pub total_elapsed: Duration,
+    /// Why and where the run was cut short by its job control, e.g.
+    /// `"deadline exceeded (at stage label)"` — `None` for a run that
+    /// completed (or was never given a control handle). Set by the
+    /// pipeline-observer `on_cancelled` hook.
+    pub cancelled: Option<String>,
 }
 
 impl WorkflowStats {

@@ -14,7 +14,7 @@
 
 use crate::pipeline::{CheckpointPolicy, GraphState, Pipeline, PipelineError};
 use crate::stats::{n50, WorkflowStats};
-use ppa_pregel::ExecCtx;
+use ppa_pregel::{ExecCtx, JobControl};
 use ppa_seq::{DnaString, FastxRecord, ReadSet, SeqError};
 use serde::{Deserialize, Serialize};
 use std::io::BufRead;
@@ -233,6 +233,37 @@ pub fn try_assemble(reads: &ReadSet, config: &AssemblyConfig) -> Result<Assembly
     Pipeline::paper_workflow(config)
         .observe(&mut stats)
         .try_run(&mut state, &ctx)?;
+    Ok(Assembly {
+        contigs: state.output,
+        stats,
+    })
+}
+
+/// [`try_assemble`] under a caller-held [`JobControl`]: the handle is
+/// installed on the run's execution context, every Pregel superstep boundary,
+/// MapReduce/convert shuffle barrier and pipeline stage boundary polls it
+/// cooperatively, and a trip — [`cancel`](JobControl::cancel), an expired
+/// deadline, or a memory-budget overrun — unwinds as
+/// [`PipelineError::Cancelled`] with the worker pool left reusable. Keep a
+/// clone of the handle (it is `Arc`-shared) to cancel from another thread.
+///
+/// The handle is removed from the context again on every exit path, so a
+/// shared [`AssemblyConfig::exec`] context is not left carrying a tripped
+/// latch into the next run.
+pub fn assemble_with_control(
+    reads: &ReadSet,
+    config: &AssemblyConfig,
+    control: &JobControl,
+) -> Result<Assembly, PipelineError> {
+    let ctx = exec_ctx(config);
+    ctx.set_control(control.clone());
+    let mut stats = WorkflowStats::default();
+    let mut state = GraphState::new(reads);
+    let result = Pipeline::paper_workflow(config)
+        .observe(&mut stats)
+        .try_run(&mut state, &ctx);
+    ctx.clear_control();
+    result?;
     Ok(Assembly {
         contigs: state.output,
         stats,
@@ -577,6 +608,40 @@ mod tests {
             .expect("resume from the final snapshot");
         assert_eq!(resumed.contigs, baseline.contigs);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn assemble_with_control_matches_plain_and_honours_a_cancel() {
+        let (_, reads) = simulate(2_000, 20.0, 0.0, 77);
+        let mut config = small_config(21);
+        let ctx = ExecCtx::new(config.workers);
+        config.exec = Some(ctx.clone());
+        let baseline = assemble(&reads, &config);
+
+        // A live handle that never trips: identical output, no cancel marker.
+        let control = ppa_pregel::JobControl::new();
+        let assembly = assemble_with_control(&reads, &config, &control).expect("no trip");
+        assert_eq!(assembly.contigs, baseline.contigs);
+        assert!(assembly.stats.cancelled.is_none());
+
+        // A pre-cancelled handle stops at the very first stage boundary — and
+        // the exit path removed it from the shared context, so the next plain
+        // run on the same pool is unaffected.
+        let control = ppa_pregel::JobControl::new();
+        control.cancel();
+        let err = assemble_with_control(&reads, &config, &control).unwrap_err();
+        match &err {
+            crate::pipeline::PipelineError::Cancelled {
+                stage, superstep, ..
+            } => {
+                assert_eq!(stage, "construct");
+                assert_eq!(*superstep, None);
+            }
+            other => panic!("expected a Cancelled error, got {other:?}"),
+        }
+        assert!(!err.is_transient());
+        let again = assemble(&reads, &config);
+        assert_eq!(again.contigs, baseline.contigs);
     }
 
     #[test]

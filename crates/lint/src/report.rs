@@ -2,8 +2,9 @@
 
 use std::fmt;
 
-/// The five launch rules. Future invariants (spill-file codecs,
-/// cancellation points) get added here and in `rules.rs`.
+/// The architectural rules: the five launch rules plus the job-control
+/// cancellation rule. Future invariants (spill-file codecs) get added here
+/// and in `rules.rs`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// `unsafe` only in allowlisted modules, always with a `// SAFETY:`
@@ -20,6 +21,10 @@ pub enum Rule {
     /// `#[target_feature]` fns are only callable from their defining
     /// dispatch module.
     DispatchOnlyIntrinsics,
+    /// Every public `*_on` op entry point must route through a
+    /// control-polling runner path, so an installed `JobControl` can stop
+    /// any long-running operation at a barrier.
+    CancellationPoints,
 }
 
 /// All rules, in reporting order.
@@ -29,6 +34,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::EngineOnlyThreading,
     Rule::NoSiphashHotPath,
     Rule::DispatchOnlyIntrinsics,
+    Rule::CancellationPoints,
 ];
 
 impl Rule {
@@ -40,6 +46,7 @@ impl Rule {
             Rule::EngineOnlyThreading => "engine-only-threading",
             Rule::NoSiphashHotPath => "no-siphash-hot-path",
             Rule::DispatchOnlyIntrinsics => "dispatch-only-intrinsics",
+            Rule::CancellationPoints => "cancellation-points",
         }
     }
 
@@ -70,6 +77,11 @@ impl Rule {
             Rule::DispatchOnlyIntrinsics => {
                 "#[target_feature] fns may only be called from the file that \
                  defines them (the dispatch layer)"
+            }
+            Rule::CancellationPoints => {
+                "every `pub fn *_on` in core/src/ops must call a \
+                 control-polling runner entry point (run/run_on/map_reduce*/\
+                 convert_on/connected_components)"
             }
         }
     }

@@ -27,6 +27,26 @@ const THREAD_ALLOWLIST: &[&str] = &["crates/pregel/src/engine.rs", "crates/bench
 /// Path prefixes where SipHash `HashMap` is banned in favor of `FxHashMap`.
 const SIPHASH_SCOPES: &[&str] = &["crates/pregel/", "crates/core/"];
 
+/// Directory whose public `*_on` entry points must be cancellable.
+const OPS_DIR: &str = "crates/core/src/ops/";
+
+/// Runner entry points whose barriers poll the installed `JobControl`. An op
+/// routed through any of these is stoppable mid-flight. An explicit allowlist
+/// rather than a `*_on` suffix heuristic: method calls like
+/// `node.sole_edge_on(side)` must not satisfy the rule by accident, which is
+/// also why bare `run` only counts as a *path* call (`ppa_pregel::run(`,
+/// `runner::run(`) — see `is_polling_call`.
+const POLLING_CALLEES: &[&str] = &[
+    "run_on",
+    "try_run_on",
+    "run_from_pairs",
+    "map_reduce_on",
+    "map_reduce_with_metrics_on",
+    "map_reduce_partitioned_on",
+    "convert_on",
+    "connected_components",
+];
+
 /// Identifiers that legitimately precede a `[` without being an indexable
 /// expression (`let [a, b] = ..`, `for x in [..]`, `return [..]`, ...).
 const NON_INDEX_KEYWORDS: &[&str] = &[
@@ -85,6 +105,7 @@ pub fn analyze_sources(files: &[SourceSpec<'_>]) -> Vec<Diagnostic> {
         check_engine_only_threading(file, &mut diags);
         check_no_siphash(file, &mut diags);
         check_dispatch_only_intrinsics(file, &intrinsics, &mut diags);
+        check_cancellation_points(file, &mut diags);
     }
 
     diags.retain(|d| {
@@ -322,6 +343,92 @@ fn check_no_siphash(file: &AnalyzedFile, diags: &mut Vec<Diagnostic>) {
                     .to_string(),
             });
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cancellation-points
+// ---------------------------------------------------------------------------
+
+/// Whether the token at `i` is a call to a control-polling runner entry
+/// point: an allowlisted identifier followed by `(`, or a *path* call to
+/// `run` (`::run(`).
+fn is_polling_call(toks: &[Token], i: usize) -> bool {
+    let Some(name) = toks[i].ident() else {
+        return false;
+    };
+    if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+        return false;
+    }
+    if POLLING_CALLEES.contains(&name) {
+        return true;
+    }
+    name == "run"
+        && i.checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .is_some_and(|p| p.is_punct(':'))
+}
+
+/// Every `pub fn *_on` in `crates/core/src/ops/` must route through a
+/// runner path that polls the job control at its barriers; an op entry point
+/// that loops privately would be unstoppable once started.
+fn check_cancellation_points(file: &AnalyzedFile, diags: &mut Vec<Diagnostic>) {
+    if !file.path.starts_with(OPS_DIR) {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let is_entry = !toks[i].in_test
+            && toks[i].is_ident("fn")
+            && i.checked_sub(1)
+                .and_then(|p| toks.get(p))
+                .is_some_and(|p| p.is_ident("pub"));
+        let name_tok = if is_entry { toks.get(i + 1) } else { None };
+        let Some((name_tok, name)) = name_tok.and_then(|t| t.ident().map(|n| (t, n))) else {
+            i += 1;
+            continue;
+        };
+        if !name.ends_with("_on") {
+            i += 1;
+            continue;
+        }
+        // The body is the first brace after the signature (generic bounds and
+        // where clauses contain no `{`); scan it to its matching close.
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('{') {
+            j += 1;
+        }
+        let body_start = j;
+        let mut depth = 0usize;
+        let mut polls = false;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if is_polling_call(toks, j) {
+                polls = true;
+            }
+            j += 1;
+        }
+        if !polls && body_start < toks.len() {
+            diags.push(Diagnostic {
+                rule: Rule::CancellationPoints,
+                file: file.path.clone(),
+                line: name_tok.line,
+                col: name_tok.col,
+                message: format!(
+                    "op entry point `{name}` never reaches a control-polling runner path \
+                     (run/run_on/try_run_on/run_from_pairs/map_reduce*_on/convert_on/\
+                     connected_components); a JobControl could not stop it"
+                ),
+            });
+        }
+        i = j.max(i + 1);
     }
 }
 

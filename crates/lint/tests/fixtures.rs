@@ -361,6 +361,84 @@ mod tests {
 }
 
 // ---------------------------------------------------------------------------
+// cancellation-points
+// ---------------------------------------------------------------------------
+
+#[test]
+fn op_entry_point_without_a_polling_callee_fires() {
+    let src = r#"
+pub fn grind_on(ctx: &ExecCtx, nodes: &[u64]) -> u64 {
+    let mut acc = 0;
+    for n in nodes.iter() {
+        acc += *n;
+    }
+    acc
+}
+"#;
+    let diags = diags_for("crates/core/src/ops/grind.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::CancellationPoints]);
+    assert!(diags[0].message.contains("grind_on"));
+    assert!(diags[0].message.contains("JobControl"));
+}
+
+#[test]
+fn op_routed_through_polling_runners_is_quiet() {
+    let srcs = [
+        "pub fn a_on(ctx: &ExecCtx) -> u64 { let m = ppa_pregel::run(&p, &c, &mut s); m }\n",
+        "pub fn b_on(ctx: &ExecCtx) -> u64 { map_reduce_with_metrics_on(ctx, i, m, r).1 }\n",
+        "pub fn c_on(ctx: &ExecCtx) -> u64 { let (cc, sv) = connected_components(adj, &c); sv }\n",
+        "pub fn d_on(ctx: &ExecCtx) -> u64 { set.convert_on(ctx, f, merge).len() as u64 }\n",
+        "pub fn e_on(ctx: &ExecCtx) -> u64 { try_run_on(ctx, &p, &c, &mut s).supersteps as u64 }\n",
+    ];
+    for src in srcs {
+        assert!(
+            diags_for("crates/core/src/ops/probe.rs", src).is_empty(),
+            "false positive on: {src}"
+        );
+    }
+}
+
+#[test]
+fn lookalike_on_calls_do_not_satisfy_the_rule() {
+    // `node.sole_edge_on(side)` ends in `_on` but polls nothing, and a bare
+    // `run(..)` that is not a path call could be any local helper.
+    let src = r#"
+pub fn walk_on(nodes: &[Node]) -> u64 {
+    let e = nodes.first().map(|n| n.sole_edge_on(0));
+    run(e)
+}
+fn run(e: Option<u64>) -> u64 {
+    e.unwrap_or(0)
+}
+"#;
+    let diags = diags_for("crates/core/src/ops/walk.rs", src);
+    assert_eq!(rules_of(&diags), vec![Rule::CancellationPoints]);
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn private_and_non_on_fns_are_exempt_from_cancellation_points() {
+    let src = r#"
+fn helper_on(x: u64) -> u64 { x }
+pub fn leader(x: u64) -> u64 { helper_on(x) }
+"#;
+    assert!(diags_for("crates/core/src/ops/helper.rs", src).is_empty());
+}
+
+#[test]
+fn cancellation_points_is_scoped_to_ops_and_suppressible() {
+    // The same un-polling entry point outside `ops/` is fine...
+    let src = "pub fn fused_on(x: u64) -> u64 { x }\n";
+    assert!(diags_for("crates/core/src/node.rs", src).is_empty());
+    // ...and inside `ops/` an explicit suppression silences it.
+    let suppressed = r#"
+// ppa_lint: allow(cancellation-points)
+pub fn fused_on(x: u64) -> u64 { x }
+"#;
+    assert!(diags_for("crates/core/src/ops/fused.rs", suppressed).is_empty());
+}
+
+// ---------------------------------------------------------------------------
 // Lexer robustness
 // ---------------------------------------------------------------------------
 

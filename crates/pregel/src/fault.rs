@@ -50,6 +50,18 @@ pub enum Fault {
         /// 1-based index of the checkpoint save to fail.
         nth: usize,
     },
+    /// Sleep `millis` on the coordinator at the boundary of superstep
+    /// `superstep` — the first Pregel job to reach that boundary stalls,
+    /// regardless of stage. Not a crash: the job continues afterwards. This
+    /// makes deadline trips of the job-control plane testable without
+    /// wall-clock flakiness (the stall guarantees the deadline has passed by
+    /// the time the boundary poll runs).
+    Stall {
+        /// 0-based superstep boundary to stall at.
+        superstep: usize,
+        /// How long to sleep, in milliseconds.
+        millis: u64,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -65,6 +77,9 @@ impl fmt::Display for Fault {
                 "worker {worker} at superstep {superstep} of stage {stage}"
             ),
             Fault::CheckpointWrite { nth } => write!(f, "checkpoint write #{nth}"),
+            Fault::Stall { superstep, millis } => {
+                write!(f, "{millis}ms stall at superstep {superstep}")
+            }
         }
     }
 }
@@ -166,6 +181,25 @@ impl ArmedFaults {
         }
     }
 
+    /// Reports the sleep duration of an unfired [`Fault::Stall`] matching
+    /// `superstep`, claiming it. Probed by the superstep runner on the
+    /// **coordinator** thread at each superstep boundary, right before the
+    /// job-control poll; the caller performs the sleep.
+    pub fn probe_stall(&self, superstep: usize) -> Option<u64> {
+        for (i, f) in self.faults.iter().enumerate() {
+            if let Fault::Stall {
+                superstep: k,
+                millis,
+            } = *f
+            {
+                if k == superstep && self.claim(i) {
+                    return Some(millis);
+                }
+            }
+        }
+        None
+    }
+
     /// Counts a checkpoint write and reports whether an unfired
     /// [`Fault::CheckpointWrite`] claims it. The caller (checkpoint save)
     /// turns `true` into a typed I/O error rather than a panic.
@@ -229,6 +263,24 @@ mod tests {
         assert!(armed.probe_checkpoint_write()); // save #2 fails
         assert!(!armed.probe_checkpoint_write()); // save #3 clean
         assert!(armed.all_fired());
+    }
+
+    #[test]
+    fn stall_fires_once_on_its_superstep_boundary() {
+        let armed = ArmedFaults::new(FaultPlan::single(Fault::Stall {
+            superstep: 2,
+            millis: 7,
+        }));
+        assert_eq!(armed.probe_stall(0), None);
+        assert_eq!(armed.probe_stall(2), Some(7), "must claim its boundary");
+        assert_eq!(armed.probe_stall(2), None, "claim-once semantics");
+        assert!(armed.all_fired());
+        assert!(Fault::Stall {
+            superstep: 2,
+            millis: 7,
+        }
+        .to_string()
+        .contains("7ms stall"));
     }
 
     #[test]

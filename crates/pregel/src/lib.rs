@@ -104,6 +104,7 @@ pub mod aggregate;
 pub mod algorithms;
 pub mod chain;
 pub mod config;
+pub mod control;
 pub mod engine;
 pub mod fault;
 pub mod fxhash;
@@ -119,6 +120,7 @@ pub mod vertex_set;
 pub use aggregate::{Aggregate, BoolOr, Count, MaxU64, MinU64, NoAggregate, SumU64};
 pub use chain::{ChainMode, SpillCodec};
 pub use config::PregelConfig;
+pub use control::{CancelReason, JobControl};
 pub use engine::{EngineError, ExecCtx, WorkerPool};
 pub use fault::{ArmedFaults, Fault, FaultPlan};
 pub use mapreduce::{
@@ -127,6 +129,6 @@ pub use mapreduce::{
 };
 pub use metrics::{Metrics, SuperstepMetrics};
 pub use radix::SortKey;
-pub use runner::{run, run_from_pairs, run_on};
+pub use runner::{run, run_from_pairs, run_on, try_run_on};
 pub use vertex::{Context, VertexKey, VertexProgram};
 pub use vertex_set::VertexSet;

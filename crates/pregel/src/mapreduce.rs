@@ -231,6 +231,18 @@ where
         }
     }
 
+    // Cooperative control poll at the map→reduce barrier (the pass's one BSP
+    // boundary): raised on the coordinator thread, so a trip unwinds without
+    // the pool ever seeing it. No superstep or store here — resident bytes 0.
+    if let Some(control) = ctx.control() {
+        if let Some(reason) = control.poll(0) {
+            std::panic::panic_any(crate::engine::EngineError::Cancelled {
+                reason,
+                superstep: 0,
+            });
+        }
+    }
+
     // ---- reduce phase: flat sort-based grouping, then reduce each key run.
     let results: Vec<(Vec<O>, u64)> = ctx.pool().run_per_worker(incoming, |w, mut bufs| {
         // K-way merge of the pre-sorted source buffers straight

@@ -45,6 +45,10 @@ pub struct SuperstepMetrics {
     /// element storage would need (delta/bit-packed columns push this well
     /// below 1.0; exactly 1.0 when the columns are plain or empty).
     pub id_column_compression: f64,
+    /// Cooperative job-control polls performed at this superstep's boundary:
+    /// 1 when a [`JobControl`](crate::control::JobControl) was installed on
+    /// the context, 0 otherwise.
+    pub cancellation_checks: u64,
 }
 
 /// Metrics of a whole Pregel job.
@@ -72,6 +76,11 @@ pub struct Metrics {
     /// [`store_resident_bytes`](SuperstepMetrics::store_resident_bytes).
     /// Recorded even when per-superstep tracking is disabled.
     pub peak_store_resident_bytes: u64,
+    /// Total cooperative job-control polls across all superstep boundaries
+    /// (see [`cancellation_checks`](SuperstepMetrics::cancellation_checks)).
+    /// Recorded even when per-superstep tracking is disabled; 0 when no
+    /// control handle was installed.
+    pub total_cancellation_checks: u64,
     /// Per-superstep breakdown (empty unless tracking is enabled).
     pub per_superstep: Vec<SuperstepMetrics>,
 }
@@ -99,6 +108,7 @@ impl Metrics {
         self.peak_store_resident_bytes = self
             .peak_store_resident_bytes
             .max(other.peak_store_resident_bytes);
+        self.total_cancellation_checks += other.total_cancellation_checks;
         self.per_superstep
             .extend(other.per_superstep.iter().cloned());
     }
@@ -141,6 +151,7 @@ mod tests {
             converged: true,
             avg_frontier_density: 0.5,
             peak_store_resident_bytes: 100,
+            total_cancellation_checks: 3,
             per_superstep: vec![],
         };
         let b = Metrics {
@@ -152,6 +163,7 @@ mod tests {
             converged: true,
             avg_frontier_density: 0.75,
             peak_store_resident_bytes: 64,
+            total_cancellation_checks: 2,
             per_superstep: vec![SuperstepMetrics {
                 superstep: 0,
                 active_vertices: 4,
@@ -164,6 +176,7 @@ mod tests {
                 frontier_density: 0.75,
                 store_resident_bytes: 64,
                 id_column_compression: 1.0,
+                cancellation_checks: 1,
             }],
         };
         a.absorb(&b);
@@ -171,6 +184,7 @@ mod tests {
         assert_eq!(a.total_messages, 17);
         assert_eq!(a.total_compute_calls, 50);
         assert_eq!(a.per_superstep.len(), 1);
+        assert_eq!(a.total_cancellation_checks, 5);
         assert!(a.converged);
         // Density is a supersteps-weighted mean (3 steps at 0.5, 2 at 0.75);
         // the footprint peak takes the max across absorbed jobs.

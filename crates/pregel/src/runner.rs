@@ -49,7 +49,7 @@
 
 use crate::aggregate::Aggregate;
 use crate::config::PregelConfig;
-use crate::engine::ExecCtx;
+use crate::engine::{EngineError, ExecCtx};
 use crate::kernels;
 use crate::metrics::{Metrics, SuperstepMetrics};
 use crate::vertex::{Context, VertexKey, VertexProgram};
@@ -226,6 +226,9 @@ pub fn run_on<P: VertexProgram>(
     // Fault-injection probe (testing hook): grabbed once per job so the
     // superstep loop pays one Option check per worker when no plan is armed.
     let faults = ctx.faults();
+    // Job-control handle, likewise grabbed once: the superstep loop pays one
+    // Option check per boundary when no control plane is installed.
+    let control = ctx.control();
     let mut planes: Vec<WorkerPlane<P::Id, P::Message>> = planes_from_ctx(ctx, workers);
     let mut prev_aggregate = P::Aggregate::identity();
     let mut metrics = Metrics {
@@ -394,6 +397,31 @@ pub fn run_on<P: VertexProgram>(
         metrics.peak_store_resident_bytes =
             metrics.peak_store_resident_bytes.max(store_resident_bytes);
 
+        // ---- cooperative control poll (superstep boundary) ------------------
+        // The store is barrier-consistent here and `store_resident_bytes` is
+        // fresh, so this is where the memory budget is checked. A `Stall`
+        // fault (testing hook) sleeps first, making deadline trips
+        // deterministic without real wall-clock races.
+        if let Some(f) = &faults {
+            if let Some(millis) = f.probe_stall(superstep) {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+        }
+        let cancellation_checks = match &control {
+            Some(control) => {
+                if let Some(reason) = control.poll(store_resident_bytes) {
+                    // Raised on the coordinator thread, between phases: the
+                    // pool never sees this panic and stays reusable. The
+                    // caller (try_run_on or the pipeline's catch_unwind)
+                    // downcasts the payload back into the typed error.
+                    std::panic::panic_any(EngineError::Cancelled { reason, superstep });
+                }
+                1u64
+            }
+            None => 0,
+        };
+        metrics.total_cancellation_checks += cancellation_checks;
+
         // ---- shuffle phase (dispatched onto the persistent pool) ------------
         // Transpose outbox buffer ownership: worker `src` hands its buffer for
         // destination `dst` to `dst`'s shuffle job. Only `Vec` headers move;
@@ -469,6 +497,7 @@ pub fn run_on<P: VertexProgram>(
                 frontier_density,
                 store_resident_bytes,
                 id_column_compression,
+                cancellation_checks,
             });
         }
 
@@ -511,6 +540,32 @@ fn combine_outbox<P: VertexProgram>(program: &P, plane: &mut WorkerPlane<P::Id, 
             }
         }
         std::mem::swap(buf, &mut plane.scratch);
+    }
+}
+
+/// Like [`run_on`], but catches a cooperative job-control trip and returns it
+/// as a typed [`EngineError`] instead of unwinding.
+///
+/// On `Err(EngineError::Cancelled { .. })` the pool is clean and immediately
+/// reusable: the trip is raised on the coordinator thread at a superstep
+/// boundary, never inside a pool worker. The vertex set is left in its
+/// mid-job (barrier-consistent) state and should normally be discarded. Any
+/// other panic — a program bug, an injected worker fault — is re-raised
+/// unchanged.
+pub fn try_run_on<P: VertexProgram>(
+    ctx: &ExecCtx,
+    program: &P,
+    config: &PregelConfig,
+    vertices: &mut VertexSet<P::Id, P::Value>,
+) -> Result<Metrics, EngineError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_on(ctx, program, config, vertices)
+    })) {
+        Ok(metrics) => Ok(metrics),
+        Err(payload) => match payload.downcast::<EngineError>() {
+            Ok(err) => Err(*err),
+            Err(payload) => std::panic::resume_unwind(payload),
+        },
     }
 }
 
@@ -805,6 +860,154 @@ mod tests {
         assert!(set.is_empty());
         assert!(metrics.converged);
         assert_eq!(metrics.supersteps, 1);
+    }
+
+    #[test]
+    fn control_polls_are_counted_per_superstep_boundary() {
+        let ctx = ExecCtx::new(2);
+        let control = crate::control::JobControl::new();
+        ctx.set_control(control.clone());
+        let config = PregelConfig::with_workers(2)
+            .max_supersteps(4)
+            .track_supersteps(true);
+        let mut set: VertexSet<u64, ()> = VertexSet::from_pairs(2, (0..6).map(|i| (i, ())));
+        let metrics = run_on(&ctx, &NeverHalts, &config, &mut set);
+        ctx.clear_control();
+        assert_eq!(metrics.supersteps, 4);
+        assert_eq!(metrics.total_cancellation_checks, 4);
+        assert!(metrics
+            .per_superstep
+            .iter()
+            .all(|s| s.cancellation_checks == 1));
+        assert_eq!(control.checks(), 4);
+        // Without a control handle the counters stay zero.
+        let mut set: VertexSet<u64, ()> = VertexSet::from_pairs(2, (0..6).map(|i| (i, ())));
+        let metrics = run_on(&ctx, &NeverHalts, &config, &mut set);
+        assert_eq!(metrics.total_cancellation_checks, 0);
+        assert!(metrics
+            .per_superstep
+            .iter()
+            .all(|s| s.cancellation_checks == 0));
+    }
+
+    #[test]
+    fn requested_cancel_mid_job_is_typed_and_leaves_the_pool_reusable() {
+        use crate::control::{CancelReason, JobControl};
+        let ctx = ExecCtx::new(2);
+        let control = JobControl::new();
+        ctx.set_control(control.clone());
+
+        // Cancel strictly *inside* the job, deterministically: a watcher
+        // thread waits until the boundary poll of superstep 2 has run (the
+        // third check), then cancels, so the trip surfaces at the superstep 3
+        // boundary — no wall-clock coupling. (Plain `thread::spawn` is fine
+        // here: this is a test, not a steady-state parallel path.)
+        let watcher = {
+            let control = control.clone();
+            std::thread::spawn(move || {
+                while control.checks() < 3 {
+                    std::thread::yield_now();
+                }
+                control.cancel();
+            })
+        };
+        let config = PregelConfig::with_workers(2).max_supersteps(1000);
+        let mut set: VertexSet<u64, ()> = VertexSet::from_pairs(2, (0..8).map(|i| (i, ())));
+        let err = try_run_on(&ctx, &NeverHalts, &config, &mut set).unwrap_err();
+        watcher.join().expect("watcher thread");
+        ctx.clear_control();
+        match err {
+            EngineError::Cancelled { reason, superstep } => {
+                assert_eq!(reason, CancelReason::Requested);
+                // The cancel lands strictly after the third poll, so the trip
+                // can only surface at a later boundary — mid-job, never at
+                // job start.
+                assert!(superstep >= 3, "tripped too early, at {superstep}");
+            }
+            other => panic!("expected a cancellation, got {other:?}"),
+        }
+        assert!(err.to_string().contains("cancelled"));
+
+        // The pool is immediately reusable and deterministic.
+        let (set, metrics) = run_from_pairs(
+            &SumToRoot,
+            &PregelConfig::with_workers(2),
+            (0..100).map(|i| (i, 0u64)),
+        );
+        assert_eq!(*set.get(&0).unwrap(), 100);
+        assert!(metrics.converged);
+    }
+
+    #[test]
+    fn memory_budget_trip_fires_at_the_first_boundary_over_the_cap() {
+        use crate::control::{CancelReason, JobControl};
+        let ctx = ExecCtx::new(2);
+        // 1 byte: any non-empty store exceeds it at the first boundary.
+        ctx.set_control(JobControl::new().with_memory_budget(1));
+        let config = PregelConfig::with_workers(2).max_supersteps(10);
+        let mut set: VertexSet<u64, ()> = VertexSet::from_pairs(2, (0..8).map(|i| (i, ())));
+        let err = try_run_on(&ctx, &NeverHalts, &config, &mut set).unwrap_err();
+        ctx.clear_control();
+        assert_eq!(
+            err,
+            EngineError::Cancelled {
+                reason: CancelReason::MemoryBudget,
+                superstep: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn stall_fault_makes_deadline_trips_deterministic() {
+        use crate::control::{CancelReason, JobControl};
+        use crate::fault::{Fault, FaultPlan};
+        use std::time::Duration;
+        let ctx = ExecCtx::new(2);
+        // The stall dwarfs the deadline while the deadline dwarfs a real
+        // superstep on 8 trivial vertices: boundary 0 polls well inside the
+        // 150ms budget, then the injected 600ms stall guarantees boundary 1
+        // polls past it — the trip lands at superstep 1 with no wall-clock
+        // race in either direction.
+        let armed = ctx.inject_faults(FaultPlan::single(Fault::Stall {
+            superstep: 1,
+            millis: 600,
+        }));
+        ctx.set_control(JobControl::new().with_deadline_in(Duration::from_millis(150)));
+        let config = PregelConfig::with_workers(2).max_supersteps(10);
+        let mut set: VertexSet<u64, ()> = VertexSet::from_pairs(2, (0..8).map(|i| (i, ())));
+        let err = try_run_on(&ctx, &NeverHalts, &config, &mut set).unwrap_err();
+        ctx.clear_control();
+        ctx.clear_faults();
+        assert!(armed.all_fired(), "the stall must fire");
+        assert_eq!(
+            err,
+            EngineError::Cancelled {
+                reason: CancelReason::Deadline,
+                superstep: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn try_run_on_reraises_non_cancellation_panics() {
+        use crate::fault::{Fault, FaultPlan};
+        let ctx = ExecCtx::new(2);
+        let armed = ctx.inject_faults(FaultPlan::single(Fault::Superstep {
+            stage: usize::MAX, // matches NO_STAGE: no pipeline entered a stage
+            superstep: 0,
+            worker: 0,
+        }));
+        let config = PregelConfig::with_workers(2).max_supersteps(5);
+        let mut set: VertexSet<u64, ()> = VertexSet::from_pairs(2, (0..4).map(|i| (i, ())));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            try_run_on(&ctx, &NeverHalts, &config, &mut set)
+        }));
+        ctx.clear_faults();
+        assert!(armed.all_fired());
+        assert!(
+            outcome.is_err(),
+            "a worker fault is not a cancellation and must re-raise"
+        );
     }
 
     #[test]
