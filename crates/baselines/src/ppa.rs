@@ -36,6 +36,7 @@ impl Assembler for PpaAssembler {
             },
             error_correction_rounds: 1,
             min_contig_length: 0,
+            spill: ppa_pregel::SpillPolicy::Off,
             exec: None,
         };
         // The paper-workflow pipeline driven directly, with the stats

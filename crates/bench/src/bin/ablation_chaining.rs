@@ -84,7 +84,8 @@ fn main() {
             })
             .collect();
         let start = Instant::now();
-        let (back, stats) = spill_roundtrip(spill_items, to_disk);
+        let (back, stats) =
+            spill_roundtrip(spill_items, to_disk).expect("spill round-trip must succeed");
         let roundtrip = start.elapsed();
         assert_eq!(back.len(), construct.vertices.len());
         rows.push(vec![

@@ -62,8 +62,9 @@ use std::time::Duration;
 /// First 8 bytes of every `MANIFEST`.
 const MAGIC: [u8; 8] = *b"PPACKPT1";
 /// Format version stamped into and checked against every manifest.
-/// v3 added the cancellation-check counters to the metrics codec.
-const VERSION: u32 = 3;
+/// v3 added the cancellation-check counters to the metrics codec; v4 added
+/// the out-of-core spill counters.
+const VERSION: u32 = 4;
 /// The manifest file name inside a snapshot directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
@@ -673,6 +674,9 @@ fn encode_metrics(w: &mut Writer<Vec<u8>>, m: &Metrics) -> Result<(), Checkpoint
     w.f64(m.avg_frontier_density)?;
     w.u64(m.peak_store_resident_bytes)?;
     w.u64(m.total_cancellation_checks)?;
+    w.u64(m.spilled_bytes)?;
+    w.u64(m.spill_read_bytes)?;
+    w.u64(m.spilled_runs)?;
     w.u64(m.per_superstep.len() as u64)?;
     for s in &m.per_superstep {
         w.u64(s.superstep as u64)?;
@@ -687,6 +691,9 @@ fn encode_metrics(w: &mut Writer<Vec<u8>>, m: &Metrics) -> Result<(), Checkpoint
         w.u64(s.store_resident_bytes)?;
         w.f64(s.id_column_compression)?;
         w.u64(s.cancellation_checks)?;
+        w.u64(s.spilled_bytes)?;
+        w.u64(s.spill_read_bytes)?;
+        w.u64(s.spilled_runs)?;
     }
     Ok(())
 }
@@ -702,6 +709,9 @@ fn decode_metrics(file: &str, r: &mut Reader<'_>) -> Result<Metrics, CheckpointE
     let avg_frontier_density = r.f64().map_err(e)?;
     let peak_store_resident_bytes = r.u64().map_err(e)?;
     let total_cancellation_checks = r.u64().map_err(e)?;
+    let spilled_bytes = r.u64().map_err(e)?;
+    let spill_read_bytes = r.u64().map_err(e)?;
+    let spilled_runs = r.u64().map_err(e)?;
     let n = r.u64().map_err(e)? as usize;
     let mut per_superstep = Vec::new();
     for _ in 0..n {
@@ -718,6 +728,9 @@ fn decode_metrics(file: &str, r: &mut Reader<'_>) -> Result<Metrics, CheckpointE
             store_resident_bytes: r.u64().map_err(e)?,
             id_column_compression: r.f64().map_err(e)?,
             cancellation_checks: r.u64().map_err(e)?,
+            spilled_bytes: r.u64().map_err(e)?,
+            spill_read_bytes: r.u64().map_err(e)?,
+            spilled_runs: r.u64().map_err(e)?,
         });
     }
     Ok(Metrics {
@@ -730,6 +743,9 @@ fn decode_metrics(file: &str, r: &mut Reader<'_>) -> Result<Metrics, CheckpointE
         avg_frontier_density,
         peak_store_resident_bytes,
         total_cancellation_checks,
+        spilled_bytes,
+        spill_read_bytes,
+        spilled_runs,
         per_superstep,
     })
 }
@@ -1162,6 +1178,9 @@ mod tests {
             avg_frontier_density: (mix.below(1000) as f64) / 1000.0,
             peak_store_resident_bytes: mix.next(),
             total_cancellation_checks: mix.below(100),
+            spilled_bytes: mix.next(),
+            spill_read_bytes: mix.next(),
+            spilled_runs: mix.below(64),
             per_superstep: (0..mix.below(4))
                 .map(|s| SuperstepMetrics {
                     superstep: s as usize,
@@ -1176,6 +1195,9 @@ mod tests {
                     store_resident_bytes: mix.next(),
                     id_column_compression: (mix.below(1000) as f64) / 1000.0,
                     cancellation_checks: mix.below(2),
+                    spilled_bytes: mix.next(),
+                    spill_read_bytes: mix.next(),
+                    spilled_runs: mix.below(8),
                 })
                 .collect(),
         }

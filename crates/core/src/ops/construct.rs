@@ -18,7 +18,7 @@
 
 use crate::adj::{edge_contributions, PackedAdj};
 use crate::node::KmerVertex;
-use ppa_pregel::mapreduce::{map_reduce_with_metrics_on, Emitter, MapReduceMetrics};
+use ppa_pregel::mapreduce::{map_reduce_spillable_on, Emitter, MapReduceMetrics};
 use ppa_pregel::ExecCtx;
 use ppa_seq::kmer::CanonicalScanner;
 use ppa_seq::{Base, FastxRecord, Kmer, ReadSet};
@@ -126,8 +126,12 @@ pub fn build_dbg_on(ctx: &ExecCtx, reads: &ReadSet, config: &ConstructConfig) ->
     let theta = config.min_coverage;
 
     // ---- phase (i): count canonical (k+1)-mers ------------------------------
+    // Both phases run through the spillable mini MapReduce: with a
+    // `SpillPolicy` cap on the context the map side writes sorted runs to
+    // disk once its buffers exceed the per-worker budget, and without one
+    // the pass is byte-identical to the resident mini MapReduce.
     let batches: Vec<&[FastxRecord]> = reads.records.chunks(config.batch_size.max(1)).collect();
-    let (counted, phase1) = map_reduce_with_metrics_on(
+    let (counted, phase1) = map_reduce_spillable_on(
         ctx,
         batches,
         |batch: &[FastxRecord], out: &mut Emitter<'_, u64, u32>| {
@@ -173,7 +177,7 @@ pub fn build_dbg_on(ctx: &ExecCtx, reads: &ReadSet, config: &ConstructConfig) ->
                 }
             });
         },
-        |key: &u64, counts: &mut [u32], out: &mut Vec<(u64, u32)>| {
+        |_worker, key: &u64, counts: &mut [u32], out: &mut Vec<(u64, u32)>| {
             let total: u64 = counts.iter().map(|&c| c as u64).sum();
             let total = total.min(u32::MAX as u64) as u32;
             if total > theta {
@@ -181,12 +185,13 @@ pub fn build_dbg_on(ctx: &ExecCtx, reads: &ReadSet, config: &ConstructConfig) ->
             }
         },
     );
+    let counted: Vec<(u64, u32)> = counted.into_iter().flatten().collect();
     // `groups` counts every distinct (k+1)-mer that reached reduce.
     let distinct_kplus1 = phase1.groups;
     let kept_kplus1 = counted.len() as u64;
 
     // ---- phase (ii): build k-mer vertices with packed adjacency -------------
-    let (vertices, phase2) = map_reduce_with_metrics_on(
+    let (vertices, phase2) = map_reduce_spillable_on(
         ctx,
         counted,
         |(packed, count): (u64, u32), out: &mut Emitter<'_, u64, (u8, u32)>| {
@@ -195,7 +200,7 @@ pub fn build_dbg_on(ctx: &ExecCtx, reads: &ReadSet, config: &ConstructConfig) ->
             out.emit(src.packed(), (s_slot.bit() as u8, count));
             out.emit(tgt.packed(), (t_slot.bit() as u8, count));
         },
-        |key: &u64, slots: &mut [(u8, u32)], out: &mut Vec<KmerVertex>| {
+        |_worker, key: &u64, slots: &mut [(u8, u32)], out: &mut Vec<KmerVertex>| {
             let kmer = Kmer::from_packed(*key, k).expect("valid k-mer key");
             let mut adj = PackedAdj::new();
             for &(bit, coverage) in slots.iter() {
@@ -204,6 +209,7 @@ pub fn build_dbg_on(ctx: &ExecCtx, reads: &ReadSet, config: &ConstructConfig) ->
             out.push(KmerVertex { kmer, adj });
         },
     );
+    let vertices: Vec<KmerVertex> = vertices.into_iter().flatten().collect();
 
     let adjacency_slots: u64 = vertices.iter().map(|v| v.adj.degree() as u64).sum();
     let stats = ConstructStats {

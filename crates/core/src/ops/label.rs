@@ -31,7 +31,9 @@ use crate::node::{AsmNode, VertexType};
 use crate::polarity::Side;
 use ppa_pregel::aggregate::Count;
 use ppa_pregel::algorithms::connected_components;
-use ppa_pregel::{Context, ExecCtx, Metrics, PregelConfig, VertexProgram, VertexSet};
+use ppa_pregel::{
+    Context, ExecCtx, Metrics, PregelConfig, SpillCodec, SpillCodecs, VertexProgram, VertexSet,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Result of a contig-labeling run (either algorithm).
@@ -73,6 +75,103 @@ impl LrState {
     }
 }
 
+// Spill codecs for the labeling job's state and messages, so list ranking can
+// opt into the engine's out-of-core execution (partition sealing and shuffle
+// run spilling) when a `SpillPolicy` cap is installed. Per the panic-free
+// codec contract, `decode` rejects malformed input with `None`.
+
+impl SpillCodec for LrState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.vtype as u8).encode(buf);
+        for n in &self.neighbor {
+            match n {
+                Some(id) => {
+                    1u8.encode(buf);
+                    id.encode(buf);
+                }
+                None => 0u8.encode(buf),
+            }
+        }
+        (self.broadcast.len() as u64).encode(buf);
+        for id in &self.broadcast {
+            id.encode(buf);
+        }
+        for p in &self.ptr {
+            p.encode(buf);
+        }
+        for d in &self.done {
+            d.encode(buf);
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let vtype = match u8::decode(buf)? {
+            0 => VertexType::Isolated,
+            1 => VertexType::One,
+            2 => VertexType::OneOne,
+            3 => VertexType::Branch,
+            _ => return None,
+        };
+        let mut neighbor = [None, None];
+        for slot in &mut neighbor {
+            *slot = match u8::decode(buf)? {
+                0 => None,
+                1 => Some(u64::decode(buf)?),
+                _ => return None,
+            };
+        }
+        let len = u64::decode(buf)? as usize;
+        if buf.len() < len.checked_mul(8)? {
+            return None;
+        }
+        let mut broadcast = Vec::with_capacity(len);
+        for _ in 0..len {
+            broadcast.push(u64::decode(buf)?);
+        }
+        let ptr = [u64::decode(buf)?, u64::decode(buf)?];
+        let done = [bool::decode(buf)?, bool::decode(buf)?];
+        Some(LrState {
+            vtype,
+            neighbor,
+            broadcast,
+            ptr,
+            done,
+        })
+    }
+}
+
+impl SpillCodec for LrMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            LrMsg::Ambiguous(id) => {
+                0u8.encode(buf);
+                id.encode(buf);
+            }
+            LrMsg::Request(id) => {
+                1u8.encode(buf);
+                id.encode(buf);
+            }
+            LrMsg::Response { responder, other } => {
+                2u8.encode(buf);
+                responder.encode(buf);
+                other.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(LrMsg::Ambiguous(u64::decode(buf)?)),
+            1 => Some(LrMsg::Request(u64::decode(buf)?)),
+            2 => Some(LrMsg::Response {
+                responder: u64::decode(buf)?,
+                other: u64::decode(buf)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum LrMsg {
     /// Superstep 0: "I am ambiguous" broadcast (carries the sender ID).
@@ -106,6 +205,10 @@ impl VertexProgram for LrProgram {
     type Value = LrState;
     type Message = LrMsg;
     type Aggregate = Count;
+
+    fn spill_codecs() -> Option<SpillCodecs<Self>> {
+        Some(SpillCodecs::new())
+    }
 
     fn compute(
         &self,

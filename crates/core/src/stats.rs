@@ -50,6 +50,13 @@ pub struct LabelStats {
     /// Cooperative job-control polls performed at the labeling job's
     /// superstep boundaries (0 when no control handle was installed).
     pub cancellation_checks: u64,
+    /// Bytes the labeling job spilled to disk (shuffle runs + sealed
+    /// partition extents); 0 for a fully resident run.
+    pub spilled_bytes: u64,
+    /// Bytes the labeling job read back from its spill files.
+    pub spill_read_bytes: u64,
+    /// Spill artefacts written (run files + extent images).
+    pub spilled_runs: u64,
 }
 
 impl LabelStats {
@@ -70,6 +77,9 @@ impl LabelStats {
             avg_frontier_density: metrics.avg_frontier_density,
             peak_store_resident_bytes: metrics.peak_store_resident_bytes,
             cancellation_checks: metrics.total_cancellation_checks,
+            spilled_bytes: metrics.spilled_bytes,
+            spill_read_bytes: metrics.spill_read_bytes,
+            spilled_runs: metrics.spilled_runs,
         }
     }
 }

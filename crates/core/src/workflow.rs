@@ -14,7 +14,7 @@
 
 use crate::pipeline::{CheckpointPolicy, GraphState, Pipeline, PipelineError};
 use crate::stats::{n50, WorkflowStats};
-use ppa_pregel::{ExecCtx, JobControl};
+use ppa_pregel::{ExecCtx, JobControl, SpillPolicy};
 use ppa_seq::{DnaString, FastxRecord, ReadSet, SeqError};
 use serde::{Deserialize, Serialize};
 use std::io::BufRead;
@@ -50,6 +50,14 @@ pub struct AssemblyConfig {
     pub error_correction_rounds: usize,
     /// Contigs shorter than this are dropped from the final output.
     pub min_contig_length: usize,
+    /// Out-of-core policy: with [`SpillPolicy::At`], every operation of the
+    /// workflow (the Pregel jobs of labeling and tip removing, and the mini-
+    /// MapReduce phases of construction) may spill sorted shuffle runs and
+    /// sealed partition columns to disk once its resident bytes exceed the
+    /// cap, bounding peak memory at the cost of extra I/O. The default
+    /// [`SpillPolicy::Off`] keeps the run byte-identical to the purely
+    /// resident engine.
+    pub spill: SpillPolicy,
     /// Persistent execution context to run every operation on. When `None`
     /// (the default), [`assemble`] builds one context for the run — either
     /// way, all five operations of all rounds execute on a single long-lived
@@ -73,6 +81,7 @@ impl Default for AssemblyConfig {
             labeling: LabelingAlgorithm::ListRanking,
             error_correction_rounds: 1,
             min_contig_length: 0,
+            spill: SpillPolicy::Off,
             exec: None,
         }
     }
@@ -183,13 +192,16 @@ pub fn assemble(reads: &ReadSet, config: &AssemblyConfig) -> Assembly {
 }
 
 /// The execution context an assembly entry point runs on: the configured one
-/// when supplied, or a private pool sized to `config.workers`.
+/// when supplied, or a private pool sized to `config.workers`. The config's
+/// [`SpillPolicy`] is installed on the context either way, so a shared
+/// context always reflects the policy of the assembly it is running.
 fn exec_ctx(config: &AssemblyConfig) -> ExecCtx {
     let ctx = config
         .exec
         .clone()
         .unwrap_or_else(|| ExecCtx::new(config.workers));
     ctx.assert_matches(config.workers, "AssemblyConfig.workers");
+    ctx.set_spill(config.spill);
     ctx
 }
 
@@ -335,6 +347,7 @@ mod tests {
             labeling: LabelingAlgorithm::ListRanking,
             error_correction_rounds: 1,
             min_contig_length: 0,
+            spill: SpillPolicy::Off,
             exec: None,
         }
     }
@@ -642,6 +655,42 @@ mod tests {
         assert!(!err.is_transient());
         let again = assemble(&reads, &config);
         assert_eq!(again.contigs, baseline.contigs);
+    }
+
+    #[test]
+    fn spilled_assembly_is_byte_identical_to_resident() {
+        let (_, reads) = simulate(4_000, 25.0, 0.0, 83);
+        let config = small_config(21);
+        let baseline = assemble(&reads, &config);
+        assert!(!baseline.contigs.is_empty());
+
+        // A generous cap never trips; a tiny cap forces both the MapReduce
+        // phases of construction and the labeling job out of core. Either
+        // way the contigs must be byte-identical to the resident run.
+        for cap in [1u64 << 30, 24 * 1024] {
+            let spilled = assemble(
+                &reads,
+                &AssemblyConfig {
+                    spill: ppa_pregel::SpillPolicy::At(cap),
+                    ..small_config(21)
+                },
+            );
+            assert_eq!(
+                spilled.contigs, baseline.contigs,
+                "cap {cap}: spilled assembly must match the resident one"
+            );
+            let construct_spill = spilled.stats.construct.phase1.spilled_bytes
+                + spilled.stats.construct.phase2.spilled_bytes;
+            let label_spill = spilled.stats.label_round1.spilled_bytes;
+            if cap == 1 << 30 {
+                assert_eq!(construct_spill + label_spill, 0, "large cap must not trip");
+            } else {
+                assert!(
+                    construct_spill > 0 || label_spill > 0,
+                    "tiny cap must actually spill somewhere"
+                );
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,12 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
 ];
 
 /// The codec files that must never panic on malformed bytes.
-const CODEC_FILES: &[&str] = &["crates/core/src/checkpoint.rs", "shims/serde/src/lib.rs"];
+const CODEC_FILES: &[&str] = &[
+    "crates/core/src/checkpoint.rs",
+    "crates/pregel/src/chain.rs",
+    "crates/pregel/src/spill.rs",
+    "shims/serde/src/lib.rs",
+];
 
 /// Files allowed to spawn OS threads: the persistent worker pool and the
 /// pre-pool legacy baseline kept for benchmarking.
@@ -43,6 +48,7 @@ const POLLING_CALLEES: &[&str] = &[
     "map_reduce_on",
     "map_reduce_with_metrics_on",
     "map_reduce_partitioned_on",
+    "map_reduce_spillable_on",
     "convert_on",
     "connected_components",
 ];

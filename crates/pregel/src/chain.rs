@@ -4,14 +4,22 @@
 //! vanilla Pregel-like systems force consecutive jobs to exchange data through
 //! HDFS (dump, then re-load and re-shuffle). To let the workspace *measure*
 //! that difference (the `ablation_chaining` bench), this module provides a
-//! small, dependency-free byte codec ([`SpillCodec`]) and a
 //! [`spill_roundtrip`] helper that serialises a collection to a byte buffer
 //! and parses it back, emulating the serialisation + I/O + deserialisation
 //! cost of the HDFS hop (without an actual disk to keep the benchmark
 //! machine-independent; an optional on-disk variant is provided for realism).
+//!
+//! The byte codec itself ([`SpillCodec`]) and the framing live in
+//! [`crate::spill`] — the same format the engine's out-of-core spill layer
+//! uses for its shuffle runs and sealed partition extents, so there is
+//! exactly one spill file format in the workspace. Like the rest of that
+//! layer, the round-trip is panic-free: I/O failures and truncated or
+//! corrupt data come back as [`SpillError`] values.
 
+pub use crate::spill::SpillCodec;
+use crate::spill::{self, SpillError};
 use serde::{Deserialize, Serialize};
-use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// How two consecutive operations exchange their intermediate data.
@@ -29,71 +37,6 @@ pub enum ChainMode {
     SpillToDisk,
 }
 
-/// A minimal binary codec for spill emulation.
-///
-/// Implementations must be able to reconstruct the value from the bytes they
-/// wrote; the framing (length prefixes) is handled by [`spill_roundtrip`].
-pub trait SpillCodec: Sized {
-    /// Appends the binary encoding of `self` to `buf`.
-    fn encode(&self, buf: &mut Vec<u8>);
-    /// Decodes one value from the front of `buf`, advancing it.
-    fn decode(buf: &mut &[u8]) -> Option<Self>;
-}
-
-impl SpillCodec for u64 {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        buf.extend_from_slice(&self.to_le_bytes());
-    }
-    fn decode(buf: &mut &[u8]) -> Option<Self> {
-        if buf.len() < 8 {
-            return None;
-        }
-        let (head, rest) = buf.split_at(8);
-        *buf = rest;
-        Some(u64::from_le_bytes(head.try_into().ok()?))
-    }
-}
-
-impl SpillCodec for u32 {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        buf.extend_from_slice(&self.to_le_bytes());
-    }
-    fn decode(buf: &mut &[u8]) -> Option<Self> {
-        if buf.len() < 4 {
-            return None;
-        }
-        let (head, rest) = buf.split_at(4);
-        *buf = rest;
-        Some(u32::from_le_bytes(head.try_into().ok()?))
-    }
-}
-
-impl SpillCodec for Vec<u8> {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        (self.len() as u64).encode(buf);
-        buf.extend_from_slice(self);
-    }
-    fn decode(buf: &mut &[u8]) -> Option<Self> {
-        let len = u64::decode(buf)? as usize;
-        if buf.len() < len {
-            return None;
-        }
-        let (head, rest) = buf.split_at(len);
-        *buf = rest;
-        Some(head.to_vec())
-    }
-}
-
-impl<A: SpillCodec, B: SpillCodec> SpillCodec for (A, B) {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        self.0.encode(buf);
-        self.1.encode(buf);
-    }
-    fn decode(buf: &mut &[u8]) -> Option<Self> {
-        Some((A::decode(buf)?, B::decode(buf)?))
-    }
-}
-
 /// Statistics of one spill round-trip.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpillStats {
@@ -108,48 +51,44 @@ pub struct SpillStats {
 /// Serialises `items` and parses them back, returning the reconstructed items
 /// and the cost of the round-trip. With `to_disk`, the bytes pass through a
 /// temporary file to include real I/O in the measurement.
-pub fn spill_roundtrip<T: SpillCodec>(items: Vec<T>, to_disk: bool) -> (Vec<T>, SpillStats) {
+///
+/// Uses the workspace's shared spill framing
+/// ([`spill::write_spill_file`]/[`spill::read_spill_file`]); any I/O failure
+/// or malformed byte stream is reported as a typed [`SpillError`] instead of
+/// a panic.
+pub fn spill_roundtrip<T: SpillCodec>(
+    items: Vec<T>,
+    to_disk: bool,
+) -> Result<(Vec<T>, SpillStats), SpillError> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
     let start = Instant::now();
     let records = items.len() as u64;
-    let mut buf = Vec::new();
-    (items.len() as u64).encode(&mut buf);
-    for item in &items {
-        item.encode(&mut buf);
-    }
-    drop(items);
-    let bytes = buf.len() as u64;
-
-    let data = if to_disk {
-        let mut path = std::env::temp_dir();
-        path.push(format!("ppa-spill-{}-{}.bin", std::process::id(), bytes));
-        {
-            let mut f = std::fs::File::create(&path).expect("create spill file");
-            f.write_all(&buf).expect("write spill file");
-            f.sync_all().ok();
-        }
-        let mut back = Vec::with_capacity(buf.len());
-        std::fs::File::open(&path)
-            .expect("open spill file")
-            .read_to_end(&mut back)
-            .expect("read spill file");
-        std::fs::remove_file(&path).ok();
-        back
+    let (out, bytes) = if to_disk {
+        let path = std::env::temp_dir().join(format!(
+            "ppa-chain-spill-{}-{}.bin",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let bytes = spill::write_spill_file(&path, &items)?;
+        drop(items);
+        let back = spill::read_spill_file::<T>(&path);
+        let _ = std::fs::remove_file(&path);
+        (back?, bytes)
     } else {
-        buf
+        let buf = spill::encode_spill_bytes(&items);
+        let bytes = buf.len() as u64;
+        drop(items);
+        (
+            spill::decode_spill_stream(buf.as_slice(), "<memory>")?,
+            bytes,
+        )
     };
-
-    let mut slice = data.as_slice();
-    let n = u64::decode(&mut slice).expect("spill header") as usize;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        out.push(T::decode(&mut slice).expect("truncated spill record"));
-    }
     let stats = SpillStats {
         records,
         bytes,
         elapsed: start.elapsed(),
     };
-    (out, stats)
+    Ok((out, stats))
 }
 
 #[cfg(test)]
@@ -186,7 +125,7 @@ mod tests {
     #[test]
     fn spill_roundtrip_in_memory() {
         let items: Vec<(u64, u64)> = (0..1000).map(|i| (i, i * i)).collect();
-        let (back, stats) = spill_roundtrip(items.clone(), false);
+        let (back, stats) = spill_roundtrip(items.clone(), false).expect("in-memory roundtrip");
         assert_eq!(back, items);
         assert_eq!(stats.records, 1000);
         assert!(stats.bytes >= 16_000);
@@ -195,7 +134,7 @@ mod tests {
     #[test]
     fn spill_roundtrip_on_disk() {
         let items: Vec<u64> = (0..100).collect();
-        let (back, stats) = spill_roundtrip(items.clone(), true);
+        let (back, stats) = spill_roundtrip(items.clone(), true).expect("on-disk roundtrip");
         assert_eq!(back, items);
         assert_eq!(stats.records, 100);
     }

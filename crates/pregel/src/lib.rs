@@ -114,21 +114,23 @@ pub mod mapreduce;
 pub mod metrics;
 pub mod radix;
 pub mod runner;
+pub mod spill;
 pub mod vertex;
 pub mod vertex_set;
 
 pub use aggregate::{Aggregate, BoolOr, Count, MaxU64, MinU64, NoAggregate, SumU64};
-pub use chain::{ChainMode, SpillCodec};
+pub use chain::ChainMode;
 pub use config::PregelConfig;
 pub use control::{CancelReason, JobControl};
 pub use engine::{EngineError, ExecCtx, WorkerPool};
 pub use fault::{ArmedFaults, Fault, FaultPlan};
 pub use mapreduce::{
-    map_reduce, map_reduce_on, map_reduce_with_metrics, map_reduce_with_metrics_on,
-    MapReduceMetrics,
+    map_reduce, map_reduce_on, map_reduce_spillable_on, map_reduce_with_metrics,
+    map_reduce_with_metrics_on, MapReduceMetrics,
 };
 pub use metrics::{Metrics, SuperstepMetrics};
 pub use radix::SortKey;
 pub use runner::{run, run_from_pairs, run_on, try_run_on};
+pub use spill::{SpillCodec, SpillCodecs, SpillError, SpillPolicy};
 pub use vertex::{Context, VertexKey, VertexProgram};
 pub use vertex_set::VertexSet;

@@ -28,12 +28,29 @@
 //! variants run on a caller-provided context (one pool shared by a whole
 //! workflow), while the plain variants build a private single-pass context —
 //! either way, no per-phase thread scope is created.
+//!
+//! # Out-of-core execution
+//!
+//! [`map_reduce_spillable_on`] is the bounded-memory entry: when the context
+//! carries a [`SpillPolicy`](crate::SpillPolicy) byte cap, each map worker
+//! presorts and writes its buffered pairs out as sorted run files (see
+//! [`crate::spill`]) whenever the buffered estimate crosses
+//! `cap / (4 × workers)`, and each reduce worker streams those runs back in a
+//! k-way merge with the in-RAM remainders. The merge breaks key ties by
+//! ascending source (each source's runs in spill order, its RAM remainder
+//! last), so grouping and per-key value order are byte-identical to the
+//! all-in-RAM pass.
 
-use crate::engine::ExecCtx;
+use crate::engine::{EngineError, ExecCtx};
 use crate::fxhash::hash_one;
 use crate::radix::SortKey;
+use crate::spill::{
+    codec_of, merge_run_sources, write_run, Codec, DiskRun, MergeSource, RunReader, SpillCodec,
+    SpillDir, SpillError,
+};
 use serde::{Deserialize, Serialize};
 use std::hash::Hash;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Sink the map UDF writes its key–value pairs into.
@@ -45,6 +62,9 @@ use std::time::{Duration, Instant};
 /// fed through a shuffle).
 pub struct Emitter<'a, K, V> {
     out: &'a mut [Vec<(K, V)>],
+    /// Pairs emitted through this worker's map phase so far (drives the
+    /// spillable variant's O(1) buffered-bytes estimate).
+    emitted: u64,
 }
 
 impl<K: Hash, V> Emitter<'_, K, V> {
@@ -53,6 +73,7 @@ impl<K: Hash, V> Emitter<'_, K, V> {
     pub fn emit(&mut self, key: K, value: V) {
         let dst = (hash_one(&key) % self.out.len() as u64) as usize;
         self.out[dst].push((key, value));
+        self.emitted += 1;
     }
 }
 
@@ -69,6 +90,14 @@ pub struct MapReduceMetrics {
     pub output_records: u64,
     /// Wall-clock time of the whole pass.
     pub elapsed: Duration,
+    /// Bytes written to sorted map-side run files. 0 unless the pass ran via
+    /// [`map_reduce_spillable_on`] under a [`SpillPolicy`](crate::SpillPolicy)
+    /// cap that tripped.
+    pub spilled_bytes: u64,
+    /// Bytes streamed back from run files by the reduce-side merge.
+    pub spill_read_bytes: u64,
+    /// Sorted run files written by the map phase.
+    pub spilled_runs: u64,
 }
 
 /// Runs a mini-MapReduce pass and returns the outputs of every group,
@@ -189,9 +218,98 @@ where
     MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
     RF: Fn(usize, &K, &mut [V], &mut Vec<O>) + Sync,
 {
+    map_reduce_inner(ctx, inputs, map_fn, reduce_fn, None)
+}
+
+/// The bounded-memory mini MapReduce: like [`map_reduce_partitioned_on`], but
+/// when the context carries a [`SpillPolicy`](crate::SpillPolicy) byte cap the
+/// map phase spills presorted run files to disk once a worker's buffered
+/// pairs exceed `cap / (4 × workers)` bytes, and the reduce phase streams
+/// them back in a source-ordered k-way merge. Without a cap (or with
+/// [`SpillPolicy::Off`](crate::SpillPolicy::Off)) it is exactly the resident
+/// pass — same outputs, byte for byte, either way.
+///
+/// `K` and `V` must be spill-codable; UDF-borrowed lifetimes are fine for
+/// resident passes but spillable keys/values must own their data.
+///
+/// # Panics
+///
+/// Raises [`EngineError::Spill`] via panic (caught by `try_run`-style
+/// wrappers) if run-file I/O fails; spill files are transient scratch, so
+/// there is nothing to recover mid-pass.
+pub fn map_reduce_spillable_on<I, K, V, O, MF, RF>(
+    ctx: &ExecCtx,
+    inputs: Vec<I>,
+    map_fn: MF,
+    reduce_fn: RF,
+) -> (Vec<Vec<O>>, MapReduceMetrics)
+where
+    I: Send,
+    K: Hash + Eq + Ord + SortKey + SpillCodec + Send,
+    V: SpillCodec + Send,
+    O: Send,
+    MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
+    RF: Fn(usize, &K, &mut [V], &mut Vec<O>) + Sync,
+{
+    let spill = ctx
+        .spill()
+        .and_then(|p| p.cap())
+        .map(|cap| (cap, codec_of::<K>(), codec_of::<V>()));
+    map_reduce_inner(ctx, inputs, map_fn, reduce_fn, spill)
+}
+
+/// What one map worker hands to the shuffle: its in-RAM remainder buffers,
+/// any run files it spilled (per destination, in spill order), and its spill
+/// counters.
+struct MapSide<K, V> {
+    out: Vec<Vec<(K, V)>>,
+    runs: Vec<Vec<DiskRun>>,
+    spilled_pairs: u64,
+    spilled_bytes: u64,
+    spilled_runs: u64,
+}
+
+/// Spill plumbing resolved at pass entry: the job-scoped temp dir, the
+/// per-worker buffer budget and the pair codecs.
+type SpillSetup<K, V> = Option<(Arc<SpillDir>, usize, Codec<K>, Codec<V>)>;
+
+/// One destination's view of one source worker: that source's sorted on-disk
+/// runs (in spill order) plus its sorted in-RAM remainder.
+type ShuffleSources<K, V> = Vec<(Vec<DiskRun>, Vec<(K, V)>)>;
+
+/// One reduce worker's outcome: its outputs, group count and spill-read
+/// bytes — or the first disk error it hit.
+type ReduceSide<O> = Result<(Vec<O>, u64, u64), SpillError>;
+
+/// Shared body of the resident and spillable passes. `spill` carries the
+/// byte cap and codecs when the caller opted in *and* a policy cap is
+/// installed; `None` runs fully in RAM.
+fn map_reduce_inner<I, K, V, O, MF, RF>(
+    ctx: &ExecCtx,
+    inputs: Vec<I>,
+    map_fn: MF,
+    reduce_fn: RF,
+    spill: Option<(u64, Codec<K>, Codec<V>)>,
+) -> (Vec<Vec<O>>, MapReduceMetrics)
+where
+    I: Send,
+    K: Hash + Eq + Ord + SortKey + Send,
+    V: Send,
+    O: Send,
+    MF: Fn(I, &mut Emitter<'_, K, V>) + Sync,
+    RF: Fn(usize, &K, &mut [V], &mut Vec<O>) + Sync,
+{
     let workers = ctx.workers();
     let start = Instant::now();
     let input_records = inputs.len() as u64;
+    let spill: SpillSetup<K, V> = spill.map(|(cap, kc, vc)| {
+        let dir =
+            SpillDir::create("mr").unwrap_or_else(|e| std::panic::panic_any(EngineError::Spill(e)));
+        // Each map worker may buffer a quarter of its even share of the cap
+        // before writing a run.
+        let budget = ((cap as usize) / (4 * workers)).max(1);
+        (dir, budget, kc, vc)
+    });
 
     // ---- map phase: split inputs into `workers` chunks and map in parallel.
     let chunk_size = inputs.len().div_ceil(workers).max(1);
@@ -202,41 +320,94 @@ where
             chunks.push(it.by_ref().take(chunk_size).collect());
         }
     }
-    let shuffled: Vec<Vec<Vec<(K, V)>>> = ctx.pool().run_per_worker(chunks, |_w, chunk| {
-        let mut out: Vec<Vec<(K, V)>> = (0..workers).map(|_| Vec::new()).collect();
-        let mut emitter = Emitter { out: &mut out };
-        for item in chunk {
-            map_fn(item, &mut emitter);
-        }
-        // Presort per destination so that the reduce side only
-        // k-way-merges: the sort work runs here, parallel across all
-        // map workers. One radix scratch serves all of this worker's
-        // destination buffers (it cannot be parked in the ExecCtx:
-        // `(K, V)` may borrow non-'static data, which the TypeId-keyed
-        // scratch cache cannot hold).
-        let mut scratch: Vec<(K, V)> = Vec::new();
-        for buf in out.iter_mut() {
-            crate::radix::sort_pairs(buf, &mut scratch);
-        }
-        out
-    });
+    let mapped: Vec<Result<MapSide<K, V>, SpillError>> =
+        ctx.pool().run_per_worker(chunks, |w, chunk| {
+            let mut out: Vec<Vec<(K, V)>> = (0..workers).map(|_| Vec::new()).collect();
+            let mut runs: Vec<Vec<DiskRun>> = (0..workers).map(|_| Vec::new()).collect();
+            // One radix scratch serves all of this worker's destination
+            // buffers (it cannot be parked in the ExecCtx: `(K, V)` may
+            // borrow non-'static data, which the TypeId-keyed scratch cache
+            // cannot hold).
+            let mut scratch: Vec<(K, V)> = Vec::new();
+            let mut emitted = 0u64;
+            let (mut spilled_pairs, mut spilled_bytes, mut spilled_runs) = (0u64, 0u64, 0u64);
+            let mut seq = 0u64;
+            for item in chunk {
+                let mut emitter = Emitter {
+                    out: &mut out,
+                    emitted,
+                };
+                map_fn(item, &mut emitter);
+                emitted = emitter.emitted;
+                // Budget check after every input record: O(1) while under
+                // budget; over it, every non-empty destination buffer is
+                // presorted and written out as one sorted run file.
+                if let Some((dir, budget, kc, vc)) = &spill {
+                    let buffered = (emitted - spilled_pairs) as usize;
+                    if buffered * std::mem::size_of::<(K, V)>() > *budget {
+                        for (dst, buf) in out.iter_mut().enumerate() {
+                            if buf.is_empty() {
+                                continue;
+                            }
+                            crate::radix::sort_pairs(buf, &mut scratch);
+                            let name = format!("m{w}-d{dst}-s{seq}.run");
+                            seq += 1;
+                            let run = write_run(dir, &name, buf, kc, vc)?;
+                            spilled_pairs += buf.len() as u64;
+                            spilled_bytes += run.bytes;
+                            spilled_runs += 1;
+                            runs[dst].push(run);
+                            buf.clear();
+                        }
+                    }
+                }
+            }
+            // Presort the remainders per destination so that the reduce side
+            // only k-way-merges: the sort work runs here, parallel across
+            // all map workers.
+            for buf in out.iter_mut() {
+                crate::radix::sort_pairs(buf, &mut scratch);
+            }
+            Ok(MapSide {
+                out,
+                runs,
+                spilled_pairs,
+                spilled_bytes,
+                spilled_runs,
+            })
+        });
+    let mapped: Vec<MapSide<K, V>> = mapped
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .unwrap_or_else(|e| std::panic::panic_any(EngineError::Spill(e)));
 
-    // ---- shuffle: transpose the per-source buffers to per-destination.
+    // ---- shuffle: transpose the per-source buffers to per-destination,
+    // keeping each destination's sources in worker order (each source's runs
+    // in spill order, its RAM remainder last — the tie-break order the merge
+    // relies on).
     let mut pairs_shuffled = 0u64;
-    let mut incoming: Vec<Vec<Vec<(K, V)>>> = (0..workers).map(|_| Vec::new()).collect();
-    for src in shuffled {
-        for (dst, buf) in src.into_iter().enumerate() {
+    let (mut spilled_bytes, mut spilled_runs) = (0u64, 0u64);
+    let mut incoming: Vec<ShuffleSources<K, V>> =
+        (0..workers).map(|_| Vec::with_capacity(workers)).collect();
+    let mut spill_active = false;
+    for side in mapped {
+        pairs_shuffled += side.spilled_pairs;
+        spilled_bytes += side.spilled_bytes;
+        spilled_runs += side.spilled_runs;
+        for (dst, (runs, buf)) in side.runs.into_iter().zip(side.out).enumerate() {
             pairs_shuffled += buf.len() as u64;
-            incoming[dst].push(buf);
+            spill_active |= !runs.is_empty();
+            incoming[dst].push((runs, buf));
         }
     }
 
     // Cooperative control poll at the map→reduce barrier (the pass's one BSP
     // boundary): raised on the coordinator thread, so a trip unwinds without
     // the pool ever seeing it. No superstep or store here — resident bytes 0.
+    // An unwind here drops `incoming`, deleting any spilled run files.
     if let Some(control) = ctx.control() {
         if let Some(reason) = control.poll(0) {
-            std::panic::panic_any(crate::engine::EngineError::Cancelled {
+            std::panic::panic_any(EngineError::Cancelled {
                 reason,
                 superstep: 0,
             });
@@ -244,17 +415,18 @@ where
     }
 
     // ---- reduce phase: flat sort-based grouping, then reduce each key run.
-    let results: Vec<(Vec<O>, u64)> = ctx.pool().run_per_worker(incoming, |w, mut bufs| {
-        // K-way merge of the pre-sorted source buffers straight
-        // into one key per group plus a flat value buffer; each
-        // group is the contiguous value run of its key. This
-        // replaces the hash map *and* the sorted-key pass the
-        // hash-based grouping needed for determinism (ties prefer
-        // the lower source worker, so the merge is deterministic).
-        let total: usize = bufs.iter().map(|b| b.len()).sum();
+    let codecs = spill.as_ref().map(|(_, _, kc, vc)| (*kc, *vc));
+    let results: Vec<ReduceSide<O>> = ctx.pool().run_per_worker(incoming, |w, srcs| {
+        // K-way merge of the pre-sorted sources straight into one key
+        // per group plus a flat value buffer; each group is the
+        // contiguous value run of its key. This replaces the hash map
+        // *and* the sorted-key pass the hash-based grouping needed for
+        // determinism (ties prefer the lower source, so the merge is
+        // deterministic).
+        let ram_total: usize = srcs.iter().map(|(_, ram)| ram.len()).sum();
         let mut group_keys: Vec<(K, usize)> = Vec::new();
-        let mut vals: Vec<V> = Vec::with_capacity(total);
-        crate::kmerge::merge_sorted_buffers(&mut bufs, |k, v| {
+        let mut vals: Vec<V> = Vec::with_capacity(ram_total);
+        let mut sink = |k: K, v: V| {
             let new_group = match group_keys.last() {
                 Some((last, _)) => *last != k,
                 None => true,
@@ -263,7 +435,26 @@ where
                 group_keys.push((k, vals.len()));
             }
             vals.push(v);
-        });
+        };
+        let mut read_bytes = 0u64;
+        if spill_active {
+            let (kc, vc) = codecs.expect("runs exist only when spilling is armed");
+            let mut sources: Vec<MergeSource<K, V>> = Vec::new();
+            // Keeps the consumed run files alive until the merge
+            // finishes; dropping them afterwards deletes the files.
+            let mut consumed: Vec<DiskRun> = Vec::new();
+            for (runs, ram) in srcs {
+                for run in runs {
+                    sources.push(MergeSource::Disk(RunReader::open(run.path(), kc, vc)?));
+                    consumed.push(run);
+                }
+                sources.push(MergeSource::Ram(ram.into_iter()));
+            }
+            read_bytes = merge_run_sources(sources, &mut sink)?;
+        } else {
+            let mut bufs: Vec<Vec<(K, V)>> = srcs.into_iter().map(|(_, ram)| ram).collect();
+            crate::kmerge::merge_sorted_buffers(&mut bufs, sink);
+        }
         let group_count = group_keys.len() as u64;
         let mut out = Vec::new();
         for g in 0..group_keys.len() {
@@ -271,12 +462,15 @@ where
             let end = group_keys.get(g + 1).map(|(_, s)| *s).unwrap_or(vals.len());
             reduce_fn(w, &group_keys[g].0, &mut vals[start..end], &mut out);
         }
-        (out, group_count)
+        Ok((out, group_count, read_bytes))
     });
     let mut outputs: Vec<Vec<O>> = Vec::with_capacity(workers);
     let mut groups = 0u64;
-    for (out, g) in results {
+    let mut spill_read_bytes = 0u64;
+    for r in results {
+        let (out, g, read) = r.unwrap_or_else(|e| std::panic::panic_any(EngineError::Spill(e)));
         groups += g;
+        spill_read_bytes += read;
         outputs.push(out);
     }
 
@@ -287,6 +481,9 @@ where
         groups,
         output_records,
         elapsed: start.elapsed(),
+        spilled_bytes,
+        spill_read_bytes,
+        spilled_runs,
     };
     (outputs, metrics)
 }
@@ -451,6 +648,46 @@ mod tests {
         for group in out {
             assert!(group.windows(2).all(|w| w[0] <= w[1]));
         }
+    }
+
+    #[test]
+    fn spillable_pass_matches_resident_pass() {
+        // Word-count-shaped pass with enough volume to force many runs under
+        // a tiny cap; per-key value order must survive spilling, so the
+        // reduce folds order-sensitively (first value wins a slot).
+        let run = |cap: Option<u64>| -> (Vec<(u64, u64, u64)>, MapReduceMetrics) {
+            let ctx = ExecCtx::new(4);
+            if let Some(cap) = cap {
+                ctx.set_spill(crate::spill::SpillPolicy::At(cap));
+            }
+            let inputs: Vec<u64> = (0..20_000).collect();
+            let (out, metrics) = map_reduce_spillable_on(
+                &ctx,
+                inputs,
+                |x: u64, out: &mut Emitter<'_, u64, u64>| out.emit(x % 257, x),
+                |_w: usize, k: &u64, vs: &mut [u64], out: &mut Vec<(u64, u64, u64)>| {
+                    // (key, first value, sum): `first` pins the within-key
+                    // order, `sum` pins the membership.
+                    out.push((*k, vs[0], vs.iter().sum()));
+                },
+            );
+            ctx.clear_spill();
+            let mut flat: Vec<(u64, u64, u64)> = out.into_iter().flatten().collect();
+            flat.sort_unstable();
+            (flat, metrics)
+        };
+        let (baseline, base_metrics) = run(None);
+        assert_eq!(base_metrics.spilled_runs, 0);
+        let (off, off_metrics) = run(Some(1 << 30));
+        assert_eq!(off, baseline, "huge cap must not change the outputs");
+        assert_eq!(off_metrics.spilled_runs, 0, "huge cap must not spill");
+        let (spilled, spill_metrics) = run(Some(8192));
+        assert_eq!(spilled, baseline, "spilled pass diverged from resident");
+        assert!(spill_metrics.spilled_runs > 0, "tiny cap must spill runs");
+        assert!(spill_metrics.spilled_bytes > 0);
+        assert!(spill_metrics.spill_read_bytes > 0);
+        assert_eq!(spill_metrics.pairs_shuffled, base_metrics.pairs_shuffled);
+        assert_eq!(spill_metrics.groups, base_metrics.groups);
     }
 
     /// Hash-grouping oracle shared by the property tests below.

@@ -49,6 +49,16 @@ pub struct SuperstepMetrics {
     /// 1 when a [`JobControl`](crate::control::JobControl) was installed on
     /// the context, 0 otherwise.
     pub cancellation_checks: u64,
+    /// Bytes written to disk by the spill layer during this superstep:
+    /// sorted outbox run files plus sealed-extent writebacks and compaction
+    /// rewrites. 0 unless a [`SpillPolicy`](crate::SpillPolicy) cap engaged.
+    pub spilled_bytes: u64,
+    /// Bytes read back from spill files during this superstep (run merges
+    /// at delivery, extent fault-ins, compaction copies).
+    pub spill_read_bytes: u64,
+    /// Spill artefacts written this superstep: sorted run files plus extent
+    /// images (initial seals, writebacks, and compaction copies).
+    pub spilled_runs: u64,
 }
 
 /// Metrics of a whole Pregel job.
@@ -81,6 +91,18 @@ pub struct Metrics {
     /// Recorded even when per-superstep tracking is disabled; 0 when no
     /// control handle was installed.
     pub total_cancellation_checks: u64,
+    /// Total spill bytes written across the job (see
+    /// [`spilled_bytes`](SuperstepMetrics::spilled_bytes)); includes the
+    /// initial partition seal and the final unseal bookkeeping, which happen
+    /// outside any single superstep. Recorded even when per-superstep
+    /// tracking is disabled.
+    pub spilled_bytes: u64,
+    /// Total spill bytes read back across the job (see
+    /// [`spill_read_bytes`](SuperstepMetrics::spill_read_bytes)).
+    pub spill_read_bytes: u64,
+    /// Total spill artefacts written across the job (see
+    /// [`spilled_runs`](SuperstepMetrics::spilled_runs)).
+    pub spilled_runs: u64,
     /// Per-superstep breakdown (empty unless tracking is enabled).
     pub per_superstep: Vec<SuperstepMetrics>,
 }
@@ -109,6 +131,9 @@ impl Metrics {
             .peak_store_resident_bytes
             .max(other.peak_store_resident_bytes);
         self.total_cancellation_checks += other.total_cancellation_checks;
+        self.spilled_bytes += other.spilled_bytes;
+        self.spill_read_bytes += other.spill_read_bytes;
+        self.spilled_runs += other.spilled_runs;
         self.per_superstep
             .extend(other.per_superstep.iter().cloned());
     }
@@ -152,6 +177,9 @@ mod tests {
             avg_frontier_density: 0.5,
             peak_store_resident_bytes: 100,
             total_cancellation_checks: 3,
+            spilled_bytes: 100,
+            spill_read_bytes: 50,
+            spilled_runs: 2,
             per_superstep: vec![],
         };
         let b = Metrics {
@@ -164,6 +192,9 @@ mod tests {
             avg_frontier_density: 0.75,
             peak_store_resident_bytes: 64,
             total_cancellation_checks: 2,
+            spilled_bytes: 10,
+            spill_read_bytes: 5,
+            spilled_runs: 1,
             per_superstep: vec![SuperstepMetrics {
                 superstep: 0,
                 active_vertices: 4,
@@ -177,6 +208,9 @@ mod tests {
                 store_resident_bytes: 64,
                 id_column_compression: 1.0,
                 cancellation_checks: 1,
+                spilled_bytes: 10,
+                spill_read_bytes: 5,
+                spilled_runs: 1,
             }],
         };
         a.absorb(&b);
@@ -190,6 +224,9 @@ mod tests {
         // the footprint peak takes the max across absorbed jobs.
         assert!((a.avg_frontier_density - 0.6).abs() < 1e-12);
         assert_eq!(a.peak_store_resident_bytes, 100);
+        assert_eq!(a.spilled_bytes, 110);
+        assert_eq!(a.spill_read_bytes, 55);
+        assert_eq!(a.spilled_runs, 3);
     }
 
     #[test]

@@ -71,6 +71,20 @@ pub trait VertexProgram: Sync {
     fn should_terminate(&self, _aggregate: &Self::Aggregate, _superstep: usize) -> bool {
         false
     }
+
+    /// Opt-in to bounded-memory (out-of-core) execution: the byte codecs the
+    /// engine needs to spill this program's IDs, values, and messages to
+    /// disk. The default `None` keeps the program fully in RAM even when a
+    /// [`SpillPolicy`](crate::SpillPolicy) cap is installed on the context —
+    /// only programs whose associated types implement
+    /// [`SpillCodec`](crate::SpillCodec) can run out of core, and they opt in
+    /// by returning `Some(SpillCodecs::new())`.
+    fn spill_codecs() -> Option<crate::spill::SpillCodecs<Self>>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 /// Per-superstep, per-worker execution context handed to

@@ -416,14 +416,6 @@ impl<I: VertexKey + SortKey> IdColumn<I> {
         }
     }
 
-    /// Heap bytes actually held by the column.
-    fn heap_bytes(&self) -> usize {
-        match self {
-            IdColumn::Plain(v) => v.capacity() * std::mem::size_of::<I>(),
-            IdColumn::Packed(p) => p.heap_bytes(),
-        }
-    }
-
     /// `(actual heap bytes, plain-equivalent bytes)` — the compression
     /// numerator and denominator surfaced in `SuperstepMetrics`.
     fn footprint(&self) -> (usize, usize) {
@@ -438,6 +430,33 @@ impl<I: VertexKey + SortKey> IdColumn<I> {
     fn debug_validate(&self) {
         if let IdColumn::Packed(p) = self {
             p.debug_validate();
+        }
+    }
+}
+
+impl<I> IdColumn<I> {
+    /// An empty column pinned to the `Plain` representation regardless of
+    /// the key type — the spill layer's extent window, whose IDs are decoded
+    /// exactly once at fault-in and then read positionally.
+    pub(crate) fn plain() -> IdColumn<I> {
+        IdColumn::Plain(Vec::new())
+    }
+
+    /// The backing vector of a `Plain` column. Callers construct the column
+    /// via [`IdColumn::plain`]; a `Packed` column here is a programming
+    /// error.
+    pub(crate) fn as_plain_mut(&mut self) -> &mut Vec<I> {
+        match self {
+            IdColumn::Plain(v) => v,
+            IdColumn::Packed(_) => unreachable!("spill window columns are always plain"),
+        }
+    }
+
+    /// Heap bytes actually held by the column.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            IdColumn::Plain(v) => v.capacity() * std::mem::size_of::<I>(),
+            IdColumn::Packed(p) => p.heap_bytes(),
         }
     }
 }
@@ -1035,6 +1054,85 @@ impl<I: VertexKey + SortKey, V: Send> Partition<I, V> {
             halted: &mut self.halted,
             stamps: &mut self.stamps,
         }
+    }
+
+    /// Drains the partition's columns into on-disk extents, leaving the
+    /// columns empty; the runner computes against the returned seal one
+    /// extent window at a time. Requires a compacted partition (the job
+    /// start's `activate_all` compacts). On error the drained data is lost —
+    /// the caller abandons the job with a spill error, and recovery goes
+    /// through checkpoint/resume, not through the half-sealed store.
+    pub(crate) fn seal_to(
+        &mut self,
+        dir: &std::sync::Arc<crate::spill::SpillDir>,
+        part_index: usize,
+        id_codec: crate::spill::Codec<I>,
+        value_codec: crate::spill::Codec<V>,
+    ) -> Result<crate::spill::PartSeal<I, V>, crate::spill::SpillError> {
+        debug_assert!(
+            self.dead == 0 && self.pending.is_empty() && self.sidecar.is_none(),
+            "sealing requires a compacted partition (activate_all compacts)"
+        );
+        let mut seal = crate::spill::PartSeal::new(
+            std::sync::Arc::clone(dir),
+            part_index,
+            id_codec,
+            value_codec,
+        );
+        let ids = std::mem::replace(&mut self.ids, IdColumn::new());
+        let values = std::mem::take(&mut self.values);
+        let words = std::mem::take(&mut self.halted);
+        let stamps = std::mem::take(&mut self.stamps);
+        seal.seal_slots(ids.iter().zip(values).zip(stamps).enumerate().map(
+            |(slot, ((id, value), stamp))| {
+                let halted = words
+                    .get(slot >> 6)
+                    .is_some_and(|w| (w >> (slot & 63)) & 1 == 1);
+                (id, value, halted, stamp)
+            },
+        ))?;
+        self.dead = 0;
+        Ok(seal)
+    }
+
+    /// Rebuilds the partition's columns from a seal's extents (ascending ID
+    /// order, so the column append path applies directly), restoring the
+    /// halt bits and compute stamps each slot carried at its last writeback.
+    /// The partition must be empty (it is — [`Partition::seal_to`] drained
+    /// it).
+    pub(crate) fn unseal_from(
+        &mut self,
+        seal: &mut crate::spill::PartSeal<I, V>,
+    ) -> Result<(), crate::spill::SpillError> {
+        debug_assert!(
+            self.ids.len() == 0 && self.pending.is_empty() && self.sidecar.is_none(),
+            "unsealing into a non-empty partition"
+        );
+        let total = seal.total_slots();
+        self.ids.reserve(total);
+        self.values.reserve(total);
+        self.stamps.reserve(total);
+        self.halted.clear();
+        self.halted.resize(words_for(total), 0);
+        let ids = &mut self.ids;
+        let values = &mut self.values;
+        let stamps = &mut self.stamps;
+        let words = &mut self.halted;
+        let mut dead = 0usize;
+        let mut slot = 0usize;
+        seal.drain_slots(|id, value, halted, stamp| {
+            ids.push(id);
+            if value.is_none() {
+                dead += 1;
+            }
+            values.push(value);
+            stamps.push(stamp);
+            set_bit(words, slot, halted);
+            slot += 1;
+        })?;
+        self.dead = dead;
+        self.debug_validate();
+        Ok(())
     }
 
     /// Estimated heap bytes held by the columns themselves (excluding any

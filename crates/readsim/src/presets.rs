@@ -188,12 +188,44 @@ pub fn sim_bi() -> DatasetPreset {
     }
 }
 
-/// All four presets, in the order of Table I (increasing data volume).
-pub fn all_presets() -> Vec<DatasetPreset> {
-    vec![sim_hc2(), sim_hcx(), sim_hc14(), sim_bi()]
+/// An out-of-core stress preset: one to two orders of magnitude more data
+/// volume than `sim-hc2`, sized so the assembler's resident working set
+/// comfortably exceeds the spill caps exercised by the `out_of_core` bench.
+/// Fully deterministic (fixed genome and read seeds) so spilled and resident
+/// runs can be compared byte for byte.
+pub fn sim_xl() -> DatasetPreset {
+    DatasetPreset {
+        name: "sim-xl".into(),
+        paper_dataset: "Out-of-core stress (synthetic)".into(),
+        genome: GenomeConfig {
+            length: 2_000_000,
+            gc_content: 0.41,
+            repeat_families: 120,
+            repeat_copies: 3,
+            repeat_length: 180,
+            seed: 0x584C_0001,
+        },
+        reads: ReadSimConfig {
+            read_length: 120,
+            coverage: 25.0,
+            substitution_rate: 0.003,
+            indel_rate: 0.0,
+            n_rate: 0.0005,
+            both_strands: true,
+            seed: 0x584C_0002,
+        },
+        has_reference: true,
+    }
 }
 
-/// Looks up a preset by name (`sim-hc2`, `sim-hcx`, `sim-hc14`, `sim-bi`).
+/// All five presets: the four Table I analogues in increasing data volume,
+/// followed by the synthetic out-of-core stress preset `sim-xl`.
+pub fn all_presets() -> Vec<DatasetPreset> {
+    vec![sim_hc2(), sim_hcx(), sim_hc14(), sim_bi(), sim_xl()]
+}
+
+/// Looks up a preset by name (`sim-hc2`, `sim-hcx`, `sim-hc14`, `sim-bi`,
+/// `sim-xl`).
 pub fn preset_by_name(name: &str) -> Option<DatasetPreset> {
     all_presets().into_iter().find(|p| p.name == name)
 }
@@ -203,9 +235,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn four_presets_in_increasing_volume() {
+    fn presets_in_increasing_volume() {
         let presets = all_presets();
-        assert_eq!(presets.len(), 4);
+        assert_eq!(presets.len(), 5);
         let volumes: Vec<usize> = presets
             .iter()
             .map(|p| p.expected_reads() * p.reads.read_length)
@@ -234,6 +266,25 @@ mod tests {
         assert!(preset_by_name("sim-hcx").unwrap().has_reference);
         assert!(!preset_by_name("sim-hc14").unwrap().has_reference);
         assert!(!preset_by_name("sim-bi").unwrap().has_reference);
+        assert!(preset_by_name("sim-xl").unwrap().has_reference);
+    }
+
+    /// Full `sim-xl` generation is deliberately heavyweight; run with
+    /// `cargo test -p ppa_readsim -- --ignored sim_xl_stress` when stress
+    /// testing the out-of-core path.
+    #[test]
+    #[ignore = "generates the full 2 Mbp out-of-core stress dataset"]
+    fn sim_xl_stress_generates_deterministically() {
+        let a = sim_xl().generate();
+        let b = sim_xl().generate();
+        assert_eq!(a.reference.len(), 2_000_000);
+        assert_eq!(a.reads.len(), a.preset.expected_reads());
+        assert_eq!(b.reads.len(), a.reads.len());
+        for (ra, rb) in a.reads.records.iter().zip(b.reads.records.iter()) {
+            assert_eq!(ra.seq, rb.seq, "sim-xl must be deterministic");
+        }
+        let cov = a.realized_coverage();
+        assert!((cov - 25.0).abs() < 2.0, "coverage {cov}");
     }
 
     #[test]

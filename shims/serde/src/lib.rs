@@ -17,7 +17,7 @@ pub mod bin {
     //! panics on malformed input.
 
     use std::fmt;
-    use std::io::{self, Write};
+    use std::io::{self, Read, Write};
 
     /// Decoding error: the input bytes do not contain what was asked for.
     #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,6 +124,159 @@ pub mod bin {
         /// Writes a UTF-8 string as a length-prefixed byte string.
         pub fn str(&mut self, s: &str) -> io::Result<()> {
             self.bytes(s.as_bytes())
+        }
+    }
+
+    /// Error raised by the streaming [`FrameReader`]: either the underlying
+    /// source failed, or the stream ended/was malformed mid-value.
+    #[derive(Debug)]
+    pub enum FrameError {
+        /// The underlying [`io::Read`] source returned an error.
+        Io {
+            /// What was being read when the source failed.
+            op: &'static str,
+            /// The I/O error, rendered (keeps the enum `Clone`-free of
+            /// `io::Error`, which is not `Clone`).
+            message: String,
+        },
+        /// The stream ended before the requested value was complete.
+        Truncated {
+            /// Stream offset at which the read started.
+            offset: u64,
+            /// Bytes the value needed.
+            needed: usize,
+            /// Bytes actually available.
+            got: usize,
+        },
+        /// A decoded value was structurally invalid (e.g. an implausible
+        /// frame length).
+        Invalid {
+            /// Stream offset at which the bad value started.
+            offset: u64,
+            /// What was wrong.
+            what: String,
+        },
+    }
+
+    impl fmt::Display for FrameError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                FrameError::Io { op, message } => write!(f, "I/O error while {op}: {message}"),
+                FrameError::Truncated {
+                    offset,
+                    needed,
+                    got,
+                } => write!(
+                    f,
+                    "truncated stream at offset {offset}: needed {needed} bytes, got {got}"
+                ),
+                FrameError::Invalid { offset, what } => {
+                    write!(f, "invalid value at offset {offset}: {what}")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for FrameError {}
+
+    /// Streaming counterpart of [`Reader`]: decodes little-endian primitives
+    /// and `u32`-length-prefixed frames from any [`io::Read`] source without
+    /// loading the whole stream into memory. Used by the spill layer to merge
+    /// sorted on-disk runs record by record. Like [`Reader`], it reports
+    /// truncation and corruption as typed errors and never panics on
+    /// malformed input.
+    pub struct FrameReader<R: io::Read> {
+        src: R,
+        /// Scratch holding the most recently filled bytes (one frame at most).
+        buf: Vec<u8>,
+        /// Bytes consumed from the source so far (error-reporting offset).
+        offset: u64,
+        /// Frames longer than this are rejected as [`FrameError::Invalid`]
+        /// before any allocation, so a corrupt length prefix cannot trigger
+        /// a huge read.
+        max_frame: u32,
+    }
+
+    impl<R: io::Read> FrameReader<R> {
+        /// Wraps a source; frames longer than `max_frame` bytes are rejected.
+        pub fn new(src: R, max_frame: u32) -> FrameReader<R> {
+            FrameReader {
+                src,
+                buf: Vec::new(),
+                offset: 0,
+                max_frame,
+            }
+        }
+
+        /// Bytes consumed from the source so far.
+        pub fn offset(&self) -> u64 {
+            self.offset
+        }
+
+        /// Reads exactly `n` bytes into the scratch buffer and returns them.
+        /// `take` + `read_to_end` keeps this panic-free (no slice indexing)
+        /// and loops internally over short reads.
+        fn fill(&mut self, n: usize, op: &'static str) -> Result<&[u8], FrameError> {
+            self.buf.clear();
+            let got = (&mut self.src)
+                .take(n as u64)
+                .read_to_end(&mut self.buf)
+                .map_err(|e| FrameError::Io {
+                    op,
+                    message: e.to_string(),
+                })?;
+            if got < n {
+                return Err(FrameError::Truncated {
+                    offset: self.offset,
+                    needed: n,
+                    got,
+                });
+            }
+            self.offset += n as u64;
+            Ok(&self.buf)
+        }
+
+        /// Reads a little-endian `u32`.
+        pub fn u32(&mut self) -> Result<u32, FrameError> {
+            let at = self.offset;
+            let arr: [u8; 4] =
+                self.fill(4, "reading a u32")?
+                    .try_into()
+                    .map_err(|_| FrameError::Invalid {
+                        offset: at,
+                        // Unreachable: fill(4) always returns exactly four bytes.
+                        what: "internal: fill(4) length".into(),
+                    })?;
+            Ok(u32::from_le_bytes(arr))
+        }
+
+        /// Reads a little-endian `u64`.
+        pub fn u64(&mut self) -> Result<u64, FrameError> {
+            let at = self.offset;
+            let arr: [u8; 8] =
+                self.fill(8, "reading a u64")?
+                    .try_into()
+                    .map_err(|_| FrameError::Invalid {
+                        offset: at,
+                        // Unreachable: fill(8) always returns exactly eight bytes.
+                        what: "internal: fill(8) length".into(),
+                    })?;
+            Ok(u64::from_le_bytes(arr))
+        }
+
+        /// Reads one `u32`-length-prefixed frame and returns its payload.
+        /// The length is validated against the `max_frame` bound before any
+        /// read, so corrupt prefixes fail fast instead of allocating.
+        pub fn frame(&mut self) -> Result<&[u8], FrameError> {
+            let at = self.offset;
+            let len = self.u32()?;
+            if len > self.max_frame {
+                return Err(FrameError::Invalid {
+                    offset: at,
+                    what: format!("frame length {len} exceeds the {} cap", self.max_frame),
+                });
+            }
+            self.fill(len as usize, "reading a frame payload")
         }
     }
 

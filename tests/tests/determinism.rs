@@ -41,6 +41,7 @@ fn config(workers: usize, labeling: LabelingAlgorithm) -> AssemblyConfig {
         labeling,
         error_correction_rounds: 1,
         min_contig_length: 0,
+        spill: ppa_pregel::SpillPolicy::Off,
         exec: None,
     }
 }

@@ -68,6 +68,7 @@ fn seed_scenarios() -> Vec<(ReadSet, AssemblyConfig)> {
         labeling: LabelingAlgorithm::ListRanking,
         error_correction_rounds: 1,
         min_contig_length: 0,
+        spill: ppa_pregel::SpillPolicy::Off,
         exec: None,
     };
     vec![
